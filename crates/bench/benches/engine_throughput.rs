@@ -1,0 +1,58 @@
+//! Engine throughput: simulated tasks per second of wall time.
+//!
+//! Not a paper artifact — a regression guard for the simulator substrate, so
+//! the figure-level harnesses stay fast as the engine grows features. Runs a
+//! 500-task bimodal workflow end-to-end per iteration, with and without the
+//! optional observability (event log + utilization series).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tora_alloc::allocator::AlgorithmKind;
+use tora_sim::{simulate, ChurnConfig, SimConfig};
+use tora_workloads::synthetic::{generate, SyntheticKind};
+
+fn bench_engine(c: &mut Criterion) {
+    let wf = generate(SyntheticKind::Bimodal, 500, 9);
+    let mut group = c.benchmark_group("engine_end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("bare", |b| {
+        b.iter(|| {
+            simulate(
+                &wf,
+                AlgorithmKind::ExhaustiveBucketing,
+                SimConfig {
+                    churn: ChurnConfig::fixed(20),
+                    seed: 9,
+                    ..SimConfig::default()
+                },
+            )
+            .metrics
+            .len()
+        })
+    });
+
+    group.bench_function("paper_like_pool", |b| {
+        b.iter(|| {
+            simulate(&wf, AlgorithmKind::ExhaustiveBucketing, SimConfig::paper_like(9))
+                .metrics
+                .len()
+        })
+    });
+
+    group.bench_function("with_observability", |b| {
+        b.iter(|| {
+            let config = SimConfig {
+                record_log: true,
+                track_utilization: true,
+                ..SimConfig::paper_like(9)
+            };
+            simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config)
+                .metrics
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

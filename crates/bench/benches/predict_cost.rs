@@ -1,0 +1,46 @@
+//! Steady-state per-allocation prediction cost of every algorithm.
+//!
+//! Complements Table I: once the bucketing state is cached (the lazy
+//! batching discussed under Table I — no new record arrived since the last
+//! request), a prediction is a probability-weighted sample over at most ten
+//! buckets, so it should cost nanoseconds regardless of history size. The
+//! comparators' costs are shown on the same scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tora_alloc::allocator::{Allocator, AlgorithmKind};
+use tora_alloc::task::{CategoryId, ResourceRecord, TaskSpec};
+use tora_alloc::resources::ResourceVector;
+use tora_bench::timing::sample_values;
+
+fn loaded_allocator(alg: AlgorithmKind, n: usize) -> Allocator {
+    let mut a = Allocator::new(alg, 42);
+    for (i, v) in sample_values(n, 7).into_iter().enumerate() {
+        let task = TaskSpec::new(
+            i as u64,
+            0,
+            ResourceVector::new(1.0 + (v / 8192.0), v, v / 2.0),
+            30.0,
+        );
+        a.observe(&ResourceRecord::from_task(&task));
+    }
+    a
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state_predict");
+    for alg in AlgorithmKind::PAPER_SET {
+        // The cached path: 1000 records already bucketed, no new arrivals.
+        let mut allocator = loaded_allocator(alg.fast_equivalent(), 1000);
+        // Prime any lazy caches.
+        let _ = allocator.predict_first(CategoryId(0));
+        group.bench_with_input(
+            BenchmarkId::new("cached", alg.label()),
+            &alg,
+            |b, _| b.iter(|| allocator.predict_first(CategoryId(0))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

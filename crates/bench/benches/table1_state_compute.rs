@@ -1,0 +1,58 @@
+//! Criterion version of Table I: time to compute a new bucketing state and
+//! derive an allocation, at the paper's record counts.
+//!
+//! The faithful Greedy Bucketing scan is quadratic per interval, so its
+//! large sizes are capped here to keep `cargo bench` wall time reasonable —
+//! the `table1_timing` binary prints the full table including the 2000- and
+//! 5000-record GB points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tora_alloc::exhaustive::ExhaustiveBucketing;
+use tora_alloc::greedy::GreedyBucketing;
+use tora_alloc::ValueEstimator;
+use tora_bench::timing::loaded_estimator;
+
+const GOLDEN: f64 = 0.618_033_988_749_894_8;
+
+fn bench_state_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_state_compute");
+    group.sample_size(10);
+
+    for &n in &[10usize, 200, 1000, 2000, 5000] {
+        // Greedy Bucketing, faithful scan (the paper's implementation cost).
+        if n <= 1000 {
+            let mut est = loaded_estimator(GreedyBucketing::new(), n, 42);
+            let mut u = 0.0f64;
+            group.bench_with_input(BenchmarkId::new("greedy-faithful", n), &n, |b, _| {
+                b.iter(|| {
+                    u = (u + GOLDEN).fract();
+                    est.first(u).unwrap()
+                })
+            });
+        }
+
+        // Greedy Bucketing, incremental-scan ablation (identical output).
+        let mut est = loaded_estimator(GreedyBucketing::incremental(), n, 42);
+        let mut u = 0.0f64;
+        group.bench_with_input(BenchmarkId::new("greedy-incremental", n), &n, |b, _| {
+            b.iter(|| {
+                u = (u + GOLDEN).fract();
+                est.first(u).unwrap()
+            })
+        });
+
+        // Exhaustive Bucketing.
+        let mut est = loaded_estimator(ExhaustiveBucketing::new(), n, 42);
+        let mut u = 0.0f64;
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+            b.iter(|| {
+                u = (u + GOLDEN).fract();
+                est.first(u).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_compute);
+criterion_main!(benches);

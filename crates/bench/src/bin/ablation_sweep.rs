@@ -1,0 +1,320 @@
+//! Ablation sweeps over the design choices DESIGN.md calls out.
+//!
+//! Estimator-level ablations run through the serial replay (fast,
+//! deterministic, isolates the allocator); system-level ablations (queue
+//! policy, arrival model) run through the engine. Sections:
+//!
+//! 1. significance weighting on/off (the §IV-A recency mechanism);
+//! 2. exploratory record threshold (§V-A uses 10);
+//! 3. Exhaustive Bucketing bucket cap (§V-A caps at 10);
+//! 4. Quantized Bucketing split quantile (\[11\] uses the median);
+//! 5. clustering rule: value-grid (EB) vs greedy recursion (GB) vs k-means;
+//! 6. enforcement model (linear-ramp vs instant-peak kill timing);
+//! 7. robustness under §II-D2 perturbations (shuffle, phase shift,
+//!    outliers, jitter);
+//! 8. queue policy and arrival model through the engine.
+
+use tora_alloc::allocator::{
+    AlgorithmKind, AllocatorConfig, EstimatorFactory, ExploratoryPolicy,
+};
+use tora_alloc::baselines::QuantizedBucketing;
+use tora_alloc::exhaustive::ExhaustiveBucketing;
+use tora_alloc::policy::BucketingEstimator;
+use tora_alloc::resources::ResourceKind;
+use tora_metrics::{pct, Table, WorkflowMetrics};
+use tora_sim::replay::replay_with_config;
+use tora_sim::{
+    replay, simulate, ArrivalModel, ChurnConfig, EnforcementModel, QueuePolicy, SimConfig,
+};
+use tora_workloads::synthetic::{generate, SyntheticKind};
+use tora_workloads::{perturb, Workflow};
+
+const SEED: u64 = 42;
+const KIND: ResourceKind = ResourceKind::MemoryMb;
+
+fn awe(m: &WorkflowMetrics) -> String {
+    pct(m.awe(KIND).unwrap())
+}
+
+fn base_workflows() -> Vec<Workflow> {
+    vec![
+        generate(SyntheticKind::Normal, 600, SEED),
+        generate(SyntheticKind::Bimodal, 600, SEED),
+        generate(SyntheticKind::PhasingTrimodal, 600, SEED),
+    ]
+}
+
+fn significance_ablation(workflows: &[Workflow]) {
+    let mut table = Table::new(
+        "1. significance weighting (memory AWE, Exhaustive Bucketing)",
+        &["workflow", "sig = task id", "sig = 1"],
+    );
+    for wf in workflows {
+        let row: Vec<String> = [false, true]
+            .iter()
+            .map(|&uniform| {
+                let config = AllocatorConfig {
+                    machine: wf.worker,
+                    uniform_significance: uniform,
+                    ..AllocatorConfig::default()
+                };
+                let m = replay_with_config(
+                    wf,
+                    AlgorithmKind::ExhaustiveBucketing,
+                    config,
+                    EnforcementModel::LinearRamp,
+                    SEED,
+                );
+                awe(&m)
+            })
+            .collect();
+        table.push_row(vec![wf.name.clone(), row[0].clone(), row[1].clone()]);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+fn exploratory_threshold_ablation(workflows: &[Workflow]) {
+    let thresholds = [5usize, 10, 20, 50];
+    let mut headers = vec!["workflow".to_string()];
+    headers.extend(thresholds.iter().map(|t| format!("{t} records")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "2. exploratory threshold (memory AWE, Exhaustive Bucketing)",
+        &header_refs,
+    );
+    for wf in workflows {
+        let mut row = vec![wf.name.clone()];
+        for &t in &thresholds {
+            let config = AllocatorConfig {
+                machine: wf.worker,
+                exploratory_records: t,
+                ..AllocatorConfig::default()
+            };
+            let m = replay_with_config(
+                wf,
+                AlgorithmKind::ExhaustiveBucketing,
+                config,
+                EnforcementModel::LinearRamp,
+                SEED,
+            );
+            row.push(awe(&m));
+        }
+        table.push_row(row);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+fn replay_with_factory(
+    wf: &Workflow,
+    label: String,
+    factory: EstimatorFactory,
+) -> WorkflowMetrics {
+    use tora_alloc::allocator::Allocator;
+    use tora_alloc::task::ResourceRecord;
+    use tora_metrics::{AttemptOutcome, TaskOutcome};
+    let config = AllocatorConfig {
+        machine: wf.worker,
+        exploratory: Some(ExploratoryPolicy::paper_conservative()),
+        ..AllocatorConfig::default()
+    };
+    let mut allocator = Allocator::with_factory(label, factory, config, SEED);
+    let enforcement = EnforcementModel::LinearRamp;
+    let mut metrics = WorkflowMetrics::new();
+    for task in &wf.tasks {
+        let mut attempts = Vec::new();
+        let mut alloc = allocator.predict_first(task.category);
+        loop {
+            let verdict = enforcement.judge(task, &alloc);
+            if verdict.success {
+                attempts.push(AttemptOutcome::success(alloc, verdict.charged_time_s));
+                break;
+            }
+            attempts.push(AttemptOutcome::failure(alloc, verdict.charged_time_s));
+            alloc = allocator.predict_retry(task.category, &alloc, &verdict.exhausted);
+        }
+        metrics.push(TaskOutcome {
+            task: task.id,
+            category: task.category,
+            peak: task.peak,
+            duration_s: task.duration_s,
+            attempts,
+        });
+        allocator.observe(&ResourceRecord::from_task(task));
+    }
+    metrics
+}
+
+fn bucket_cap_ablation(workflows: &[Workflow]) {
+    let caps = [2usize, 5, 10, 20];
+    let mut headers = vec!["workflow".to_string()];
+    headers.extend(caps.iter().map(|c| format!("k ≤ {c}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "3. Exhaustive Bucketing bucket cap (memory AWE)",
+        &header_refs,
+    );
+    for wf in workflows {
+        let mut row = vec![wf.name.clone()];
+        for &cap in &caps {
+            let factory: EstimatorFactory = Box::new(move |_, _| {
+                Box::new(BucketingEstimator::new(
+                    ExhaustiveBucketing::with_max_buckets(cap),
+                ))
+            });
+            let m = replay_with_factory(wf, format!("eb-k{cap}"), factory);
+            row.push(awe(&m));
+        }
+        table.push_row(row);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+fn quantile_ablation(workflows: &[Workflow]) {
+    let quantiles = [0.25f64, 0.5, 0.75, 0.95];
+    let mut headers = vec!["workflow".to_string()];
+    headers.extend(quantiles.iter().map(|q| format!("p{:.0}", q * 100.0)));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "4. Quantized Bucketing split quantile (memory AWE)",
+        &header_refs,
+    );
+    for wf in workflows {
+        let mut row = vec![wf.name.clone()];
+        for &q in &quantiles {
+            let factory: EstimatorFactory =
+                Box::new(move |_, _| Box::new(QuantizedBucketing::with_quantile(q)));
+            let m = replay_with_factory(wf, format!("qb-{q}"), factory);
+            row.push(awe(&m));
+        }
+        table.push_row(row);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+fn clustering_rule_ablation(workflows: &[Workflow]) {
+    let mut table = Table::new(
+        "5. clustering rule behind the shared bucketing policy (memory AWE)",
+        &["workflow", "value-grid (EB)", "greedy (GB)", "k-means"],
+    );
+    for wf in workflows {
+        let eb = replay(wf, AlgorithmKind::ExhaustiveBucketing, EnforcementModel::LinearRamp, SEED);
+        let gb = replay(
+            wf,
+            AlgorithmKind::GreedyBucketingIncremental,
+            EnforcementModel::LinearRamp,
+            SEED,
+        );
+        let km = replay(wf, AlgorithmKind::KMeansBucketing, EnforcementModel::LinearRamp, SEED);
+        table.push_row(vec![wf.name.clone(), awe(&eb), awe(&gb), awe(&km)]);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+fn enforcement_ablation(workflows: &[Workflow]) {
+    let mut table = Table::new(
+        "6. enforcement model (memory AWE, Exhaustive Bucketing)",
+        &["workflow", "linear-ramp", "instant-peak"],
+    );
+    for wf in workflows {
+        let ramp = replay(wf, AlgorithmKind::ExhaustiveBucketing, EnforcementModel::LinearRamp, SEED);
+        let instant = replay(
+            wf,
+            AlgorithmKind::ExhaustiveBucketing,
+            EnforcementModel::InstantPeak,
+            SEED,
+        );
+        table.push_row(vec![wf.name.clone(), awe(&ramp), awe(&instant)]);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+fn robustness_ablation() {
+    let base = generate(SyntheticKind::Bimodal, 800, SEED);
+    let variants: Vec<(&str, Workflow)> = vec![
+        ("base", base.clone()),
+        ("shuffled", perturb::shuffle(&base, SEED)),
+        ("phase-shifted", perturb::phase_shift(&base)),
+        ("5% outliers ×4", perturb::inject_outliers(&base, 0.05, 4.0, SEED)),
+        ("jitter σ=0.3", perturb::jitter(&base, 0.3, SEED)),
+    ];
+    let algorithms = [
+        AlgorithmKind::MaxSeen,
+        AlgorithmKind::QuantizedBucketing,
+        AlgorithmKind::GreedyBucketingIncremental,
+        AlgorithmKind::ExhaustiveBucketing,
+    ];
+    let mut headers = vec!["perturbation"];
+    headers.extend(algorithms.iter().map(|a| a.label()));
+    let mut table = Table::new(
+        "7. robustness to §II-D2 perturbations (bimodal, memory AWE)",
+        &headers,
+    );
+    for (name, wf) in &variants {
+        let mut row = vec![name.to_string()];
+        for alg in algorithms {
+            let m = replay(wf, alg, EnforcementModel::LinearRamp, SEED);
+            row.push(awe(&m));
+        }
+        table.push_row(row);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+fn system_ablation() {
+    let wf = generate(SyntheticKind::Bimodal, 600, SEED);
+    let mut table = Table::new(
+        "8. engine-level choices (bimodal, Exhaustive Bucketing)",
+        &["configuration", "memory AWE", "makespan", "retries"],
+    );
+    let mut run = |name: &str, config: SimConfig| {
+        let res = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config);
+        table.push_row(vec![
+            name.to_string(),
+            awe(&res.metrics),
+            format!("{:.0}s", res.makespan_s),
+            res.metrics.total_retries().to_string(),
+        ]);
+    };
+    for policy in QueuePolicy::ALL {
+        run(
+            &format!("fixed pool, {}", policy.label()),
+            SimConfig {
+                queue_policy: policy,
+                churn: ChurnConfig::fixed(20),
+                seed: SEED,
+                ..SimConfig::default()
+            },
+        );
+    }
+    run(
+        "paper pool, batch arrivals",
+        SimConfig {
+            arrival: ArrivalModel::Batch,
+            ..SimConfig::paper_like(SEED)
+        },
+    );
+    run(
+        "paper pool, poisson arrivals (1.5 s)",
+        SimConfig::paper_like(SEED),
+    );
+    print!("{}", table.render());
+}
+
+fn main() {
+    let workflows = base_workflows();
+    significance_ablation(&workflows);
+    exploratory_threshold_ablation(&workflows);
+    bucket_cap_ablation(&workflows);
+    quantile_ablation(&workflows);
+    clustering_rule_ablation(&workflows);
+    enforcement_ablation(&workflows);
+    robustness_ablation();
+    system_ablation();
+}

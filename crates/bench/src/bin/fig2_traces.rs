@@ -1,0 +1,100 @@
+//! Figure 2: per-task peak resource consumption of the two production-trace
+//! workflows (ColmenaXTB top row, TopEFT bottom row).
+//!
+//! Prints per-category summary statistics for each resource dimension and,
+//! when `TORA_RESULTS_DIR` is set, dumps the full per-task scatter data as
+//! CSV (`fig2_<workflow>.csv`: task id, category, cores, memory, disk,
+//! time) — exactly the points the paper plots.
+
+use tora_alloc::resources::ResourceKind;
+use tora_metrics::Table;
+use tora_workloads::{PaperWorkflow, Workflow};
+
+fn summarize(wf: &Workflow) {
+    let mut table = Table::new(
+        format!("Figure 2 — {} task resource consumption", wf.name),
+        &[
+            "category", "tasks", "resource", "min", "p50", "mean", "max",
+        ],
+    );
+    for (cat_idx, cat_name) in wf.categories.iter().enumerate() {
+        for kind in [
+            ResourceKind::Cores,
+            ResourceKind::MemoryMb,
+            ResourceKind::DiskMb,
+        ] {
+            let mut values: Vec<f64> = wf
+                .tasks
+                .iter()
+                .filter(|t| t.category.0 as usize == cat_idx)
+                .map(|t| t.peak[kind])
+                .collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            push_stats(&mut table, cat_name, kind.label(), &values);
+        }
+        let mut durations: Vec<f64> = wf
+            .tasks
+            .iter()
+            .filter(|t| t.category.0 as usize == cat_idx)
+            .map(|t| t.duration_s)
+            .collect();
+        durations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        push_stats(&mut table, cat_name, "time(s)", &durations);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+fn push_stats(table: &mut Table, category: &str, resource: &str, sorted: &[f64]) {
+    if sorted.is_empty() {
+        return;
+    }
+    let n = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    table.row(&[
+        category.to_string(),
+        n.to_string(),
+        resource.to_string(),
+        format!("{:.2}", sorted[0]),
+        format!("{:.2}", sorted[n / 2]),
+        format!("{mean:.2}"),
+        format!("{:.2}", sorted[n - 1]),
+    ]);
+}
+
+fn dump_csv(wf: &Workflow) {
+    let Some(dir) = std::env::var_os("TORA_RESULTS_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut table = Table::new("", &["task", "category", "cores", "memory_mb", "disk_mb", "time_s"]);
+    for t in &wf.tasks {
+        table.row(&[
+            t.id.0.to_string(),
+            wf.category_name(t.category).to_string(),
+            format!("{:.3}", t.peak.cores()),
+            format!("{:.1}", t.peak.memory_mb()),
+            format!("{:.1}", t.peak.disk_mb()),
+            format!("{:.1}", t.duration_s),
+        ]);
+    }
+    let path = dir.join(format!("fig2_{}.csv", wf.name));
+    if std::fs::write(&path, table.to_csv()).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    for wf in [PaperWorkflow::ColmenaXtb, PaperWorkflow::TopEft] {
+        let built = wf.build(seed);
+        summarize(&built);
+        dump_csv(&built);
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 4: memory consumption of tasks in the five synthetic workflows.
+//!
+//! Prints a per-workflow histogram sketch plus phase statistics (the
+//! trimodal workflow's signature), and dumps per-task series as CSV when
+//! `TORA_RESULTS_DIR` is set.
+
+use tora_metrics::Table;
+use tora_workloads::synthetic::{paper_workflow, SyntheticKind};
+use tora_workloads::Workflow;
+
+fn histogram(wf: &Workflow, buckets: usize) {
+    let values: Vec<f64> = wf.tasks.iter().map(|t| t.peak.memory_mb()).collect();
+    let max = values.iter().cloned().fold(0.0, f64::max);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let width = ((max - min) / buckets as f64).max(1.0);
+    let mut counts = vec![0usize; buckets];
+    for &v in &values {
+        let idx = (((v - min) / width) as usize).min(buckets - 1);
+        counts[idx] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    println!("== Figure 4 — {} (memory MB, {} tasks) ==", wf.name, wf.len());
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = min + width * i as f64;
+        let bar = "#".repeat(c * 50 / peak);
+        println!("{lo:>9.0}–{:<9.0} {c:>5} {bar}", lo + width);
+    }
+    println!();
+}
+
+fn phase_table(wf: &Workflow) {
+    let n = wf.len();
+    let mut table = Table::new(
+        format!("{} — thirds of the submission order", wf.name),
+        &["phase", "tasks", "memory mean (MB)", "memory max (MB)"],
+    );
+    for (phase, range) in [(1, 0..n / 3), (2, n / 3..2 * n / 3), (3, 2 * n / 3..n)] {
+        let slice = &wf.tasks[range];
+        let mean = slice.iter().map(|t| t.peak.memory_mb()).sum::<f64>() / slice.len() as f64;
+        let max = slice
+            .iter()
+            .map(|t| t.peak.memory_mb())
+            .fold(0.0, f64::max);
+        table.row(&[
+            phase.to_string(),
+            slice.len().to_string(),
+            format!("{mean:.0}"),
+            format!("{max:.0}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+fn dump_csv(wf: &Workflow) {
+    let Some(dir) = std::env::var_os("TORA_RESULTS_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut table = Table::new("", &["task", "memory_mb"]);
+    for t in &wf.tasks {
+        table.row(&[t.id.0.to_string(), format!("{:.1}", t.peak.memory_mb())]);
+    }
+    let path = dir.join(format!("fig4_{}.csv", wf.name));
+    if std::fs::write(&path, table.to_csv()).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    for kind in SyntheticKind::ALL {
+        let wf = paper_workflow(kind, seed);
+        histogram(&wf, 16);
+        if kind == SyntheticKind::PhasingTrimodal {
+            phase_table(&wf);
+        }
+        dump_csv(&wf);
+    }
+}

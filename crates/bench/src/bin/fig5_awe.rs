@@ -1,0 +1,131 @@
+//! Figure 5: Absolute Workflow Efficiency in cores, memory and disk of the
+//! 7 workflows across the 7 allocation algorithms.
+//!
+//! Runs the full matrix through the discrete-event engine on a paper-like
+//! opportunistic pool (20–50 churning workers) and prints one table per
+//! resource dimension, rows = algorithms, columns = workflows — the same
+//! cells as the paper's bar chart.
+
+use tora_alloc::allocator::AlgorithmKind;
+use tora_alloc::resources::ResourceKind;
+use tora_bench::experiments::{maybe_dump_json, run_matrix, MatrixCell, MatrixConfig};
+use tora_metrics::{pct, Table};
+use tora_workloads::PaperWorkflow;
+
+/// Mean and spread of one cell's AWE over the seed sweep.
+fn cell_stats(
+    sweeps: &[Vec<MatrixCell>],
+    wf: PaperWorkflow,
+    alg: AlgorithmKind,
+    kind: ResourceKind,
+) -> (f64, f64) {
+    let values: Vec<f64> = sweeps
+        .iter()
+        .map(|cells| {
+            cells
+                .iter()
+                .find(|c| c.workflow == wf && c.algorithm == alg)
+                .expect("matrix is complete")
+                .dim(kind)
+                .awe
+        })
+        .collect();
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let seeds: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let base = MatrixConfig {
+        seed,
+        ..MatrixConfig::default()
+    };
+    eprintln!(
+        "running 7 workflows x 7 algorithms on an opportunistic pool \
+         ({}-{} workers, {} seed(s) from {seed})...",
+        base.churn.min, base.churn.max, seeds
+    );
+    let sweeps: Vec<Vec<MatrixCell>> = (0..seeds)
+        .map(|i| {
+            let config = MatrixConfig {
+                seed: seed + i,
+                ..base
+            };
+            let cells = run_matrix(&config);
+            eprintln!("  seed {} done", seed + i);
+            cells
+        })
+        .collect();
+    let cells = &sweeps[0];
+
+    for kind in ResourceKind::STANDARD {
+        let mut headers = vec!["algorithm"];
+        let names: Vec<&str> = PaperWorkflow::ALL.iter().map(|w| w.name()).collect();
+        headers.extend(names.iter());
+        let mut table = Table::new(
+            if seeds > 1 {
+                format!(
+                    "Figure 5 — Absolute Workflow Efficiency ({}), mean±sd over {seeds} seeds",
+                    kind.label()
+                )
+            } else {
+                format!("Figure 5 — Absolute Workflow Efficiency ({})", kind.label())
+            },
+            &headers,
+        );
+        for alg in AlgorithmKind::PAPER_SET {
+            let mut row = vec![alg.label().to_string()];
+            for wf in PaperWorkflow::ALL {
+                let (mean, sd) = cell_stats(&sweeps, wf, alg, kind);
+                if seeds > 1 {
+                    row.push(format!("{}±{:.1}", pct(mean), sd * 100.0));
+                } else {
+                    row.push(pct(mean));
+                }
+            }
+            table.push_row(row);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+
+    // Paper-shape summary: who wins each (workflow, dimension) cell.
+    let mut wins = Table::new(
+        "Best algorithm per (workflow, resource)",
+        &["workflow", "cores", "memory", "disk"],
+    );
+    for wf in PaperWorkflow::ALL {
+        let best = |kind: ResourceKind| {
+            cells
+                .iter()
+                .filter(|c| c.workflow == wf)
+                .max_by(|a, b| {
+                    a.dim(kind)
+                        .awe
+                        .partial_cmp(&b.dim(kind).awe)
+                        .expect("finite AWE")
+                })
+                .map(|c| c.algorithm.label().to_string())
+                .unwrap_or_default()
+        };
+        wins.row(&[
+            wf.name().to_string(),
+            best(ResourceKind::Cores),
+            best(ResourceKind::MemoryMb),
+            best(ResourceKind::DiskMb),
+        ]);
+    }
+    print!("{}", wins.render());
+
+    if let Some(path) = maybe_dump_json("fig5_awe", cells) {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 6: resource waste in cores, memory and disk of the 7 workflows
+//! across 6 allocation algorithms (Whole Machine dropped, as in the paper,
+//! for better visualization), broken down into *internal fragmentation* and
+//! *failed allocation*.
+//!
+//! Prints one table per resource dimension: each cell shows total waste
+//! (resource·hours) and the failed-allocation share.
+
+use tora_alloc::allocator::AlgorithmKind;
+use tora_alloc::resources::ResourceKind;
+use tora_bench::experiments::{maybe_dump_json, run_matrix_for, MatrixConfig};
+use tora_metrics::{pct, Table};
+use tora_workloads::PaperWorkflow;
+
+/// The six algorithms of Figure 6.
+const FIG6_SET: [AlgorithmKind; 6] = [
+    AlgorithmKind::MaxSeen,
+    AlgorithmKind::MinWaste,
+    AlgorithmKind::MaxThroughput,
+    AlgorithmKind::QuantizedBucketing,
+    AlgorithmKind::GreedyBucketing,
+    AlgorithmKind::ExhaustiveBucketing,
+];
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let config = MatrixConfig {
+        seed,
+        ..MatrixConfig::default()
+    };
+    eprintln!("running 7 workflows x 6 algorithms (seed {seed})...");
+    let cells = run_matrix_for(&PaperWorkflow::ALL, &FIG6_SET, &config);
+
+    for kind in ResourceKind::STANDARD {
+        let unit_hours = |v: f64| v / 3600.0;
+        let mut headers = vec!["algorithm"];
+        let names: Vec<&str> = PaperWorkflow::ALL.iter().map(|w| w.name()).collect();
+        headers.extend(names.iter());
+        let mut table = Table::new(
+            format!(
+                "Figure 6 — waste in {}·hours (failed-allocation share in parens)",
+                kind.unit()
+            ),
+            &headers,
+        );
+        for alg in FIG6_SET {
+            let mut row = vec![alg.label().to_string()];
+            for wf in PaperWorkflow::ALL {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.workflow == wf && c.algorithm == alg)
+                    .expect("matrix is complete");
+                let w = cell.dim(kind).waste;
+                row.push(format!(
+                    "{:.0} ({})",
+                    unit_hours(w.total()),
+                    pct(w.failed_share())
+                ));
+            }
+            table.push_row(row);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+
+    // Retry pressure per algorithm (the behaviour §V-D discusses).
+    let mut retries = Table::new("Failed allocations per workflow", &{
+        let mut h = vec!["algorithm"];
+        h.extend(PaperWorkflow::ALL.iter().map(|w| w.name()));
+        h
+    });
+    for alg in FIG6_SET {
+        let mut row = vec![alg.label().to_string()];
+        for wf in PaperWorkflow::ALL {
+            let cell = cells
+                .iter()
+                .find(|c| c.workflow == wf && c.algorithm == alg)
+                .expect("matrix is complete");
+            row.push(cell.retries.to_string());
+        }
+        retries.push_row(row);
+    }
+    print!("{}", retries.render());
+
+    if let Some(path) = maybe_dump_json("fig6_waste", &cells) {
+        println!("\nwrote {}", path.display());
+    }
+}

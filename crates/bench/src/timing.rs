@@ -1,0 +1,100 @@
+//! Table I support: timing the bucketing-state computation.
+//!
+//! Table I reports "the average time to compute a new bucketing state and
+//! derive a new allocation" at 10 / 200 / 1000 / 2000 / 5000 records,
+//! assuming the worst case where every allocation request recomputes the
+//! state. [`state_compute_time`] reproduces exactly that: an estimator in
+//! `recompute_always` mode, pre-loaded with `n` records sampled from the
+//! §IV-A example distribution (memory ~ N(8 GB, 2 GB)), timed over repeated
+//! first-allocation requests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+use tora_alloc::partition::Partitioner;
+use tora_alloc::policy::BucketingEstimator;
+use tora_alloc::ValueEstimator;
+use tora_workloads::dist::normal;
+
+/// The record-list sizes of Table I.
+pub const TABLE1_SIZES: [usize; 5] = [10, 200, 1000, 2000, 5000];
+
+/// Sample `n` record values from the §IV-A example distribution
+/// (N(8192 MB, 2048 MB), truncated at 64 MB).
+pub fn sample_values(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7AB1E1);
+    (0..n)
+        .map(|_| normal(&mut rng, 8192.0, 2048.0).max(64.0))
+        .collect()
+}
+
+/// Build a worst-case (recompute-per-request) estimator pre-loaded with `n`
+/// records.
+pub fn loaded_estimator<P: Partitioner>(
+    partitioner: P,
+    n: usize,
+    seed: u64,
+) -> BucketingEstimator<P> {
+    let mut est = BucketingEstimator::new(partitioner).recompute_always();
+    for (i, v) in sample_values(n, seed).into_iter().enumerate() {
+        est.observe(v, (i + 1) as f64);
+    }
+    est
+}
+
+/// Mean time per state-compute + allocation over `iters` requests.
+pub fn state_compute_time<P: Partitioner>(
+    partitioner: P,
+    n: usize,
+    iters: usize,
+    seed: u64,
+) -> Duration {
+    let mut est = loaded_estimator(partitioner, n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x11ED);
+    // Warm-up request outside the timed window.
+    let _ = est.first(rng.gen());
+    let start = Instant::now();
+    let mut sink = 0.0;
+    for _ in 0..iters {
+        sink += est.first(rng.gen()).unwrap_or(0.0);
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sink);
+    elapsed / iters as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tora_alloc::exhaustive::ExhaustiveBucketing;
+    use tora_alloc::greedy::GreedyBucketing;
+
+    #[test]
+    fn sampled_values_match_the_example_distribution() {
+        let values = sample_values(5000, 1);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((mean - 8192.0).abs() < 150.0, "mean {mean}");
+        assert!(values.iter().all(|&v| v >= 64.0));
+    }
+
+    #[test]
+    fn timing_returns_positive_durations() {
+        let d = state_compute_time(ExhaustiveBucketing::new(), 200, 3, 1);
+        assert!(d > Duration::ZERO);
+        let g = state_compute_time(GreedyBucketing::incremental(), 200, 3, 1);
+        assert!(g > Duration::ZERO);
+    }
+
+    #[test]
+    fn greedy_faithful_costs_more_than_incremental_at_scale() {
+        // The Table I growth driver: the faithful scan is quadratic per
+        // interval, the incremental one linear.
+        let n = 1000;
+        let faithful = state_compute_time(GreedyBucketing::new(), n, 2, 1);
+        let incremental = state_compute_time(GreedyBucketing::incremental(), n, 2, 1);
+        assert!(
+            faithful > incremental,
+            "faithful {faithful:?} vs incremental {incremental:?}"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The Max Seen baseline.
+//!
+//! §V-A: "*Max Seen* allocates each task the maximum resource value seen so
+//! far in the current workflow run." Values are rounded up onto a histogram
+//! grid (bucket size 250 MB for memory/disk, 1 for cores — §V-C explains the
+//! 306 MB → 500 MB disk allocation this rounding produces for TopEFT).
+
+use crate::baselines::round_up;
+use crate::estimator::{double_allocation, ValueEstimator};
+
+/// Allocates the histogram-rounded running maximum.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxSeen {
+    granularity: f64,
+    max_seen: f64,
+    observed: usize,
+}
+
+impl MaxSeen {
+    /// `granularity` is the histogram bucket size (250 for MB axes, 1 for
+    /// cores in the paper's configuration).
+    pub fn new(granularity: f64) -> Self {
+        assert!(granularity > 0.0, "granularity must be positive");
+        MaxSeen {
+            granularity,
+            max_seen: 0.0,
+            observed: 0,
+        }
+    }
+
+    /// The paper's histogram bucket size for a memory/disk axis.
+    pub const MEMORY_DISK_GRANULARITY: f64 = 250.0;
+    /// The granularity used for the cores axis (whole cores).
+    pub const CORES_GRANULARITY: f64 = 1.0;
+
+    /// The raw (unrounded) maximum observed value.
+    pub fn max_value(&self) -> f64 {
+        self.max_seen
+    }
+}
+
+impl ValueEstimator for MaxSeen {
+    fn name(&self) -> &'static str {
+        "max-seen"
+    }
+
+    fn observe(&mut self, value: f64, _sig: f64) {
+        if value > self.max_seen {
+            self.max_seen = value;
+        }
+        self.observed += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.observed
+    }
+
+    fn first(&mut self, _u: f64) -> Option<f64> {
+        if self.observed == 0 {
+            return None;
+        }
+        Some(round_up(self.max_seen, self.granularity))
+    }
+
+    fn retry(&mut self, prev: f64, u: f64) -> Option<f64> {
+        // A failure means the task exceeded everything seen so far; there is
+        // no better information than escalating geometrically (still on the
+        // histogram grid).
+        let _ = u;
+        if self.observed == 0 {
+            return None;
+        }
+        Some(round_up(
+            double_allocation(prev).max(prev * 2.0),
+            self.granularity,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_rounded_running_max() {
+        let mut ms = MaxSeen::new(250.0);
+        assert_eq!(ms.first(0.5), None);
+        ms.observe(306.0, 1.0);
+        assert_eq!(ms.first(0.5), Some(500.0)); // the §V-C example
+        ms.observe(120.0, 2.0);
+        assert_eq!(ms.first(0.5), Some(500.0)); // max unchanged
+        ms.observe(740.0, 3.0);
+        assert_eq!(ms.first(0.5), Some(750.0));
+        assert_eq!(ms.max_value(), 740.0);
+    }
+
+    #[test]
+    fn cores_round_to_whole_units() {
+        let mut ms = MaxSeen::new(MaxSeen::CORES_GRANULARITY);
+        ms.observe(0.9, 1.0);
+        assert_eq!(ms.first(0.0), Some(1.0));
+        ms.observe(3.6, 2.0);
+        assert_eq!(ms.first(0.0), Some(4.0));
+    }
+
+    #[test]
+    fn retry_escalates_on_grid() {
+        let mut ms = MaxSeen::new(250.0);
+        ms.observe(306.0, 1.0);
+        let r = ms.retry(500.0, 0.3).unwrap();
+        assert_eq!(r, 1000.0);
+        assert!(r % 250.0 == 0.0);
+        assert!(r > 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be positive")]
+    fn zero_granularity_rejected() {
+        MaxSeen::new(0.0);
+    }
+}

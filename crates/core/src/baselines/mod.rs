@@ -1,0 +1,49 @@
+//! The five comparator allocation algorithms of §V-A.
+//!
+//! * [`whole_machine::WholeMachine`] — allocate a full worker (the naive
+//!   baseline).
+//! * [`max_seen::MaxSeen`] — allocate the histogram-rounded maximum value
+//!   seen so far.
+//! * [`tovar::Tovar`] — the two job-sizing strategies of Tovar et al. \[15\]:
+//!   *Min Waste* and *Max Throughput*, both with an at-most-once retry that
+//!   falls back to the whole machine.
+//! * [`quantized::QuantizedBucketing`] — the quantile-bucket strategy of
+//!   Phung et al. \[11\] (median split, escalating retries).
+
+pub mod max_seen;
+pub mod quantized;
+pub mod tovar;
+pub mod whole_machine;
+
+pub use max_seen::MaxSeen;
+pub use quantized::QuantizedBucketing;
+pub use tovar::{Tovar, TovarObjective};
+pub use whole_machine::WholeMachine;
+
+/// Round `value` up to the next multiple of `granularity` (> 0).
+///
+/// §V-C: "Max Seen allocates resources to tasks using a histogram with the
+/// bucket size of 250, resulting in a rounded-up 500-MB disk allocation for a
+/// 306-MB disk consumption".
+pub fn round_up(value: f64, granularity: f64) -> f64 {
+    debug_assert!(granularity > 0.0);
+    if value <= 0.0 {
+        return 0.0;
+    }
+    (value / granularity).ceil() * granularity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::round_up;
+
+    #[test]
+    fn round_up_matches_paper_example() {
+        assert_eq!(round_up(306.0, 250.0), 500.0);
+        assert_eq!(round_up(250.0, 250.0), 250.0);
+        assert_eq!(round_up(251.0, 250.0), 500.0);
+        assert_eq!(round_up(0.0, 250.0), 0.0);
+        assert_eq!(round_up(0.9, 1.0), 1.0);
+        assert_eq!(round_up(3.2, 1.0), 4.0);
+    }
+}

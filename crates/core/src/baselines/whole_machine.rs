@@ -1,0 +1,80 @@
+//! The Whole Machine baseline: give every task a full worker.
+//!
+//! §V-A: "*Whole Machine* simply allocates each task a whole worker and thus
+//! serves as our baseline." It never fails for tasks that fit a worker, and
+//! wastes everything the task does not consume.
+
+use crate::estimator::ValueEstimator;
+
+/// Allocates the worker's full capacity of one resource dimension.
+#[derive(Debug, Clone, Copy)]
+pub struct WholeMachine {
+    capacity: f64,
+    observed: usize,
+}
+
+impl WholeMachine {
+    /// `capacity` is the worker's capacity of this resource dimension.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "capacity must be a non-negative finite value"
+        );
+        WholeMachine {
+            capacity,
+            observed: 0,
+        }
+    }
+}
+
+impl ValueEstimator for WholeMachine {
+    fn name(&self) -> &'static str {
+        "whole-machine"
+    }
+
+    fn observe(&mut self, _value: f64, _sig: f64) {
+        self.observed += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.observed
+    }
+
+    fn first(&mut self, _u: f64) -> Option<f64> {
+        Some(self.capacity)
+    }
+
+    fn retry(&mut self, prev: f64, _u: f64) -> Option<f64> {
+        // Unreachable for feasible tasks; escalate anyway so the allocator's
+        // termination guarantee holds even for infeasible demands.
+        Some((prev * 2.0).max(self.capacity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_allocates_capacity() {
+        let mut wm = WholeMachine::new(65536.0);
+        assert_eq!(wm.first(0.0), Some(65536.0));
+        wm.observe(100.0, 1.0);
+        wm.observe(60000.0, 2.0);
+        assert_eq!(wm.first(0.99), Some(65536.0));
+        assert_eq!(wm.len(), 2);
+    }
+
+    #[test]
+    fn retry_escalates_beyond_capacity() {
+        let mut wm = WholeMachine::new(16.0);
+        let r = wm.retry(16.0, 0.5).unwrap();
+        assert!(r > 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_rejected() {
+        WholeMachine::new(-1.0);
+    }
+}

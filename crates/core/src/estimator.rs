@@ -1,0 +1,84 @@
+//! The per-resource estimator interface every allocation algorithm implements.
+//!
+//! §IV-D: the bucketing manager "maintains a separate instance of a resource
+//! state" per (category, resource kind). A [`ValueEstimator`] is exactly one
+//! such state: it ingests scalar observations and answers first-attempt and
+//! retry allocation queries.
+//!
+//! Randomized algorithms (the bucketing family samples buckets by
+//! probability) receive a uniform draw `u ∈ [0, 1)` from the caller instead
+//! of an RNG handle; deterministic algorithms ignore it. This keeps every
+//! estimator a pure state machine, which makes the property tests in this
+//! crate straightforward.
+
+/// One resource dimension's allocation estimator.
+pub trait ValueEstimator: Send {
+    /// Human-readable algorithm name (stable, used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Ingest the peak consumption `value` of a completed task with
+    /// significance `sig` (§IV-A step 6).
+    fn observe(&mut self, value: f64, sig: f64);
+
+    /// Number of observations ingested so far.
+    fn len(&self) -> usize;
+
+    /// Whether no observations have been ingested.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Predict the allocation for a task's *first* attempt.
+    ///
+    /// `u` is a uniform draw in `[0, 1)`. Returns `None` when the estimator
+    /// has no basis for a prediction (no records yet) — the
+    /// [`crate::allocator::Allocator`] then falls back to its exploratory
+    /// policy.
+    fn first(&mut self, u: f64) -> Option<f64>;
+
+    /// Predict the allocation after an attempt with allocation `prev` was
+    /// killed for exhausting this resource.
+    ///
+    /// Must return a value strictly greater than `prev` so retries always
+    /// terminate (§II-B assumption 4: "retried with a bigger allocation").
+    /// Returns `None` when the estimator has no records; the allocator then
+    /// doubles `prev` itself.
+    fn retry(&mut self, prev: f64, u: f64) -> Option<f64>;
+
+    /// A snapshot of the current bucketing state, for observability.
+    /// Estimators without a bucket structure return `None` (the default).
+    fn snapshot(&mut self) -> Option<crate::bucket::BucketSet> {
+        None
+    }
+}
+
+/// Grow a failed allocation when no smarter information exists: double it,
+/// with a floor of one unit so zero allocations still escalate (§IV-A: "the
+/// allocator doubles the task's previous peak resource consumption until the
+/// task succeeds").
+pub fn double_allocation(prev: f64) -> f64 {
+    if prev <= 0.0 {
+        1.0
+    } else {
+        prev * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_escalates_and_handles_zero() {
+        assert_eq!(double_allocation(0.0), 1.0);
+        assert_eq!(double_allocation(-3.0), 1.0);
+        assert_eq!(double_allocation(2.0), 4.0);
+        let mut a = 0.0;
+        for _ in 0..10 {
+            let next = double_allocation(a);
+            assert!(next > a);
+            a = next;
+        }
+        assert_eq!(a, 512.0);
+    }
+}

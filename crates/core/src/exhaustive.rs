@@ -1,0 +1,255 @@
+//! Exhaustive Bucketing (Algorithm 2 with the §IV-D candidate optimization).
+//!
+//! Exhaustive Bucketing considers bucket configurations of every size,
+//! scores each with the full N×N expected-waste table
+//! ([`crate::cost::exhaustive_cost`]) and keeps the cheapest. Enumerating all
+//! `C(N, k)` break-point subsets would be exponential, so §IV-D replaces the
+//! `combinations(k, L)` call with a *value-space grid*: for a `b`-bucket
+//! configuration the candidate break values are `v_max · i / b`
+//! (`i = 1..b-1`), each mapped to the closest record strictly below it, with
+//! duplicates and empty mappings dropped. One configuration per bucket count,
+//! bucket count capped at 10 (§V-A: "the number of buckets rarely exceeds 10
+//! at any given time").
+
+use crate::bucket::BucketSet;
+use crate::cost::exhaustive_cost;
+use crate::partition::Partitioner;
+use crate::record::{RecordList, ScalarRecord};
+
+/// Bucket-count cap used in all paper experiments (§V-A).
+pub const PAPER_MAX_BUCKETS: usize = 10;
+
+/// The Exhaustive Bucketing partitioner.
+///
+/// # Examples
+///
+/// ```
+/// use tora_alloc::exhaustive::ExhaustiveBucketing;
+/// use tora_alloc::partition::Partitioner;
+/// use tora_alloc::record::RecordList;
+///
+/// let records: RecordList = (0..20)
+///     .map(|i| (if i % 2 == 0 { 200.0 } else { 2000.0 }, 1.0 + i as f64))
+///     .collect();
+/// let breaks = ExhaustiveBucketing::new().partition(records.sorted());
+/// // The two well-separated memory clusters get their own buckets.
+/// assert_eq!(breaks, vec![9]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveBucketing {
+    max_buckets: usize,
+}
+
+impl Default for ExhaustiveBucketing {
+    fn default() -> Self {
+        ExhaustiveBucketing {
+            max_buckets: PAPER_MAX_BUCKETS,
+        }
+    }
+}
+
+impl ExhaustiveBucketing {
+    /// The paper's configuration (at most 10 buckets).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ablation constructor: cap configurations at `max_buckets` (≥ 1).
+    pub fn with_max_buckets(max_buckets: usize) -> Self {
+        assert!(max_buckets >= 1, "need at least one bucket");
+        ExhaustiveBucketing { max_buckets }
+    }
+
+    /// The configured bucket-count cap.
+    pub fn max_buckets(&self) -> usize {
+        self.max_buckets
+    }
+
+    /// The §IV-D grid for a `b`-bucket configuration over `records`:
+    /// break *indices* after mapping each `v_max·i/b` to the closest record
+    /// strictly below it, deduplicated.
+    pub fn grid_breaks(records: &[ScalarRecord], b: usize) -> Vec<usize> {
+        debug_assert!(b >= 2);
+        let n = records.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        let v_max = records[n - 1].value;
+        if v_max <= 0.0 {
+            return Vec::new();
+        }
+        // Reuse RecordList's strictly-below search without copying: a local
+        // binary search over the sorted slice.
+        let closest_below = |target: f64| -> Option<usize> {
+            let idx = records.partition_point(|r| r.value < target);
+            idx.checked_sub(1)
+        };
+        let mut breaks: Vec<usize> = (1..b)
+            .filter_map(|i| closest_below(v_max * i as f64 / b as f64))
+            .collect();
+        breaks.sort_unstable();
+        breaks.dedup();
+        // A break at the final index would empty the last bucket; the strict
+        // "< target < v_max" mapping already prevents it, assert in debug.
+        debug_assert!(breaks.last().is_none_or(|&e| e < n - 1));
+        breaks
+    }
+}
+
+impl Partitioner for ExhaustiveBucketing {
+    fn name(&self) -> &'static str {
+        "exhaustive-bucketing"
+    }
+
+    fn partition(&self, records: &[ScalarRecord]) -> Vec<usize> {
+        let n = records.len();
+        if n <= 1 {
+            return Vec::new();
+        }
+        // b = 1: the single-bucket configuration.
+        let mut best_breaks = Vec::new();
+        let mut best_cost = exhaustive_cost(&BucketSet::single(records));
+        for b in 2..=self.max_buckets.min(n) {
+            let breaks = Self::grid_breaks(records, b);
+            if breaks.is_empty() {
+                continue; // grid collapsed (e.g. all values equal)
+            }
+            let set = BucketSet::from_breaks(records, &breaks);
+            let cost = exhaustive_cost(&set);
+            if cost < best_cost {
+                best_cost = cost;
+                best_breaks = breaks;
+            }
+        }
+        best_breaks
+    }
+}
+
+/// Convenience: partition a [`RecordList`] and materialize the bucket set.
+pub fn bucketize(list: &RecordList, partitioner: &dyn Partitioner) -> Option<BucketSet> {
+    if list.is_empty() {
+        return None;
+    }
+    let breaks = partitioner.partition(list.sorted());
+    Some(BucketSet::from_breaks(list.sorted(), &breaks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::GreedyBucketing;
+
+    fn list(values: &[f64]) -> RecordList {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn trivial_lists() {
+        let eb = ExhaustiveBucketing::new();
+        assert!(eb.partition(&[]).is_empty());
+        let l = list(&[4.0]);
+        assert!(eb.partition(l.sorted()).is_empty());
+    }
+
+    #[test]
+    fn identical_values_collapse_to_one_bucket() {
+        let eb = ExhaustiveBucketing::new();
+        let l: RecordList = (0..30).map(|i| (9.0, (i + 1) as f64)).collect();
+        assert!(eb.partition(l.sorted()).is_empty());
+    }
+
+    #[test]
+    fn grid_break_values_map_strictly_below() {
+        // values 1..=10, v_max = 10, b = 2 → candidate 5.0 → closest below
+        // is value 4 at index 3.
+        let l = list(&(1..=10).map(|v| v as f64).collect::<Vec<_>>());
+        let breaks = ExhaustiveBucketing::grid_breaks(l.sorted(), 2);
+        assert_eq!(breaks, vec![3]);
+        // b = 5 → candidates 2,4,6,8 → indices of 1,3,5,7 → [0,2,4,6]
+        let breaks = ExhaustiveBucketing::grid_breaks(l.sorted(), 5);
+        assert_eq!(breaks, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn grid_dedups_collapsed_candidates() {
+        // Heavily skewed data: most grid points fall in the empty value range
+        // and map to the same record.
+        let l = list(&[1.0, 1.1, 1.2, 100.0]);
+        let breaks = ExhaustiveBucketing::grid_breaks(l.sorted(), 10);
+        let mut sorted = breaks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(breaks, sorted, "breaks must be sorted and unique");
+        assert!(breaks.iter().all(|&e| e < 3));
+    }
+
+    #[test]
+    fn separated_clusters_get_separated_buckets() {
+        let mut values: Vec<f64> = (0..10).map(|i| 100.0 + i as f64).collect();
+        values.extend((0..10).map(|i| 900.0 + i as f64));
+        let l = list(&values);
+        let eb = ExhaustiveBucketing::new();
+        let breaks = eb.partition(l.sorted());
+        assert!(!breaks.is_empty(), "clusters should be split");
+        let set = BucketSet::from_breaks(l.sorted(), &breaks);
+        set.check_invariants(l.sorted()).unwrap();
+        // The cut must land in the gap: some bucket boundary between 109 and 900.
+        assert!(
+            breaks.iter().any(|&e| (100.0..900.0).contains(&l.sorted()[e].value)),
+            "breaks {breaks:?}"
+        );
+    }
+
+    #[test]
+    fn respects_bucket_cap() {
+        // 40 well-separated clusters but a cap of 3 buckets.
+        let values: Vec<f64> = (0..40).map(|i| (i as f64 + 1.0) * 1000.0).collect();
+        let l = list(&values);
+        let eb = ExhaustiveBucketing::with_max_buckets(3);
+        let breaks = eb.partition(l.sorted());
+        assert!(breaks.len() < 3, "breaks {breaks:?}");
+    }
+
+    #[test]
+    fn chooses_no_worse_than_single_bucket() {
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 500.0 + 1.0
+        };
+        for n in [2usize, 5, 17, 64] {
+            let values: Vec<f64> = (0..n).map(|_| next()).collect();
+            let l = list(&values);
+            let eb = ExhaustiveBucketing::new();
+            let breaks = eb.partition(l.sorted());
+            let chosen = exhaustive_cost(&BucketSet::from_breaks(l.sorted(), &breaks));
+            let single = exhaustive_cost(&BucketSet::single(l.sorted()));
+            assert!(chosen <= single + 1e-9, "n={n}: {chosen} vs {single}");
+        }
+    }
+
+    #[test]
+    fn bucketize_roundtrip_for_both_algorithms() {
+        let l = list(&[1.0, 2.0, 50.0, 51.0, 52.0, 400.0]);
+        for p in [
+            &ExhaustiveBucketing::new() as &dyn Partitioner,
+            &GreedyBucketing::new() as &dyn Partitioner,
+        ] {
+            let set = bucketize(&l, p).unwrap();
+            set.check_invariants(l.sorted()).unwrap();
+            assert_eq!(set.max_rep(), Some(400.0));
+        }
+        assert!(bucketize(&RecordList::new(), &ExhaustiveBucketing::new()).is_none());
+    }
+
+    #[test]
+    fn zero_valued_records_stay_single_bucket() {
+        let l: RecordList = (0..5).map(|i| (0.0, (i + 1) as f64)).collect();
+        let eb = ExhaustiveBucketing::new();
+        assert!(eb.partition(l.sorted()).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! The shared prediction/retry policy of the bucketing approach.
+//!
+//! §IV-A: all bucketing algorithms share the same prediction machinery —
+//! sample a bucket by probability and allocate its representative; on
+//! resource exhaustion consider only strictly-higher buckets (renormalized);
+//! past the top bucket, double until success. They differ only in the
+//! [`Partitioner`] that cuts the record list.
+//!
+//! Recomputation is *lazy*: observations mark the cached [`BucketSet`] dirty
+//! and the next prediction rebuilds it. This implements the batching
+//! discussed under Table I ("a sequence of completed tasks can be batched
+//! into a large update if there's no ready tasks in-between"). A
+//! paper-worst-case mode (`recompute_always`) forces a rebuild per
+//! prediction, which is what Table I times.
+
+use crate::bucket::BucketSet;
+use crate::estimator::{double_allocation, ValueEstimator};
+use crate::partition::Partitioner;
+use crate::record::RecordList;
+
+/// A [`ValueEstimator`] built from any bucketing [`Partitioner`].
+///
+/// # Examples
+///
+/// ```
+/// use tora_alloc::estimator::ValueEstimator;
+/// use tora_alloc::exhaustive::ExhaustiveBucketing;
+/// use tora_alloc::policy::BucketingEstimator;
+///
+/// let mut est = BucketingEstimator::new(ExhaustiveBucketing::new());
+/// for i in 0..20 {
+///     est.observe(300.0 + i as f64, 1.0 + i as f64);
+/// }
+/// let first = est.first(0.4).unwrap();      // a bucket representative
+/// assert!(first >= 300.0 && first <= 319.0);
+/// let retry = est.retry(first, 0.4).unwrap(); // §IV-A escalation
+/// assert!(retry > first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BucketingEstimator<P> {
+    partitioner: P,
+    records: RecordList,
+    cached: BucketSet,
+    dirty: bool,
+    recompute_always: bool,
+}
+
+impl<P: Partitioner> BucketingEstimator<P> {
+    /// Wrap a partitioner with the shared bucketing policy.
+    pub fn new(partitioner: P) -> Self {
+        BucketingEstimator {
+            partitioner,
+            records: RecordList::new(),
+            cached: BucketSet::default(),
+            dirty: false,
+            recompute_always: false,
+        }
+    }
+
+    /// Force a full bucketing-state recomputation on every prediction — the
+    /// worst case Table I measures.
+    pub fn recompute_always(mut self) -> Self {
+        self.recompute_always = true;
+        self
+    }
+
+    /// The records observed so far.
+    pub fn records(&self) -> &RecordList {
+        &self.records
+    }
+
+    /// The current bucket set, recomputing if stale. `None` when no records
+    /// exist.
+    pub fn bucket_set(&mut self) -> Option<&BucketSet> {
+        if self.records.is_empty() {
+            return None;
+        }
+        if self.dirty || self.recompute_always || self.cached.is_empty() {
+            let breaks = self.partitioner.partition(self.records.sorted());
+            self.cached = BucketSet::from_breaks(self.records.sorted(), &breaks);
+            self.dirty = false;
+        }
+        Some(&self.cached)
+    }
+
+    /// The partitioner in use.
+    pub fn partitioner(&self) -> &P {
+        &self.partitioner
+    }
+}
+
+impl<P: Partitioner> ValueEstimator for BucketingEstimator<P> {
+    fn name(&self) -> &'static str {
+        self.partitioner.name()
+    }
+
+    fn observe(&mut self, value: f64, sig: f64) {
+        self.records.observe(value, sig);
+        self.dirty = true;
+    }
+
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    fn first(&mut self, u: f64) -> Option<f64> {
+        let set = self.bucket_set()?;
+        let idx = set.sample(u)?;
+        Some(set.buckets()[idx].rep)
+    }
+
+    fn retry(&mut self, prev: f64, u: f64) -> Option<f64> {
+        let set = self.bucket_set()?;
+        match set.sample_above(prev, u) {
+            Some(idx) => Some(set.buckets()[idx].rep),
+            // Previous allocation was at or above the top representative:
+            // §IV-A doubling fallback.
+            None => Some(double_allocation(prev).max(prev * 2.0)),
+        }
+    }
+
+    fn snapshot(&mut self) -> Option<BucketSet> {
+        self.bucket_set().cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::ExhaustiveBucketing;
+    use crate::greedy::GreedyBucketing;
+
+    fn bimodal_estimator() -> BucketingEstimator<ExhaustiveBucketing> {
+        let mut est = BucketingEstimator::new(ExhaustiveBucketing::new());
+        // Two clear clusters: ~100 and ~1000.
+        for i in 0..20 {
+            est.observe(100.0 + i as f64, (i + 1) as f64);
+        }
+        for i in 0..20 {
+            est.observe(1000.0 + i as f64, (21 + i) as f64);
+        }
+        est
+    }
+
+    #[test]
+    fn empty_estimator_predicts_nothing() {
+        let mut est = BucketingEstimator::new(GreedyBucketing::new());
+        assert!(est.is_empty());
+        assert_eq!(est.first(0.5), None);
+        assert_eq!(est.retry(4.0, 0.5), None);
+        assert!(est.bucket_set().is_none());
+    }
+
+    #[test]
+    fn predictions_are_bucket_representatives() {
+        let mut est = bimodal_estimator();
+        let reps: Vec<f64> = est
+            .bucket_set()
+            .unwrap()
+            .buckets()
+            .iter()
+            .map(|b| b.rep)
+            .collect();
+        for u in [0.0, 0.1, 0.5, 0.9, 0.999] {
+            let a = est.first(u).unwrap();
+            assert!(reps.contains(&a), "allocation {a} not a representative");
+        }
+    }
+
+    #[test]
+    fn retry_moves_strictly_upward() {
+        let mut est = bimodal_estimator();
+        let first = est.first(0.0).unwrap();
+        let next = est.retry(first, 0.5).unwrap();
+        assert!(next > first);
+        // Retrying from the top representative must double.
+        let top = est.bucket_set().unwrap().max_rep().unwrap();
+        let doubled = est.retry(top, 0.5).unwrap();
+        assert_eq!(doubled, top * 2.0);
+    }
+
+    #[test]
+    fn retry_chain_terminates_above_any_demand() {
+        let mut est = bimodal_estimator();
+        let demand = 1e7;
+        let mut alloc = est.first(0.42).unwrap();
+        let mut steps = 0;
+        while alloc < demand {
+            alloc = est.retry(alloc, 0.42).unwrap();
+            steps += 1;
+            assert!(steps < 64, "retry chain did not terminate");
+        }
+        assert!(alloc >= demand);
+    }
+
+    #[test]
+    fn lazy_recompute_batches_observations() {
+        let mut est = bimodal_estimator();
+        let set_before = est.bucket_set().unwrap().clone();
+        // Many observations, no prediction in between: one rebuild at the end.
+        for i in 0..100 {
+            est.observe(500.0, (41 + i) as f64);
+        }
+        assert!(est.dirty);
+        let _ = est.first(0.3);
+        assert!(!est.dirty);
+        let set_after = est.bucket_set().unwrap().clone();
+        assert_ne!(set_before, set_after);
+    }
+
+    #[test]
+    fn recompute_always_still_correct() {
+        let mut a = bimodal_estimator();
+        let mut b = bimodal_estimator().recompute_always();
+        for u in [0.0, 0.25, 0.5, 0.75] {
+            assert_eq!(a.first(u), b.first(u));
+        }
+    }
+
+    #[test]
+    fn significance_shift_follows_phases() {
+        // Phase 1: small tasks with low significance. Phase 2: large tasks
+        // with much higher significance. The high bucket must carry most of
+        // the probability, so a mid-range draw allocates large.
+        let mut est = BucketingEstimator::new(ExhaustiveBucketing::new());
+        for i in 0..50 {
+            est.observe(100.0 + (i % 5) as f64, (i + 1) as f64);
+        }
+        for i in 0..50 {
+            est.observe(900.0 + (i % 5) as f64, (51 + i) as f64);
+        }
+        let set = est.bucket_set().unwrap();
+        let top = set.buckets().last().unwrap();
+        assert!(
+            top.prob > 0.6,
+            "recent large phase should dominate: prob {}",
+            top.prob
+        );
+    }
+
+    #[test]
+    fn single_record_allocates_exactly_it() {
+        let mut est = BucketingEstimator::new(GreedyBucketing::new());
+        est.observe(306.0, 1.0);
+        assert_eq!(est.first(0.7), Some(306.0));
+        assert_eq!(est.retry(306.0, 0.7), Some(612.0));
+    }
+
+    #[test]
+    fn names_flow_through() {
+        let est = BucketingEstimator::new(GreedyBucketing::new());
+        assert_eq!(est.name(), "greedy-bucketing");
+        let est = BucketingEstimator::new(ExhaustiveBucketing::new());
+        assert_eq!(est.name(), "exhaustive-bucketing");
+    }
+}

@@ -1,0 +1,237 @@
+//! Per-resource scalar record storage for the bucketing algorithms.
+//!
+//! The bucketing manager keeps, per task category and per resource kind, a
+//! list of `(value, significance)` pairs from completed tasks (§IV-A). The
+//! algorithms operate on the records *sorted by value*; [`RecordList`]
+//! maintains that order incrementally.
+
+use serde::{Deserialize, Serialize};
+
+/// One observation of a task's peak consumption of a single resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalarRecord {
+    /// Peak consumption (units depend on the resource kind).
+    pub value: f64,
+    /// Significance weight; §V-A sets it to the task id (we use id + 1 so
+    /// every record carries positive weight).
+    pub sig: f64,
+}
+
+impl ScalarRecord {
+    /// A record with the given value and significance.
+    pub fn new(value: f64, sig: f64) -> Self {
+        debug_assert!(value.is_finite() && value >= 0.0, "record value invalid");
+        debug_assert!(sig.is_finite() && sig > 0.0, "significance must be > 0");
+        ScalarRecord { value, sig }
+    }
+}
+
+/// A list of scalar records kept sorted by value (ties keep insertion order
+/// among equals, which does not affect any bucketing computation).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecordList {
+    sorted: Vec<ScalarRecord>,
+    /// Running maximum significance, used by callers that need a "most
+    /// recent" notion without re-scanning.
+    max_sig: f64,
+}
+
+impl RecordList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Insert a record, keeping the list sorted by value.
+    pub fn push(&mut self, record: ScalarRecord) {
+        let idx = self
+            .sorted
+            .partition_point(|r| r.value <= record.value);
+        self.sorted.insert(idx, record);
+        if record.sig > self.max_sig {
+            self.max_sig = record.sig;
+        }
+    }
+
+    /// Insert a `(value, sig)` pair.
+    pub fn observe(&mut self, value: f64, sig: f64) {
+        self.push(ScalarRecord::new(value, sig));
+    }
+
+    /// The records, sorted ascending by value.
+    pub fn sorted(&self) -> &[ScalarRecord] {
+        &self.sorted
+    }
+
+    /// Largest observed value, if any.
+    pub fn max_value(&self) -> Option<f64> {
+        self.sorted.last().map(|r| r.value)
+    }
+
+    /// Smallest observed value, if any.
+    pub fn min_value(&self) -> Option<f64> {
+        self.sorted.first().map(|r| r.value)
+    }
+
+    /// Largest significance seen so far.
+    pub fn max_sig(&self) -> f64 {
+        self.max_sig
+    }
+
+    /// Total significance weight.
+    pub fn sig_sum(&self) -> f64 {
+        self.sorted.iter().map(|r| r.sig).sum()
+    }
+
+    /// Significance-weighted mean of all values (`None` when empty).
+    pub fn weighted_mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let (num, den) = self
+            .sorted
+            .iter()
+            .fold((0.0, 0.0), |(n, d), r| (n + r.value * r.sig, d + r.sig));
+        Some(num / den)
+    }
+
+    /// The value at the given quantile `q ∈ [0, 1]` by *record count*
+    /// (nearest-rank on the sorted list). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Some(self.sorted[idx].value)
+    }
+
+    /// Index of the record closest to `target` from below: the largest index
+    /// `i` such that `sorted[i].value < target`. `None` when every record is
+    /// ≥ `target`.
+    ///
+    /// This is the mapping step of the Exhaustive Bucketing candidate grid
+    /// (§IV-D step 2: "map its value to the closest record that has a lower
+    /// value than it").
+    pub fn closest_below(&self, target: f64) -> Option<usize> {
+        let idx = self.sorted.partition_point(|r| r.value < target);
+        idx.checked_sub(1)
+    }
+
+    /// Drop all records, keeping capacity.
+    pub fn clear(&mut self) {
+        self.sorted.clear();
+        self.max_sig = 0.0;
+    }
+}
+
+impl FromIterator<(f64, f64)> for RecordList {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut list = RecordList::new();
+        for (value, sig) in iter {
+            list.observe(value, sig);
+        }
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(values: &[f64]) -> RecordList {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn stays_sorted_under_arbitrary_insertion() {
+        let l = list(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        let values: Vec<f64> = l.sorted().iter().map(|r| r.value).collect();
+        assert_eq!(values, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(l.min_value(), Some(1.0));
+        assert_eq!(l.max_value(), Some(5.0));
+        assert_eq!(l.len(), 5);
+    }
+
+    #[test]
+    fn weighted_mean_matches_hand_computation() {
+        // values 2 (sig 1) and 4 (sig 3): mean = (2*1 + 4*3) / 4 = 3.5
+        let mut l = RecordList::new();
+        l.observe(2.0, 1.0);
+        l.observe(4.0, 3.0);
+        assert!((l.weighted_mean().unwrap() - 3.5).abs() < 1e-12);
+        assert_eq!(l.sig_sum(), 4.0);
+    }
+
+    #[test]
+    fn empty_list_yields_none() {
+        let l = RecordList::new();
+        assert!(l.is_empty());
+        assert_eq!(l.max_value(), None);
+        assert_eq!(l.weighted_mean(), None);
+        assert_eq!(l.quantile(0.5), None);
+        assert_eq!(l.closest_below(10.0), None);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let l = list(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(l.quantile(0.0), Some(10.0));
+        assert_eq!(l.quantile(0.25), Some(10.0));
+        assert_eq!(l.quantile(0.5), Some(20.0));
+        assert_eq!(l.quantile(0.75), Some(30.0));
+        assert_eq!(l.quantile(1.0), Some(40.0));
+    }
+
+    #[test]
+    fn closest_below_is_strictly_lower() {
+        let l = list(&[10.0, 20.0, 30.0]);
+        assert_eq!(l.closest_below(5.0), None);
+        assert_eq!(l.closest_below(10.0), None); // strict: no value < 10
+        assert_eq!(l.closest_below(10.1), Some(0));
+        assert_eq!(l.closest_below(25.0), Some(1));
+        assert_eq!(l.closest_below(1000.0), Some(2));
+    }
+
+    #[test]
+    fn max_sig_tracks_running_maximum() {
+        let mut l = RecordList::new();
+        l.observe(5.0, 3.0);
+        l.observe(1.0, 7.0);
+        l.observe(9.0, 2.0);
+        assert_eq!(l.max_sig(), 7.0);
+    }
+
+    #[test]
+    fn duplicate_values_all_kept() {
+        let mut l = RecordList::new();
+        for i in 0..4 {
+            l.observe(2.0, (i + 1) as f64);
+        }
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.quantile(0.5), Some(2.0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = list(&[1.0, 2.0]);
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.max_sig(), 0.0);
+    }
+}

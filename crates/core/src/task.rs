@@ -1,0 +1,160 @@
+//! Tasks and task categories.
+//!
+//! A dynamic workflow submits tasks at runtime; each task belongs to a
+//! *category* (the function it packages — §III-B, e.g. `evaluate_mpnn`,
+//! `processing`). The allocator treats categories independently (§IV-D),
+//! because different categories do not necessarily correlate in resource
+//! consumption.
+
+use crate::resources::ResourceVector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a task category within a workflow.
+///
+/// Categories are small dense integers assigned by the workload generator;
+/// `display_name`-style naming lives with the workflow, which
+/// keeps this crate free of task-specific features (the *general-purpose*
+/// design goal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CategoryId(pub u32);
+
+impl fmt::Display for CategoryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "category#{}", self.0)
+    }
+}
+
+/// Identifies a task. Assigned in submission order starting at 0, which is
+/// also the task's significance base (§V-A sets a record's significance to
+/// its task ID).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// The ground truth of one task: its peak consumption and duration.
+///
+/// The 4-tuple `(c, m, d, t)` is *not known* to the allocator before
+/// execution (§II-B assumption 1); only the simulator's enforcement layer and
+/// the metrics reader see it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Submission-order id, unique within a workflow.
+    pub id: TaskId,
+    /// The category (function) this task belongs to.
+    pub category: CategoryId,
+    /// Peak resource consumption during a successful run.
+    pub peak: ResourceVector,
+    /// Execution time of a successful run, in seconds.
+    pub duration_s: f64,
+}
+
+impl TaskSpec {
+    /// Build a task.
+    ///
+    /// # Panics
+    /// If the peak is invalid (negative/NaN) or duration is not positive.
+    pub fn new(id: u64, category: u32, peak: ResourceVector, duration_s: f64) -> Self {
+        assert!(peak.is_valid(), "task peak must be finite and non-negative");
+        assert!(
+            duration_s.is_finite() && duration_s > 0.0,
+            "task duration must be positive"
+        );
+        // The time axis of the peak is the duration itself (the `t` of the
+        // paper's 4-tuple), so time-managing allocators see it as a record.
+        let peak = peak.with(crate::resources::ResourceKind::TimeS, duration_s);
+        TaskSpec {
+            id: TaskId(id),
+            category: CategoryId(category),
+            peak,
+            duration_s,
+        }
+    }
+
+    /// Significance of this task's resource record.
+    ///
+    /// §V-A: "we simply set it to the task ID, so the task's record with ID 1
+    /// has a significance value of 1". We shift by one so the first task
+    /// (ID 0) still contributes positive weight.
+    pub fn significance(&self) -> f64 {
+        (self.id.0 + 1) as f64
+    }
+}
+
+/// A completed task's resource record, as reported by a worker back to the
+/// bucketing manager (§IV-A step 6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRecord {
+    /// The task that produced the record.
+    pub task: TaskId,
+    /// The category the record belongs to.
+    pub category: CategoryId,
+    /// Measured peak consumption.
+    pub peak: ResourceVector,
+    /// Measured execution time in seconds.
+    pub duration_s: f64,
+    /// Significance weight (§IV-A): higher = more recent/important.
+    pub significance: f64,
+}
+
+impl ResourceRecord {
+    /// The record a successful run of `task` produces.
+    pub fn from_task(task: &TaskSpec) -> Self {
+        ResourceRecord {
+            task: task.id,
+            category: task.category,
+            peak: task.peak,
+            duration_s: task.duration_s,
+            significance: task.significance(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn significance_is_id_plus_one() {
+        let t = TaskSpec::new(0, 0, ResourceVector::new(1.0, 1.0, 1.0), 1.0);
+        assert_eq!(t.significance(), 1.0);
+        let t = TaskSpec::new(41, 0, ResourceVector::new(1.0, 1.0, 1.0), 1.0);
+        assert_eq!(t.significance(), 42.0);
+    }
+
+    #[test]
+    fn record_mirrors_task() {
+        let t = TaskSpec::new(7, 3, ResourceVector::new(2.0, 300.0, 10.0), 12.5);
+        let r = ResourceRecord::from_task(&t);
+        assert_eq!(r.task, TaskId(7));
+        assert_eq!(r.category, CategoryId(3));
+        assert_eq!(r.peak, t.peak);
+        assert_eq!(r.duration_s, 12.5);
+        assert_eq!(r.significance, 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        TaskSpec::new(0, 0, ResourceVector::new(1.0, 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak must be finite")]
+    fn invalid_peak_rejected() {
+        TaskSpec::new(0, 0, ResourceVector::new(-1.0, 1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(CategoryId(0) < CategoryId(1));
+        assert_eq!(TaskId(5).to_string(), "task#5");
+        assert_eq!(CategoryId(2).to_string(), "category#2");
+    }
+}

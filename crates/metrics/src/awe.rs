@@ -1,0 +1,245 @@
+//! Workflow-level aggregation: Absolute Workflow Efficiency and the waste
+//! breakdown (§II-C).
+//!
+//! `AWE({Tᵢ}) = Σ C(Tᵢ) / Σ A(Tᵢ)` — total useful consumption over total
+//! allocation. The metric treats the workflow as a whole and is independent
+//! of how many (opportunistic) workers happened to be available, which is
+//! why the paper uses it as the headline number in Figure 5. Figure 6 splits
+//! the complementary waste into internal fragmentation and failed
+//! allocations; [`WasteBreakdown`] carries that split.
+
+use crate::outcome::TaskOutcome;
+use serde::{Deserialize, Serialize};
+use tora_alloc::resources::ResourceKind;
+use tora_alloc::task::CategoryId;
+
+/// The §II-C waste split of one resource dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WasteBreakdown {
+    /// `Σ t·(a − c)` over tasks: over-allocation of successful attempts.
+    pub internal_fragmentation: f64,
+    /// `Σ Σ aᵢ·tᵢ` over tasks' failed attempts.
+    pub failed_allocation: f64,
+}
+
+impl WasteBreakdown {
+    /// Total waste.
+    pub fn total(&self) -> f64 {
+        self.internal_fragmentation + self.failed_allocation
+    }
+
+    /// Fraction of the waste that is failed allocation (0 when no waste).
+    pub fn failed_share(&self) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            self.failed_allocation / t
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregated metrics over a completed workflow run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkflowMetrics {
+    outcomes: Vec<TaskOutcome>,
+}
+
+impl WorkflowMetrics {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one finished task.
+    pub fn push(&mut self, outcome: TaskOutcome) {
+        debug_assert!(outcome.check().is_ok(), "{:?}", outcome.check());
+        self.outcomes.push(outcome);
+    }
+
+    /// All recorded outcomes.
+    pub fn outcomes(&self) -> &[TaskOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of completed tasks.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether no outcomes were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Total useful consumption `Σ C(Tᵢ)` of one dimension.
+    pub fn total_consumption(&self, kind: ResourceKind) -> f64 {
+        self.outcomes.iter().map(|o| o.consumption(kind)).sum()
+    }
+
+    /// Total allocation `Σ A(Tᵢ)` of one dimension.
+    pub fn total_allocation(&self, kind: ResourceKind) -> f64 {
+        self.outcomes.iter().map(|o| o.total_allocation(kind)).sum()
+    }
+
+    /// Absolute Workflow Efficiency of one dimension. `None` when the total
+    /// allocation is zero (no tasks, or a dimension nobody allocates).
+    pub fn awe(&self, kind: ResourceKind) -> Option<f64> {
+        let alloc = self.total_allocation(kind);
+        if alloc <= 0.0 {
+            return None;
+        }
+        Some(self.total_consumption(kind) / alloc)
+    }
+
+    /// The waste breakdown of one dimension.
+    pub fn waste(&self, kind: ResourceKind) -> WasteBreakdown {
+        let mut w = WasteBreakdown::default();
+        for o in &self.outcomes {
+            w.internal_fragmentation += o.internal_fragmentation(kind);
+            w.failed_allocation += o.failed_allocation_waste(kind);
+        }
+        w
+    }
+
+    /// Total failed attempts across the workflow.
+    pub fn total_retries(&self) -> usize {
+        self.outcomes.iter().map(|o| o.failed_attempts()).sum()
+    }
+
+    /// Restrict to one category's outcomes (§III-B's per-category analysis).
+    pub fn filter_category(&self, category: CategoryId) -> WorkflowMetrics {
+        WorkflowMetrics {
+            outcomes: self
+                .outcomes
+                .iter()
+                .filter(|o| o.category == category)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Merge another run's outcomes into this accumulator.
+    pub fn merge(&mut self, other: WorkflowMetrics) {
+        self.outcomes.extend(other.outcomes);
+    }
+}
+
+impl FromIterator<TaskOutcome> for WorkflowMetrics {
+    fn from_iter<I: IntoIterator<Item = TaskOutcome>>(iter: I) -> Self {
+        let mut m = WorkflowMetrics::new();
+        for o in iter {
+            m.push(o);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::AttemptOutcome;
+    use tora_alloc::resources::ResourceVector;
+    use tora_alloc::task::TaskId;
+
+    fn simple(task: u64, category: u32, peak_mem: f64, alloc_mem: f64) -> TaskOutcome {
+        let peak = ResourceVector::new(1.0, peak_mem, 10.0);
+        let alloc = ResourceVector::new(1.0, alloc_mem, 10.0);
+        TaskOutcome {
+            task: TaskId(task),
+            category: CategoryId(category),
+            peak,
+            duration_s: 10.0,
+            attempts: vec![AttemptOutcome::success(alloc, 10.0)],
+        }
+    }
+
+    #[test]
+    fn awe_is_one_for_oracle_allocations() {
+        let m: WorkflowMetrics = (0..10).map(|i| simple(i, 0, 100.0, 100.0)).collect();
+        for kind in ResourceKind::STANDARD {
+            assert_eq!(m.awe(kind), Some(1.0), "{kind}");
+            assert_eq!(m.waste(kind).total(), 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn awe_matches_hand_computation() {
+        // Two tasks, memory: (100 used / 200 alloc) and (300 used / 400 alloc)
+        // over equal 10 s: AWE = 4000 / 6000 = 2/3.
+        let m: WorkflowMetrics = [simple(0, 0, 100.0, 200.0), simple(1, 0, 300.0, 400.0)]
+            .into_iter()
+            .collect();
+        let awe = m.awe(ResourceKind::MemoryMb).unwrap();
+        assert!((awe - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn awe_in_unit_interval_and_consistent_with_waste() {
+        let m: WorkflowMetrics = (0..20)
+            .map(|i| simple(i, 0, 50.0 + i as f64, 200.0))
+            .collect();
+        let kind = ResourceKind::MemoryMb;
+        let awe = m.awe(kind).unwrap();
+        assert!(awe > 0.0 && awe <= 1.0);
+        // AWE = C / (C + waste).
+        let c = m.total_consumption(kind);
+        let w = m.waste(kind).total();
+        assert!((awe - c / (c + w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_have_no_awe() {
+        let m = WorkflowMetrics::new();
+        assert!(m.is_empty());
+        assert_eq!(m.awe(ResourceKind::Cores), None);
+        assert_eq!(m.total_retries(), 0);
+    }
+
+    #[test]
+    fn waste_breakdown_splits_if_and_fa() {
+        let peak = ResourceVector::new(1.0, 300.0, 10.0);
+        let o = TaskOutcome {
+            task: TaskId(0),
+            category: CategoryId(0),
+            peak,
+            duration_s: 10.0,
+            attempts: vec![
+                AttemptOutcome::failure(ResourceVector::new(1.0, 100.0, 1024.0), 5.0),
+                AttemptOutcome::success(ResourceVector::new(1.0, 350.0, 1024.0), 10.0),
+            ],
+        };
+        let m: WorkflowMetrics = [o].into_iter().collect();
+        let w = m.waste(ResourceKind::MemoryMb);
+        assert_eq!(w.failed_allocation, 500.0);
+        assert_eq!(w.internal_fragmentation, 500.0);
+        assert_eq!(w.total(), 1000.0);
+        assert_eq!(w.failed_share(), 0.5);
+        assert_eq!(m.total_retries(), 1);
+    }
+
+    #[test]
+    fn category_filter_partitions_outcomes() {
+        let m: WorkflowMetrics = [
+            simple(0, 0, 100.0, 200.0),
+            simple(1, 1, 300.0, 300.0),
+            simple(2, 0, 100.0, 100.0),
+        ]
+        .into_iter()
+        .collect();
+        let c0 = m.filter_category(CategoryId(0));
+        let c1 = m.filter_category(CategoryId(1));
+        assert_eq!(c0.len(), 2);
+        assert_eq!(c1.len(), 1);
+        assert_eq!(c1.awe(ResourceKind::MemoryMb), Some(1.0));
+        assert_eq!(c0.len() + c1.len(), m.len());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a: WorkflowMetrics = (0..3).map(|i| simple(i, 0, 100.0, 100.0)).collect();
+        let b: WorkflowMetrics = (3..5).map(|i| simple(i, 0, 100.0, 100.0)).collect();
+        a.merge(b);
+        assert_eq!(a.len(), 5);
+    }
+}

@@ -1,0 +1,230 @@
+//! Monetary cost accounting for opportunistic resources.
+//!
+//! The paper's §I motivation includes price: "large cloud vendors have been
+//! offering opportunistic resources in their data centers at an extremely
+//! low cost (up to 91% discount)". This module prices a run's §II-C
+//! accounting — what the allocation *cost*, what the consumption was
+//! *worth*, and what the waste burned — under a configurable rate card, so
+//! the efficiency gains of a better allocator translate into dollars.
+//!
+//! Pricing follows the common cloud model: a bundled per-core-hour rate
+//! (memory priced in as a per-GB-hour component), disk per GB-month scaled
+//! to hours, and a multiplicative spot discount.
+
+use crate::awe::WorkflowMetrics;
+use serde::{Deserialize, Serialize};
+use tora_alloc::resources::ResourceKind;
+
+/// A rate card in dollars.
+///
+/// # Examples
+///
+/// ```
+/// use tora_metrics::{CostModel, WorkflowMetrics};
+///
+/// let spot = CostModel::spot();
+/// let bill = spot.bill(&WorkflowMetrics::new());
+/// assert_eq!(bill.allocated, 0.0);
+/// assert!(spot.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// $ per core-hour (on-demand).
+    pub per_core_hour: f64,
+    /// $ per GB-hour of memory (on-demand).
+    pub per_gb_mem_hour: f64,
+    /// $ per GB-hour of disk (on-demand).
+    pub per_gb_disk_hour: f64,
+    /// Multiplier applied to every rate (1.0 = on-demand, 0.09 = the 91%
+    /// spot discount of the paper's introduction).
+    pub discount: f64,
+}
+
+impl CostModel {
+    /// A rate card in the ballpark of current on-demand cloud pricing.
+    pub fn on_demand() -> Self {
+        CostModel {
+            per_core_hour: 0.04,
+            per_gb_mem_hour: 0.005,
+            per_gb_disk_hour: 0.0002,
+            discount: 1.0,
+        }
+    }
+
+    /// The same card at the 91% opportunistic discount of §I.
+    pub fn spot() -> Self {
+        CostModel {
+            discount: 0.09,
+            ..Self::on_demand()
+        }
+    }
+
+    /// Validate the card.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("per_core_hour", self.per_core_hour),
+            ("per_gb_mem_hour", self.per_gb_mem_hour),
+            ("per_gb_disk_hour", self.per_gb_disk_hour),
+            ("discount", self.discount),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("bad {name}: {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Price one dimension's resource·seconds total.
+    fn price(&self, kind: ResourceKind, resource_seconds: f64) -> f64 {
+        let hours = resource_seconds / 3600.0;
+        let rate = match kind {
+            ResourceKind::Cores => self.per_core_hour,
+            ResourceKind::MemoryMb => self.per_gb_mem_hour / 1024.0,
+            ResourceKind::DiskMb => self.per_gb_disk_hour / 1024.0,
+            // Unpriced axes.
+            ResourceKind::Gpus | ResourceKind::TimeS => 0.0,
+        };
+        hours * rate * self.discount
+    }
+
+    /// Price a full run.
+    pub fn bill(&self, metrics: &WorkflowMetrics) -> Bill {
+        let mut bill = Bill::default();
+        for kind in ResourceKind::STANDARD {
+            bill.allocated += self.price(kind, metrics.total_allocation(kind));
+            bill.consumed += self.price(kind, metrics.total_consumption(kind));
+            let w = metrics.waste(kind);
+            bill.internal_fragmentation += self.price(kind, w.internal_fragmentation);
+            bill.failed_allocation += self.price(kind, w.failed_allocation);
+        }
+        bill
+    }
+}
+
+/// Dollar totals of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Bill {
+    /// What the allocations cost (what you pay).
+    pub allocated: f64,
+    /// What the useful consumption would have cost (the oracle's bill).
+    pub consumed: f64,
+    /// Dollars burned as internal fragmentation.
+    pub internal_fragmentation: f64,
+    /// Dollars burned as failed allocations.
+    pub failed_allocation: f64,
+}
+
+impl Bill {
+    /// Dollars wasted in total.
+    pub fn wasted(&self) -> f64 {
+        self.internal_fragmentation + self.failed_allocation
+    }
+
+    /// Share of the bill that did useful work (the dollar-weighted AWE).
+    pub fn efficiency(&self) -> f64 {
+        if self.allocated > 0.0 {
+            self.consumed / self.allocated
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::{AttemptOutcome, TaskOutcome};
+    use tora_alloc::resources::ResourceVector;
+    use tora_alloc::task::{CategoryId, TaskId};
+
+    fn metrics(peak_mem: f64, alloc_mem: f64, n: u64) -> WorkflowMetrics {
+        (0..n)
+            .map(|i| TaskOutcome {
+                task: TaskId(i),
+                category: CategoryId(0),
+                peak: ResourceVector::new(1.0, peak_mem, 100.0),
+                duration_s: 3600.0,
+                attempts: vec![AttemptOutcome::success(
+                    ResourceVector::new(1.0, alloc_mem, 100.0),
+                    3600.0,
+                )],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bill_identity_holds() {
+        let m = metrics(1024.0, 4096.0, 10);
+        let card = CostModel::on_demand();
+        let bill = card.bill(&m);
+        assert!((bill.allocated - (bill.consumed + bill.wasted())).abs() < 1e-9);
+        assert!(bill.efficiency() > 0.0 && bill.efficiency() < 1.0);
+    }
+
+    #[test]
+    fn hand_computed_core_hour() {
+        // 10 tasks × 1 core × 1 hour, perfectly allocated: exactly
+        // 10 core-hours + memory + disk.
+        let m = metrics(1024.0, 1024.0, 10);
+        let bill = CostModel::on_demand().bill(&m);
+        let expected =
+            10.0 * (0.04 + 0.005 /* 1 GB mem */ + 0.0002 * (100.0 / 1024.0));
+        assert!((bill.allocated - expected).abs() < 1e-9, "{}", bill.allocated);
+        assert_eq!(bill.allocated, bill.consumed);
+        assert_eq!(bill.wasted(), 0.0);
+        assert_eq!(bill.efficiency(), 1.0);
+    }
+
+    #[test]
+    fn spot_discount_scales_everything() {
+        let m = metrics(1024.0, 4096.0, 5);
+        let on_demand = CostModel::on_demand().bill(&m);
+        let spot = CostModel::spot().bill(&m);
+        assert!((spot.allocated - on_demand.allocated * 0.09).abs() < 1e-9);
+        assert!((spot.wasted() - on_demand.wasted() * 0.09).abs() < 1e-9);
+        // Efficiency is price-invariant.
+        assert!((spot.efficiency() - on_demand.efficiency()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_allocations_are_priced() {
+        let o = TaskOutcome {
+            task: TaskId(0),
+            category: CategoryId(0),
+            peak: ResourceVector::new(1.0, 1000.0, 10.0),
+            duration_s: 3600.0,
+            attempts: vec![
+                AttemptOutcome::failure(ResourceVector::new(1.0, 500.0, 10.0), 1800.0),
+                AttemptOutcome::success(ResourceVector::new(1.0, 1000.0, 10.0), 3600.0),
+            ],
+        };
+        let m: WorkflowMetrics = [o].into_iter().collect();
+        let bill = CostModel::on_demand().bill(&m);
+        assert!(bill.failed_allocation > 0.0);
+        assert_eq!(bill.internal_fragmentation, 0.0);
+        assert!((bill.allocated - (bill.consumed + bill.wasted())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CostModel::on_demand().validate().is_ok());
+        assert!(CostModel::spot().validate().is_ok());
+        let bad = CostModel {
+            discount: -1.0,
+            ..CostModel::on_demand()
+        };
+        assert!(bad.validate().is_err());
+        let nan = CostModel {
+            per_core_hour: f64::NAN,
+            ..CostModel::on_demand()
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn empty_run_costs_nothing() {
+        let bill = CostModel::on_demand().bill(&WorkflowMetrics::new());
+        assert_eq!(bill.allocated, 0.0);
+        assert_eq!(bill.efficiency(), 0.0);
+    }
+}

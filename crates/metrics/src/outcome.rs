@@ -1,0 +1,233 @@
+//! Per-task execution outcomes: the raw material of every §II-C metric.
+//!
+//! A task may take several attempts: zero or more *failed allocations*
+//! (killed for over-consuming some dimension) followed by one successful
+//! run. Each attempt records the allocation it held and the time it was
+//! charged for; the waste definitions of §II-C fall out directly:
+//!
+//! * **Internal fragmentation** `t · (a − c)` — the successful attempt's
+//!   over-allocation, integrated over its duration.
+//! * **Failed allocation** `Σ aᵢ · tᵢ` — everything a failed attempt held,
+//!   for as long as it held it.
+
+use serde::{Deserialize, Serialize};
+use tora_alloc::resources::{ResourceKind, ResourceVector};
+use tora_alloc::task::{CategoryId, TaskId};
+
+/// One attempt of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttemptOutcome {
+    /// The allocation the attempt held.
+    pub allocation: ResourceVector,
+    /// Seconds the attempt occupied its allocation (full duration for a
+    /// success; time-to-kill for a failure).
+    pub charged_time_s: f64,
+    /// Whether the attempt completed successfully.
+    pub success: bool,
+}
+
+impl AttemptOutcome {
+    /// A successful attempt.
+    pub fn success(allocation: ResourceVector, charged_time_s: f64) -> Self {
+        AttemptOutcome {
+            allocation,
+            charged_time_s,
+            success: true,
+        }
+    }
+
+    /// A failed (killed) attempt.
+    pub fn failure(allocation: ResourceVector, charged_time_s: f64) -> Self {
+        AttemptOutcome {
+            allocation,
+            charged_time_s,
+            success: false,
+        }
+    }
+}
+
+/// The full execution history of one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskOutcome {
+    /// The task.
+    pub task: TaskId,
+    /// Its category.
+    pub category: CategoryId,
+    /// Measured peak consumption of the successful run.
+    pub peak: ResourceVector,
+    /// Duration of the successful run, seconds.
+    pub duration_s: f64,
+    /// Attempts in order; the last must be the (single) success.
+    pub attempts: Vec<AttemptOutcome>,
+}
+
+impl TaskOutcome {
+    /// Validate structural invariants: at least one attempt, exactly one
+    /// success and it is last, non-negative times, and the successful
+    /// allocation dominates the peak.
+    pub fn check(&self) -> Result<(), String> {
+        let Some(last) = self.attempts.last() else {
+            return Err(format!("{}: no attempts", self.task));
+        };
+        if !last.success {
+            return Err(format!("{}: last attempt is not a success", self.task));
+        }
+        let successes = self.attempts.iter().filter(|a| a.success).count();
+        if successes != 1 {
+            return Err(format!("{}: {successes} successful attempts", self.task));
+        }
+        if self.attempts.iter().any(|a| a.charged_time_s < 0.0) {
+            return Err(format!("{}: negative charged time", self.task));
+        }
+        if !last.allocation.dominates(&self.peak) {
+            return Err(format!(
+                "{}: successful allocation {} does not cover peak {}",
+                self.task, last.allocation, self.peak
+            ));
+        }
+        Ok(())
+    }
+
+    /// The successful attempt.
+    pub fn final_attempt(&self) -> &AttemptOutcome {
+        self.attempts.last().expect("outcome with no attempts")
+    }
+
+    /// Number of failed allocations (`k` in §II-C).
+    pub fn failed_attempts(&self) -> usize {
+        self.attempts.len() - 1
+    }
+
+    /// Useful consumption `C(T) = c · t` of one dimension.
+    pub fn consumption(&self, kind: ResourceKind) -> f64 {
+        self.peak[kind] * self.duration_s
+    }
+
+    /// Total allocation `A(T) = a·t + Σ aᵢ·tᵢ` of one dimension.
+    pub fn total_allocation(&self, kind: ResourceKind) -> f64 {
+        self.attempts
+            .iter()
+            .map(|a| a.allocation[kind] * a.charged_time_s)
+            .sum()
+    }
+
+    /// Internal fragmentation `t · (a − c)` of one dimension.
+    pub fn internal_fragmentation(&self, kind: ResourceKind) -> f64 {
+        let last = self.final_attempt();
+        (last.allocation[kind] - self.peak[kind]) * self.duration_s
+    }
+
+    /// Failed-allocation waste `Σ aᵢ·tᵢ` of one dimension.
+    pub fn failed_allocation_waste(&self, kind: ResourceKind) -> f64 {
+        self.attempts
+            .iter()
+            .filter(|a| !a.success)
+            .map(|a| a.allocation[kind] * a.charged_time_s)
+            .sum()
+    }
+
+    /// Total waste of one dimension (§II-C `ResourceWaste(T)`).
+    pub fn waste(&self, kind: ResourceKind) -> f64 {
+        self.internal_fragmentation(kind) + self.failed_allocation_waste(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome_with_retry() -> TaskOutcome {
+        // Peak 300 MB over 10 s. First attempt: 100 MB killed at 4 s.
+        // Second attempt: 400 MB, success.
+        TaskOutcome {
+            task: TaskId(0),
+            category: CategoryId(0),
+            peak: ResourceVector::new(1.0, 300.0, 50.0),
+            duration_s: 10.0,
+            attempts: vec![
+                AttemptOutcome::failure(ResourceVector::new(1.0, 100.0, 1024.0), 4.0),
+                AttemptOutcome::success(ResourceVector::new(1.0, 400.0, 1024.0), 10.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn waste_identity_holds() {
+        // A(T) = C(T) + IF + FA for the dimension, when the success is
+        // charged its full duration.
+        let o = outcome_with_retry();
+        o.check().unwrap();
+        for kind in ResourceKind::STANDARD {
+            let lhs = o.total_allocation(kind);
+            let rhs = o.consumption(kind)
+                + o.internal_fragmentation(kind)
+                + o.failed_allocation_waste(kind);
+            assert!((lhs - rhs).abs() < 1e-9, "{kind}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn hand_computed_memory_waste() {
+        let o = outcome_with_retry();
+        let k = ResourceKind::MemoryMb;
+        assert_eq!(o.consumption(k), 3000.0); // 300 × 10
+        assert_eq!(o.failed_allocation_waste(k), 400.0); // 100 × 4
+        assert_eq!(o.internal_fragmentation(k), 1000.0); // (400−300) × 10
+        assert_eq!(o.waste(k), 1400.0);
+        assert_eq!(o.total_allocation(k), 4400.0); // 400 + 4000
+        assert_eq!(o.failed_attempts(), 1);
+    }
+
+    #[test]
+    fn perfect_allocation_has_zero_waste() {
+        let peak = ResourceVector::new(2.0, 512.0, 306.0);
+        let o = TaskOutcome {
+            task: TaskId(1),
+            category: CategoryId(0),
+            peak,
+            duration_s: 7.0,
+            attempts: vec![AttemptOutcome::success(peak, 7.0)],
+        };
+        o.check().unwrap();
+        for kind in ResourceKind::STANDARD {
+            assert_eq!(o.waste(kind), 0.0, "{kind}");
+            assert_eq!(o.total_allocation(kind), o.consumption(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn check_rejects_malformed_outcomes() {
+        let peak = ResourceVector::new(1.0, 100.0, 10.0);
+        let good = AttemptOutcome::success(ResourceVector::new(1.0, 128.0, 16.0), 5.0);
+
+        let empty = TaskOutcome {
+            task: TaskId(2),
+            category: CategoryId(0),
+            peak,
+            duration_s: 5.0,
+            attempts: vec![],
+        };
+        assert!(empty.check().is_err());
+
+        let failure_last = TaskOutcome {
+            attempts: vec![good, AttemptOutcome::failure(peak, 1.0)],
+            ..empty.clone()
+        };
+        assert!(failure_last.check().is_err());
+
+        let double_success = TaskOutcome {
+            attempts: vec![good, good],
+            ..empty.clone()
+        };
+        assert!(double_success.check().is_err());
+
+        let under_allocated = TaskOutcome {
+            attempts: vec![AttemptOutcome::success(
+                ResourceVector::new(1.0, 50.0, 16.0),
+                5.0,
+            )],
+            ..empty
+        };
+        assert!(under_allocated.check().is_err());
+    }
+}

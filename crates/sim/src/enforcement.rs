@@ -1,0 +1,168 @@
+//! Enforcement: what happens when a task runs under a given allocation.
+//!
+//! §II-B assumption 4: "if a task over-consumes its allocation at any given
+//! time, its execution is terminated and the task must be retried with a
+//! bigger allocation". The *time at which* the kill fires determines the
+//! failed attempt's charged time `tᵢ` in the waste formula; the paper's
+//! testbed observes it empirically, so the simulator models it explicitly:
+//!
+//! * [`EnforcementModel::InstantPeak`] — the task reaches its peak
+//!   immediately; a failing attempt is charged its full duration (the upper
+//!   bound, equivalent to monitoring that only reacts at completion).
+//! * [`EnforcementModel::LinearRamp`] — consumption of each dimension ramps
+//!   linearly from 0 to its peak over the task's duration; the kill fires
+//!   when the *first* dimension crosses its limit, so the attempt is charged
+//!   `t · min_over_exceeded(a_k / c_k)`.
+//!
+//! Experiments default to `LinearRamp`; both models produce identical
+//! success/failure verdicts — only the charged time of failures differs.
+
+use serde::{Deserialize, Serialize};
+use tora_alloc::resources::{ResourceMask, ResourceVector};
+use tora_alloc::task::TaskSpec;
+
+/// How failed attempts are timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EnforcementModel {
+    /// Failures charged the full task duration.
+    InstantPeak,
+    /// Failures charged the linear-ramp kill time (default).
+    #[default]
+    LinearRamp,
+}
+
+/// The verdict of running `task` under `allocation`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttemptVerdict {
+    /// Whether the attempt completes.
+    pub success: bool,
+    /// Seconds the attempt holds its allocation (duration on success,
+    /// time-to-kill on failure).
+    pub charged_time_s: f64,
+    /// The dimensions the task over-consumed (empty on success).
+    pub exhausted: ResourceMask,
+}
+
+impl EnforcementModel {
+    /// Judge one attempt.
+    pub fn judge(&self, task: &TaskSpec, allocation: &ResourceVector) -> AttemptVerdict {
+        let exhausted = allocation.exceeded_by(&task.peak);
+        if !exhausted.any() {
+            return AttemptVerdict {
+                success: true,
+                charged_time_s: task.duration_s,
+                exhausted,
+            };
+        }
+        let charged = match self {
+            EnforcementModel::InstantPeak => task.duration_s,
+            EnforcementModel::LinearRamp => {
+                // Consumption of dimension k at time x is peak_k · x / t; it
+                // crosses alloc_k at x = t · alloc_k / peak_k. The earliest
+                // crossing among exhausted dimensions kills the task.
+                let frac = exhausted
+                    .iter()
+                    .map(|k| {
+                        let peak = task.peak[k];
+                        debug_assert!(peak > 0.0, "exhausted dimension with zero peak");
+                        (allocation[k] / peak).clamp(0.0, 1.0)
+                    })
+                    .fold(1.0_f64, f64::min);
+                task.duration_s * frac
+            }
+        };
+        AttemptVerdict {
+            success: false,
+            charged_time_s: charged,
+            exhausted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tora_alloc::resources::ResourceKind;
+
+    fn task() -> TaskSpec {
+        TaskSpec::new(0, 0, ResourceVector::new(2.0, 400.0, 100.0), 10.0)
+    }
+
+    /// An allocation with ample wall time (tests target the spatial axes).
+    fn alloc(cores: f64, mem: f64, disk: f64) -> ResourceVector {
+        ResourceVector::new(cores, mem, disk)
+            .with(tora_alloc::resources::ResourceKind::TimeS, 1e6)
+    }
+
+    #[test]
+    fn sufficient_allocation_succeeds_with_full_duration() {
+        for model in [EnforcementModel::InstantPeak, EnforcementModel::LinearRamp] {
+            let v = model.judge(&task(), &alloc(2.0, 400.0, 100.0));
+            assert!(v.success);
+            assert_eq!(v.charged_time_s, 10.0);
+            assert!(!v.exhausted.any());
+        }
+    }
+
+    #[test]
+    fn instant_peak_charges_full_duration_on_failure() {
+        let v = EnforcementModel::InstantPeak.judge(&task(), &alloc(2.0, 100.0, 100.0));
+        assert!(!v.success);
+        assert_eq!(v.charged_time_s, 10.0);
+        assert!(v.exhausted.contains(ResourceKind::MemoryMb));
+    }
+
+    #[test]
+    fn linear_ramp_kills_at_first_crossing() {
+        // Memory limited to 100 of a 400 peak → crossing at 25% of 10 s.
+        let v = EnforcementModel::LinearRamp.judge(&task(), &alloc(2.0, 100.0, 100.0));
+        assert!(!v.success);
+        assert!((v.charged_time_s - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn earliest_crossing_wins_across_dimensions() {
+        // Memory at 50% of peak, disk at 10% of peak → disk kills first at 1 s.
+        let v = EnforcementModel::LinearRamp.judge(&task(), &alloc(2.0, 200.0, 10.0));
+        assert!(!v.success);
+        assert!((v.charged_time_s - 1.0).abs() < 1e-12);
+        assert!(v.exhausted.contains(ResourceKind::MemoryMb));
+        assert!(v.exhausted.contains(ResourceKind::DiskMb));
+        assert!(!v.exhausted.contains(ResourceKind::Cores));
+    }
+
+    #[test]
+    fn zero_allocation_kills_immediately_under_ramp() {
+        let v = EnforcementModel::LinearRamp.judge(&task(), &ResourceVector::ZERO);
+        assert!(!v.success);
+        assert_eq!(v.charged_time_s, 0.0);
+    }
+
+    #[test]
+    fn time_axis_is_enforced_when_allocated_short() {
+        use tora_alloc::resources::ResourceKind;
+        // 10 s task under a 4 s wall-time limit: killed at exactly 4 s under
+        // the ramp model (time "consumption" is linear by definition).
+        let a = alloc(2.0, 400.0, 100.0).with(ResourceKind::TimeS, 4.0);
+        let v = EnforcementModel::LinearRamp.judge(&task(), &a);
+        assert!(!v.success);
+        assert!(v.exhausted.contains(ResourceKind::TimeS));
+        assert!((v.charged_time_s - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verdicts_agree_on_success_across_models() {
+        let allocs = [
+            alloc(2.0, 400.0, 100.0),
+            alloc(1.0, 400.0, 100.0),
+            alloc(16.0, 65536.0, 65536.0),
+            alloc(2.0, 399.9, 100.0),
+        ];
+        for a in allocs {
+            let i = EnforcementModel::InstantPeak.judge(&task(), &a);
+            let r = EnforcementModel::LinearRamp.judge(&task(), &a);
+            assert_eq!(i.success, r.success, "{a}");
+            assert_eq!(i.exhausted, r.exhausted, "{a}");
+        }
+    }
+}

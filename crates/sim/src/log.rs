@@ -1,0 +1,331 @@
+//! Structured event logging for simulated runs.
+//!
+//! An optional, fully ordered record of everything the engine did: task
+//! lifecycle transitions, worker churn, preemptions. Useful for debugging
+//! allocation behaviour, for the trace-dump harnesses, and as a
+//! consistency oracle in tests ([`EventLog::check_consistency`] verifies
+//! conservation laws that must hold for any correct run).
+
+use crate::workers::WorkerId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use tora_alloc::resources::ResourceVector;
+use tora_alloc::task::TaskId;
+
+/// One logged simulation event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// A task was submitted (became ready for the first time).
+    TaskSubmitted {
+        /// The task.
+        task: TaskId,
+    },
+    /// A task attempt was placed on a worker.
+    TaskDispatched {
+        /// The task.
+        task: TaskId,
+        /// Destination worker.
+        worker: WorkerId,
+        /// Attempt number (1-based).
+        attempt: usize,
+        /// The allocation it holds.
+        allocation: ResourceVector,
+    },
+    /// A task attempt finished successfully.
+    TaskCompleted {
+        /// The task.
+        task: TaskId,
+        /// The worker it ran on.
+        worker: WorkerId,
+    },
+    /// A task attempt was killed for over-consuming its allocation.
+    TaskKilled {
+        /// The task.
+        task: TaskId,
+        /// The worker it ran on.
+        worker: WorkerId,
+    },
+    /// A task attempt was lost because its worker departed.
+    TaskPreempted {
+        /// The task.
+        task: TaskId,
+        /// The departing worker.
+        worker: WorkerId,
+    },
+    /// A worker joined the pool.
+    WorkerJoined {
+        /// The worker.
+        worker: WorkerId,
+    },
+    /// A worker left the pool.
+    WorkerLeft {
+        /// The worker.
+        worker: WorkerId,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// The event.
+    pub event: SimEvent,
+}
+
+/// The full ordered event log of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    entries: Vec<LogEntry>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, time_s: f64, event: SimEvent) {
+        debug_assert!(
+            self.entries.last().is_none_or(|e| e.time_s <= time_s),
+            "log must be time-ordered"
+        );
+        self.entries.push(LogEntry { time_s, event });
+    }
+
+    /// All entries, in time order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Count entries matching a predicate.
+    pub fn count<F: Fn(&SimEvent) -> bool>(&self, pred: F) -> usize {
+        self.entries.iter().filter(|e| pred(&e.event)).count()
+    }
+
+    /// Serialize as JSON Lines (one entry per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{}",
+                serde_json::to_string(e).expect("log entries serialize")
+            );
+        }
+        out
+    }
+
+    /// Parse a JSON Lines dump back into a log.
+    pub fn from_jsonl(text: &str) -> Result<Self, serde_json::Error> {
+        let mut log = EventLog::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            log.entries.push(serde_json::from_str(line)?);
+        }
+        Ok(log)
+    }
+
+    /// Verify the conservation laws of a completed run:
+    ///
+    /// * every dispatch terminates exactly once (completed, killed, or
+    ///   preempted);
+    /// * every submitted task completes exactly once;
+    /// * attempt numbers per task increase by one per *killed* attempt
+    ///   (preemptions re-run the same attempt);
+    /// * a worker's events nest correctly (no dispatch after it left).
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut open_dispatches: HashMap<TaskId, WorkerId> = HashMap::new();
+        let mut completions: HashMap<TaskId, usize> = HashMap::new();
+        let mut submitted: HashMap<TaskId, usize> = HashMap::new();
+        let mut live_workers: HashMap<WorkerId, bool> = HashMap::new();
+        for entry in &self.entries {
+            match entry.event {
+                SimEvent::TaskSubmitted { task } => {
+                    *submitted.entry(task).or_insert(0) += 1;
+                }
+                SimEvent::TaskDispatched { task, worker, .. } => {
+                    if !live_workers.get(&worker).copied().unwrap_or(false) {
+                        return Err(format!("{task} dispatched to dead {worker:?}"));
+                    }
+                    if open_dispatches.insert(task, worker).is_some() {
+                        return Err(format!("{task} dispatched while already running"));
+                    }
+                }
+                SimEvent::TaskCompleted { task, worker }
+                | SimEvent::TaskKilled { task, worker }
+                | SimEvent::TaskPreempted { task, worker } => {
+                    match open_dispatches.remove(&task) {
+                        Some(w) if w == worker => {}
+                        Some(w) => {
+                            return Err(format!(
+                                "{task} finished on {worker:?} but ran on {w:?}"
+                            ))
+                        }
+                        None => return Err(format!("{task} finished without dispatch")),
+                    }
+                    if matches!(entry.event, SimEvent::TaskCompleted { .. }) {
+                        *completions.entry(task).or_insert(0) += 1;
+                    }
+                }
+                SimEvent::WorkerJoined { worker } => {
+                    live_workers.insert(worker, true);
+                }
+                SimEvent::WorkerLeft { worker } => {
+                    live_workers.insert(worker, false);
+                }
+            }
+        }
+        if !open_dispatches.is_empty() {
+            return Err(format!("{} dispatches never terminated", open_dispatches.len()));
+        }
+        for (task, count) in &submitted {
+            if *count != 1 {
+                return Err(format!("{task} submitted {count} times"));
+            }
+            if completions.get(task) != Some(&1) {
+                return Err(format!(
+                    "{task} completed {} times",
+                    completions.get(task).unwrap_or(&0)
+                ));
+            }
+        }
+        for task in completions.keys() {
+            if !submitted.contains_key(task) {
+                return Err(format!("{task} completed without submission"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> ResourceVector {
+        ResourceVector::new(1.0, 1024.0, 1024.0)
+    }
+
+    fn well_formed() -> EventLog {
+        let mut log = EventLog::new();
+        let (t0, w0) = (TaskId(0), WorkerId(0));
+        log.push(0.0, SimEvent::WorkerJoined { worker: w0 });
+        log.push(0.0, SimEvent::TaskSubmitted { task: t0 });
+        log.push(
+            0.0,
+            SimEvent::TaskDispatched {
+                task: t0,
+                worker: w0,
+                attempt: 1,
+                allocation: alloc(),
+            },
+        );
+        log.push(5.0, SimEvent::TaskKilled { task: t0, worker: w0 });
+        log.push(
+            5.0,
+            SimEvent::TaskDispatched {
+                task: t0,
+                worker: w0,
+                attempt: 2,
+                allocation: alloc().scale(2.0),
+            },
+        );
+        log.push(15.0, SimEvent::TaskCompleted { task: t0, worker: w0 });
+        log
+    }
+
+    #[test]
+    fn consistent_log_passes() {
+        well_formed().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let log = well_formed();
+        let text = log.to_jsonl();
+        assert_eq!(text.lines().count(), log.len());
+        let parsed = EventLog::from_jsonl(&text).unwrap();
+        assert_eq!(parsed, log);
+        assert!(EventLog::from_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn detects_double_dispatch() {
+        let mut log = EventLog::new();
+        log.push(0.0, SimEvent::WorkerJoined { worker: WorkerId(0) });
+        log.push(0.0, SimEvent::TaskSubmitted { task: TaskId(1) });
+        for _ in 0..2 {
+            log.push(
+                0.0,
+                SimEvent::TaskDispatched {
+                    task: TaskId(1),
+                    worker: WorkerId(0),
+                    attempt: 1,
+                    allocation: alloc(),
+                },
+            );
+        }
+        assert!(log.check_consistency().is_err());
+    }
+
+    #[test]
+    fn detects_dispatch_to_dead_worker() {
+        let mut log = EventLog::new();
+        log.push(0.0, SimEvent::WorkerJoined { worker: WorkerId(0) });
+        log.push(1.0, SimEvent::WorkerLeft { worker: WorkerId(0) });
+        log.push(1.0, SimEvent::TaskSubmitted { task: TaskId(0) });
+        log.push(
+            2.0,
+            SimEvent::TaskDispatched {
+                task: TaskId(0),
+                worker: WorkerId(0),
+                attempt: 1,
+                allocation: alloc(),
+            },
+        );
+        assert!(log.check_consistency().is_err());
+    }
+
+    #[test]
+    fn detects_unterminated_dispatch_and_missing_completion() {
+        let mut log = EventLog::new();
+        log.push(0.0, SimEvent::WorkerJoined { worker: WorkerId(0) });
+        log.push(0.0, SimEvent::TaskSubmitted { task: TaskId(0) });
+        log.push(
+            0.0,
+            SimEvent::TaskDispatched {
+                task: TaskId(0),
+                worker: WorkerId(0),
+                attempt: 1,
+                allocation: alloc(),
+            },
+        );
+        assert!(log.check_consistency().is_err());
+    }
+
+    #[test]
+    fn count_filters_event_kinds() {
+        let log = well_formed();
+        assert_eq!(
+            log.count(|e| matches!(e, SimEvent::TaskDispatched { .. })),
+            2
+        );
+        assert_eq!(log.count(|e| matches!(e, SimEvent::TaskKilled { .. })), 1);
+        assert_eq!(
+            log.count(|e| matches!(e, SimEvent::TaskCompleted { .. })),
+            1
+        );
+    }
+}

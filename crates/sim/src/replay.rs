@@ -1,0 +1,180 @@
+//! Analytic serial replay: the fast path for metric computation.
+//!
+//! Because Absolute Workflow Efficiency is independent of the worker pool
+//! (§II-C), the figure-level experiments do not need the full event engine:
+//! replaying the task stream *serially* — predict, enforce, retry until
+//! success, observe — produces the same accounting the paper measures, in
+//! microseconds instead of a full pool simulation. The integration tests
+//! cross-check replay against [`crate::engine`] runs.
+
+use crate::enforcement::EnforcementModel;
+use tora_alloc::allocator::{Allocator, AllocatorConfig, AlgorithmKind};
+use tora_alloc::task::ResourceRecord;
+use tora_metrics::{AttemptOutcome, TaskOutcome, WorkflowMetrics};
+use tora_workloads::Workflow;
+
+/// Maximum attempts per task before the replay declares the configuration
+/// broken (a correct allocator doubles its way to the machine cap in well
+/// under this many steps).
+const MAX_ATTEMPTS: usize = 64;
+
+/// Serially replay `workflow` under `algorithm`.
+pub fn replay(
+    workflow: &Workflow,
+    algorithm: AlgorithmKind,
+    enforcement: EnforcementModel,
+    seed: u64,
+) -> WorkflowMetrics {
+    let config = AllocatorConfig {
+        machine: workflow.worker,
+        ..AllocatorConfig::default()
+    };
+    replay_with_config(workflow, algorithm, config, enforcement, seed)
+}
+
+/// Serial replay with an explicit allocator configuration (ablations).
+pub fn replay_with_config(
+    workflow: &Workflow,
+    algorithm: AlgorithmKind,
+    config: AllocatorConfig,
+    enforcement: EnforcementModel,
+    seed: u64,
+) -> WorkflowMetrics {
+    let mut allocator = Allocator::with_config(algorithm, config, seed);
+    let mut metrics = WorkflowMetrics::new();
+    for task in &workflow.tasks {
+        let mut attempts = Vec::new();
+        let mut alloc = allocator.predict_first(task.category);
+        loop {
+            let verdict = enforcement.judge(task, &alloc);
+            if verdict.success {
+                attempts.push(AttemptOutcome::success(alloc, verdict.charged_time_s));
+                break;
+            }
+            attempts.push(AttemptOutcome::failure(alloc, verdict.charged_time_s));
+            assert!(
+                attempts.len() < MAX_ATTEMPTS,
+                "{}: allocation never converged (alloc {alloc}, peak {})",
+                task.id,
+                task.peak
+            );
+            alloc = allocator.predict_retry(task.category, &alloc, &verdict.exhausted);
+        }
+        metrics.push(TaskOutcome {
+            task: task.id,
+            category: task.category,
+            peak: task.peak,
+            duration_s: task.duration_s,
+            attempts,
+        });
+        allocator.observe(&ResourceRecord::from_task(task));
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tora_alloc::resources::ResourceKind;
+    use tora_workloads::synthetic::{self, SyntheticKind};
+    use tora_workloads::PaperWorkflow;
+
+    #[test]
+    fn replay_completes_every_task_for_every_algorithm() {
+        let wf = synthetic::generate(SyntheticKind::Bimodal, 300, 5);
+        for alg in AlgorithmKind::PAPER_SET {
+            let m = replay(&wf, alg, EnforcementModel::LinearRamp, 1);
+            assert_eq!(m.len(), wf.len(), "{alg}");
+            for kind in ResourceKind::STANDARD {
+                let awe = m.awe(kind).unwrap();
+                assert!(awe > 0.0 && awe <= 1.0, "{alg}/{kind}: AWE {awe}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_style_bound_holds() {
+        // No algorithm can beat AWE = 1; whole machine is the floor among
+        // sensible ones on memory for these workloads.
+        let wf = synthetic::generate(SyntheticKind::Normal, 400, 8);
+        let wm = replay(&wf, AlgorithmKind::WholeMachine, EnforcementModel::LinearRamp, 1);
+        let eb = replay(
+            &wf,
+            AlgorithmKind::ExhaustiveBucketing,
+            EnforcementModel::LinearRamp,
+            1,
+        );
+        let k = ResourceKind::MemoryMb;
+        assert!(eb.awe(k).unwrap() > wm.awe(k).unwrap());
+    }
+
+    #[test]
+    fn enforcement_model_changes_only_failure_charging() {
+        let wf = synthetic::generate(SyntheticKind::Exponential, 300, 2);
+        let ramp = replay(
+            &wf,
+            AlgorithmKind::QuantizedBucketing,
+            EnforcementModel::LinearRamp,
+            3,
+        );
+        let instant = replay(
+            &wf,
+            AlgorithmKind::QuantizedBucketing,
+            EnforcementModel::InstantPeak,
+            3,
+        );
+        // Same retries (verdicts agree), ...
+        assert_eq!(ramp.total_retries(), instant.total_retries());
+        // ...but instant-peak charges failures more, so waste is ≥ ramp's.
+        let k = ResourceKind::MemoryMb;
+        assert!(instant.waste(k).failed_allocation >= ramp.waste(k).failed_allocation);
+        assert!(instant.awe(k).unwrap() <= ramp.awe(k).unwrap());
+    }
+
+    #[test]
+    fn topeft_disk_is_near_perfect_for_bucketing() {
+        // §V-C: constant 306 MB disk → bucketing algorithms reach ≈100%
+        // disk efficiency in the steady state.
+        let wf = PaperWorkflow::TopEft.build(1);
+        let m = replay(
+            &wf,
+            AlgorithmKind::ExhaustiveBucketing,
+            EnforcementModel::LinearRamp,
+            1,
+        );
+        let awe = m.awe(ResourceKind::DiskMb).unwrap();
+        assert!(awe > 0.9, "TopEFT disk AWE {awe}");
+    }
+
+    #[test]
+    fn colmena_disk_is_poor_for_comparators_even_serially() {
+        // §V-C: ~10 MB disk usage. The comparators explore with a whole
+        // worker (64 GB disk), and Max Seen's 250 MB rounding keeps even
+        // its steady state at ≈4% — single-digit efficiency already in a
+        // serial replay. (The bucketing algorithms only drop to single
+        // digits under *concurrent* exploration, where hundreds of in-flight
+        // tasks hold the 1 GB probe — covered by the engine tests.)
+        let wf = PaperWorkflow::ColmenaXtb.build(1);
+        for alg in [
+            AlgorithmKind::WholeMachine,
+            AlgorithmKind::MaxSeen,
+            AlgorithmKind::MinWaste,
+            AlgorithmKind::MaxThroughput,
+        ] {
+            let m = replay(&wf, alg, EnforcementModel::LinearRamp, 1);
+            let awe = m.awe(ResourceKind::DiskMb).unwrap();
+            assert!(awe < 0.12, "{alg}: ColmenaXTB disk AWE {awe}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let wf = synthetic::generate(SyntheticKind::Uniform, 200, 6);
+        let a = replay(&wf, AlgorithmKind::GreedyBucketing, EnforcementModel::LinearRamp, 5);
+        let b = replay(&wf, AlgorithmKind::GreedyBucketing, EnforcementModel::LinearRamp, 5);
+        assert_eq!(
+            a.awe(ResourceKind::MemoryMb),
+            b.awe(ResourceKind::MemoryMb)
+        );
+    }
+}

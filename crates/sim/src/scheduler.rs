@@ -1,0 +1,150 @@
+//! Ready-queue scheduling policies.
+//!
+//! The paper's contribution acts at *allocation* time and is deliberately
+//! orthogonal to task ordering (§II-D1 lists "arbitrary ordering of task
+//! execution" as a stochasticity source the allocator must tolerate). The
+//! engine therefore supports several queue policies, both to exercise that
+//! robustness in tests and to let ablations measure how much ordering
+//! interacts with allocation quality.
+
+use serde::{Deserialize, Serialize};
+use tora_alloc::resources::ResourceVector;
+
+/// How the scheduler picks the next ready task to dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueuePolicy {
+    /// Strict submission order with head-of-line blocking: if the oldest
+    /// ready task does not fit, nothing dispatches (Work Queue's default
+    /// behaviour, and the paper's setting).
+    #[default]
+    Fifo,
+    /// Submission order, but a blocked head does not stop later tasks that
+    /// fit (backfilling).
+    FifoBackfill,
+    /// Dispatch the task with the smallest predicted memory allocation
+    /// first (packs more tasks, risks starving big tasks).
+    SmallestFirst,
+    /// Dispatch the task with the largest predicted memory allocation first
+    /// (drains big tasks early).
+    LargestFirst,
+}
+
+impl QueuePolicy {
+    /// All policies, for sweep harnesses.
+    pub const ALL: [QueuePolicy; 4] = [
+        QueuePolicy::Fifo,
+        QueuePolicy::FifoBackfill,
+        QueuePolicy::SmallestFirst,
+        QueuePolicy::LargestFirst,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueuePolicy::Fifo => "fifo",
+            QueuePolicy::FifoBackfill => "fifo-backfill",
+            QueuePolicy::SmallestFirst => "smallest-first",
+            QueuePolicy::LargestFirst => "largest-first",
+        }
+    }
+
+    /// Choose the queue position to dispatch next, given each queued task's
+    /// predicted allocation and a placement test. Returns `None` when
+    /// nothing dispatchable exists under this policy.
+    ///
+    /// `queue` yields `(position, allocation)` in queue order; `fits` tests
+    /// whether an allocation can be placed right now.
+    pub fn select<F>(
+        &self,
+        queue: &[(usize, ResourceVector)],
+        mut fits: F,
+    ) -> Option<usize>
+    where
+        F: FnMut(&ResourceVector) -> bool,
+    {
+        match self {
+            QueuePolicy::Fifo => {
+                let (pos, alloc) = queue.first()?;
+                fits(alloc).then_some(*pos)
+            }
+            QueuePolicy::FifoBackfill => queue
+                .iter()
+                .find(|(_, alloc)| fits(alloc))
+                .map(|(pos, _)| *pos),
+            QueuePolicy::SmallestFirst => queue
+                .iter()
+                .filter(|(_, alloc)| fits(alloc))
+                .min_by(|a, b| {
+                    a.1.memory_mb()
+                        .partial_cmp(&b.1.memory_mb())
+                        .expect("finite allocations")
+                })
+                .map(|(pos, _)| *pos),
+            QueuePolicy::LargestFirst => queue
+                .iter()
+                .filter(|(_, alloc)| fits(alloc))
+                .max_by(|a, b| {
+                    a.1.memory_mb()
+                        .partial_cmp(&b.1.memory_mb())
+                        .expect("finite allocations")
+                })
+                .map(|(pos, _)| *pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue() -> Vec<(usize, ResourceVector)> {
+        vec![
+            (0, ResourceVector::new(1.0, 4000.0, 10.0)),
+            (1, ResourceVector::new(1.0, 500.0, 10.0)),
+            (2, ResourceVector::new(1.0, 9000.0, 10.0)),
+        ]
+    }
+
+    #[test]
+    fn fifo_blocks_on_head() {
+        let q = queue();
+        // Head (4000 MB) fits: dispatch it.
+        assert_eq!(QueuePolicy::Fifo.select(&q, |_| true), Some(0));
+        // Head does not fit: nothing dispatches even though task 1 would.
+        let fits_small = |a: &ResourceVector| a.memory_mb() < 1000.0;
+        assert_eq!(QueuePolicy::Fifo.select(&q, fits_small), None);
+    }
+
+    #[test]
+    fn backfill_skips_blocked_head() {
+        let q = queue();
+        let fits_small = |a: &ResourceVector| a.memory_mb() < 1000.0;
+        assert_eq!(QueuePolicy::FifoBackfill.select(&q, fits_small), Some(1));
+        // Order preserved when head fits.
+        assert_eq!(QueuePolicy::FifoBackfill.select(&q, |_| true), Some(0));
+    }
+
+    #[test]
+    fn smallest_and_largest_first() {
+        let q = queue();
+        assert_eq!(QueuePolicy::SmallestFirst.select(&q, |_| true), Some(1));
+        assert_eq!(QueuePolicy::LargestFirst.select(&q, |_| true), Some(2));
+        // Size policies respect the fit test.
+        let fits_mid = |a: &ResourceVector| a.memory_mb() < 5000.0;
+        assert_eq!(QueuePolicy::LargestFirst.select(&q, fits_mid), Some(0));
+    }
+
+    #[test]
+    fn empty_queue_selects_nothing() {
+        for p in QueuePolicy::ALL {
+            assert_eq!(p.select(&[], |_| true), None, "{}", p.label());
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            QueuePolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), QueuePolicy::ALL.len());
+    }
+}

@@ -1,0 +1,181 @@
+//! Pool utilization time-series.
+//!
+//! The administrator-side motivation of the paper (§I) is cluster
+//! utilization: opportunistic workers plus tight allocations keep granted
+//! resources busy. This module samples the pool at every engine event and
+//! summarizes reserved-versus-granted capacity over time.
+
+use serde::{Deserialize, Serialize};
+use tora_alloc::resources::{ResourceKind, ResourceVector};
+
+/// One utilization sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// Live workers.
+    pub workers: usize,
+    /// Running task attempts.
+    pub running: usize,
+    /// Capacity currently granted by the pool.
+    pub capacity: ResourceVector,
+    /// Capacity currently reserved by allocations.
+    pub reserved: ResourceVector,
+}
+
+impl UtilizationSample {
+    /// Reserved share of granted capacity for one dimension (`None` when no
+    /// capacity is granted).
+    pub fn utilization(&self, kind: ResourceKind) -> Option<f64> {
+        let cap = self.capacity[kind];
+        if cap <= 0.0 {
+            return None;
+        }
+        Some(self.reserved[kind] / cap)
+    }
+}
+
+/// A time-ordered utilization series.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSeries {
+    samples: Vec<UtilizationSample>,
+}
+
+impl UtilizationSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample (samples must arrive in time order).
+    pub fn push(&mut self, sample: UtilizationSample) {
+        debug_assert!(
+            self.samples.last().is_none_or(|s| s.time_s <= sample.time_s),
+            "series must be time-ordered"
+        );
+        self.samples.push(sample);
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[UtilizationSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Time-weighted mean utilization of one dimension over the series
+    /// (each sample holds until the next one). `None` for an empty or
+    /// zero-capacity series.
+    pub fn mean_utilization(&self, kind: ResourceKind) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return self.samples.first().and_then(|s| s.utilization(kind));
+        }
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for w in self.samples.windows(2) {
+            let dt = w[1].time_s - w[0].time_s;
+            if dt <= 0.0 {
+                continue;
+            }
+            if let Some(u) = w[0].utilization(kind) {
+                weighted += u * dt;
+                total += dt;
+            }
+        }
+        if total > 0.0 {
+            Some(weighted / total)
+        } else {
+            None
+        }
+    }
+
+    /// Peak concurrent running attempts.
+    pub fn peak_running(&self) -> usize {
+        self.samples.iter().map(|s| s.running).max().unwrap_or(0)
+    }
+
+    /// Peak live workers.
+    pub fn peak_workers(&self) -> usize {
+        self.samples.iter().map(|s| s.workers).max().unwrap_or(0)
+    }
+
+    /// Downsample to at most `n` evenly spaced points (for plotting).
+    pub fn downsample(&self, n: usize) -> UtilizationSeries {
+        if n == 0 || self.samples.len() <= n {
+            return self.clone();
+        }
+        let step = self.samples.len() as f64 / n as f64;
+        let samples = (0..n)
+            .map(|i| self.samples[(i as f64 * step) as usize])
+            .collect();
+        UtilizationSeries { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, reserved_cores: f64) -> UtilizationSample {
+        UtilizationSample {
+            time_s: t,
+            workers: 2,
+            running: reserved_cores as usize,
+            capacity: ResourceVector::new(32.0, 131072.0, 131072.0),
+            reserved: ResourceVector::new(reserved_cores, 0.0, 0.0),
+        }
+    }
+
+    #[test]
+    fn utilization_per_sample() {
+        let s = sample(0.0, 16.0);
+        assert_eq!(s.utilization(ResourceKind::Cores), Some(0.5));
+        assert_eq!(s.utilization(ResourceKind::MemoryMb), Some(0.0));
+        assert_eq!(s.utilization(ResourceKind::Gpus), None); // zero capacity
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut series = UtilizationSeries::new();
+        // 0.25 utilization for 10 s, then 0.75 for 30 s → mean 0.625.
+        series.push(sample(0.0, 8.0));
+        series.push(sample(10.0, 24.0));
+        series.push(sample(40.0, 0.0));
+        let mean = series.mean_utilization(ResourceKind::Cores).unwrap();
+        assert!((mean - 0.625).abs() < 1e-12, "{mean}");
+    }
+
+    #[test]
+    fn single_sample_mean_is_its_value() {
+        let mut series = UtilizationSeries::new();
+        series.push(sample(3.0, 16.0));
+        assert_eq!(series.mean_utilization(ResourceKind::Cores), Some(0.5));
+        assert!(UtilizationSeries::new()
+            .mean_utilization(ResourceKind::Cores)
+            .is_none());
+    }
+
+    #[test]
+    fn peaks_and_downsampling() {
+        let mut series = UtilizationSeries::new();
+        for i in 0..100 {
+            series.push(sample(i as f64, (i % 32) as f64));
+        }
+        assert_eq!(series.peak_running(), 31);
+        assert_eq!(series.peak_workers(), 2);
+        let down = series.downsample(10);
+        assert_eq!(down.len(), 10);
+        assert_eq!(down.samples()[0].time_s, 0.0);
+        // Downsampling a short series is identity.
+        assert_eq!(series.downsample(1000).len(), 100);
+        assert_eq!(series.downsample(0).len(), 100);
+    }
+}

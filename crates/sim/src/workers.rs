@@ -1,0 +1,372 @@
+//! The opportunistic worker pool.
+//!
+//! Workers join and leave over a run — the defining property of
+//! opportunistic deployment (HTCondor backfill slots, spot instances). The
+//! pool tracks per-worker available capacity, places allocations first-fit,
+//! and supports preemption: a departing worker kills its running tasks,
+//! which the engine resubmits.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tora_alloc::resources::{ResourceKind, ResourceVector, WorkerSpec};
+
+/// Zero out temporal axes: what a task actually occupies on a worker.
+fn spatial(alloc: &ResourceVector) -> ResourceVector {
+    let mut out = *alloc;
+    for kind in ResourceKind::ALL {
+        if !kind.is_spatial() {
+            out[kind] = 0.0;
+        }
+    }
+    out
+}
+
+/// Identifies a worker within a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub u64);
+
+/// One live worker.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    /// Shape of the worker.
+    pub spec: WorkerSpec,
+    /// Currently unreserved capacity.
+    pub available: ResourceVector,
+    /// Number of allocations currently placed here.
+    pub running: usize,
+}
+
+impl Worker {
+    fn new(spec: WorkerSpec) -> Self {
+        Worker {
+            spec,
+            available: spec.capacity,
+            running: 0,
+        }
+    }
+
+    /// Whether `alloc` fits in the remaining capacity. Only spatial axes
+    /// occupy a worker; a time allocation is an enforcement limit, not a
+    /// reservation.
+    pub fn fits(&self, alloc: &ResourceVector) -> bool {
+        self.available.dominates(&spatial(alloc))
+    }
+
+    fn reserve(&mut self, alloc: &ResourceVector) {
+        debug_assert!(self.fits(alloc));
+        self.available = self.available.sub(&spatial(alloc));
+        self.running += 1;
+    }
+
+    fn release(&mut self, alloc: &ResourceVector) {
+        self.available = self.available.add(&spatial(alloc));
+        self.running -= 1;
+        // Guard against reservation-accounting bugs, with a small tolerance
+        // for the float round-trip of subtract-then-add.
+        debug_assert!(
+            self.spec
+                .capacity
+                .scale(1.0 + 1e-9)
+                .add(&ResourceVector::new(1e-6, 1e-6, 1e-6))
+                .dominates(&self.available),
+            "released past capacity: {} vs {}",
+            self.available,
+            self.spec.capacity
+        );
+        // Snap so float drift never accumulates: an idle worker is exactly
+        // full again (drift below capacity would otherwise stop
+        // whole-machine allocations from ever fitting).
+        if self.running == 0 {
+            self.available = self.spec.capacity;
+        } else {
+            self.available = self.available.min(&self.spec.capacity);
+        }
+    }
+}
+
+/// The worker pool.
+#[derive(Debug, Default)]
+pub struct WorkerPool {
+    workers: HashMap<WorkerId, Worker>,
+    next_id: u64,
+}
+
+impl WorkerPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a worker; returns its id.
+    pub fn join(&mut self, spec: WorkerSpec) -> WorkerId {
+        let id = WorkerId(self.next_id);
+        self.next_id += 1;
+        self.workers.insert(id, Worker::new(spec));
+        id
+    }
+
+    /// Remove a worker. Returns `None` if it was already gone. The engine is
+    /// responsible for preempting whatever ran there.
+    pub fn leave(&mut self, id: WorkerId) -> Option<Worker> {
+        self.workers.remove(&id)
+    }
+
+    /// Number of live workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether no workers are alive.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Look up a worker.
+    pub fn get(&self, id: WorkerId) -> Option<&Worker> {
+        self.workers.get(&id)
+    }
+
+    /// First-fit placement: reserve `alloc` on the lowest-id worker with
+    /// room. Deterministic given the pool state.
+    pub fn place(&mut self, alloc: &ResourceVector) -> Option<WorkerId> {
+        let mut ids: Vec<WorkerId> = self.workers.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let w = self.workers.get_mut(&id).expect("id just listed");
+            if w.fits(alloc) {
+                w.reserve(alloc);
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Release a previously placed allocation.
+    ///
+    /// # Panics
+    /// If the worker does not exist (releases must precede departure).
+    pub fn release(&mut self, id: WorkerId, alloc: &ResourceVector) {
+        self.workers
+            .get_mut(&id)
+            .expect("release on departed worker")
+            .release(alloc);
+    }
+
+    /// Pick a uniformly random live worker (for departure events).
+    pub fn random_worker(&self, rng: &mut StdRng) -> Option<WorkerId> {
+        if self.workers.is_empty() {
+            return None;
+        }
+        let mut ids: Vec<WorkerId> = self.workers.keys().copied().collect();
+        ids.sort_unstable();
+        Some(ids[rng.gen_range(0..ids.len())])
+    }
+
+    /// Whether `alloc` would fit on some worker right now (no reservation).
+    pub fn can_place(&self, alloc: &ResourceVector) -> bool {
+        self.workers.values().any(|w| w.fits(alloc))
+    }
+
+    /// Total available capacity across workers (diagnostics).
+    pub fn total_available(&self) -> ResourceVector {
+        self.workers
+            .values()
+            .fold(ResourceVector::ZERO, |acc, w| acc.add(&w.available))
+    }
+
+    /// Total granted capacity across workers.
+    pub fn total_capacity(&self) -> ResourceVector {
+        self.workers
+            .values()
+            .fold(ResourceVector::ZERO, |acc, w| acc.add(&w.spec.capacity))
+    }
+
+    /// Total running attempts across workers.
+    pub fn total_running(&self) -> usize {
+        self.workers.values().map(|w| w.running).sum()
+    }
+}
+
+/// Worker churn configuration: how the opportunistic pool evolves.
+///
+/// §V-A: "The number of workers varies from 20 to 50 depending on the
+/// availability of the local HTCondor cluster." [`ChurnConfig::paper_like`]
+/// reproduces that band, including the ramp-up of an opportunistic
+/// deployment: pilot jobs are granted by the batch system *over time*, so a
+/// run starts with a handful of workers and grows into the band (`initial`
+/// may sit below `min`; churn joins until the floor is reached).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Workers at time zero (may be below `min`: the ramp-up phase).
+    pub initial: usize,
+    /// Pool size floor once ramped up (churn joins while below; ≥ 1).
+    pub min: usize,
+    /// Pool size ceiling.
+    pub max: usize,
+    /// Mean seconds between churn events (exponential); `None` disables
+    /// churn entirely.
+    pub mean_interval_s: Option<f64>,
+}
+
+impl ChurnConfig {
+    /// A fixed pool of `n` workers, no churn.
+    pub fn fixed(n: usize) -> Self {
+        assert!(n >= 1);
+        ChurnConfig {
+            initial: n,
+            min: n,
+            max: n,
+            mean_interval_s: None,
+        }
+    }
+
+    /// The paper's opportunistic band: ramp up from 8 pilot workers into
+    /// 20–50, with a churn event every ~15 s on average.
+    pub fn paper_like() -> Self {
+        ChurnConfig {
+            initial: 8,
+            min: 20,
+            max: 50,
+            mean_interval_s: Some(15.0),
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min < 1 {
+            return Err("min workers must be ≥ 1".into());
+        }
+        if self.initial < 1 {
+            return Err("initial workers must be ≥ 1".into());
+        }
+        if self.min > self.max {
+            return Err(format!("min {} > max {}", self.min, self.max));
+        }
+        if self.initial > self.max {
+            return Err(format!("initial {} > max {}", self.initial, self.max));
+        }
+        if self.initial < self.min && self.mean_interval_s.is_none() {
+            return Err(format!(
+                "initial {} below min {} with churn disabled: the pool could never ramp up",
+                self.initial, self.min
+            ));
+        }
+        if let Some(m) = self.mean_interval_s {
+            if !(m.is_finite() && m > 0.0) {
+                return Err(format!("bad mean interval {m}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn spec() -> WorkerSpec {
+        WorkerSpec::paper_default()
+    }
+
+    #[test]
+    fn join_place_release_leave_cycle() {
+        let mut pool = WorkerPool::new();
+        let a = pool.join(spec());
+        let b = pool.join(spec());
+        assert_eq!(pool.len(), 2);
+        let alloc = ResourceVector::new(8.0, 1024.0, 1024.0);
+        // First fit is the lowest id.
+        let placed = pool.place(&alloc).unwrap();
+        assert_eq!(placed, a);
+        assert_eq!(pool.get(a).unwrap().running, 1);
+        // Second placement of 8 cores still fits worker a (16 cores).
+        assert_eq!(pool.place(&alloc).unwrap(), a);
+        // Third goes to b.
+        assert_eq!(pool.place(&alloc).unwrap(), b);
+        pool.release(a, &alloc);
+        pool.release(a, &alloc);
+        assert_eq!(pool.get(a).unwrap().running, 0);
+        assert_eq!(pool.get(a).unwrap().available, spec().capacity);
+        assert!(pool.leave(b).is_some());
+        assert!(pool.leave(b).is_none());
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn place_fails_when_everything_full() {
+        let mut pool = WorkerPool::new();
+        pool.join(spec());
+        let whole = spec().capacity;
+        assert!(pool.place(&whole).is_some());
+        assert_eq!(pool.place(&ResourceVector::new(1.0, 1.0, 1.0)), None);
+    }
+
+    #[test]
+    fn random_worker_covers_pool() {
+        let mut pool = WorkerPool::new();
+        let ids: Vec<WorkerId> = (0..5).map(|_| pool.join(spec())).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(pool.random_worker(&mut rng).unwrap());
+        }
+        for id in ids {
+            assert!(seen.contains(&id));
+        }
+        assert_eq!(WorkerPool::new().random_worker(&mut rng), None);
+    }
+
+    #[test]
+    fn total_available_tracks_reservations() {
+        let mut pool = WorkerPool::new();
+        pool.join(spec());
+        pool.join(spec());
+        let before = pool.total_available();
+        let alloc = ResourceVector::new(4.0, 2048.0, 512.0);
+        pool.place(&alloc).unwrap();
+        let after = pool.total_available();
+        assert_eq!(before.sub(&after), alloc);
+    }
+
+    #[test]
+    fn churn_config_validation() {
+        assert!(ChurnConfig::fixed(10).validate().is_ok());
+        assert!(ChurnConfig::paper_like().validate().is_ok());
+        // Ramp-up (initial below min) is fine when churn can grow the pool…
+        let ramp = ChurnConfig {
+            initial: 5,
+            min: 10,
+            max: 20,
+            mean_interval_s: Some(15.0),
+        };
+        assert!(ramp.validate().is_ok());
+        // …but not when churn is disabled.
+        let stuck = ChurnConfig {
+            mean_interval_s: None,
+            ..ramp
+        };
+        assert!(stuck.validate().is_err());
+        let above_max = ChurnConfig {
+            initial: 25,
+            min: 10,
+            max: 20,
+            mean_interval_s: None,
+        };
+        assert!(above_max.validate().is_err());
+        let zero_min = ChurnConfig {
+            initial: 1,
+            min: 0,
+            max: 2,
+            mean_interval_s: None,
+        };
+        assert!(zero_min.validate().is_err());
+        let bad_interval = ChurnConfig {
+            mean_interval_s: Some(0.0),
+            ..ChurnConfig::fixed(3)
+        };
+        assert!(bad_interval.validate().is_err());
+    }
+}

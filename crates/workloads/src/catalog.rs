@@ -1,0 +1,90 @@
+//! The catalog of the paper's seven evaluation workflows (Figures 5 and 6).
+
+use crate::synthetic::{self, SyntheticKind};
+use crate::workflow::Workflow;
+use crate::{colmena, topeft};
+use serde::{Deserialize, Serialize};
+
+/// One of the seven workflows of §V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperWorkflow {
+    /// Synthetic, memory ~ Normal.
+    Normal,
+    /// Synthetic, memory ~ Uniform.
+    Uniform,
+    /// Synthetic, memory ~ Exponential (outliers).
+    Exponential,
+    /// Synthetic, memory ~ Bimodal (task specialization).
+    Bimodal,
+    /// Synthetic, phasing trimodal (moving distribution).
+    Trimodal,
+    /// Production trace: ColmenaXTB.
+    ColmenaXtb,
+    /// Production trace: TopEFT.
+    TopEft,
+}
+
+impl PaperWorkflow {
+    /// All seven, in the paper's figure order.
+    pub const ALL: [PaperWorkflow; 7] = [
+        PaperWorkflow::Normal,
+        PaperWorkflow::Uniform,
+        PaperWorkflow::Exponential,
+        PaperWorkflow::Bimodal,
+        PaperWorkflow::Trimodal,
+        PaperWorkflow::ColmenaXtb,
+        PaperWorkflow::TopEft,
+    ];
+
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperWorkflow::Normal => "normal",
+            PaperWorkflow::Uniform => "uniform",
+            PaperWorkflow::Exponential => "exponential",
+            PaperWorkflow::Bimodal => "bimodal",
+            PaperWorkflow::Trimodal => "trimodal",
+            PaperWorkflow::ColmenaXtb => "colmena-xtb",
+            PaperWorkflow::TopEft => "topeft",
+        }
+    }
+
+    /// Materialize the workflow trace for a seed.
+    pub fn build(self, seed: u64) -> Workflow {
+        match self {
+            PaperWorkflow::Normal => synthetic::paper_workflow(SyntheticKind::Normal, seed),
+            PaperWorkflow::Uniform => synthetic::paper_workflow(SyntheticKind::Uniform, seed),
+            PaperWorkflow::Exponential => {
+                synthetic::paper_workflow(SyntheticKind::Exponential, seed)
+            }
+            PaperWorkflow::Bimodal => synthetic::paper_workflow(SyntheticKind::Bimodal, seed),
+            PaperWorkflow::Trimodal => {
+                synthetic::paper_workflow(SyntheticKind::PhasingTrimodal, seed)
+            }
+            PaperWorkflow::ColmenaXtb => colmena::paper_workflow(seed),
+            PaperWorkflow::TopEft => topeft::paper_workflow(seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_build_and_validate() {
+        for wf in PaperWorkflow::ALL {
+            let built = wf.build(1);
+            built.validate().unwrap();
+            assert_eq!(built.name, wf.name());
+            assert!(!built.is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            PaperWorkflow::ALL.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 7);
+    }
+}

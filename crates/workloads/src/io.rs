@@ -1,0 +1,79 @@
+//! Workflow trace serialization.
+//!
+//! Traces are stored as JSON so experiment inputs can be pinned, shared, and
+//! re-run bit-for-bit — the role the paper's published log archive plays
+//! (the footnote in §V links the original logs; ours regenerate from seeds
+//! but can also be exported and re-imported through this module).
+
+use crate::workflow::Workflow;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Serialize a workflow to pretty-printed JSON.
+pub fn to_json(workflow: &Workflow) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(workflow)
+}
+
+/// Parse a workflow from JSON and validate it.
+pub fn from_json(text: &str) -> Result<Workflow, String> {
+    let wf: Workflow = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    wf.validate()?;
+    Ok(wf)
+}
+
+/// Write a workflow to a file.
+pub fn save(workflow: &Workflow, path: &Path) -> Result<(), String> {
+    let json = to_json(workflow).map_err(|e| e.to_string())?;
+    let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    file.write_all(json.as_bytes()).map_err(|e| e.to_string())
+}
+
+/// Read and validate a workflow from a file.
+pub fn load(path: &Path) -> Result<Workflow, String> {
+    let mut text = String::new();
+    std::fs::File::open(path)
+        .map_err(|e| e.to_string())?
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    from_json(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticKind};
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let wf = generate(SyntheticKind::Bimodal, 50, 3);
+        let json = to_json(&wf).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.name, wf.name);
+        assert_eq!(back.tasks, wf.tasks);
+        assert_eq!(back.categories, wf.categories);
+        assert_eq!(back.worker, wf.worker);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let wf = generate(SyntheticKind::Normal, 20, 9);
+        let dir = std::env::temp_dir().join("tora-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        save(&wf, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.tasks, wf.tasks);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_traces_are_rejected() {
+        assert!(from_json("not json").is_err());
+        // Structurally valid JSON but semantically broken (bad task id).
+        let wf = generate(SyntheticKind::Normal, 3, 1);
+        let mut json = to_json(&wf).unwrap();
+        json = json.replacen("\"id\": 0", "\"id\": 7", 1);
+        assert!(from_json(&json).is_err());
+        assert!(load(Path::new("/nonexistent/trace.json")).is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! The five synthetic workflows of §V-B (Figure 4).
+//!
+//! Each workflow holds 1000 tasks of a *single* category — the paper's
+//! worst case, where a category's internal spread is the whole story — and
+//! samples every task's resource consumption from a characteristic
+//! distribution:
+//!
+//! * **Normal** and **Uniform** — common randomness;
+//! * **Exponential** — outliers;
+//! * **Bimodal** — specialization of tasks;
+//! * **Phasing Trimodal** — a moving resource distribution across three
+//!   consecutive phases.
+//!
+//! Per §V-B, disk follows the same distribution as memory (sampled
+//! independently) and cores follow a slightly different (rescaled) one.
+
+use crate::dist::{lognormal, Dist};
+use crate::workflow::Workflow;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tora_alloc::resources::{ResourceVector, WorkerSpec};
+use tora_alloc::task::TaskSpec;
+
+/// Task count used by every §V-B synthetic workflow.
+pub const PAPER_TASK_COUNT: usize = 1000;
+
+/// Which synthetic workflow to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyntheticKind {
+    /// Memory ~ Normal(4000 MB, 800 MB).
+    Normal,
+    /// Memory ~ Uniform(1000 MB, 8000 MB).
+    Uniform,
+    /// Memory ~ 500 MB + Exponential(mean 2000 MB) — heavy right tail.
+    Exponential,
+    /// Memory ~ ½·N(2000, 250) + ½·N(6000, 400).
+    Bimodal,
+    /// Three consecutive phases: N(2000, 250) → N(5000, 350) → N(8000, 450).
+    PhasingTrimodal,
+}
+
+impl SyntheticKind {
+    /// All five, in Figure 4/5 order.
+    pub const ALL: [SyntheticKind; 5] = [
+        SyntheticKind::Normal,
+        SyntheticKind::Uniform,
+        SyntheticKind::Exponential,
+        SyntheticKind::Bimodal,
+        SyntheticKind::PhasingTrimodal,
+    ];
+
+    /// Workflow name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyntheticKind::Normal => "normal",
+            SyntheticKind::Uniform => "uniform",
+            SyntheticKind::Exponential => "exponential",
+            SyntheticKind::Bimodal => "bimodal",
+            SyntheticKind::PhasingTrimodal => "trimodal",
+        }
+    }
+
+    /// The memory/disk distribution (MB) for a task at position `index` of
+    /// `n` (the index only matters for the phasing workflow).
+    ///
+    /// Footprints sit in the single-digit-GB range (cf. the §IV-A example,
+    /// memory ~ N(8 GB, 2 GB)): a couple of doublings above the 1 GB
+    /// exploratory probe, and far enough below the 64 GB worker that the
+    /// comparators' whole-machine exploration is costly but not fatal. The
+    /// Exponential tail reaches tens of GB, supplying the outliers that make
+    /// that workflow the hardest.
+    pub fn memory_dist(self, index: usize, n: usize) -> Dist {
+        match self {
+            SyntheticKind::Normal => Dist::Normal {
+                mean: 4000.0,
+                std_dev: 800.0,
+                min: 100.0,
+            },
+            SyntheticKind::Uniform => Dist::Uniform {
+                lo: 1000.0,
+                hi: 8000.0,
+            },
+            SyntheticKind::Exponential => Dist::Exponential {
+                offset: 500.0,
+                mean: 2000.0,
+                max: 60_000.0,
+            },
+            SyntheticKind::Bimodal => Dist::Bimodal {
+                p_low: 0.5,
+                low_mean: 2000.0,
+                low_std: 250.0,
+                high_mean: 6000.0,
+                high_std: 400.0,
+                min: 100.0,
+            },
+            SyntheticKind::PhasingTrimodal => {
+                let (mean, std_dev) = match 3 * index / n.max(1) {
+                    0 => (2000.0, 250.0),
+                    1 => (5000.0, 350.0),
+                    _ => (8000.0, 450.0),
+                };
+                Dist::Normal {
+                    mean,
+                    std_dev,
+                    min: 100.0,
+                }
+            }
+        }
+    }
+
+    /// The cores distribution for a task at position `index` of `n` — the
+    /// memory shape rescaled into the fractional-core range (§V-B: "cores
+    /// have a slightly different distribution").
+    pub fn cores_dist(self, index: usize, n: usize) -> Dist {
+        match self {
+            SyntheticKind::Normal => Dist::Normal {
+                mean: 2.0,
+                std_dev: 0.4,
+                min: 0.1,
+            },
+            SyntheticKind::Uniform => Dist::Uniform { lo: 0.5, hi: 4.0 },
+            SyntheticKind::Exponential => Dist::Exponential {
+                offset: 0.25,
+                mean: 2.5,
+                max: 16.0,
+            },
+            SyntheticKind::Bimodal => Dist::Bimodal {
+                p_low: 0.5,
+                low_mean: 1.0,
+                low_std: 0.15,
+                high_mean: 3.0,
+                high_std: 0.3,
+                min: 0.1,
+            },
+            SyntheticKind::PhasingTrimodal => {
+                let (mean, std_dev) = match 3 * index / n.max(1) {
+                    0 => (1.0, 0.12),
+                    1 => (2.0, 0.2),
+                    _ => (3.0, 0.3),
+                };
+                Dist::Normal {
+                    mean,
+                    std_dev,
+                    min: 0.1,
+                }
+            }
+        }
+    }
+}
+
+/// Generate one §V-B synthetic workflow with `n_tasks` tasks.
+pub fn generate(kind: SyntheticKind, n_tasks: usize, seed: u64) -> Workflow {
+    let worker = WorkerSpec::paper_default();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0000);
+    let mut tasks = Vec::with_capacity(n_tasks);
+    for i in 0..n_tasks {
+        let mem = kind.memory_dist(i, n_tasks).sample(&mut rng);
+        let disk = kind.memory_dist(i, n_tasks).sample(&mut rng);
+        let cores = kind.cores_dist(i, n_tasks).sample(&mut rng);
+        // Durations: log-normal around ~60 s, clamped to [5 s, 600 s].
+        let duration = lognormal(&mut rng, 60.0f64.ln(), 0.5).clamp(5.0, 600.0);
+        let peak = ResourceVector::new(cores, mem, disk).clamp_to(&worker.capacity);
+        tasks.push(TaskSpec::new(i as u64, 0, peak, duration));
+    }
+    Workflow::new(kind.name(), vec![kind.name().to_string()], tasks, worker)
+}
+
+/// Generate the paper's 1000-task version.
+pub fn paper_workflow(kind: SyntheticKind, seed: u64) -> Workflow {
+    generate(kind, PAPER_TASK_COUNT, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tora_alloc::resources::ResourceKind;
+
+    #[test]
+    fn all_five_generate_valid_paper_workflows() {
+        for kind in SyntheticKind::ALL {
+            let wf = paper_workflow(kind, 7);
+            assert_eq!(wf.len(), PAPER_TASK_COUNT, "{}", wf.name);
+            assert_eq!(wf.categories.len(), 1);
+            wf.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = paper_workflow(SyntheticKind::Bimodal, 11);
+        let b = paper_workflow(SyntheticKind::Bimodal, 11);
+        let c = paper_workflow(SyntheticKind::Bimodal, 12);
+        assert_eq!(a.tasks, b.tasks);
+        assert_ne!(a.tasks, c.tasks);
+    }
+
+    #[test]
+    fn normal_memory_centers_on_its_mean() {
+        let wf = paper_workflow(SyntheticKind::Normal, 3);
+        let mean = wf
+            .tasks
+            .iter()
+            .map(|t| t.peak.memory_mb())
+            .sum::<f64>()
+            / wf.len() as f64;
+        assert!((mean - 4000.0).abs() < 150.0, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_has_heavy_tail() {
+        let wf = paper_workflow(SyntheticKind::Exponential, 5);
+        let mems: Vec<f64> = wf.tasks.iter().map(|t| t.peak.memory_mb()).collect();
+        let max = mems.iter().cloned().fold(0.0, f64::max);
+        let mut sorted = mems.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            max > 4.0 * median,
+            "expected outliers: max {max}, median {median}"
+        );
+    }
+
+    #[test]
+    fn bimodal_memory_has_two_clusters() {
+        let wf = paper_workflow(SyntheticKind::Bimodal, 9);
+        let (low, high): (Vec<f64>, Vec<f64>) = wf
+            .tasks
+            .iter()
+            .map(|t| t.peak.memory_mb())
+            .partition(|&m| m < 4000.0);
+        assert!(low.len() > 350 && high.len() > 350);
+        // Hardly anything in the valley between the modes.
+        let valley = wf
+            .tasks
+            .iter()
+            .filter(|t| (3000.0..5000.0).contains(&t.peak.memory_mb()))
+            .count();
+        assert!(valley < 50, "valley count {valley}");
+    }
+
+    #[test]
+    fn trimodal_phases_increase_in_order() {
+        let wf = paper_workflow(SyntheticKind::PhasingTrimodal, 2);
+        let phase_mean = |lo: usize, hi: usize| {
+            wf.tasks[lo..hi]
+                .iter()
+                .map(|t| t.peak.memory_mb())
+                .sum::<f64>()
+                / (hi - lo) as f64
+        };
+        let p1 = phase_mean(0, 333);
+        let p2 = phase_mean(334, 666);
+        let p3 = phase_mean(667, 1000);
+        assert!((p1 - 2000.0).abs() < 120.0, "{p1}");
+        assert!((p2 - 5000.0).abs() < 120.0, "{p2}");
+        assert!((p3 - 8000.0).abs() < 120.0, "{p3}");
+    }
+
+    #[test]
+    fn every_task_fits_the_worker() {
+        for kind in SyntheticKind::ALL {
+            let wf = paper_workflow(kind, 1);
+            for t in &wf.tasks {
+                assert!(wf.worker.capacity.dominates(&t.peak), "{}", t.id);
+                assert!(t.peak[ResourceKind::Cores] > 0.0);
+                assert!(t.duration_s >= 5.0 && t.duration_s <= 600.0);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_task_counts() {
+        let wf = generate(SyntheticKind::Uniform, 12_000, 4);
+        assert_eq!(wf.len(), 12_000);
+        wf.validate().unwrap();
+    }
+}

@@ -1,0 +1,59 @@
+//! The TopEFT scenario: an LHC event-analysis workflow with three phases
+//! (preprocessing → processing → accumulating, §III).
+//!
+//! The interesting structure: disk consumption is *constant* (306 MB per
+//! task), processing memory is bimodal (~450 MB vs ~580 MB clusters), and
+//! cores are mostly ≤ 1 with rare 3-core outliers. The example contrasts
+//! the bucketing allocator against Max Seen on exactly the §V-C talking
+//! points: near-perfect disk for bucketing vs the 500 MB histogram rounding
+//! of Max Seen.
+//!
+//! ```sh
+//! cargo run --release --example collider_analysis
+//! ```
+
+use tora::metrics::{pct, Table};
+use tora::prelude::*;
+use tora::workloads::topeft;
+
+fn main() {
+    let workflow = topeft::paper_workflow(11);
+    println!(
+        "TopEFT-shaped analysis: {} preprocessing / {} processing / {} accumulating tasks\n",
+        topeft::PREPROCESSING_TASKS,
+        topeft::PROCESSING_TASKS,
+        topeft::ACCUMULATING_TASKS
+    );
+
+    let mut table = Table::new(
+        "TopEFT under two allocators",
+        &["algorithm", "cores AWE", "memory AWE", "disk AWE", "retries"],
+    );
+    let mut steady_disk = Vec::new();
+    for algorithm in [AlgorithmKind::ExhaustiveBucketing, AlgorithmKind::MaxSeen] {
+        let result = simulate(&workflow, algorithm, SimConfig::paper_like(11));
+        table.row(&[
+            algorithm.label().to_string(),
+            pct(result.metrics.awe(ResourceKind::Cores).unwrap()),
+            pct(result.metrics.awe(ResourceKind::MemoryMb).unwrap()),
+            pct(result.metrics.awe(ResourceKind::DiskMb).unwrap()),
+            result.metrics.total_retries().to_string(),
+        ]);
+
+        // What does each allocator give a steady-state processing task?
+        let mut allocator = Allocator::new(algorithm, 11);
+        for task in &workflow.tasks {
+            allocator.observe(&ResourceRecord::from_task(task));
+        }
+        let alloc = allocator.predict_first(CategoryId(topeft::CAT_PROCESSING));
+        steady_disk.push((algorithm, alloc.disk_mb()));
+    }
+    print!("{}", table.render());
+
+    println!("\nsteady-state disk allocation for a 306 MB processing task:");
+    for (algorithm, disk) in steady_disk {
+        println!("  {:<22} → {disk:.0} MB", algorithm.label());
+    }
+    // §V-C: Max Seen's histogram (bucket size 250) rounds 306 MB up to
+    // 500 MB; the bucketing allocator allocates the representative 306 MB.
+}

@@ -1,0 +1,54 @@
+//! The paper's future-work hypothesis (§VII): on workflows beyond 10,000
+//! tasks the bucketing algorithms should do even better, because the
+//! exploratory phase and early mispredictions amortize while the steady
+//! state dominates.
+//!
+//! Runs a 12,000-task TopEFT-shaped workflow and a 1,000-task one under
+//! Exhaustive Bucketing and compares efficiencies.
+//!
+//! ```sh
+//! cargo run --release --example large_workflow
+//! ```
+
+use tora::metrics::{pct, Table};
+use tora::prelude::*;
+use tora::workloads::topeft;
+
+fn main() {
+    let small = topeft::generate(80, 880, 40, 3); // ~1,000 tasks
+    let large = topeft::generate(800, 10_700, 500, 3); // ~12,000 tasks
+
+    let mut table = Table::new(
+        "Exhaustive Bucketing: small vs >10k-task workflow (§VII hypothesis)",
+        &["workflow", "tasks", "cores AWE", "memory AWE", "disk AWE", "retries/task"],
+    );
+    let mut memory_awe = Vec::new();
+    for wf in [&small, &large] {
+        let result = simulate(wf, AlgorithmKind::ExhaustiveBucketing, SimConfig::paper_like(3));
+        let mem = result.metrics.awe(ResourceKind::MemoryMb).unwrap();
+        memory_awe.push(mem);
+        table.row(&[
+            format!("topeft-{}", wf.len()),
+            wf.len().to_string(),
+            pct(result.metrics.awe(ResourceKind::Cores).unwrap()),
+            pct(mem),
+            pct(result.metrics.awe(ResourceKind::DiskMb).unwrap()),
+            format!(
+                "{:.2}",
+                result.metrics.total_retries() as f64 / wf.len() as f64
+            ),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!(
+        "\nmemory efficiency {} from {} to {} as the workflow grows 12x",
+        if memory_awe[1] >= memory_awe[0] {
+            "improves"
+        } else {
+            "drops"
+        },
+        pct(memory_awe[0]),
+        pct(memory_awe[1]),
+    );
+}

@@ -1,0 +1,107 @@
+//! Opportunistic-pool observability: churn, preemption, utilization and the
+//! live bucketing state.
+//!
+//! Runs a Uniform workflow on a heavily churning pool with the event log and
+//! utilization tracking enabled, then prints what happened: worker band,
+//! preemptions, the utilization the administrator would see, a downsampled
+//! utilization sparkline, and the final bucket structure the allocator
+//! learned.
+//!
+//! ```sh
+//! cargo run --release --example opportunistic_pool
+//! ```
+
+use tora::metrics::{pct, Table};
+use tora::prelude::*;
+
+fn main() {
+    let workflow = tora::workloads::synthetic::generate(SyntheticKind::Uniform, 800, 21);
+    let config = SimConfig {
+        churn: ChurnConfig {
+            initial: 6,
+            min: 10,
+            max: 30,
+            mean_interval_s: Some(20.0),
+        },
+        record_log: true,
+        track_utilization: true,
+        ..SimConfig::paper_like(21)
+    };
+    let result = simulate(&workflow, AlgorithmKind::ExhaustiveBucketing, config);
+
+    println!("== run summary ==");
+    println!("tasks           : {}", result.metrics.len());
+    println!("makespan        : {:.0} s", result.makespan_s);
+    println!(
+        "worker band     : {}..{} workers",
+        result.worker_range.0, result.worker_range.1
+    );
+    println!("preemptions     : {}", result.preemptions);
+    println!("retries (kills) : {}", result.metrics.total_retries());
+    println!(
+        "memory AWE      : {}",
+        pct(result.metrics.awe(ResourceKind::MemoryMb).unwrap())
+    );
+
+    // Event-log census — the JSONL dump is what a monitoring pipeline would
+    // ingest.
+    let log = result.log.expect("log enabled");
+    log.check_consistency().expect("run is self-consistent");
+    println!("\n== event log ({} entries) ==", log.len());
+    for (label, pred) in [
+        ("dispatched", |e: &SimEvent| matches!(e, SimEvent::TaskDispatched { .. })),
+        ("completed", |e: &SimEvent| matches!(e, SimEvent::TaskCompleted { .. })),
+        ("killed", |e: &SimEvent| matches!(e, SimEvent::TaskKilled { .. })),
+        ("preempted", |e: &SimEvent| matches!(e, SimEvent::TaskPreempted { .. })),
+        ("worker joins", |e: &SimEvent| matches!(e, SimEvent::WorkerJoined { .. })),
+        ("worker leaves", |e: &SimEvent| matches!(e, SimEvent::WorkerLeft { .. })),
+    ] as [(&str, fn(&SimEvent) -> bool); 6]
+    {
+        println!("  {label:<13}: {}", log.count(pred));
+    }
+
+    // Utilization over time: mean + a coarse sparkline of memory pressure.
+    let series = result.utilization.expect("utilization enabled");
+    println!("\n== pool utilization ==");
+    let mut table = Table::new("", &["resource", "time-weighted mean", "peak running"]);
+    for kind in [ResourceKind::Cores, ResourceKind::MemoryMb, ResourceKind::DiskMb] {
+        table.row(&[
+            kind.label().to_string(),
+            pct(series.mean_utilization(kind).unwrap_or(0.0)),
+            series.peak_running().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    let spark: String = series
+        .downsample(60)
+        .samples()
+        .iter()
+        .map(|s| {
+            let u = s.utilization(ResourceKind::MemoryMb).unwrap_or(0.0);
+            glyphs[((u * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1)]
+        })
+        .collect();
+    println!("memory pressure over time: [{spark}]");
+
+    // What the allocator learned: the bucket structure behind its
+    // predictions (Fig. 3b of the paper, live).
+    let mut allocator = Allocator::new(AlgorithmKind::ExhaustiveBucketing, 21);
+    for task in &workflow.tasks {
+        allocator.observe(&ResourceRecord::from_task(task));
+    }
+    let set = allocator
+        .snapshot(CategoryId(0), ResourceKind::MemoryMb)
+        .expect("bucketing state exists");
+    println!("\n== learned memory buckets ({}) ==", set.len());
+    let mut buckets = Table::new("", &["bucket", "representative (MB)", "probability", "records"]);
+    for (i, b) in set.buckets().iter().enumerate() {
+        buckets.row(&[
+            format!("B{}", i + 1),
+            format!("{:.0}", b.rep),
+            pct(b.prob),
+            b.count.to_string(),
+        ]);
+    }
+    print!("{}", buckets.render());
+}

@@ -1,0 +1,412 @@
+//! `tora` — command-line front end to the allocator, simulator and
+//! workload generators.
+//!
+//! ```text
+//! tora algorithms                             list allocation algorithms
+//! tora workflows                              list built-in workflows
+//! tora generate <workflow> [opts]             emit a workflow trace as JSON
+//! tora simulate <workflow|file> [opts]        run the discrete-event engine
+//! tora replay   <workflow|file> [opts]        run the fast serial replay
+//! tora matrix   [opts]                        the 7×7 AWE matrix (Fig. 5)
+//! ```
+//!
+//! Run `tora <command> --help` for per-command options. Everything is
+//! deterministic in `--seed`.
+
+use std::process::ExitCode;
+use tora::metrics::{attempts_histogram, pct, rolling_awe, steady_state_onset, Table};
+use tora::prelude::*;
+use tora::workloads::{io as trace_io, synthetic, PaperWorkflow};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("algorithms") => cmd_algorithms(),
+        Some("workflows") => cmd_workflows(),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("simulate") => cmd_run(&args[1..], Mode::Simulate),
+        Some("replay") => cmd_run(&args[1..], Mode::Replay),
+        Some("matrix") => cmd_matrix(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "tora — adaptive task-oriented resource allocation\n\n\
+         USAGE:\n  tora <command> [options]\n\n\
+         COMMANDS:\n\
+           algorithms                      list allocation algorithms\n\
+           workflows                       list built-in workflows\n\
+           generate <workflow> [opts]      emit a workflow trace as JSON\n\
+           simulate <workflow|file> [opts] run the discrete-event engine\n\
+           replay   <workflow|file> [opts] run the fast serial replay\n\
+           matrix   [opts]                 AWE matrix across workflows × algorithms\n\n\
+         COMMON OPTIONS:\n\
+           --seed <u64>          seed (default 42)\n\
+           --algorithm <name>    see `tora algorithms` (default exhaustive-bucketing)\n\
+           --tasks <n>           task count for synthetic workflows\n\
+           --workers <spec>      fixed:<n> | paper  (default paper)\n\
+           --arrival <spec>      batch | poisson:<mean-s>  (default poisson:1.5)\n\
+           --policy <name>       fifo | fifo-backfill | smallest-first | largest-first\n\
+           --enforcement <name>  ramp | instant  (default ramp)\n\
+           --dag                 (topeft) use the Coffea dependency structure\n\
+           --mix <frac>:<scale>  heterogeneous pool: fraction of large workers\n\
+           --out <file>          write JSON output to a file\n\
+           --log <file>          (simulate) dump the event log as JSONL\n\
+           --convergence         (simulate/replay) print the rolling-AWE trajectory"
+    );
+}
+
+/// Simple `--flag value` / positional argument scanner.
+struct Args<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(raw: &'a [String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = raw.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| v.as_str());
+                if value.is_some() {
+                    iter.next();
+                }
+                flags.push((name, value));
+            } else {
+                positional.push(arg.as_str());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<Option<&str>> {
+        self.flags.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    fn value_of(&self, name: &str) -> Result<Option<&str>, String> {
+        match self.flag(name) {
+            None => Ok(None),
+            Some(Some(v)) => Ok(Some(v)),
+            Some(None) => Err(format!("--{name} requires a value")),
+        }
+    }
+
+    fn seed(&self) -> Result<u64, String> {
+        match self.value_of("seed")? {
+            None => Ok(42),
+            Some(v) => v.parse().map_err(|_| format!("bad --seed `{v}`")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flag(name).is_some()
+    }
+}
+
+fn parse_algorithm(name: &str) -> Result<AlgorithmKind, String> {
+    const EXTRAS: [AlgorithmKind; 2] = [
+        AlgorithmKind::GreedyBucketingIncremental,
+        AlgorithmKind::KMeansBucketing,
+    ];
+    AlgorithmKind::PAPER_SET
+        .into_iter()
+        .chain(EXTRAS)
+        .find(|a| a.label() == name)
+        .ok_or_else(|| format!("unknown algorithm `{name}` (see `tora algorithms`)"))
+}
+
+fn parse_workflow(name_or_path: &str, args: &Args<'_>) -> Result<Workflow, String> {
+    let seed = args.seed()?;
+    if name_or_path.ends_with(".json") {
+        return trace_io::load(std::path::Path::new(name_or_path));
+    }
+    let tasks: Option<usize> = match args.value_of("tasks")? {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --tasks `{v}`"))?),
+    };
+    let by_name = PaperWorkflow::ALL
+        .into_iter()
+        .find(|w| w.name() == name_or_path)
+        .ok_or_else(|| format!("unknown workflow `{name_or_path}` (see `tora workflows`)"))?;
+    if args.has("dag") {
+        if by_name != PaperWorkflow::TopEft {
+            return Err("--dag is only defined for the topeft workflow".into());
+        }
+        return Ok(tora::workloads::topeft::paper_workflow_dag(seed));
+    }
+    match (by_name, tasks) {
+        (_, None) => Ok(by_name.build(seed)),
+        (PaperWorkflow::ColmenaXtb | PaperWorkflow::TopEft, Some(_)) => {
+            Err("--tasks applies only to synthetic workflows".into())
+        }
+        (wf, Some(n)) => {
+            let kind = tora::workloads::SyntheticKind::ALL
+                .into_iter()
+                .find(|k| k.name() == wf.name())
+                .expect("synthetic name");
+            Ok(synthetic::generate(kind, n, seed))
+        }
+    }
+}
+
+fn parse_sim_config(args: &Args<'_>) -> Result<SimConfig, String> {
+    let mut config = SimConfig::paper_like(args.seed()?);
+    match args.value_of("workers")? {
+        None | Some("paper") => {}
+        Some(spec) => {
+            let n: usize = spec
+                .strip_prefix("fixed:")
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| format!("bad --workers `{spec}` (fixed:<n> | paper)"))?;
+            if n == 0 {
+                return Err("--workers fixed:<n> requires n ≥ 1".into());
+            }
+            config.churn = ChurnConfig::fixed(n);
+        }
+    }
+    match args.value_of("arrival")? {
+        None => {}
+        Some("batch") => config.arrival = ArrivalModel::Batch,
+        Some(spec) => {
+            let mean: f64 = spec
+                .strip_prefix("poisson:")
+                .and_then(|m| m.parse().ok())
+                .filter(|m: &f64| m.is_finite() && *m > 0.0)
+                .ok_or_else(|| format!("bad --arrival `{spec}` (batch | poisson:<mean-s>)"))?;
+            config.arrival = ArrivalModel::Poisson {
+                mean_interval_s: mean,
+            };
+        }
+    }
+    match args.value_of("policy")? {
+        None => {}
+        Some(name) => {
+            config.queue_policy = QueuePolicy::ALL
+                .into_iter()
+                .find(|p| p.label() == name)
+                .ok_or_else(|| format!("unknown --policy `{name}`"))?;
+        }
+    }
+    match args.value_of("enforcement")? {
+        None | Some("ramp") => {}
+        Some("instant") => config.enforcement = EnforcementModel::InstantPeak,
+        Some(other) => return Err(format!("unknown --enforcement `{other}` (ramp | instant)")),
+    }
+    if let Some(spec) = args.value_of("mix")? {
+        let (frac, scale) = spec
+            .split_once(':')
+            .and_then(|(f, s)| Some((f.parse().ok()?, s.parse().ok()?)))
+            .ok_or_else(|| format!("bad --mix `{spec}` (use <fraction>:<scale>)"))?;
+        let mix = tora::sim::WorkerMix {
+            large_fraction: frac,
+            scale,
+        };
+        mix.validate()?;
+        config.worker_mix = Some(mix);
+    }
+    if args.has("log") {
+        config.record_log = true;
+    }
+    Ok(config)
+}
+
+fn cmd_algorithms() -> Result<(), String> {
+    let mut table = Table::new("allocation algorithms", &["name", "kind", "exploration"]);
+    let rows: Vec<(AlgorithmKind, &str)> = vec![
+        (AlgorithmKind::WholeMachine, "naive baseline"),
+        (AlgorithmKind::MaxSeen, "naive baseline"),
+        (AlgorithmKind::MinWaste, "Tovar et al. job sizing"),
+        (AlgorithmKind::MaxThroughput, "Tovar et al. job sizing"),
+        (AlgorithmKind::QuantizedBucketing, "Phung et al. quantile clustering"),
+        (AlgorithmKind::GreedyBucketing, "this paper (Algorithm 1)"),
+        (AlgorithmKind::ExhaustiveBucketing, "this paper (Algorithm 2)"),
+        (AlgorithmKind::GreedyBucketingIncremental, "ablation: fast greedy scan"),
+        (AlgorithmKind::KMeansBucketing, "extension: k-means clustering"),
+    ];
+    for (alg, kind) in rows {
+        table.row(&[
+            alg.label(),
+            kind,
+            if alg.is_novel_bucketing() {
+                "conservative probe"
+            } else {
+                "whole machine"
+            },
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_workflows() -> Result<(), String> {
+    let mut table = Table::new("built-in workflows", &["name", "tasks", "categories", "kind"]);
+    for wf in PaperWorkflow::ALL {
+        let built = wf.build(42);
+        table.row(&[
+            wf.name().to_string(),
+            built.len().to_string(),
+            built.categories.join(", "),
+            match wf {
+                PaperWorkflow::ColmenaXtb | PaperWorkflow::TopEft => "production trace",
+                _ => "synthetic",
+            }
+            .to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_generate(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let name = args
+        .positional
+        .first()
+        .ok_or("generate requires a workflow name")?;
+    let wf = parse_workflow(name, &args)?;
+    let json = trace_io::to_json(&wf).map_err(|e| e.to_string())?;
+    match args.value_of("out")? {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} tasks to {path}", wf.len());
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+enum Mode {
+    Simulate,
+    Replay,
+}
+
+fn cmd_run(raw: &[String], mode: Mode) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let name = args
+        .positional
+        .first()
+        .ok_or("requires a workflow name or trace file")?;
+    let wf = parse_workflow(name, &args)?;
+    let algorithm = match args.value_of("algorithm")? {
+        None => AlgorithmKind::ExhaustiveBucketing,
+        Some(name) => parse_algorithm(name)?,
+    };
+    let seed = args.seed()?;
+
+    let (metrics, sim_extra) = match mode {
+        Mode::Replay => {
+            let enforcement = match args.value_of("enforcement")? {
+                None | Some("ramp") => EnforcementModel::LinearRamp,
+                Some("instant") => EnforcementModel::InstantPeak,
+                Some(other) => return Err(format!("unknown --enforcement `{other}`")),
+            };
+            (replay(&wf, algorithm, enforcement, seed), None)
+        }
+        Mode::Simulate => {
+            let config = parse_sim_config(&args)?;
+            let result = simulate(&wf, algorithm, config);
+            if let (Some(path), Some(log)) = (args.value_of("log")?, result.log.as_ref()) {
+                std::fs::write(path, log.to_jsonl()).map_err(|e| e.to_string())?;
+                eprintln!("wrote event log to {path}");
+            }
+            (result.metrics.clone(), Some(result))
+        }
+    };
+
+    println!(
+        "workflow `{}` × {} (seed {seed}): {} tasks, {} retries",
+        wf.name,
+        algorithm.label(),
+        metrics.len(),
+        metrics.total_retries()
+    );
+    let mut table = Table::new(
+        "efficiency",
+        &["resource", "AWE", "consumption", "allocation", "IF waste", "FA waste"],
+    );
+    for kind in [ResourceKind::Cores, ResourceKind::MemoryMb, ResourceKind::DiskMb] {
+        let w = metrics.waste(kind);
+        table.row(&[
+            kind.label().to_string(),
+            pct(metrics.awe(kind).unwrap_or(0.0)),
+            format!("{:.3e}", metrics.total_consumption(kind)),
+            format!("{:.3e}", metrics.total_allocation(kind)),
+            format!("{:.3e}", w.internal_fragmentation),
+            format!("{:.3e}", w.failed_allocation),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let hist = attempts_histogram(&metrics);
+    let summary: Vec<String> = hist
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, c)| format!("{}×{}", i + 1, c))
+        .collect();
+    println!("attempts per task: {}", summary.join("  "));
+
+    if let Some(result) = sim_extra {
+        println!(
+            "makespan {:.0} s | workers {}..{} | preemptions {}",
+            result.makespan_s, result.worker_range.0, result.worker_range.1, result.preemptions
+        );
+    }
+
+    if args.has("convergence") {
+        let window = (wf.len() / 10).max(20);
+        println!("\nrolling memory AWE (window {window} tasks):");
+        for (task, awe) in rolling_awe(&metrics, ResourceKind::MemoryMb, window) {
+            let bar = "#".repeat((awe * 40.0) as usize);
+            println!("  task {task:>6}  {:>6}  {bar}", pct(awe));
+        }
+        match steady_state_onset(&metrics, ResourceKind::MemoryMb, window, 0.05) {
+            Some(onset) => println!("steady state from task {onset} (±5% band)"),
+            None => println!("no steady state detected"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_matrix(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let seed = args.seed()?;
+    let algorithms: Vec<AlgorithmKind> = match args.value_of("algorithm")? {
+        Some(name) => vec![parse_algorithm(name)?],
+        None => AlgorithmKind::PAPER_SET.to_vec(),
+    };
+    let mut headers = vec!["algorithm"];
+    headers.extend(PaperWorkflow::ALL.iter().map(|w| w.name()));
+    let mut table = Table::new(format!("memory AWE matrix (seed {seed})"), &headers);
+    for alg in &algorithms {
+        let mut row = vec![alg.label().to_string()];
+        for wf in PaperWorkflow::ALL {
+            let built = wf.build(seed);
+            let result = simulate(&built, alg.fast_equivalent(), SimConfig::paper_like(seed));
+            row.push(pct(result.metrics.awe(ResourceKind::MemoryMb).unwrap_or(0.0)));
+        }
+        table.push_row(row);
+        eprint!(".");
+    }
+    eprintln!();
+    print!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # tora — Task-Oriented Resource Allocation for dynamic workflows
+//!
+//! A full Rust reproduction of *"Adaptive Task-Oriented Resource Allocation
+//! for Large Dynamic Workflows on Opportunistic Resources"* (Phung & Thain,
+//! IPDPS 2024). This facade crate re-exports the workspace:
+//!
+//! * [`alloc`] — the paper's contribution: Greedy/Exhaustive Bucketing, the
+//!   five comparator algorithms, and the adaptive allocator around them;
+//! * [`sim`] — the dynamic-workflow execution substrate: a discrete-event
+//!   engine with opportunistic worker churn, plus a fast serial replay;
+//! * [`workloads`] — the seven evaluation workflows (five synthetic
+//!   distributions, ColmenaXTB- and TopEFT-shaped production traces);
+//! * [`metrics`] — resource-waste and Absolute-Workflow-Efficiency
+//!   accounting.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tora::prelude::*;
+//!
+//! // A 200-task workflow whose memory follows a bimodal distribution.
+//! let workflow = tora::workloads::synthetic::generate(SyntheticKind::Bimodal, 200, 7);
+//!
+//! // Execute it on an opportunistic pool, allocating with Exhaustive
+//! // Bucketing.
+//! let result = simulate(
+//!     &workflow,
+//!     AlgorithmKind::ExhaustiveBucketing,
+//!     SimConfig::default(),
+//! );
+//!
+//! let awe = result.metrics.awe(ResourceKind::MemoryMb).unwrap();
+//! assert!(awe > 0.3, "memory efficiency {awe}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use tora_alloc as alloc;
+pub use tora_metrics as metrics;
+pub use tora_sim as sim;
+pub use tora_workloads as workloads;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use tora_alloc::allocator::{
+        AlgorithmKind, Allocator, AllocatorConfig, ExploratoryPolicy,
+    };
+    pub use tora_alloc::resources::{ResourceKind, ResourceMask, ResourceVector, WorkerSpec};
+    pub use tora_alloc::task::{CategoryId, ResourceRecord, TaskId, TaskSpec};
+    pub use tora_metrics::{AttemptOutcome, TaskOutcome, WasteBreakdown, WorkflowMetrics};
+    pub use tora_sim::{
+        replay, simulate, ArrivalModel, ChurnConfig, Driver, EnforcementModel, EventLog,
+        QueuePolicy, SimConfig, SimEvent, SimResult, Simulation, SubmitApi, UtilizationSeries,
+        WorkerMix,
+    };
+    pub use tora_workloads::{PaperWorkflow, SyntheticKind, Workflow};
+}

@@ -1,0 +1,146 @@
+//! End-to-end tests of the `tora` command-line interface.
+
+use std::process::Command;
+
+fn tora(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_tora"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_and_listings() {
+    let (ok, out, _) = tora(&["--help"]);
+    assert!(ok);
+    assert!(out.contains("simulate"));
+
+    let (ok, out, _) = tora(&["algorithms"]);
+    assert!(ok);
+    for label in [
+        "whole-machine",
+        "max-seen",
+        "min-waste",
+        "max-throughput",
+        "quantized-bucketing",
+        "greedy-bucketing",
+        "exhaustive-bucketing",
+    ] {
+        assert!(out.contains(label), "missing {label}");
+    }
+
+    let (ok, out, _) = tora(&["workflows"]);
+    assert!(ok);
+    assert!(out.contains("colmena-xtb"));
+    assert!(out.contains("topeft"));
+    assert!(out.contains("trimodal"));
+}
+
+#[test]
+fn generate_emits_loadable_json() {
+    let dir = std::env::temp_dir().join("tora-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let path_str = path.to_str().unwrap();
+    let (ok, _, err) = tora(&[
+        "generate", "normal", "--tasks", "40", "--seed", "5", "--out", path_str,
+    ]);
+    assert!(ok, "{err}");
+    let wf = tora::workloads::io::load(&path).unwrap();
+    assert_eq!(wf.len(), 40);
+
+    // The generated file round-trips through `replay`.
+    let (ok, out, err) = tora(&["replay", path_str, "--algorithm", "max-seen"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("max-seen"), "{out}");
+    assert!(out.contains("40 tasks"), "{out}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn simulate_reports_metrics_and_convergence() {
+    let (ok, out, err) = tora(&[
+        "simulate",
+        "bimodal",
+        "--tasks",
+        "120",
+        "--seed",
+        "3",
+        "--workers",
+        "fixed:10",
+        "--arrival",
+        "poisson:1.0",
+        "--policy",
+        "fifo-backfill",
+        "--convergence",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("120 tasks"), "{out}");
+    assert!(out.contains("memory"), "{out}");
+    assert!(out.contains("rolling memory AWE"), "{out}");
+    assert!(out.contains("attempts per task"), "{out}");
+}
+
+#[test]
+fn simulate_writes_event_log() {
+    let dir = std::env::temp_dir().join("tora-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("events.jsonl");
+    let path_str = path.to_str().unwrap();
+    let (ok, _, err) = tora(&[
+        "simulate", "uniform", "--tasks", "60", "--seed", "2", "--log", path_str,
+    ]);
+    assert!(ok, "{err}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let log = tora::sim::EventLog::from_jsonl(&text).unwrap();
+    log.check_consistency().unwrap();
+    assert!(log.len() > 120); // ≥ submit + dispatch + finish per task
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dag_and_mix_options() {
+    let (ok, out, err) = tora(&[
+        "replay", "topeft", "--dag", "--seed", "2", "--algorithm", "max-seen",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("4569 tasks"), "{out}");
+
+    let (ok, _, err) = tora(&["simulate", "normal", "--tasks", "4"]);
+    assert!(ok, "{err}");
+
+    let (ok, _, err) = tora(&["simulate", "normal", "--dag"]);
+    assert!(!ok);
+    assert!(err.contains("topeft"), "{err}");
+
+    let (ok, _, err) = tora(&["simulate", "normal", "--tasks", "40", "--mix", "2:0.5"]);
+    assert!(!ok, "{err}");
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let (ok, _, err) = tora(&["simulate", "nonexistent-workflow"]);
+    assert!(!ok);
+    assert!(err.contains("unknown workflow"), "{err}");
+
+    let (ok, _, err) = tora(&["replay", "normal", "--algorithm", "nope"]);
+    assert!(!ok);
+    assert!(err.contains("unknown algorithm"), "{err}");
+
+    let (ok, _, err) = tora(&["simulate", "topeft", "--tasks", "5"]);
+    assert!(!ok);
+    assert!(err.contains("synthetic"), "{err}");
+
+    let (ok, _, err) = tora(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+
+    let (ok, _, err) = tora(&["simulate", "normal", "--workers", "fixed:0"]);
+    assert!(!ok);
+    assert!(err.contains("n ≥ 1"), "{err}");
+}

@@ -1,0 +1,135 @@
+//! Property-based tests over the core data structures and the full
+//! allocation pipeline.
+
+use proptest::prelude::*;
+use tora::alloc::bucket::BucketSet;
+use tora::alloc::cost::{exhaustive_cost, greedy_cost};
+use tora::alloc::exhaustive::ExhaustiveBucketing;
+use tora::alloc::greedy::GreedyBucketing;
+use tora::alloc::partition::Partitioner;
+use tora::alloc::record::RecordList;
+use tora::prelude::*;
+
+fn record_list() -> impl Strategy<Value = RecordList> {
+    prop::collection::vec((1.0f64..10_000.0, 0.1f64..100.0), 1..120)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn greedy_partition_satisfies_bucket_invariants(list in record_list()) {
+        let gb = GreedyBucketing::new();
+        let breaks = gb.partition(list.sorted());
+        let set = BucketSet::from_breaks(list.sorted(), &breaks);
+        prop_assert!(set.check_invariants(list.sorted()).is_ok());
+    }
+
+    #[test]
+    fn exhaustive_partition_satisfies_bucket_invariants(list in record_list()) {
+        let eb = ExhaustiveBucketing::new();
+        let breaks = eb.partition(list.sorted());
+        let set = BucketSet::from_breaks(list.sorted(), &breaks);
+        prop_assert!(set.check_invariants(list.sorted()).is_ok());
+        prop_assert!(set.len() <= 10, "bucket cap exceeded: {}", set.len());
+    }
+
+    #[test]
+    fn greedy_incremental_matches_faithful(list in record_list()) {
+        let faithful = GreedyBucketing::new().partition(list.sorted());
+        let incremental = GreedyBucketing::incremental().partition(list.sorted());
+        prop_assert_eq!(faithful, incremental);
+    }
+
+    #[test]
+    fn exhaustive_choice_never_worse_than_single_bucket(list in record_list()) {
+        let eb = ExhaustiveBucketing::new();
+        let breaks = eb.partition(list.sorted());
+        let chosen = exhaustive_cost(&BucketSet::from_breaks(list.sorted(), &breaks));
+        let single = exhaustive_cost(&BucketSet::single(list.sorted()));
+        prop_assert!(chosen <= single + 1e-9 * single.abs().max(1.0));
+    }
+
+    #[test]
+    fn costs_are_finite_and_nonnegative(list in record_list()) {
+        let n = list.len();
+        let records = list.sorted();
+        // Greedy cost at a few break positions.
+        for brk in [0, n / 2, n - 1] {
+            let c = greedy_cost(records, 0, brk, n - 1);
+            prop_assert!(c.is_finite() && c >= -1e-9, "greedy cost {c}");
+        }
+        // Exhaustive cost of the chosen configuration.
+        let breaks = ExhaustiveBucketing::new().partition(records);
+        let c = exhaustive_cost(&BucketSet::from_breaks(records, &breaks));
+        prop_assert!(c.is_finite() && c >= -1e-9, "exhaustive cost {c}");
+    }
+
+    #[test]
+    fn sampling_always_returns_a_valid_bucket(list in record_list(), u in 0.0f64..1.0) {
+        let breaks = ExhaustiveBucketing::new().partition(list.sorted());
+        let set = BucketSet::from_breaks(list.sorted(), &breaks);
+        let idx = set.sample(u).expect("non-empty set samples");
+        prop_assert!(idx < set.len());
+        // sample_above must respect the floor.
+        if let Some(j) = set.sample_above(set.buckets()[idx].rep, u) {
+            prop_assert!(set.buckets()[j].rep > set.buckets()[idx].rep);
+        }
+    }
+
+    #[test]
+    fn allocator_terminates_for_any_feasible_demand(
+        peaks in prop::collection::vec(
+            (0.1f64..16.0, 1.0f64..60_000.0, 1.0f64..60_000.0),
+            11..60
+        ),
+        seed in 0u64..1_000,
+    ) {
+        let mut allocator = Allocator::new(AlgorithmKind::ExhaustiveBucketing, seed);
+        let category = CategoryId(0);
+        for (i, (c, m, d)) in peaks.iter().enumerate() {
+            let task = TaskSpec::new(i as u64, 0, ResourceVector::new(*c, *m, *d), 10.0);
+            // Drive the predict→retry loop to success before observing.
+            let demand = task.peak;
+            let mut alloc = allocator.predict_first(category);
+            let mut attempts = 0;
+            while !alloc.dominates(&demand) {
+                let exhausted = alloc.exceeded_by(&demand);
+                alloc = allocator.predict_retry(category, &alloc, &exhausted);
+                attempts += 1;
+                prop_assert!(attempts < 64, "no convergence for {demand}");
+            }
+            allocator.observe(&ResourceRecord::from_task(&task));
+        }
+    }
+
+    #[test]
+    fn replay_conserves_tasks_and_identities(
+        n in 20usize..80,
+        seed in 0u64..500,
+    ) {
+        let wf = tora::workloads::synthetic::generate(SyntheticKind::Bimodal, n, seed);
+        let m = replay(&wf, AlgorithmKind::GreedyBucketingIncremental,
+                       EnforcementModel::LinearRamp, seed);
+        prop_assert_eq!(m.len(), n);
+        for kind in [ResourceKind::Cores, ResourceKind::MemoryMb, ResourceKind::DiskMb] {
+            let a = m.total_allocation(kind);
+            let c = m.total_consumption(kind);
+            let w = m.waste(kind);
+            prop_assert!((a - (c + w.total())).abs() <= 1e-6 * a.max(1.0));
+            let awe = m.awe(kind).unwrap();
+            prop_assert!(awe > 0.0 && awe <= 1.0);
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone(list in record_list(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = list.quantile(lo).unwrap();
+        let b = list.quantile(hi).unwrap();
+        prop_assert!(a <= b);
+        prop_assert!(b <= list.max_value().unwrap());
+        prop_assert!(a >= list.min_value().unwrap());
+    }
+}

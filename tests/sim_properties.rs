@@ -1,0 +1,141 @@
+//! Property-based tests of the simulation engine: conservation laws and log
+//! consistency must hold for *any* configuration.
+
+use proptest::prelude::*;
+use tora::prelude::*;
+use tora::workloads::synthetic;
+
+fn arb_churn() -> impl Strategy<Value = ChurnConfig> {
+    (1usize..6, 1usize..4, 0usize..10, prop::option::of(5.0f64..40.0)).prop_map(
+        |(initial, min, extra, interval)| {
+            let max = min + extra;
+            let initial = initial.clamp(1, max);
+            let mean_interval_s = if initial < min {
+                // Ramp-up requires churn to be enabled.
+                Some(interval.unwrap_or(15.0))
+            } else {
+                interval
+            };
+            ChurnConfig {
+                initial,
+                min,
+                max,
+                mean_interval_s,
+            }
+        },
+    )
+}
+
+fn arb_arrival() -> impl Strategy<Value = ArrivalModel> {
+    prop_oneof![
+        Just(ArrivalModel::Batch),
+        (0.1f64..5.0).prop_map(|m| ArrivalModel::Poisson { mean_interval_s: m }),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = QueuePolicy> {
+    prop::sample::select(QueuePolicy::ALL.to_vec())
+}
+
+fn arb_algorithm() -> impl Strategy<Value = AlgorithmKind> {
+    prop::sample::select(vec![
+        AlgorithmKind::WholeMachine,
+        AlgorithmKind::MaxSeen,
+        AlgorithmKind::MinWaste,
+        AlgorithmKind::MaxThroughput,
+        AlgorithmKind::QuantizedBucketing,
+        AlgorithmKind::GreedyBucketingIncremental,
+        AlgorithmKind::ExhaustiveBucketing,
+        AlgorithmKind::KMeansBucketing,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_conserves_tasks_under_arbitrary_configs(
+        churn in arb_churn(),
+        arrival in arb_arrival(),
+        policy in arb_policy(),
+        algorithm in arb_algorithm(),
+        n in 20usize..70,
+        seed in 0u64..1000,
+        instant in any::<bool>(),
+    ) {
+        let wf = synthetic::generate(SyntheticKind::Bimodal, n, seed);
+        let config = SimConfig {
+            churn,
+            arrival,
+            queue_policy: policy,
+            enforcement: if instant {
+                EnforcementModel::InstantPeak
+            } else {
+                EnforcementModel::LinearRamp
+            },
+            record_log: true,
+            track_utilization: true,
+            ..SimConfig::paper_like(seed)
+        };
+        let res = simulate(&wf, algorithm, config);
+
+        // Every task completes exactly once.
+        prop_assert_eq!(res.metrics.len(), n);
+        let mut ids: Vec<u64> = res.metrics.outcomes().iter().map(|o| o.task.0).collect();
+        ids.sort_unstable();
+        prop_assert!(ids.iter().enumerate().all(|(i, &id)| id == i as u64));
+
+        // Structural integrity of every outcome.
+        for o in res.metrics.outcomes() {
+            prop_assert!(o.check().is_ok(), "{:?}", o.check());
+        }
+
+        // Accounting identity per dimension.
+        for kind in [ResourceKind::Cores, ResourceKind::MemoryMb, ResourceKind::DiskMb] {
+            let a = res.metrics.total_allocation(kind);
+            let c = res.metrics.total_consumption(kind);
+            let w = res.metrics.waste(kind);
+            prop_assert!((a - (c + w.total())).abs() <= 1e-6 * a.max(1.0));
+        }
+
+        // The event log obeys its conservation laws and matches the counters.
+        let log = res.log.expect("log enabled");
+        prop_assert!(log.check_consistency().is_ok(), "{:?}", log.check_consistency());
+        let dispatched = log.count(|e| matches!(e, SimEvent::TaskDispatched { .. }));
+        prop_assert_eq!(dispatched, res.dispatches);
+
+        // Utilization stays within physical bounds.
+        let series = res.utilization.expect("series enabled");
+        for s in series.samples() {
+            for kind in [ResourceKind::Cores, ResourceKind::MemoryMb, ResourceKind::DiskMb] {
+                if let Some(u) = s.utilization(kind) {
+                    prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+                }
+            }
+        }
+
+        // Worker band respected (ramp-up may start below min).
+        prop_assert!(res.worker_range.0 >= churn.initial.min(churn.min));
+        prop_assert!(res.worker_range.1 <= churn.max.max(churn.initial));
+
+        // Makespan is positive and finite.
+        prop_assert!(res.makespan_s.is_finite() && res.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn engine_is_deterministic_in_its_seed(
+        seed in 0u64..500,
+        n in 20usize..50,
+    ) {
+        let wf = synthetic::generate(SyntheticKind::Uniform, n, seed);
+        let config = SimConfig {
+            record_log: true,
+            ..SimConfig::paper_like(seed)
+        };
+        let a = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config);
+        let b = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config);
+        prop_assert_eq!(a.makespan_s, b.makespan_s);
+        prop_assert_eq!(a.dispatches, b.dispatches);
+        prop_assert_eq!(a.log.unwrap(), b.log.unwrap());
+    }
+}
