@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Repository CI gate. Run from the workspace root:
+#
+#   ./ci.sh          # format check, lints, tier-1 build + full test suite
+#
+# Everything is offline-safe: dependencies resolve to the in-tree `compat/`
+# crates, so no registry access is needed.
+
+set -eu
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo "CI green."

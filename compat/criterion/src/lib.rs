@@ -1,0 +1,216 @@
+//! Offline micro-benchmark harness exposing the subset of the `criterion`
+//! API this workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter` and `black_box`.
+//!
+//! Methodology is deliberately simple (no statistics machinery): a warm-up
+//! phase sizes the batch, then `sample_size` timed batches are taken and the
+//! median per-iteration time is reported on stdout. Good enough to compare
+//! two builds by hand, which is all the workspace needs offline.
+//!
+//! Set `TORA_BENCH_TIME_MS` to change the per-benchmark time budget
+//! (default 300 ms, split across samples).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendered as `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl<T: std::fmt::Display> From<T> for BenchmarkId {
+    fn from(name: T) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher {
+    /// Measured median per-iteration time, filled in by `iter`.
+    per_iter: Duration,
+    budget: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time the routine, recording the median per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: find an iteration count that takes ≥ ~1/20 of the budget,
+        // so the timer overhead stays negligible.
+        let mut batch = 1u64;
+        let warm_target = self.budget.max(Duration::from_millis(20)) / 20;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= warm_target || batch >= 1 << 20 {
+                break;
+            }
+            batch = if took.is_zero() {
+                batch * 8
+            } else {
+                (batch * 2).max(1)
+            };
+        }
+        let samples = self.sample_size.max(3);
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed() / batch as u32);
+        }
+        per_iter.sort();
+        self.per_iter = per_iter[samples / 2];
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            per_iter: Duration::ZERO,
+            budget: self.criterion.budget,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        println!(
+            "{group}/{id}  time: [{t}]",
+            group = self.name,
+            id = id.id,
+            t = format_duration(bencher.per_iter)
+        );
+        self
+    }
+
+    /// Benchmark a routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (separator line, mirroring criterion's report).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("TORA_BENCH_TIME_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -33,9 +33,13 @@ fn bench_engine(c: &mut Criterion) {
 
     group.bench_function("paper_like_pool", |b| {
         b.iter(|| {
-            simulate(&wf, AlgorithmKind::ExhaustiveBucketing, SimConfig::paper_like(9))
-                .metrics
-                .len()
+            simulate(
+                &wf,
+                AlgorithmKind::ExhaustiveBucketing,
+                SimConfig::paper_like(9),
+            )
+            .metrics
+            .len()
         })
     });
 

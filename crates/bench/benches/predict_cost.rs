@@ -7,9 +7,9 @@
 //! comparators' costs are shown on the same scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tora_alloc::allocator::{Allocator, AlgorithmKind};
-use tora_alloc::task::{CategoryId, ResourceRecord, TaskSpec};
+use tora_alloc::allocator::{AlgorithmKind, Allocator};
 use tora_alloc::resources::ResourceVector;
+use tora_alloc::task::{CategoryId, ResourceRecord, TaskSpec};
 use tora_bench::timing::sample_values;
 
 fn loaded_allocator(alg: AlgorithmKind, n: usize) -> Allocator {
@@ -33,11 +33,9 @@ fn bench_predict(c: &mut Criterion) {
         let mut allocator = loaded_allocator(alg.fast_equivalent(), 1000);
         // Prime any lazy caches.
         let _ = allocator.predict_first(CategoryId(0));
-        group.bench_with_input(
-            BenchmarkId::new("cached", alg.label()),
-            &alg,
-            |b, _| b.iter(|| allocator.predict_first(CategoryId(0))),
-        );
+        group.bench_with_input(BenchmarkId::new("cached", alg.label()), &alg, |b, _| {
+            b.iter(|| allocator.predict_first(CategoryId(0)))
+        });
     }
     group.finish();
 }

@@ -14,9 +14,7 @@
 //!    outliers, jitter);
 //! 8. queue policy and arrival model through the engine.
 
-use tora_alloc::allocator::{
-    AlgorithmKind, AllocatorConfig, EstimatorFactory, ExploratoryPolicy,
-};
+use tora_alloc::allocator::{AlgorithmKind, AllocatorConfig, EstimatorFactory, ExploratoryPolicy};
 use tora_alloc::baselines::QuantizedBucketing;
 use tora_alloc::exhaustive::ExhaustiveBucketing;
 use tora_alloc::policy::BucketingEstimator;
@@ -106,11 +104,7 @@ fn exploratory_threshold_ablation(workflows: &[Workflow]) {
     println!();
 }
 
-fn replay_with_factory(
-    wf: &Workflow,
-    label: String,
-    factory: EstimatorFactory,
-) -> WorkflowMetrics {
+fn replay_with_factory(wf: &Workflow, label: String, factory: EstimatorFactory) -> WorkflowMetrics {
     use tora_alloc::allocator::Allocator;
     use tora_alloc::task::ResourceRecord;
     use tora_metrics::{AttemptOutcome, TaskOutcome};
@@ -124,7 +118,7 @@ fn replay_with_factory(
     let mut metrics = WorkflowMetrics::new();
     for task in &wf.tasks {
         let mut attempts = Vec::new();
-        let mut alloc = allocator.predict_first(task.category);
+        let mut alloc = allocator.predict_first(task.category).into_alloc();
         loop {
             let verdict = enforcement.judge(task, &alloc);
             if verdict.success {
@@ -132,7 +126,9 @@ fn replay_with_factory(
                 break;
             }
             attempts.push(AttemptOutcome::failure(alloc, verdict.charged_time_s));
-            alloc = allocator.predict_retry(task.category, &alloc, &verdict.exhausted);
+            alloc = allocator
+                .predict_retry(task.category, &alloc, &verdict.exhausted)
+                .into_alloc();
         }
         metrics.push(TaskOutcome {
             task: task.id,
@@ -201,14 +197,24 @@ fn clustering_rule_ablation(workflows: &[Workflow]) {
         &["workflow", "value-grid (EB)", "greedy (GB)", "k-means"],
     );
     for wf in workflows {
-        let eb = replay(wf, AlgorithmKind::ExhaustiveBucketing, EnforcementModel::LinearRamp, SEED);
+        let eb = replay(
+            wf,
+            AlgorithmKind::ExhaustiveBucketing,
+            EnforcementModel::LinearRamp,
+            SEED,
+        );
         let gb = replay(
             wf,
             AlgorithmKind::GreedyBucketingIncremental,
             EnforcementModel::LinearRamp,
             SEED,
         );
-        let km = replay(wf, AlgorithmKind::KMeansBucketing, EnforcementModel::LinearRamp, SEED);
+        let km = replay(
+            wf,
+            AlgorithmKind::KMeansBucketing,
+            EnforcementModel::LinearRamp,
+            SEED,
+        );
         table.push_row(vec![wf.name.clone(), awe(&eb), awe(&gb), awe(&km)]);
     }
     print!("{}", table.render());
@@ -221,7 +227,12 @@ fn enforcement_ablation(workflows: &[Workflow]) {
         &["workflow", "linear-ramp", "instant-peak"],
     );
     for wf in workflows {
-        let ramp = replay(wf, AlgorithmKind::ExhaustiveBucketing, EnforcementModel::LinearRamp, SEED);
+        let ramp = replay(
+            wf,
+            AlgorithmKind::ExhaustiveBucketing,
+            EnforcementModel::LinearRamp,
+            SEED,
+        );
         let instant = replay(
             wf,
             AlgorithmKind::ExhaustiveBucketing,
@@ -240,7 +251,10 @@ fn robustness_ablation() {
         ("base", base.clone()),
         ("shuffled", perturb::shuffle(&base, SEED)),
         ("phase-shifted", perturb::phase_shift(&base)),
-        ("5% outliers ×4", perturb::inject_outliers(&base, 0.05, 4.0, SEED)),
+        (
+            "5% outliers ×4",
+            perturb::inject_outliers(&base, 0.05, 4.0, SEED),
+        ),
         ("jitter σ=0.3", perturb::jitter(&base, 0.3, SEED)),
     ];
     let algorithms = [

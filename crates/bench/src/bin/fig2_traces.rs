@@ -13,9 +13,7 @@ use tora_workloads::{PaperWorkflow, Workflow};
 fn summarize(wf: &Workflow) {
     let mut table = Table::new(
         format!("Figure 2 — {} task resource consumption", wf.name),
-        &[
-            "category", "tasks", "resource", "min", "p50", "mean", "max",
-        ],
+        &["category", "tasks", "resource", "min", "p50", "mean", "max"],
     );
     for (cat_idx, cat_name) in wf.categories.iter().enumerate() {
         for kind in [
@@ -70,7 +68,17 @@ fn dump_csv(wf: &Workflow) {
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
-    let mut table = Table::new("", &["task", "category", "cores", "memory_mb", "disk_mb", "time_s"]);
+    let mut table = Table::new(
+        "",
+        &[
+            "task",
+            "category",
+            "cores",
+            "memory_mb",
+            "disk_mb",
+            "time_s",
+        ],
+    );
     for t in &wf.tasks {
         table.row(&[
             t.id.0.to_string(),

@@ -19,7 +19,11 @@ fn histogram(wf: &Workflow, buckets: usize) {
         counts[idx] += 1;
     }
     let peak = counts.iter().copied().max().unwrap_or(1).max(1);
-    println!("== Figure 4 — {} (memory MB, {} tasks) ==", wf.name, wf.len());
+    println!(
+        "== Figure 4 — {} (memory MB, {} tasks) ==",
+        wf.name,
+        wf.len()
+    );
     for (i, &c) in counts.iter().enumerate() {
         let lo = min + width * i as f64;
         let bar = "#".repeat(c * 50 / peak);
@@ -37,10 +41,7 @@ fn phase_table(wf: &Workflow) {
     for (phase, range) in [(1, 0..n / 3), (2, n / 3..2 * n / 3), (3, 2 * n / 3..n)] {
         let slice = &wf.tasks[range];
         let mean = slice.iter().map(|t| t.peak.memory_mb()).sum::<f64>() / slice.len() as f64;
-        let max = slice
-            .iter()
-            .map(|t| t.peak.memory_mb())
-            .fold(0.0, f64::max);
+        let max = slice.iter().map(|t| t.peak.memory_mb()).fold(0.0, f64::max);
         table.row(&[
             phase.to_string(),
             slice.len().to_string(),

@@ -130,23 +130,23 @@ pub fn run_matrix_for(
         .unwrap_or(4)
         .min(pairs.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results = parking_lot::Mutex::new(vec![None; pairs.len()]);
-    crossbeam::thread::scope(|scope| {
+    let results = std::sync::Mutex::new(vec![None; pairs.len()]);
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= pairs.len() {
                     break;
                 }
                 let (w, a) = pairs[i];
                 let cell = run_cell(w, a, config);
-                results.lock()[i] = Some(cell);
+                results.lock().expect("no poisoned cells")[i] = Some(cell);
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
     results
         .into_inner()
+        .expect("no poisoned cells")
         .into_iter()
         .map(|c| c.expect("all cells computed"))
         .collect()

@@ -15,20 +15,43 @@
 //!
 //! All allocations are clamped to the worker capacity: nothing larger could
 //! be scheduled.
+//!
+//! ## Construction
+//!
+//! [`Allocator::builder`] is the primary construction path:
+//!
+//! ```
+//! use tora_alloc::allocator::{AlgorithmKind, Allocator};
+//!
+//! let allocator = Allocator::builder(AlgorithmKind::GreedyBucketing)
+//!     .seed(42)
+//!     .exploratory_records(5)
+//!     .build();
+//! assert_eq!(allocator.label(), "greedy-bucketing");
+//! ```
+//!
+//! ## Decision tracing
+//!
+//! The allocator is generic over an [`EventSink`]; the default [`NoopSink`]
+//! compiles tracing out entirely. Every prediction also returns an
+//! [`AllocationDecision`] carrying per-axis provenance, so callers can see
+//! *why* an allocation has the shape it has without installing a sink.
 
 use crate::baselines::{MaxSeen, QuantizedBucketing, Tovar, WholeMachine};
-use crate::estimator::{double_allocation, ValueEstimator};
+use crate::estimator::{double_allocation, AllocSource, RebucketInfo, ValueEstimator};
 use crate::exhaustive::ExhaustiveBucketing;
 use crate::greedy::GreedyBucketing;
 use crate::kmeans::KMeansBucketing;
 use crate::policy::BucketingEstimator;
 use crate::resources::{ResourceKind, ResourceMask, ResourceVector, WorkerSpec};
 use crate::task::{CategoryId, ResourceRecord};
+use crate::trace::{AllocEvent, AxisProvenance, EventSink, NoopSink, PredictKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Deref;
 
 /// The seven allocation algorithms evaluated in §V, plus the incremental
 /// Greedy Bucketing ablation.
@@ -210,7 +233,70 @@ impl Default for AllocatorConfig {
 /// Builds one estimator per (resource kind, worker shape); lets ablation
 /// harnesses run non-default algorithm variants (e.g. Exhaustive Bucketing
 /// with a different bucket cap) through the full allocator machinery.
-pub type EstimatorFactory = Box<dyn Fn(ResourceKind, &WorkerSpec) -> Box<dyn ValueEstimator> + Send>;
+pub type EstimatorFactory =
+    Box<dyn Fn(ResourceKind, &WorkerSpec) -> Box<dyn ValueEstimator> + Send>;
+
+/// A predicted allocation together with how it was derived.
+///
+/// Dereferences to the underlying [`ResourceVector`], so existing callers
+/// that only want the allocation keep working unchanged:
+///
+/// ```
+/// use tora_alloc::allocator::{AlgorithmKind, Allocator};
+/// use tora_alloc::task::CategoryId;
+///
+/// let mut a = Allocator::new(AlgorithmKind::GreedyBucketing, 1);
+/// let decision = a.predict_first(CategoryId(0));
+/// assert_eq!(decision.memory_mb(), 1024.0); // deref to ResourceVector
+/// assert_eq!(decision.kind, tora_alloc::trace::PredictKind::Explore);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationDecision {
+    /// The allocation to reserve (clamped to worker capacity).
+    pub alloc: ResourceVector,
+    /// Which prediction path produced it.
+    pub kind: PredictKind,
+    /// Per-axis derivation, in managed-axis order. Empty for exploratory
+    /// predictions (every managed axis is the probe).
+    pub provenance: Vec<AxisProvenance>,
+}
+
+impl AllocationDecision {
+    /// The provenance entry for one axis, if the axis is managed.
+    pub fn axis(&self, kind: ResourceKind) -> Option<&AxisProvenance> {
+        self.provenance.iter().find(|p| p.resource == kind)
+    }
+
+    /// Discard the provenance, keeping the allocation.
+    pub fn into_alloc(self) -> ResourceVector {
+        self.alloc
+    }
+}
+
+impl Deref for AllocationDecision {
+    type Target = ResourceVector;
+    fn deref(&self) -> &ResourceVector {
+        &self.alloc
+    }
+}
+
+impl PartialEq<ResourceVector> for AllocationDecision {
+    fn eq(&self, other: &ResourceVector) -> bool {
+        self.alloc == *other
+    }
+}
+
+impl From<AllocationDecision> for ResourceVector {
+    fn from(d: AllocationDecision) -> ResourceVector {
+        d.alloc
+    }
+}
+
+impl fmt::Display for AllocationDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.alloc)
+    }
+}
 
 /// Per-category estimator bank.
 struct CategoryState {
@@ -218,8 +304,79 @@ struct CategoryState {
     records: usize,
 }
 
+/// Staged construction of an [`Allocator`].
+///
+/// Obtained from [`Allocator::builder`]; finish with [`build`] for an
+/// untraced allocator or [`sink`] to attach an [`EventSink`].
+///
+/// [`build`]: AllocatorBuilder::build
+/// [`sink`]: AllocatorBuilder::sink
+#[derive(Debug, Clone)]
+pub struct AllocatorBuilder {
+    algorithm: AlgorithmKind,
+    config: AllocatorConfig,
+    seed: u64,
+}
+
+impl AllocatorBuilder {
+    /// RNG seed for bucket sampling (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker shape allocations are clamped to.
+    pub fn machine(mut self, machine: WorkerSpec) -> Self {
+        self.config.machine = machine;
+        self
+    }
+
+    /// Resource kinds under management.
+    pub fn managed(mut self, managed: impl Into<Vec<ResourceKind>>) -> Self {
+        self.config.managed = managed.into();
+        self
+    }
+
+    /// Records required per category before leaving exploratory mode.
+    pub fn exploratory_records(mut self, n: usize) -> Self {
+        self.config.exploratory_records = n;
+        self
+    }
+
+    /// Exploratory policy override (the default follows the algorithm).
+    pub fn exploratory(mut self, policy: ExploratoryPolicy) -> Self {
+        self.config.exploratory = Some(policy);
+        self
+    }
+
+    /// Disable the §IV-A recency weighting (ablation).
+    pub fn uniform_significance(mut self, on: bool) -> Self {
+        self.config.uniform_significance = on;
+        self
+    }
+
+    /// Replace the whole configuration at once.
+    pub fn config(mut self, config: AllocatorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Build an untraced allocator.
+    pub fn build(self) -> Allocator {
+        Allocator::with_config(self.algorithm, self.config, self.seed)
+    }
+
+    /// Build a traced allocator emitting [`AllocEvent`]s into `sink`.
+    pub fn sink<S: EventSink>(self, sink: S) -> Allocator<S> {
+        self.build().with_sink(sink)
+    }
+}
+
 /// The adaptive allocator: the §IV-D `Allocator` pseudocode, concretely.
-pub struct Allocator {
+///
+/// Generic over an [`EventSink`]; the default [`NoopSink`] disables decision
+/// tracing at compile time.
+pub struct Allocator<S: EventSink = NoopSink> {
     label: String,
     algorithm: Option<AlgorithmKind>,
     factory: EstimatorFactory,
@@ -227,22 +384,35 @@ pub struct Allocator {
     exploratory: ExploratoryPolicy,
     categories: HashMap<CategoryId, CategoryState>,
     rng: StdRng,
+    sink: S,
 }
 
 impl Allocator {
+    /// Start building an allocator for `algorithm`.
+    pub fn builder(algorithm: AlgorithmKind) -> AllocatorBuilder {
+        AllocatorBuilder {
+            algorithm,
+            config: AllocatorConfig::default(),
+            seed: 0,
+        }
+    }
+
     /// Build an allocator for `algorithm` with the paper's defaults and a
-    /// deterministic seed.
+    /// deterministic seed. Shorthand for
+    /// `Allocator::builder(algorithm).seed(seed).build()`.
     pub fn new(algorithm: AlgorithmKind, seed: u64) -> Self {
         Self::with_config(algorithm, AllocatorConfig::default(), seed)
     }
 
     /// Build with an explicit configuration.
     pub fn with_config(algorithm: AlgorithmKind, config: AllocatorConfig, seed: u64) -> Self {
-        let exploratory = config.exploratory.unwrap_or(if algorithm.is_novel_bucketing() {
-            ExploratoryPolicy::paper_conservative()
-        } else {
-            ExploratoryPolicy::WholeMachine
-        });
+        let exploratory = config
+            .exploratory
+            .unwrap_or(if algorithm.is_novel_bucketing() {
+                ExploratoryPolicy::paper_conservative()
+            } else {
+                ExploratoryPolicy::WholeMachine
+            });
         Allocator {
             label: algorithm.label().to_string(),
             algorithm: Some(algorithm),
@@ -251,6 +421,7 @@ impl Allocator {
             exploratory,
             categories: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
+            sink: NoopSink,
         }
     }
 
@@ -275,9 +446,27 @@ impl Allocator {
             exploratory,
             categories: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
+            sink: NoopSink,
         }
     }
 
+    /// Attach an [`EventSink`], turning this untraced allocator into a
+    /// traced one. All estimator state and the RNG position carry over.
+    pub fn with_sink<S: EventSink>(self, sink: S) -> Allocator<S> {
+        Allocator {
+            label: self.label,
+            algorithm: self.algorithm,
+            factory: self.factory,
+            config: self.config,
+            exploratory: self.exploratory,
+            categories: self.categories,
+            rng: self.rng,
+            sink,
+        }
+    }
+}
+
+impl<S: EventSink> Allocator<S> {
     /// The algorithm driving this allocator (`None` for factory-built
     /// variants).
     pub fn algorithm(&self) -> Option<AlgorithmKind> {
@@ -304,12 +493,33 @@ impl Allocator {
         self.categories.get(&category).map_or(0, |s| s.records)
     }
 
-    fn category_mut(&mut self, category: CategoryId) -> &mut CategoryState {
-        let machine = self.config.machine;
-        let managed = &self.config.managed;
-        let factory = &self.factory;
-        self.categories.entry(category).or_insert_with(|| CategoryState {
-            estimators: managed
+    /// The attached event sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// The attached event sink, mutably.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consume the allocator and return its sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Entry point taking the fields it needs, so callers can keep borrows
+    /// of the sink and RNG alive alongside the category state.
+    fn category_entry<'a>(
+        categories: &'a mut HashMap<CategoryId, CategoryState>,
+        config: &AllocatorConfig,
+        factory: &EstimatorFactory,
+        category: CategoryId,
+    ) -> &'a mut CategoryState {
+        let machine = config.machine;
+        categories.entry(category).or_insert_with(|| CategoryState {
+            estimators: config
+                .managed
                 .iter()
                 .map(|&k| (k, factory(k, &machine)))
                 .collect(),
@@ -335,30 +545,79 @@ impl Allocator {
     }
 
     /// Predict the allocation for a task's first attempt (§IV-A steps 2–3).
-    pub fn predict_first(&mut self, category: CategoryId) -> ResourceVector {
+    pub fn predict_first(&mut self, category: CategoryId) -> AllocationDecision {
         let exploratory_records = self.config.exploratory_records;
         let machine_cap = self.config.machine.capacity;
         let in_exploration =
             self.categories.get(&category).map_or(0, |s| s.records) < exploratory_records;
         if in_exploration {
-            return self.exploratory_allocation();
-        }
-        let mut draws: Vec<f64> = Vec::new();
-        {
-            let n = self.config.managed.len();
-            for _ in 0..n {
-                draws.push(self.rng.gen::<f64>());
+            let alloc = self.exploratory_allocation();
+            if S::ENABLED {
+                self.sink.emit(AllocEvent::predict(
+                    category,
+                    PredictKind::Explore,
+                    alloc,
+                    Vec::new(),
+                ));
             }
+            return AllocationDecision {
+                alloc,
+                kind: PredictKind::Explore,
+                provenance: Vec::new(),
+            };
+        }
+        let n = self.config.managed.len();
+        let mut draws: Vec<f64> = Vec::with_capacity(n);
+        for _ in 0..n {
+            draws.push(self.rng.gen::<f64>());
         }
         let exploratory_alloc = self.exploratory_allocation();
-        let state = self.category_mut(category);
+        let state =
+            Self::category_entry(&mut self.categories, &self.config, &self.factory, category);
         let mut alloc = machine_cap;
+        let mut provenance = Vec::with_capacity(n);
         for (i, (kind, est)) in state.estimators.iter_mut().enumerate() {
-            alloc[*kind] = est
-                .first(draws[i])
-                .unwrap_or(exploratory_alloc[*kind]);
+            let (value, source) = match est.predict_first(draws[i]) {
+                Some(p) => (p.value, p.source),
+                None => {
+                    // No records for this axis: fall back to the exploratory
+                    // allocation (probe or capacity, per policy).
+                    let v = exploratory_alloc[*kind];
+                    let source = if v >= machine_cap[*kind] {
+                        AllocSource::Capacity
+                    } else {
+                        AllocSource::Probe
+                    };
+                    (v, source)
+                }
+            };
+            if S::ENABLED {
+                if let Some(info) = est.take_rebucket() {
+                    self.sink.emit(AllocEvent::rebucket(category, *kind, &info));
+                }
+            }
+            alloc[*kind] = value;
+            provenance.push(AxisProvenance {
+                resource: *kind,
+                source,
+                draw: Some(draws[i]),
+                clamped: value > machine_cap[*kind],
+            });
         }
-        alloc.clamp_to(&machine_cap)
+        let alloc = alloc.clamp_to(&machine_cap);
+        if S::ENABLED {
+            self.sink.emit(AllocEvent::predict(
+                category,
+                PredictKind::First,
+                alloc,
+                provenance.clone(),
+            ));
+        }
+        AllocationDecision {
+            alloc,
+            kind: PredictKind::First,
+            provenance,
+        }
     }
 
     /// Predict the allocation for a retry after `prev` was killed having
@@ -370,45 +629,107 @@ impl Allocator {
         category: CategoryId,
         prev: &ResourceVector,
         exhausted: &ResourceMask,
-    ) -> ResourceVector {
+    ) -> AllocationDecision {
         let exploratory_records = self.config.exploratory_records;
         let machine_cap = self.config.machine.capacity;
         let in_exploration =
             self.categories.get(&category).map_or(0, |s| s.records) < exploratory_records;
-        let mut draws: Vec<f64> = Vec::new();
-        {
-            let n = self.config.managed.len();
-            for _ in 0..n {
-                draws.push(self.rng.gen::<f64>());
-            }
+        let n = self.config.managed.len();
+        let mut draws: Vec<f64> = Vec::with_capacity(n);
+        for _ in 0..n {
+            draws.push(self.rng.gen::<f64>());
         }
-        let state = self.category_mut(category);
+        let state =
+            Self::category_entry(&mut self.categories, &self.config, &self.factory, category);
         let mut alloc = *prev;
+        let mut provenance = Vec::with_capacity(n);
         for (i, (kind, est)) in state.estimators.iter_mut().enumerate() {
             if !exhausted.contains(*kind) {
+                provenance.push(AxisProvenance {
+                    resource: *kind,
+                    source: AllocSource::Held,
+                    draw: None,
+                    clamped: false,
+                });
                 continue;
             }
-            let next = if in_exploration {
-                double_allocation(prev[*kind])
+            let (value, source, consumed) = if in_exploration {
+                (double_allocation(prev[*kind]), AllocSource::Doubling, false)
             } else {
-                est.retry(prev[*kind], draws[i])
-                    .unwrap_or_else(|| double_allocation(prev[*kind]))
+                match est.predict_retry(prev[*kind], draws[i]) {
+                    Some(p) => (p.value, p.source, true),
+                    None => (double_allocation(prev[*kind]), AllocSource::Doubling, true),
+                }
             };
-            alloc[*kind] = next.max(prev[*kind]);
+            if S::ENABLED {
+                if let Some(info) = est.take_rebucket() {
+                    self.sink.emit(AllocEvent::rebucket(category, *kind, &info));
+                }
+            }
+            let raised = value.max(prev[*kind]);
+            alloc[*kind] = raised;
+            provenance.push(AxisProvenance {
+                resource: *kind,
+                source,
+                draw: if consumed { Some(draws[i]) } else { None },
+                clamped: raised > machine_cap[*kind],
+            });
         }
-        alloc.clamp_to(&machine_cap)
+        let alloc = alloc.clamp_to(&machine_cap);
+        if S::ENABLED {
+            for &kind in &self.config.managed {
+                if exhausted.contains(kind) {
+                    self.sink.emit(AllocEvent::escalate(
+                        category,
+                        kind,
+                        prev[kind],
+                        alloc[kind],
+                    ));
+                }
+            }
+            self.sink.emit(AllocEvent::predict(
+                category,
+                PredictKind::Retry,
+                alloc,
+                provenance.clone(),
+            ));
+        }
+        AllocationDecision {
+            alloc,
+            kind: PredictKind::Retry,
+            provenance,
+        }
     }
 
-    /// A snapshot of the bucketing state of one (category, resource kind)
-    /// pair, for observability. `None` when the category is unknown, the
-    /// kind is unmanaged, or the algorithm keeps no bucket structure.
-    pub fn snapshot(&mut self, category: CategoryId, kind: ResourceKind) -> Option<crate::bucket::BucketSet> {
-        let state = self.categories.get_mut(&category)?;
+    /// A read-only snapshot of the bucketing state of one (category,
+    /// resource kind) pair. Never recomputes — the view may lag behind
+    /// unprocessed observations; call [`rebucket`](Self::rebucket) first
+    /// for a fresh one. `None` when the category is unknown, the kind is
+    /// unmanaged, or the algorithm keeps no bucket structure.
+    pub fn snapshot(
+        &self,
+        category: CategoryId,
+        kind: ResourceKind,
+    ) -> Option<crate::bucket::BucketSet> {
+        let state = self.categories.get(&category)?;
         state
             .estimators
-            .iter_mut()
+            .iter()
             .find(|(k, _)| *k == kind)
             .and_then(|(_, est)| est.snapshot())
+    }
+
+    /// Force the estimator of one (category, resource kind) pair to fold
+    /// pending observations into a fresh bucketing configuration, and
+    /// describe the result. `None` when there is nothing to rebucket.
+    pub fn rebucket(&mut self, category: CategoryId, kind: ResourceKind) -> Option<RebucketInfo> {
+        let state = self.categories.get_mut(&category)?;
+        let (_, est) = state.estimators.iter_mut().find(|(k, _)| *k == kind)?;
+        let info = est.rebucket()?;
+        if S::ENABLED {
+            self.sink.emit(AllocEvent::rebucket(category, kind, &info));
+        }
+        Some(info)
     }
 
     /// Ingest a completed task's resource record (§IV-A step 6).
@@ -418,7 +739,16 @@ impl Allocator {
         } else {
             record.significance
         };
-        let state = self.category_mut(record.category);
+        if S::ENABLED {
+            self.sink
+                .emit(AllocEvent::observe(record.category, record.peak, sig));
+        }
+        let state = Self::category_entry(
+            &mut self.categories,
+            &self.config,
+            &self.factory,
+            record.category,
+        );
         for (kind, est) in state.estimators.iter_mut() {
             est.observe(record.peak[*kind], sig);
         }
@@ -426,11 +756,12 @@ impl Allocator {
     }
 }
 
-impl fmt::Debug for Allocator {
+impl<S: EventSink> fmt::Debug for Allocator<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Allocator")
             .field("label", &self.label)
             .field("categories", &self.categories.len())
+            .field("traced", &S::ENABLED)
             .finish_non_exhaustive()
     }
 }
@@ -439,6 +770,7 @@ impl fmt::Debug for Allocator {
 mod tests {
     use super::*;
     use crate::task::TaskSpec;
+    use crate::trace::{MemorySink, TraceStats};
 
     fn record(id: u64, category: u32, peak: ResourceVector) -> ResourceRecord {
         ResourceRecord::from_task(&TaskSpec::new(id, category, peak, 10.0))
@@ -451,6 +783,8 @@ mod tests {
         assert_eq!(alloc.cores(), 1.0);
         assert_eq!(alloc.memory_mb(), 1024.0);
         assert_eq!(alloc.disk_mb(), 1024.0);
+        assert_eq!(alloc.kind, PredictKind::Explore);
+        assert!(alloc.provenance.is_empty());
     }
 
     #[test]
@@ -485,6 +819,7 @@ mod tests {
         assert_eq!(alloc.memory_mb(), 500.0);
         assert_eq!(alloc.disk_mb(), 500.0);
         assert_eq!(alloc.cores(), 1.0);
+        assert_eq!(alloc.kind, PredictKind::First);
         assert_eq!(a.records_for(CategoryId(0)), 10);
     }
 
@@ -513,6 +848,13 @@ mod tests {
         assert_eq!(retry.memory_mb(), 2048.0);
         assert_eq!(retry.cores(), 1.0);
         assert_eq!(retry.disk_mb(), 1024.0);
+        assert_eq!(retry.kind, PredictKind::Retry);
+        // Provenance: memory doubled, the untouched axes held.
+        let mem = retry.axis(ResourceKind::MemoryMb).unwrap();
+        assert_eq!(mem.source, AllocSource::Doubling);
+        assert_eq!(mem.draw, None); // exploration consults no estimator
+        let cores = retry.axis(ResourceKind::Cores).unwrap();
+        assert_eq!(cores.source, AllocSource::Held);
     }
 
     #[test]
@@ -542,13 +884,15 @@ mod tests {
         // Max Seen rounds 65000 up to 65250 — the clamp keeps it at capacity.
         let alloc = a.predict_first(CategoryId(0));
         assert!(cap.dominates(&alloc));
-        // Doubling past capacity stays clamped too.
+        // Doubling past capacity stays clamped too, and the provenance
+        // records that clamping intervened.
         let retry = a.predict_retry(
             CategoryId(0),
             &cap,
             &ResourceMask::only(ResourceKind::MemoryMb),
         );
         assert!(cap.dominates(&retry));
+        assert!(retry.axis(ResourceKind::MemoryMb).unwrap().clamped);
     }
 
     #[test]
@@ -560,11 +904,13 @@ mod tests {
             }
             // A task demanding more than anything seen (but feasible).
             let demand = ResourceVector::new(4.0, 30000.0, 4000.0);
-            let mut alloc = a.predict_first(CategoryId(0));
+            let mut alloc = a.predict_first(CategoryId(0)).into_alloc();
             let mut attempts = 0;
             while !alloc.dominates(&demand) {
                 let exhausted = alloc.exceeded_by(&demand);
-                alloc = a.predict_retry(CategoryId(0), &alloc, &exhausted);
+                alloc = a
+                    .predict_retry(CategoryId(0), &alloc, &exhausted)
+                    .into_alloc();
                 attempts += 1;
                 assert!(attempts < 64, "{kind}: escalation did not terminate");
             }
@@ -578,8 +924,11 @@ mod tests {
             a.observe(&record(i, 0, ResourceVector::new(1.0, 100.0, 100.0)));
         }
         let alloc = a.predict_first(CategoryId(0));
-        // Gpus is unmanaged: allocated at machine capacity (0 by default).
+        // Gpus is unmanaged: allocated at machine capacity (0 by default),
+        // and absent from the provenance.
         assert_eq!(alloc.gpus(), WorkerSpec::paper_default().capacity.gpus());
+        assert!(alloc.axis(ResourceKind::Gpus).is_none());
+        assert_eq!(alloc.provenance.len(), 3);
     }
 
     #[test]
@@ -620,11 +969,123 @@ mod tests {
     }
 
     #[test]
+    fn sink_choice_does_not_change_decisions() {
+        let run_traced = |seed| {
+            let mut a = Allocator::new(AlgorithmKind::ExhaustiveBucketing, seed)
+                .with_sink(MemorySink::new());
+            for i in 0..30 {
+                a.observe(&record(
+                    i,
+                    0,
+                    ResourceVector::new(1.0, 100.0 + i as f64, 10.0),
+                ));
+            }
+            (0..20)
+                .map(|_| a.predict_first(CategoryId(0)).memory_mb())
+                .collect::<Vec<_>>()
+        };
+        let run_plain = |seed| {
+            let mut a = Allocator::new(AlgorithmKind::ExhaustiveBucketing, seed);
+            for i in 0..30 {
+                a.observe(&record(
+                    i,
+                    0,
+                    ResourceVector::new(1.0, 100.0 + i as f64, 10.0),
+                ));
+            }
+            (0..20)
+                .map(|_| a.predict_first(CategoryId(0)).memory_mb())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_traced(9), run_plain(9));
+    }
+
+    #[test]
     fn paper_set_has_seven_distinct_labels() {
         let labels: std::collections::HashSet<_> =
             AlgorithmKind::PAPER_SET.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), 7);
         assert!(AlgorithmKind::GreedyBucketing.is_novel_bucketing());
         assert!(!AlgorithmKind::MaxSeen.is_novel_bucketing());
+    }
+
+    #[test]
+    fn builder_configures_everything() {
+        let a = Allocator::builder(AlgorithmKind::MaxSeen)
+            .seed(7)
+            .machine(WorkerSpec::new(ResourceVector::new(8.0, 4096.0, 4096.0)))
+            .managed(vec![ResourceKind::MemoryMb])
+            .exploratory_records(3)
+            .exploratory(ExploratoryPolicy::paper_conservative())
+            .uniform_significance(true)
+            .build();
+        assert_eq!(a.config().machine.capacity.cores(), 8.0);
+        assert_eq!(a.config().managed, vec![ResourceKind::MemoryMb]);
+        assert_eq!(a.config().exploratory_records, 3);
+        assert!(a.config().uniform_significance);
+        assert_eq!(
+            a.exploratory_policy(),
+            ExploratoryPolicy::paper_conservative()
+        );
+        assert_eq!(a.algorithm(), Some(AlgorithmKind::MaxSeen));
+    }
+
+    #[test]
+    fn traced_allocator_emits_the_full_event_stream() {
+        let mut a = Allocator::builder(AlgorithmKind::GreedyBucketing)
+            .seed(5)
+            .exploratory_records(2)
+            .sink(TraceStats::new());
+        // One exploratory prediction.
+        let _ = a.predict_first(CategoryId(0));
+        // Two observations leave exploration.
+        for i in 0..2 {
+            a.observe(&record(i, 0, ResourceVector::new(1.0, 300.0, 100.0)));
+        }
+        // Steady-state first prediction (triggers the first rebucket of all
+        // three managed axes).
+        let _ = a.predict_first(CategoryId(0));
+        // A retry exhausting one axis.
+        let prev = ResourceVector::new(1.0, 300.0, 100.0);
+        let _ = a.predict_retry(
+            CategoryId(0),
+            &prev,
+            &ResourceMask::only(ResourceKind::MemoryMb),
+        );
+        let stats = a.into_sink();
+        assert_eq!(stats.overall.explore, 1);
+        assert_eq!(stats.overall.first, 1);
+        assert_eq!(stats.overall.retry, 1);
+        assert_eq!(stats.overall.observe, 2);
+        assert_eq!(stats.overall.escalate, 1);
+        assert_eq!(stats.overall.rebucket, 3, "one per managed axis");
+        assert_eq!(stats.category(CategoryId(0)).unwrap().total(), 9);
+    }
+
+    #[test]
+    fn snapshot_is_read_only_rebucket_refreshes() {
+        let mut a = Allocator::new(AlgorithmKind::ExhaustiveBucketing, 1);
+        assert!(a.snapshot(CategoryId(0), ResourceKind::MemoryMb).is_none());
+        for i in 0..10 {
+            a.observe(&record(i, 0, ResourceVector::new(1.0, 100.0, 100.0)));
+        }
+        // Observations alone never build buckets.
+        assert!(a.snapshot(CategoryId(0), ResourceKind::MemoryMb).is_none());
+        let info = a.rebucket(CategoryId(0), ResourceKind::MemoryMb).unwrap();
+        assert_eq!(info.n_records, 10);
+        let set = a.snapshot(CategoryId(0), ResourceKind::MemoryMb).unwrap();
+        assert_eq!(set.len(), info.n_buckets);
+        // Unmanaged axis: nothing to rebucket.
+        assert!(a.rebucket(CategoryId(0), ResourceKind::Gpus).is_none());
+    }
+
+    #[test]
+    fn decision_display_and_conversions() {
+        let mut a = Allocator::new(AlgorithmKind::GreedyBucketing, 1);
+        let d = a.predict_first(CategoryId(0));
+        let s = format!("{d}");
+        assert!(s.starts_with("explore"));
+        let v: ResourceVector = d.clone().into();
+        assert_eq!(d, v);
     }
 }

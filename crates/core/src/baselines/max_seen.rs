@@ -6,7 +6,7 @@
 //! 306 MB → 500 MB disk allocation this rounding produces for TopEFT).
 
 use crate::baselines::round_up;
-use crate::estimator::{double_allocation, ValueEstimator};
+use crate::estimator::{double_allocation, Prediction, ValueEstimator};
 
 /// Allocates the histogram-rounded running maximum.
 #[derive(Debug, Clone, Copy)]
@@ -55,14 +55,14 @@ impl ValueEstimator for MaxSeen {
         self.observed
     }
 
-    fn first(&mut self, _u: f64) -> Option<f64> {
+    fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
         if self.observed == 0 {
             return None;
         }
-        Some(round_up(self.max_seen, self.granularity))
+        Some(Prediction::point(round_up(self.max_seen, self.granularity)))
     }
 
-    fn retry(&mut self, prev: f64, u: f64) -> Option<f64> {
+    fn predict_retry(&mut self, prev: f64, u: f64) -> Option<Prediction> {
         // A failure means the task exceeded everything seen so far; there is
         // no better information than escalating geometrically (still on the
         // histogram grid).
@@ -70,10 +70,10 @@ impl ValueEstimator for MaxSeen {
         if self.observed == 0 {
             return None;
         }
-        Some(round_up(
+        Some(Prediction::doubling(round_up(
             double_allocation(prev).max(prev * 2.0),
             self.granularity,
-        ))
+        )))
     }
 }
 

@@ -11,7 +11,7 @@
 //! this algorithm with the largest failed-allocation share and why it
 //! excels on the outlier-heavy Exponential workflow.
 
-use crate::estimator::{double_allocation, ValueEstimator};
+use crate::estimator::{double_allocation, Prediction, ValueEstimator};
 use crate::record::RecordList;
 
 /// Quantile-split bucketing with deterministic low-first allocation.
@@ -74,16 +74,19 @@ impl ValueEstimator for QuantizedBucketing {
         self.records.len()
     }
 
-    fn first(&mut self, _u: f64) -> Option<f64> {
-        self.low_rep()
+    fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
+        // The low bucket's representative: the quantile value itself.
+        self.low_rep().map(Prediction::point)
     }
 
-    fn retry(&mut self, prev: f64, _u: f64) -> Option<f64> {
+    fn predict_retry(&mut self, prev: f64, _u: f64) -> Option<Prediction> {
         let high = self.high_rep()?;
         if prev < high {
-            Some(high)
+            Some(Prediction::point(high))
         } else {
-            Some(double_allocation(prev).max(prev * 2.0))
+            Some(Prediction::doubling(
+                double_allocation(prev).max(prev * 2.0),
+            ))
         }
     }
 }

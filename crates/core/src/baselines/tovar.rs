@@ -24,7 +24,7 @@
 //! Candidates are the distinct observed values (any optimal `a` lies on one),
 //! re-evaluated lazily when new records arrive.
 
-use crate::estimator::ValueEstimator;
+use crate::estimator::{Prediction, ValueEstimator};
 use crate::record::RecordList;
 use serde::{Deserialize, Serialize};
 
@@ -175,20 +175,20 @@ impl ValueEstimator for Tovar {
         self.records.len()
     }
 
-    fn first(&mut self, _u: f64) -> Option<f64> {
-        self.best_allocation()
+    fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
+        self.best_allocation().map(Prediction::point)
     }
 
-    fn retry(&mut self, prev: f64, _u: f64) -> Option<f64> {
+    fn predict_retry(&mut self, prev: f64, _u: f64) -> Option<Prediction> {
         if self.records.is_empty() {
             return None;
         }
         // At-most-once retry: fall back to the whole machine. Escalate past
         // it only for infeasible demands (termination guarantee).
         if prev < self.machine_capacity {
-            Some(self.machine_capacity)
+            Some(Prediction::capacity(self.machine_capacity))
         } else {
-            Some(prev * 2.0)
+            Some(Prediction::doubling(prev * 2.0))
         }
     }
 }

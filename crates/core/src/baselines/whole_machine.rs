@@ -4,7 +4,7 @@
 //! serves as our baseline." It never fails for tasks that fit a worker, and
 //! wastes everything the task does not consume.
 
-use crate::estimator::ValueEstimator;
+use crate::estimator::{Prediction, ValueEstimator};
 
 /// Allocates the worker's full capacity of one resource dimension.
 #[derive(Debug, Clone, Copy)]
@@ -40,14 +40,14 @@ impl ValueEstimator for WholeMachine {
         self.observed
     }
 
-    fn first(&mut self, _u: f64) -> Option<f64> {
-        Some(self.capacity)
+    fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
+        Some(Prediction::capacity(self.capacity))
     }
 
-    fn retry(&mut self, prev: f64, _u: f64) -> Option<f64> {
+    fn predict_retry(&mut self, prev: f64, _u: f64) -> Option<Prediction> {
         // Unreachable for feasible tasks; escalate anyway so the allocator's
         // termination guarantee holds even for infeasible demands.
-        Some((prev * 2.0).max(self.capacity))
+        Some(Prediction::doubling((prev * 2.0).max(self.capacity)))
     }
 }
 

@@ -197,9 +197,10 @@ impl BucketSet {
         }
         if let (Some(last), Some(max)) = (
             self.buckets.last(),
-            records.iter().map(|r| r.value).fold(None, |m: Option<f64>, v| {
-                Some(m.map_or(v, |m| m.max(v)))
-            }),
+            records
+                .iter()
+                .map(|r| r.value)
+                .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.max(v)))),
         ) {
             if (last.rep - max).abs() > 1e-12 {
                 return Err(format!(
@@ -279,7 +280,7 @@ mod tests {
             l.observe(v, s);
         }
         let set = BucketSet::from_breaks(l.sorted(), &[0, 1]); // reps 1,2,4
-        // floor = 1.0 excludes only the first bucket.
+                                                               // floor = 1.0 excludes only the first bucket.
         assert_eq!(set.sample_above(1.0, 0.0), Some(1));
         assert_eq!(set.sample_above(1.0, 0.99), Some(2));
         // floor = max rep: nothing above.

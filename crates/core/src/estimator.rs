@@ -10,6 +10,97 @@
 //! of an RNG handle; deterministic algorithms ignore it. This keeps every
 //! estimator a pure state machine, which makes the property tests in this
 //! crate straightforward.
+//!
+//! Every prediction is returned as a [`Prediction`]: the scalar value plus
+//! an [`AllocSource`] describing how the estimator arrived at it. The
+//! sources flow into the decision-tracing layer ([`crate::trace`]) so a
+//! replayed workload can explain every allocation.
+
+use serde::{Deserialize, Serialize};
+
+/// How an estimator (or the allocator around it) arrived at one axis of an
+/// allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AllocSource {
+    /// Sampled from the bucket with this index (bucketing family).
+    Bucket {
+        /// Index into the estimator's current [`crate::bucket::BucketSet`].
+        idx: usize,
+    },
+    /// A deterministic point estimate (running max, quantile, Tovar's
+    /// optimum, ...).
+    Point,
+    /// Geometric escalation past all known information.
+    Doubling,
+    /// The allocator's conservative exploratory probe (§V-A).
+    Probe,
+    /// The full machine capacity (whole-machine exploration, unmanaged
+    /// axes, or the Whole Machine baseline).
+    Capacity,
+    /// A retry kept this axis's previous allocation (it was not exhausted).
+    Held,
+}
+
+/// One scalar prediction together with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// The predicted allocation value.
+    pub value: f64,
+    /// How the estimator chose it.
+    pub source: AllocSource,
+}
+
+impl Prediction {
+    /// A prediction from a bucket sample.
+    pub fn bucket(value: f64, idx: usize) -> Self {
+        Prediction {
+            value,
+            source: AllocSource::Bucket { idx },
+        }
+    }
+
+    /// A deterministic point estimate.
+    pub fn point(value: f64) -> Self {
+        Prediction {
+            value,
+            source: AllocSource::Point,
+        }
+    }
+
+    /// A doubling escalation.
+    pub fn doubling(value: f64) -> Self {
+        Prediction {
+            value,
+            source: AllocSource::Doubling,
+        }
+    }
+
+    /// A full-capacity allocation.
+    pub fn capacity(value: f64) -> Self {
+        Prediction {
+            value,
+            source: AllocSource::Capacity,
+        }
+    }
+}
+
+/// Summary of one bucketing-state recomputation, reported through
+/// [`ValueEstimator::rebucket`] / [`ValueEstimator::take_rebucket`] and
+/// traced as [`crate::trace::AllocEvent::Rebucket`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebucketInfo {
+    /// Monotone per-estimator recomputation counter (1 for the first
+    /// rebucket).
+    pub version: u64,
+    /// Buckets in the new configuration.
+    pub n_buckets: usize,
+    /// Records the configuration was computed from.
+    pub n_records: usize,
+    /// Expected waste of the configuration under the §IV-C model
+    /// ([`crate::cost::exhaustive_cost`]) — the objective value the
+    /// partitioner optimized.
+    pub cost: f64,
+}
 
 /// One resource dimension's allocation estimator.
 pub trait ValueEstimator: Send {
@@ -28,26 +119,60 @@ pub trait ValueEstimator: Send {
         self.len() == 0
     }
 
-    /// Predict the allocation for a task's *first* attempt.
+    /// Predict the allocation for a task's *first* attempt, with provenance.
     ///
     /// `u` is a uniform draw in `[0, 1)`. Returns `None` when the estimator
     /// has no basis for a prediction (no records yet) — the
     /// [`crate::allocator::Allocator`] then falls back to its exploratory
     /// policy.
-    fn first(&mut self, u: f64) -> Option<f64>;
+    fn predict_first(&mut self, u: f64) -> Option<Prediction>;
 
     /// Predict the allocation after an attempt with allocation `prev` was
-    /// killed for exhausting this resource.
+    /// killed for exhausting this resource, with provenance.
     ///
     /// Must return a value strictly greater than `prev` so retries always
     /// terminate (§II-B assumption 4: "retried with a bigger allocation").
     /// Returns `None` when the estimator has no records; the allocator then
     /// doubles `prev` itself.
-    fn retry(&mut self, prev: f64, u: f64) -> Option<f64>;
+    fn predict_retry(&mut self, prev: f64, u: f64) -> Option<Prediction>;
 
-    /// A snapshot of the current bucketing state, for observability.
+    /// Value-only convenience over [`ValueEstimator::predict_first`].
+    fn first(&mut self, u: f64) -> Option<f64> {
+        self.predict_first(u).map(|p| p.value)
+    }
+
+    /// Value-only convenience over [`ValueEstimator::predict_retry`].
+    fn retry(&mut self, prev: f64, u: f64) -> Option<f64> {
+        self.predict_retry(prev, u).map(|p| p.value)
+    }
+
+    /// Force the bucketing state up to date *now* and describe it. `None`
+    /// for estimators without a bucket structure (the default) or with no
+    /// records yet.
+    ///
+    /// Estimators with lazy recomputation (the bucketing family) otherwise
+    /// rebuild on the next prediction; this hook exists so observability
+    /// layers can flush the state at a chosen point instead.
+    fn rebucket(&mut self) -> Option<RebucketInfo> {
+        None
+    }
+
+    /// A read-only view of the current bucketing state, for observability.
     /// Estimators without a bucket structure return `None` (the default).
-    fn snapshot(&mut self) -> Option<crate::bucket::BucketSet> {
+    ///
+    /// This never recomputes: after a burst of observations the view may be
+    /// stale until the next prediction or an explicit
+    /// [`ValueEstimator::rebucket`] call.
+    fn snapshot(&self) -> Option<crate::bucket::BucketSet> {
+        None
+    }
+
+    /// Drain the pending recomputation notice: `Some` exactly when the
+    /// bucketing state was rebuilt since the last call (or since
+    /// construction). The decision-tracing layer polls this after each
+    /// prediction to emit [`crate::trace::AllocEvent::Rebucket`] events;
+    /// estimators without a bucket structure keep the default `None`.
+    fn take_rebucket(&mut self) -> Option<RebucketInfo> {
         None
     }
 }
@@ -80,5 +205,43 @@ mod tests {
             a = next;
         }
         assert_eq!(a, 512.0);
+    }
+
+    #[test]
+    fn value_conveniences_strip_provenance() {
+        struct Fixed;
+        impl ValueEstimator for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn observe(&mut self, _value: f64, _sig: f64) {}
+            fn len(&self) -> usize {
+                1
+            }
+            fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
+                Some(Prediction::bucket(7.0, 2))
+            }
+            fn predict_retry(&mut self, prev: f64, _u: f64) -> Option<Prediction> {
+                Some(Prediction::doubling(prev * 2.0))
+            }
+        }
+        let mut est = Fixed;
+        assert_eq!(est.first(0.0), Some(7.0));
+        assert_eq!(est.retry(8.0, 0.0), Some(16.0));
+        assert_eq!(
+            est.predict_first(0.0).unwrap().source,
+            AllocSource::Bucket { idx: 2 }
+        );
+        // Defaults: no bucket structure, nothing pending.
+        assert!(est.rebucket().is_none());
+        assert!(est.snapshot().is_none());
+        assert!(est.take_rebucket().is_none());
+    }
+
+    #[test]
+    fn prediction_constructors_tag_sources() {
+        assert_eq!(Prediction::point(3.0).source, AllocSource::Point);
+        assert_eq!(Prediction::capacity(64.0).source, AllocSource::Capacity);
+        assert_eq!(Prediction::doubling(2.0).source, AllocSource::Doubling);
     }
 }

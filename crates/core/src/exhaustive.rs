@@ -199,7 +199,9 @@ mod tests {
         set.check_invariants(l.sorted()).unwrap();
         // The cut must land in the gap: some bucket boundary between 109 and 900.
         assert!(
-            breaks.iter().any(|&e| (100.0..900.0).contains(&l.sorted()[e].value)),
+            breaks
+                .iter()
+                .any(|&e| (100.0..900.0).contains(&l.sorted()[e].value)),
             "breaks {breaks:?}"
         );
     }

@@ -21,12 +21,10 @@ use crate::partition::Partitioner;
 use crate::record::ScalarRecord;
 
 /// The Greedy Bucketing partitioner.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct GreedyBucketing {
     incremental: bool,
 }
-
 
 impl GreedyBucketing {
     /// The paper's algorithm with the paper's per-candidate scan cost.
@@ -215,7 +213,9 @@ mod tests {
         // Deterministic pseudo-random values.
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 1000.0
         };
         for n in [2usize, 3, 7, 20, 64, 133] {

@@ -62,12 +62,14 @@ pub mod policy;
 pub mod record;
 pub mod resources;
 pub mod task;
+pub mod trace;
 
 pub use allocator::{
-    AlgorithmKind, Allocator, AllocatorConfig, EstimatorFactory, ExploratoryPolicy,
+    AlgorithmKind, AllocationDecision, Allocator, AllocatorBuilder, AllocatorConfig,
+    EstimatorFactory, ExploratoryPolicy,
 };
 pub use bucket::{Bucket, BucketSet};
-pub use estimator::ValueEstimator;
+pub use estimator::{AllocSource, Prediction, RebucketInfo, ValueEstimator};
 pub use exhaustive::ExhaustiveBucketing;
 pub use greedy::GreedyBucketing;
 pub use kmeans::KMeansBucketing;
@@ -76,3 +78,7 @@ pub use policy::BucketingEstimator;
 pub use record::{RecordList, ScalarRecord};
 pub use resources::{ResourceKind, ResourceMask, ResourceVector, WorkerSpec};
 pub use task::{CategoryId, ResourceRecord, TaskId, TaskSpec};
+pub use trace::{
+    AllocEvent, AxisProvenance, EventSink, JsonlSink, MemorySink, NoopSink, PredictKind,
+    SharedSink, TraceStats,
+};

@@ -12,9 +12,15 @@
 //! into a large update if there's no ready tasks in-between"). A
 //! paper-worst-case mode (`recompute_always`) forces a rebuild per
 //! prediction, which is what Table I times.
+//!
+//! Each rebuild bumps a monotone *version*; [`ValueEstimator::take_rebucket`]
+//! reports it (with the new configuration's size and §IV-C expected waste)
+//! to the decision-tracing layer. The bookkeeping on the prediction hot path
+//! is a counter increment and a flag — the [`RebucketInfo`] itself is only
+//! materialized when somebody asks.
 
 use crate::bucket::BucketSet;
-use crate::estimator::{double_allocation, ValueEstimator};
+use crate::estimator::{double_allocation, Prediction, RebucketInfo, ValueEstimator};
 use crate::partition::Partitioner;
 use crate::record::RecordList;
 
@@ -43,6 +49,10 @@ pub struct BucketingEstimator<P> {
     cached: BucketSet,
     dirty: bool,
     recompute_always: bool,
+    /// Monotone rebuild counter (0 = never rebuilt).
+    version: u64,
+    /// A rebuild happened since the last [`ValueEstimator::take_rebucket`].
+    rebucket_pending: bool,
 }
 
 impl<P: Partitioner> BucketingEstimator<P> {
@@ -54,6 +64,8 @@ impl<P: Partitioner> BucketingEstimator<P> {
             cached: BucketSet::default(),
             dirty: false,
             recompute_always: false,
+            version: 0,
+            rebucket_pending: false,
         }
     }
 
@@ -79,13 +91,30 @@ impl<P: Partitioner> BucketingEstimator<P> {
             let breaks = self.partitioner.partition(self.records.sorted());
             self.cached = BucketSet::from_breaks(self.records.sorted(), &breaks);
             self.dirty = false;
+            self.version += 1;
+            self.rebucket_pending = true;
         }
         Some(&self.cached)
+    }
+
+    /// The number of bucketing-state rebuilds so far.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The partitioner in use.
     pub fn partitioner(&self) -> &P {
         &self.partitioner
+    }
+
+    /// Describe the current (fresh) bucketing state.
+    fn info(&self) -> RebucketInfo {
+        RebucketInfo {
+            version: self.version,
+            n_buckets: self.cached.len(),
+            n_records: self.records.len(),
+            cost: crate::cost::exhaustive_cost(&self.cached),
+        }
     }
 }
 
@@ -103,24 +132,45 @@ impl<P: Partitioner> ValueEstimator for BucketingEstimator<P> {
         self.records.len()
     }
 
-    fn first(&mut self, u: f64) -> Option<f64> {
+    fn predict_first(&mut self, u: f64) -> Option<Prediction> {
         let set = self.bucket_set()?;
         let idx = set.sample(u)?;
-        Some(set.buckets()[idx].rep)
+        Some(Prediction::bucket(set.buckets()[idx].rep, idx))
     }
 
-    fn retry(&mut self, prev: f64, u: f64) -> Option<f64> {
+    fn predict_retry(&mut self, prev: f64, u: f64) -> Option<Prediction> {
         let set = self.bucket_set()?;
         match set.sample_above(prev, u) {
-            Some(idx) => Some(set.buckets()[idx].rep),
+            Some(idx) => Some(Prediction::bucket(set.buckets()[idx].rep, idx)),
             // Previous allocation was at or above the top representative:
             // §IV-A doubling fallback.
-            None => Some(double_allocation(prev).max(prev * 2.0)),
+            None => Some(Prediction::doubling(
+                double_allocation(prev).max(prev * 2.0),
+            )),
         }
     }
 
-    fn snapshot(&mut self) -> Option<BucketSet> {
-        self.bucket_set().cloned()
+    fn rebucket(&mut self) -> Option<RebucketInfo> {
+        self.bucket_set()?;
+        // The explicit call reports the state itself; nothing further is
+        // pending for the tracing layer.
+        self.rebucket_pending = false;
+        Some(self.info())
+    }
+
+    fn snapshot(&self) -> Option<BucketSet> {
+        if self.cached.is_empty() {
+            return None;
+        }
+        Some(self.cached.clone())
+    }
+
+    fn take_rebucket(&mut self) -> Option<RebucketInfo> {
+        if !self.rebucket_pending {
+            return None;
+        }
+        self.rebucket_pending = false;
+        Some(self.info())
     }
 }
 
@@ -149,6 +199,9 @@ mod tests {
         assert_eq!(est.first(0.5), None);
         assert_eq!(est.retry(4.0, 0.5), None);
         assert!(est.bucket_set().is_none());
+        assert!(est.rebucket().is_none());
+        assert!(est.snapshot().is_none());
+        assert!(est.take_rebucket().is_none());
     }
 
     #[test]
@@ -162,8 +215,19 @@ mod tests {
             .map(|b| b.rep)
             .collect();
         for u in [0.0, 0.1, 0.5, 0.9, 0.999] {
-            let a = est.first(u).unwrap();
-            assert!(reps.contains(&a), "allocation {a} not a representative");
+            let p = est.predict_first(u).unwrap();
+            assert!(
+                reps.contains(&p.value),
+                "allocation {} not a representative",
+                p.value
+            );
+            // The bucket index in the provenance points at the sampled rep.
+            match p.source {
+                crate::estimator::AllocSource::Bucket { idx } => {
+                    assert_eq!(reps[idx], p.value);
+                }
+                other => panic!("expected bucket source, got {other:?}"),
+            }
         }
     }
 
@@ -175,8 +239,9 @@ mod tests {
         assert!(next > first);
         // Retrying from the top representative must double.
         let top = est.bucket_set().unwrap().max_rep().unwrap();
-        let doubled = est.retry(top, 0.5).unwrap();
-        assert_eq!(doubled, top * 2.0);
+        let doubled = est.predict_retry(top, 0.5).unwrap();
+        assert_eq!(doubled.value, top * 2.0);
+        assert_eq!(doubled.source, crate::estimator::AllocSource::Doubling);
     }
 
     #[test]
@@ -202,8 +267,10 @@ mod tests {
             est.observe(500.0, (41 + i) as f64);
         }
         assert!(est.dirty);
+        let v = est.version();
         let _ = est.first(0.3);
         assert!(!est.dirty);
+        assert_eq!(est.version(), v + 1);
         let set_after = est.bucket_set().unwrap().clone();
         assert_ne!(set_before, set_after);
     }
@@ -252,5 +319,53 @@ mod tests {
         assert_eq!(est.name(), "greedy-bucketing");
         let est = BucketingEstimator::new(ExhaustiveBucketing::new());
         assert_eq!(est.name(), "exhaustive-bucketing");
+    }
+
+    #[test]
+    fn snapshot_is_read_only_and_may_lag() {
+        let mut est = bimodal_estimator();
+        // Nothing computed yet: snapshot has nothing to show.
+        assert!(est.snapshot().is_none());
+        let _ = est.first(0.5);
+        let fresh = est.snapshot().expect("state exists after a prediction");
+        // New observations do NOT refresh the read-only view...
+        est.observe(5000.0, 100.0);
+        assert_eq!(est.snapshot().unwrap(), fresh);
+        // ...an explicit rebucket does.
+        let info = est.rebucket().unwrap();
+        assert_eq!(info.n_records, 41);
+        assert_ne!(est.snapshot().unwrap(), fresh);
+    }
+
+    #[test]
+    fn take_rebucket_drains_once_per_rebuild() {
+        let mut est = bimodal_estimator();
+        assert!(est.take_rebucket().is_none()); // nothing computed yet
+        let _ = est.first(0.5);
+        let info = est.take_rebucket().expect("first build pending");
+        assert_eq!(info.version, 1);
+        assert_eq!(info.n_records, 40);
+        assert!(info.n_buckets >= 2, "bimodal data should split");
+        assert!(info.cost >= 0.0);
+        // Drained: no duplicate notice.
+        assert!(est.take_rebucket().is_none());
+        // A prediction without new records does not rebuild.
+        let _ = est.first(0.9);
+        assert!(est.take_rebucket().is_none());
+        // New records + prediction → a new pending notice.
+        est.observe(450.0, 41.0);
+        let _ = est.first(0.2);
+        assert_eq!(est.take_rebucket().unwrap().version, 2);
+    }
+
+    #[test]
+    fn explicit_rebucket_clears_pending_notice() {
+        let mut est = bimodal_estimator();
+        let info = est.rebucket().unwrap();
+        assert_eq!(info.version, 1);
+        // The explicit call already reported this rebuild.
+        assert!(est.take_rebucket().is_none());
+        // Rebucket without new data is idempotent (no recompute).
+        assert_eq!(est.rebucket().unwrap().version, 1);
     }
 }

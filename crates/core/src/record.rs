@@ -54,9 +54,7 @@ impl RecordList {
 
     /// Insert a record, keeping the list sorted by value.
     pub fn push(&mut self, record: ScalarRecord) {
-        let idx = self
-            .sorted
-            .partition_point(|r| r.value <= record.value);
+        let idx = self.sorted.partition_point(|r| r.value <= record.value);
         self.sorted.insert(idx, record);
         if record.sig > self.max_sig {
             self.max_sig = record.sig;

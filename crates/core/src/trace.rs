@@ -1,0 +1,595 @@
+//! Allocation decision tracing: a typed event stream from the allocator.
+//!
+//! Every consequential step the allocator takes — observing a completed
+//! task, rebuilding a bucketing configuration, predicting an allocation,
+//! escalating an exhausted axis — is describable as an [`AllocEvent`].
+//! Components that want the stream implement [`EventSink`] and receive
+//! events synchronously, in decision order.
+//!
+//! The design constraint is that tracing must cost *nothing* when unused.
+//! [`EventSink::ENABLED`] is an associated constant: the allocator guards
+//! every event construction behind `if S::ENABLED`, so with the default
+//! [`NoopSink`] the branch is constant-folded away and no event is ever
+//! built. The provided sinks cover the common uses:
+//!
+//! | Sink          | Purpose                                            |
+//! |---------------|----------------------------------------------------|
+//! | [`NoopSink`]  | Default; compiles to nothing                       |
+//! | [`TraceStats`]| Counts events, overall and per category            |
+//! | [`MemorySink`]| Buffers events for later inspection                |
+//! | [`JsonlSink`] | Serializes each event as one JSON line             |
+//! | [`SharedSink`]| Shares one sink between the caller and the tracer  |
+//! | `(A, B)`      | Fans each event out to two sinks                   |
+//!
+//! Events serialize with `serde`, externally tagged, so a JSONL line looks
+//! like:
+//!
+//! ```json
+//! {"Predict":{"category":0,"kind":"First","alloc":{...},"provenance":[...]}}
+//! ```
+
+use crate::estimator::{AllocSource, RebucketInfo};
+use crate::resources::{ResourceKind, ResourceVector};
+use crate::task::CategoryId;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::fmt;
+use std::io::Write;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global count of [`AllocEvent`] values ever constructed (process-wide).
+///
+/// Exists to make the zero-cost claim *testable*: a run with a [`NoopSink`]
+/// must leave this counter untouched, because the allocator never reaches
+/// an event constructor when `S::ENABLED` is false.
+static EVENTS_CONSTRUCTED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide number of [`AllocEvent`] values constructed so far.
+///
+/// Take a reading before and after a run and compare deltas; see
+/// `tests/trace_noop.rs` for the intended pattern.
+pub fn events_constructed() -> u64 {
+    EVENTS_CONSTRUCTED.load(Ordering::Relaxed)
+}
+
+/// Which prediction path produced an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictKind {
+    /// Steady-state first allocation of a task.
+    First,
+    /// Allocation for a retry after a resource-exhaustion failure.
+    Retry,
+    /// Exploratory first allocation (§IV-B): the category has too few
+    /// records for the estimators to be trusted.
+    Explore,
+}
+
+impl fmt::Display for PredictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PredictKind::First => "first",
+            PredictKind::Retry => "retry",
+            PredictKind::Explore => "explore",
+        })
+    }
+}
+
+/// How one axis of a predicted allocation was chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AxisProvenance {
+    /// The resource dimension this entry describes.
+    pub resource: ResourceKind,
+    /// Where the value came from (bucket index, doubling, probe, ...).
+    pub source: AllocSource,
+    /// The uniform draw handed to the estimator, when one was consumed.
+    pub draw: Option<f64>,
+    /// Whether clamping to worker capacity changed the proposed value.
+    pub clamped: bool,
+}
+
+/// One allocator decision, as seen by an [`EventSink`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AllocEvent {
+    /// A completed task's peak usage was fed back into the estimators.
+    Observe {
+        /// Task category the record belongs to.
+        category: u32,
+        /// Peak consumption of the completed task.
+        usage: ResourceVector,
+        /// Significance weight assigned to the record (§IV-B).
+        sig: f64,
+    },
+    /// An estimator rebuilt its bucketing configuration.
+    Rebucket {
+        /// Task category whose estimator rebuilt.
+        category: u32,
+        /// The resource axis the estimator manages.
+        resource: ResourceKind,
+        /// Monotone rebuild counter for this estimator (1 = first build).
+        version: u64,
+        /// Buckets in the new configuration.
+        n_buckets: usize,
+        /// Records the configuration was built from.
+        n_records: usize,
+        /// §IV-C expected waste of the new configuration.
+        cost: f64,
+    },
+    /// An allocation was predicted for a task.
+    Predict {
+        /// Task category the prediction is for.
+        category: u32,
+        /// Which prediction path ran.
+        kind: PredictKind,
+        /// The allocation handed to the scheduler (post-clamp).
+        alloc: ResourceVector,
+        /// Per-axis derivation, managed axes only. Empty for [`PredictKind::Explore`].
+        provenance: Vec<AxisProvenance>,
+    },
+    /// A retry raised one exhausted axis (§IV-A escalation).
+    Escalate {
+        /// Task category of the failed task.
+        category: u32,
+        /// The axis the task exhausted.
+        resource: ResourceKind,
+        /// The allocation that proved too small.
+        from: f64,
+        /// The raised allocation for the retry.
+        to: f64,
+    },
+}
+
+impl AllocEvent {
+    /// Build an [`AllocEvent::Observe`].
+    pub fn observe(category: CategoryId, usage: ResourceVector, sig: f64) -> Self {
+        EVENTS_CONSTRUCTED.fetch_add(1, Ordering::Relaxed);
+        AllocEvent::Observe {
+            category: category.0,
+            usage,
+            sig,
+        }
+    }
+
+    /// Build an [`AllocEvent::Rebucket`] from an estimator's notice.
+    pub fn rebucket(category: CategoryId, resource: ResourceKind, info: &RebucketInfo) -> Self {
+        EVENTS_CONSTRUCTED.fetch_add(1, Ordering::Relaxed);
+        AllocEvent::Rebucket {
+            category: category.0,
+            resource,
+            version: info.version,
+            n_buckets: info.n_buckets,
+            n_records: info.n_records,
+            cost: info.cost,
+        }
+    }
+
+    /// Build an [`AllocEvent::Predict`].
+    pub fn predict(
+        category: CategoryId,
+        kind: PredictKind,
+        alloc: ResourceVector,
+        provenance: Vec<AxisProvenance>,
+    ) -> Self {
+        EVENTS_CONSTRUCTED.fetch_add(1, Ordering::Relaxed);
+        AllocEvent::Predict {
+            category: category.0,
+            kind,
+            alloc,
+            provenance,
+        }
+    }
+
+    /// Build an [`AllocEvent::Escalate`].
+    pub fn escalate(category: CategoryId, resource: ResourceKind, from: f64, to: f64) -> Self {
+        EVENTS_CONSTRUCTED.fetch_add(1, Ordering::Relaxed);
+        AllocEvent::Escalate {
+            category: category.0,
+            resource,
+            from,
+            to,
+        }
+    }
+
+    /// The category the event concerns.
+    pub fn category(&self) -> CategoryId {
+        match self {
+            AllocEvent::Observe { category, .. }
+            | AllocEvent::Rebucket { category, .. }
+            | AllocEvent::Predict { category, .. }
+            | AllocEvent::Escalate { category, .. } => CategoryId(*category),
+        }
+    }
+}
+
+/// A consumer of [`AllocEvent`]s.
+///
+/// Implementations receive events synchronously from inside the allocator,
+/// in the order decisions are made. Keep `emit` cheap; heavy processing
+/// belongs downstream.
+pub trait EventSink {
+    /// Whether the allocator should construct events at all. The allocator
+    /// checks this *before* building an event, so a sink with
+    /// `ENABLED = false` (the [`NoopSink`]) removes tracing entirely at
+    /// compile time.
+    const ENABLED: bool = true;
+
+    /// Receive one event.
+    fn emit(&mut self, event: AllocEvent);
+}
+
+/// The default sink: tracing disabled, zero cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _event: AllocEvent) {}
+}
+
+/// Per-category event tallies kept by [`TraceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tally {
+    /// Steady-state first predictions.
+    pub first: u64,
+    /// Retry predictions.
+    pub retry: u64,
+    /// Exploratory first predictions.
+    pub explore: u64,
+    /// Observations.
+    pub observe: u64,
+    /// Axis escalations.
+    pub escalate: u64,
+    /// Bucketing rebuilds.
+    pub rebucket: u64,
+}
+
+impl Tally {
+    /// Total events in this tally.
+    pub fn total(&self) -> u64 {
+        self.first + self.retry + self.explore + self.observe + self.escalate + self.rebucket
+    }
+
+    /// First predictions of either flavor (exploratory or steady-state).
+    pub fn predictions_first(&self) -> u64 {
+        self.first + self.explore
+    }
+}
+
+/// A counting sink: aggregate and per-category event tallies.
+///
+/// This is the cheap always-on option for metrics — it never stores events,
+/// only counters — and the backbone of the `tora trace` reconciliation
+/// check, which compares these tallies against the simulator's own
+/// bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Tally across all categories.
+    pub overall: Tally,
+    /// Per-category tallies, keyed by raw category id, insertion-ordered.
+    pub by_category: Vec<(u32, Tally)>,
+}
+
+impl TraceStats {
+    /// A fresh, all-zero stats sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The tally for one category, if any event mentioned it.
+    pub fn category(&self, category: CategoryId) -> Option<&Tally> {
+        self.by_category
+            .iter()
+            .find(|(id, _)| *id == category.0)
+            .map(|(_, t)| t)
+    }
+
+    fn tally_mut(&mut self, category: u32) -> &mut Tally {
+        let idx = match self.by_category.iter().position(|(id, _)| *id == category) {
+            Some(i) => i,
+            None => {
+                self.by_category.push((category, Tally::default()));
+                self.by_category.len() - 1
+            }
+        };
+        &mut self.by_category[idx].1
+    }
+}
+
+impl EventSink for TraceStats {
+    fn emit(&mut self, event: AllocEvent) {
+        fn bump(tally: &mut Tally, event: &AllocEvent) {
+            match event {
+                AllocEvent::Observe { .. } => tally.observe += 1,
+                AllocEvent::Rebucket { .. } => tally.rebucket += 1,
+                AllocEvent::Predict { kind, .. } => match kind {
+                    PredictKind::First => tally.first += 1,
+                    PredictKind::Retry => tally.retry += 1,
+                    PredictKind::Explore => tally.explore += 1,
+                },
+                AllocEvent::Escalate { .. } => tally.escalate += 1,
+            }
+        }
+        let category = event.category().0;
+        bump(&mut self.overall, &event);
+        bump(self.tally_mut(category), &event);
+    }
+}
+
+/// A sink that buffers every event in memory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemorySink {
+    /// The buffered events, in emission order.
+    pub events: Vec<AllocEvent>,
+}
+
+impl MemorySink {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, event: AllocEvent) {
+        self.events.push(event);
+    }
+}
+
+/// A sink that writes each event as one JSON line.
+///
+/// Serialization failures are counted, not propagated: `emit` is infallible
+/// by design, and a tracing layer must never abort the run it observes.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    written: u64,
+    errors: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer. Buffer it (`BufWriter`) for file targets.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            written: 0,
+            errors: 0,
+        }
+    }
+
+    /// Lines successfully written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Events dropped because serialization or IO failed.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn emit(&mut self, event: AllocEvent) {
+        match serde_json::to_string(&event) {
+            Ok(line) => {
+                if writeln!(self.writer, "{line}").is_ok() {
+                    self.written += 1;
+                } else {
+                    self.errors += 1;
+                }
+            }
+            Err(_) => self.errors += 1,
+        }
+    }
+}
+
+impl<W: Write> fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("written", &self.written)
+            .field("errors", &self.errors)
+            .finish()
+    }
+}
+
+/// A cloneable handle to a shared sink.
+///
+/// The allocator takes its sink by value; `SharedSink` lets the caller keep
+/// a handle to the same sink and read it back after the run (see the
+/// `tora trace` subcommand).
+#[derive(Debug, Default)]
+pub struct SharedSink<S>(Rc<RefCell<S>>);
+
+impl<S: EventSink> SharedSink<S> {
+    /// Wrap a sink for shared access.
+    pub fn new(sink: S) -> Self {
+        SharedSink(Rc::new(RefCell::new(sink)))
+    }
+
+    /// Run `f` with a shared borrow of the inner sink.
+    pub fn with<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Recover the inner sink. Panics if other handles are still alive.
+    pub fn into_inner(self) -> S {
+        Rc::try_unwrap(self.0)
+            .unwrap_or_else(|_| panic!("SharedSink still has live handles"))
+            .into_inner()
+    }
+}
+
+impl<S> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        SharedSink(Rc::clone(&self.0))
+    }
+}
+
+impl<S: EventSink> EventSink for SharedSink<S> {
+    const ENABLED: bool = S::ENABLED;
+
+    fn emit(&mut self, event: AllocEvent) {
+        self.0.borrow_mut().emit(event);
+    }
+}
+
+/// Fan-out: each event goes to both sinks (cloned for the first).
+impl<A: EventSink, B: EventSink> EventSink for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn emit(&mut self, event: AllocEvent) {
+        self.0.emit(event.clone());
+        self.1.emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<AllocEvent> {
+        vec![
+            AllocEvent::predict(
+                CategoryId(0),
+                PredictKind::Explore,
+                ResourceVector::new(1.0, 1024.0, 1024.0),
+                Vec::new(),
+            ),
+            AllocEvent::observe(CategoryId(0), ResourceVector::new(0.5, 300.0, 120.0), 1.0),
+            AllocEvent::rebucket(
+                CategoryId(0),
+                ResourceKind::MemoryMb,
+                &RebucketInfo {
+                    version: 1,
+                    n_buckets: 2,
+                    n_records: 12,
+                    cost: 340.5,
+                },
+            ),
+            AllocEvent::predict(
+                CategoryId(0),
+                PredictKind::First,
+                ResourceVector::new(1.0, 350.0, 200.0),
+                vec![AxisProvenance {
+                    resource: ResourceKind::MemoryMb,
+                    source: AllocSource::Bucket { idx: 0 },
+                    draw: Some(0.42),
+                    clamped: false,
+                }],
+            ),
+            AllocEvent::escalate(CategoryId(0), ResourceKind::MemoryMb, 350.0, 700.0),
+            AllocEvent::predict(
+                CategoryId(1),
+                PredictKind::Retry,
+                ResourceVector::new(1.0, 700.0, 200.0),
+                Vec::new(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn constructors_bump_the_global_counter() {
+        let before = events_constructed();
+        let n = sample_events().len() as u64;
+        assert_eq!(events_constructed(), before + n);
+    }
+
+    #[test]
+    fn trace_stats_counts_overall_and_per_category() {
+        let mut stats = TraceStats::new();
+        for e in sample_events() {
+            stats.emit(e);
+        }
+        assert_eq!(stats.overall.explore, 1);
+        assert_eq!(stats.overall.first, 1);
+        assert_eq!(stats.overall.retry, 1);
+        assert_eq!(stats.overall.observe, 1);
+        assert_eq!(stats.overall.escalate, 1);
+        assert_eq!(stats.overall.rebucket, 1);
+        assert_eq!(stats.overall.total(), 6);
+        assert_eq!(stats.overall.predictions_first(), 2);
+        let c0 = stats.category(CategoryId(0)).unwrap();
+        assert_eq!(c0.total(), 5);
+        let c1 = stats.category(CategoryId(1)).unwrap();
+        assert_eq!(c1.retry, 1);
+        assert_eq!(c1.total(), 1);
+        assert!(stats.category(CategoryId(7)).is_none());
+    }
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let mut sink = MemorySink::new();
+        let events = sample_events();
+        for e in events.clone() {
+            sink.emit(e);
+        }
+        assert_eq!(sink.events, events);
+        assert_eq!(sink.len(), 6);
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = sample_events();
+        for e in events.clone() {
+            sink.emit(e);
+        }
+        assert_eq!(sink.written(), 6);
+        assert_eq!(sink.errors(), 0);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let parsed: Vec<AllocEvent> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn shared_sink_aliases_one_store() {
+        let shared = SharedSink::new(MemorySink::new());
+        let mut handle = shared.clone();
+        for e in sample_events() {
+            handle.emit(e);
+        }
+        assert_eq!(shared.with(|s| s.len()), 6);
+        drop(handle);
+        assert_eq!(shared.into_inner().len(), 6);
+    }
+
+    #[test]
+    fn pair_sink_fans_out() {
+        let mut pair = (TraceStats::new(), MemorySink::new());
+        for e in sample_events() {
+            pair.emit(e);
+        }
+        assert_eq!(pair.0.overall.total(), 6);
+        assert_eq!(pair.1.len(), 6);
+        const { assert!(<(TraceStats, MemorySink) as EventSink>::ENABLED) };
+        const { assert!(!NoopSink::ENABLED) };
+        const { assert!(!<SharedSink<NoopSink> as EventSink>::ENABLED) };
+    }
+
+    #[test]
+    fn event_category_accessor() {
+        for e in sample_events() {
+            let c = e.category();
+            assert!(c == CategoryId(0) || c == CategoryId(1));
+        }
+    }
+}

@@ -167,9 +167,12 @@ mod tests {
         // 10 core-hours + memory + disk.
         let m = metrics(1024.0, 1024.0, 10);
         let bill = CostModel::on_demand().bill(&m);
-        let expected =
-            10.0 * (0.04 + 0.005 /* 1 GB mem */ + 0.0002 * (100.0 / 1024.0));
-        assert!((bill.allocated - expected).abs() < 1e-9, "{}", bill.allocated);
+        let expected = 10.0 * (0.04 + 0.005 /* 1 GB mem */ + 0.0002 * (100.0 / 1024.0));
+        assert!(
+            (bill.allocated - expected).abs() < 1e-9,
+            "{}",
+            bill.allocated
+        );
         assert_eq!(bill.allocated, bill.consumed);
         assert_eq!(bill.wasted(), 0.0);
         assert_eq!(bill.efficiency(), 1.0);

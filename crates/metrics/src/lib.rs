@@ -22,4 +22,6 @@ pub use awe::{WasteBreakdown, WorkflowMetrics};
 pub use cost::{Bill, CostModel};
 pub use outcome::{AttemptOutcome, TaskOutcome};
 pub use report::{grouped, pct, Table};
-pub use summary::{attempts_histogram, rolling_awe, steady_state_onset, waste_quantiles, Quantiles};
+pub use summary::{
+    attempts_histogram, rolling_awe, steady_state_onset, waste_quantiles, Quantiles,
+};

@@ -90,8 +90,7 @@ mod tests {
 
     /// An allocation with ample wall time (tests target the spatial axes).
     fn alloc(cores: f64, mem: f64, disk: f64) -> ResourceVector {
-        ResourceVector::new(cores, mem, disk)
-            .with(tora_alloc::resources::ResourceKind::TimeS, 1e6)
+        ResourceVector::new(cores, mem, disk).with(tora_alloc::resources::ResourceKind::TimeS, 1e6)
     }
 
     #[test]

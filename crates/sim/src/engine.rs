@@ -13,7 +13,7 @@
 use crate::enforcement::{AttemptVerdict, EnforcementModel};
 use crate::log::{EventLog, SimEvent};
 use crate::scheduler::QueuePolicy;
-use crate::stats::{UtilizationSample, UtilizationSeries};
+use crate::stats::{SimStats, UtilizationSample, UtilizationSeries};
 use crate::time::SimTime;
 use crate::workers::{ChurnConfig, WorkerId, WorkerPool};
 use rand::rngs::StdRng;
@@ -21,10 +21,11 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use tora_alloc::allocator::{Allocator, AllocatorConfig, AlgorithmKind};
+use tora_alloc::allocator::{AlgorithmKind, Allocator, AllocatorConfig};
 use tora_alloc::resources::{ResourceVector, WorkerSpec};
-use tora_alloc::task::TaskSpec;
 use tora_alloc::task::ResourceRecord;
+use tora_alloc::task::TaskSpec;
+use tora_alloc::trace::{EventSink, NoopSink};
 use tora_metrics::{AttemptOutcome, TaskOutcome, WorkflowMetrics};
 use tora_workloads::Workflow;
 
@@ -33,8 +34,7 @@ use tora_workloads::Workflow;
 /// Dynamic workflow systems generate tasks *at runtime* (§I) — the manager
 /// rarely sees the whole workload at once. The arrival model bounds how many
 /// tasks can pile up in exploratory mode before the first records return.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ArrivalModel {
     /// Every task is ready at time zero (a static batch — the worst case for
     /// the exploratory phase).
@@ -47,7 +47,6 @@ pub enum ArrivalModel {
         mean_interval_s: f64,
     },
 }
-
 
 /// Optional heterogeneous pool: a fraction of joining workers are scaled-up
 /// nodes (opportunistic pools frequently mix slot sizes). Spatial capacity is
@@ -146,6 +145,10 @@ pub struct SimResult {
     pub worker_range: (usize, usize),
     /// Total dispatches (successful + killed + preempted attempts).
     pub dispatches: usize,
+    /// Engine-side tally of dispatches, completions, failures and allocator
+    /// calls — the reconciliation counterpart of the allocator's own
+    /// [`tora_alloc::trace::TraceStats`].
+    pub stats: SimStats,
     /// The structured event log (when `record_log` was set).
     pub log: Option<EventLog>,
     /// The pool utilization series (when `track_utilization` was set).
@@ -194,10 +197,30 @@ struct TaskState {
     attempts: Vec<AttemptOutcome>,
     /// Allocation for the next dispatch; `None` until first predicted.
     next_alloc: Option<ResourceVector>,
+    /// `next_alloc` must not be re-predicted: it was fixed by a retry
+    /// escalation (which a later, smaller prediction must not undo) or by a
+    /// preemption (resubmit with the same allocation).
+    pinned: bool,
+    /// Allocator knowledge epoch `next_alloc` was predicted under; stale
+    /// unpinned predictions are refreshed at the next scheduling round.
+    predicted_epoch: u64,
     /// Whether the arrival model has released the task.
     arrived: bool,
     /// Predecessors still running (Fig. 1's dependency resolution).
     deps_remaining: usize,
+}
+
+impl TaskState {
+    fn fresh(deps_remaining: usize, arrived: bool) -> Self {
+        TaskState {
+            attempts: Vec::new(),
+            next_alloc: None,
+            pinned: false,
+            predicted_epoch: 0,
+            arrived,
+            deps_remaining,
+        }
+    }
 }
 
 /// A dynamic-workflow application driver (Fig. 1's application layer).
@@ -252,11 +275,17 @@ impl SubmitApi {
 }
 
 /// The engine.
-pub struct Simulation {
+///
+/// Generic over an [`EventSink`] so a run can be traced end to end: with a
+/// non-default sink (see [`Simulation::with_sink`]) the embedded allocator
+/// emits an [`tora_alloc::trace::AllocEvent`] for every decision it makes,
+/// while the engine independently tallies its calls in [`SimStats`]. The
+/// default [`NoopSink`] compiles all of that out.
+pub struct Simulation<S: EventSink = NoopSink> {
     worker: WorkerSpec,
     specs: Vec<TaskSpec>,
     driver: Option<Box<dyn Driver>>,
-    allocator: Allocator,
+    allocator: Allocator<S>,
     config: SimConfig,
     pool: WorkerPool,
     churn_rng: StdRng,
@@ -271,10 +300,11 @@ pub struct Simulation {
     completed: usize,
     now: SimTime,
     result_metrics: WorkflowMetrics,
-    preemptions: usize,
     preempted_alloc_time: ResourceVector,
     worker_range: (usize, usize),
-    dispatches: usize,
+    stats: SimStats,
+    /// Bumped on every observation; invalidates unpinned cached predictions.
+    alloc_epoch: u64,
     log: Option<EventLog>,
     utilization: Option<UtilizationSeries>,
 }
@@ -288,12 +318,7 @@ impl Simulation {
             .tasks
             .iter()
             .enumerate()
-            .map(|(i, _)| TaskState {
-                attempts: Vec::new(),
-                next_alloc: None,
-                arrived: false,
-                deps_remaining: workflow.deps_of(i).len(),
-            })
+            .map(|(i, _)| TaskState::fresh(workflow.deps_of(i).len(), false))
             .collect();
         sim.completed_flags = vec![false; workflow.len()];
         // Reverse adjacency for dependency resolution.
@@ -319,6 +344,38 @@ impl Simulation {
         sim
     }
 
+    /// Attach an [`EventSink`] to the embedded allocator, turning this
+    /// engine into a traced one. Retrieve the sink afterwards with
+    /// [`Simulation::run_traced`].
+    pub fn with_sink<S: EventSink>(self, sink: S) -> Simulation<S> {
+        Simulation {
+            worker: self.worker,
+            specs: self.specs,
+            driver: self.driver,
+            allocator: self.allocator.with_sink(sink),
+            config: self.config,
+            pool: self.pool,
+            churn_rng: self.churn_rng,
+            events: self.events,
+            seq: self.seq,
+            dispatch_ids: self.dispatch_ids,
+            running: self.running,
+            ready: self.ready,
+            tasks: self.tasks,
+            dependents: self.dependents,
+            completed_flags: self.completed_flags,
+            completed: self.completed,
+            now: self.now,
+            result_metrics: self.result_metrics,
+            preempted_alloc_time: self.preempted_alloc_time,
+            worker_range: self.worker_range,
+            stats: self.stats,
+            alloc_epoch: self.alloc_epoch,
+            log: self.log,
+            utilization: self.utilization,
+        }
+    }
+
     fn bare(worker: WorkerSpec, algorithm: AlgorithmKind, config: SimConfig) -> Self {
         config.churn.validate().expect("invalid churn config");
         let alloc_config = AllocatorConfig {
@@ -339,7 +396,12 @@ impl Simulation {
         let mut log = config.record_log.then(EventLog::new);
         if let Some(log) = log.as_mut() {
             for id in 0..initial_workers as u64 {
-                log.push(0.0, SimEvent::WorkerJoined { worker: WorkerId(id) });
+                log.push(
+                    0.0,
+                    SimEvent::WorkerJoined {
+                        worker: WorkerId(id),
+                    },
+                );
             }
         }
         Simulation {
@@ -361,15 +423,17 @@ impl Simulation {
             completed: 0,
             now: SimTime::ZERO,
             result_metrics: WorkflowMetrics::new(),
-            preemptions: 0,
             preempted_alloc_time: ResourceVector::ZERO,
             worker_range: (initial_workers, initial_workers),
-            dispatches: 0,
+            stats: SimStats::new(),
+            alloc_epoch: 0,
             log,
             utilization: config.track_utilization.then(UtilizationSeries::new),
         }
     }
+}
 
+impl<S: EventSink> Simulation<S> {
     fn log_event(&mut self, event: SimEvent) {
         if let Some(log) = self.log.as_mut() {
             log.push(self.now.seconds(), event);
@@ -424,16 +488,30 @@ impl Simulation {
         }
     }
 
-    /// Predict (and cache) the next allocation of a queued task. Allocation
-    /// happens at dispatch time (§II-A note); retries already carry theirs.
+    /// The allocation a queued task would get if dispatched right now.
+    /// Allocation happens at dispatch time (§II-A note), so a queued first
+    /// attempt's prediction goes stale whenever the allocator learns
+    /// something new — queue scans under non-FIFO policies must not freeze a
+    /// prediction made before the estimator had data. The knowledge epoch
+    /// (bumped on every observation) detects exactly that, so an unchanged
+    /// estimator reuses the cached prediction instead of burning a fresh
+    /// one per scheduling round. Pinned allocations (retry escalations and
+    /// preemption resubmits) are never re-predicted.
     fn ensure_alloc(&mut self, task_idx: usize) -> ResourceVector {
         if let Some(a) = self.tasks[task_idx].next_alloc {
-            return a;
+            if self.tasks[task_idx].pinned
+                || self.tasks[task_idx].predicted_epoch == self.alloc_epoch
+            {
+                return a;
+            }
         }
-        debug_assert!(self.tasks[task_idx].attempts.is_empty());
         let category = self.specs[task_idx].category;
-        let a = self.allocator.predict_first(category);
-        self.tasks[task_idx].next_alloc = Some(a);
+        let a = self.allocator.predict_first(category).into_alloc();
+        self.stats.record_predict_first(category.0);
+        let state = &mut self.tasks[task_idx];
+        state.next_alloc = Some(a);
+        state.predicted_epoch = self.alloc_epoch;
+        state.pinned = false;
         a
     }
 
@@ -482,14 +560,17 @@ impl Simulation {
                     verdict,
                 },
             );
-            self.dispatches += 1;
+            self.stats.dispatches += 1;
             self.log_event(SimEvent::TaskDispatched {
                 task: self.specs[task_idx].id,
                 worker,
                 attempt: self.tasks[task_idx].attempts.len() + 1,
                 allocation: alloc,
             });
-            self.push_event(self.now + verdict.charged_time_s, Event::Finish { dispatch });
+            self.push_event(
+                self.now + verdict.charged_time_s,
+                Event::Finish { dispatch },
+            );
         }
     }
 
@@ -526,9 +607,10 @@ impl Simulation {
         }
         let state = &mut self.tasks[run.task_idx];
         if run.verdict.success {
-            state
-                .attempts
-                .push(AttemptOutcome::success(run.alloc, run.verdict.charged_time_s));
+            state.attempts.push(AttemptOutcome::success(
+                run.alloc,
+                run.verdict.charged_time_s,
+            ));
             let outcome = TaskOutcome {
                 task: task.id,
                 category: task.category,
@@ -539,6 +621,11 @@ impl Simulation {
             debug_assert!(outcome.check().is_ok(), "{:?}", outcome.check());
             self.result_metrics.push(outcome);
             self.allocator.observe(&ResourceRecord::from_task(&task));
+            self.stats.completions += 1;
+            self.stats.record_observation(task.category.0);
+            // The estimator just learned something: queued (unpinned) first
+            // predictions are now stale.
+            self.alloc_epoch += 1;
             self.completed += 1;
             self.completed_flags[run.task_idx] = true;
             // Dependency resolution: completed inputs release dependents.
@@ -559,13 +646,29 @@ impl Simulation {
                 self.driver = Some(driver);
             }
         } else {
-            state
-                .attempts
-                .push(AttemptOutcome::failure(run.alloc, run.verdict.charged_time_s));
-            let next =
-                self.allocator
-                    .predict_retry(task.category, &run.alloc, &run.verdict.exhausted);
-            self.tasks[run.task_idx].next_alloc = Some(next);
+            state.attempts.push(AttemptOutcome::failure(
+                run.alloc,
+                run.verdict.charged_time_s,
+            ));
+            self.stats.failures += 1;
+            let escalations = self
+                .allocator
+                .config()
+                .managed
+                .iter()
+                .filter(|kind| run.verdict.exhausted.contains(**kind))
+                .count() as u64;
+            self.stats
+                .record_predict_retry(task.category.0, escalations);
+            let next = self
+                .allocator
+                .predict_retry(task.category, &run.alloc, &run.verdict.exhausted)
+                .into_alloc();
+            let state = &mut self.tasks[run.task_idx];
+            state.next_alloc = Some(next);
+            // Escalations are pinned: a later, smaller prediction must not
+            // undo the doubling chosen at kill time.
+            state.pinned = true;
             self.ready.push_back(run.task_idx);
         }
     }
@@ -601,13 +704,14 @@ impl Simulation {
             for d in victims {
                 let run = self.running.remove(&d).expect("victim listed");
                 let elapsed = self.now - run.start;
-                self.preempted_alloc_time = self
-                    .preempted_alloc_time
-                    .add(&run.alloc.scale(elapsed));
-                self.preemptions += 1;
-                // Resubmit with the same allocation: preemption teaches the
-                // allocator nothing about the task's needs.
-                self.tasks[run.task_idx].next_alloc = Some(run.alloc);
+                self.preempted_alloc_time =
+                    self.preempted_alloc_time.add(&run.alloc.scale(elapsed));
+                self.stats.preemptions += 1;
+                // Resubmit with the same (pinned) allocation: preemption
+                // teaches the allocator nothing about the task's needs.
+                let state = &mut self.tasks[run.task_idx];
+                state.next_alloc = Some(run.alloc);
+                state.pinned = true;
                 self.ready.push_back(run.task_idx);
                 self.log_event(SimEvent::TaskPreempted {
                     task: self.specs[run.task_idx].id,
@@ -677,12 +781,7 @@ impl Simulation {
                 }
             }
             self.specs.push(spec);
-            self.tasks.push(TaskState {
-                attempts: Vec::new(),
-                next_alloc: None,
-                arrived: true,
-                deps_remaining,
-            });
+            self.tasks.push(TaskState::fresh(deps_remaining, true));
             self.dependents.push(Vec::new());
             self.completed_flags.push(false);
             self.log_event(SimEvent::TaskSubmitted { task: spec.id });
@@ -693,7 +792,13 @@ impl Simulation {
     }
 
     /// Run to completion and return the result.
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
+        self.run_traced().0
+    }
+
+    /// Run to completion, returning the result *and* the event sink the
+    /// allocator emitted into — the traced variant of [`Simulation::run`].
+    pub fn run_traced(mut self) -> (SimResult, S) {
         self.schedule_churn();
         self.schedule_arrivals();
         if let Some(mut driver) = self.driver.take() {
@@ -719,16 +824,19 @@ impl Simulation {
             self.dispatch();
             self.sample_utilization();
         }
-        SimResult {
+        let stats = self.stats;
+        let result = SimResult {
             metrics: self.result_metrics,
             makespan_s: self.now.seconds(),
-            preemptions: self.preemptions,
+            preemptions: stats.preemptions as usize,
             preempted_alloc_time: self.preempted_alloc_time,
             worker_range: self.worker_range,
-            dispatches: self.dispatches,
+            dispatches: stats.dispatches as usize,
+            stats,
             log: self.log,
             utilization: self.utilization,
-        }
+        };
+        (result, self.allocator.into_sink())
     }
 }
 
@@ -751,7 +859,11 @@ mod tests {
     #[test]
     fn every_task_completes_exactly_once() {
         let wf = small(SyntheticKind::Bimodal);
-        let res = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, SimConfig::default());
+        let res = simulate(
+            &wf,
+            AlgorithmKind::ExhaustiveBucketing,
+            SimConfig::default(),
+        );
         assert_eq!(res.metrics.len(), wf.len());
         let mut ids: Vec<u64> = res.metrics.outcomes().iter().map(|o| o.task.0).collect();
         ids.sort_unstable();
@@ -776,7 +888,11 @@ mod tests {
     fn bucketing_beats_whole_machine_on_memory() {
         let wf = small(SyntheticKind::Normal);
         let base = simulate(&wf, AlgorithmKind::WholeMachine, SimConfig::default());
-        let eb = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, SimConfig::default());
+        let eb = simulate(
+            &wf,
+            AlgorithmKind::ExhaustiveBucketing,
+            SimConfig::default(),
+        );
         let k = ResourceKind::MemoryMb;
         assert!(
             eb.metrics.awe(k).unwrap() > 2.0 * base.metrics.awe(k).unwrap(),
@@ -805,10 +921,7 @@ mod tests {
         // With leaves happening, some preemptions are expected (not
         // guaranteed, but overwhelmingly likely for this seed/config).
         assert!(res.preemptions > 0, "no preemption observed");
-        assert!(res
-            .preempted_alloc_time
-            .iter()
-            .all(|(_, v)| v >= 0.0));
+        assert!(res.preempted_alloc_time.iter().all(|(_, v)| v >= 0.0));
     }
 
     #[test]
@@ -887,8 +1000,7 @@ mod tests {
         assert_eq!(completed, wf.len());
         let killed = log.count(|e| matches!(e, crate::log::SimEvent::TaskKilled { .. }));
         assert_eq!(killed, res.metrics.total_retries());
-        let preempted =
-            log.count(|e| matches!(e, crate::log::SimEvent::TaskPreempted { .. }));
+        let preempted = log.count(|e| matches!(e, crate::log::SimEvent::TaskPreempted { .. }));
         assert_eq!(preempted, res.preemptions);
         assert_eq!(dispatched, completed + killed + preempted);
         // JSONL roundtrip.
@@ -940,23 +1052,29 @@ mod tests {
 
     #[test]
     fn backfill_is_no_slower_than_fifo() {
-        // With heterogeneous allocations, letting small tasks around a
-        // blocked head can only improve (or match) makespan here.
+        // Letting small tasks around a blocked head usually helps, but a
+        // backfilled task can also delay the critical path, so the property
+        // only holds in aggregate: compare mean makespan across seeds
+        // rather than any single draw.
+        let mut fifo_total = 0.0;
+        let mut backfill_total = 0.0;
         let wf = small(SyntheticKind::Exponential);
-        let run = |policy| {
-            let config = SimConfig {
-                queue_policy: policy,
-                churn: ChurnConfig::fixed(4),
-                seed: 11,
-                ..SimConfig::default()
+        for seed in 0..8u64 {
+            let run = |policy| {
+                let config = SimConfig {
+                    queue_policy: policy,
+                    churn: ChurnConfig::fixed(4),
+                    seed: 11 + seed,
+                    ..SimConfig::default()
+                };
+                simulate(&wf, AlgorithmKind::MaxSeen, config).makespan_s
             };
-            simulate(&wf, AlgorithmKind::MaxSeen, config).makespan_s
-        };
-        let fifo = run(crate::scheduler::QueuePolicy::Fifo);
-        let backfill = run(crate::scheduler::QueuePolicy::FifoBackfill);
+            fifo_total += run(crate::scheduler::QueuePolicy::Fifo);
+            backfill_total += run(crate::scheduler::QueuePolicy::FifoBackfill);
+        }
         assert!(
-            backfill <= fifo * 1.05,
-            "backfill {backfill} should not trail fifo {fifo}"
+            backfill_total <= fifo_total * 1.05,
+            "mean backfill makespan {backfill_total} should not trail fifo {fifo_total}"
         );
     }
 
@@ -1021,12 +1139,7 @@ mod tests {
         assert_eq!(res.metrics.len(), wf.len());
         res.log.unwrap().check_consistency().unwrap();
         // The DAG forces accumulating tasks to finish last.
-        let order: Vec<u64> = res
-            .metrics
-            .outcomes()
-            .iter()
-            .map(|o| o.task.0)
-            .collect();
+        let order: Vec<u64> = res.metrics.outcomes().iter().map(|o| o.task.0).collect();
         let _ = order; // completion set is full; per-task ordering verified above
     }
 
@@ -1096,11 +1209,7 @@ mod tests {
         fn on_start(&mut self, api: &mut SubmitApi) {
             use tora_alloc::resources::ResourceVector;
             for i in 0..self.probes {
-                api.submit(
-                    0,
-                    ResourceVector::new(1.0, 300.0 + i as f64, 50.0),
-                    20.0,
-                );
+                api.submit(0, ResourceVector::new(1.0, 300.0 + i as f64, 50.0), 20.0);
             }
         }
 

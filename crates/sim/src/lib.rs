@@ -27,10 +27,12 @@ pub mod time;
 pub mod workers;
 
 pub use enforcement::{AttemptVerdict, EnforcementModel};
-pub use engine::{simulate, ArrivalModel, Driver, SimConfig, SimResult, Simulation, SubmitApi, WorkerMix};
+pub use engine::{
+    simulate, ArrivalModel, Driver, SimConfig, SimResult, Simulation, SubmitApi, WorkerMix,
+};
 pub use log::{EventLog, LogEntry, SimEvent};
-pub use scheduler::QueuePolicy;
-pub use stats::{UtilizationSample, UtilizationSeries};
 pub use replay::{replay, replay_with_config};
+pub use scheduler::QueuePolicy;
+pub use stats::{AllocCallCounts, SimStats, UtilizationSample, UtilizationSeries};
 pub use time::SimTime;
 pub use workers::{ChurnConfig, Worker, WorkerId, WorkerPool};

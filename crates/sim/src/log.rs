@@ -169,9 +169,7 @@ impl EventLog {
                     match open_dispatches.remove(&task) {
                         Some(w) if w == worker => {}
                         Some(w) => {
-                            return Err(format!(
-                                "{task} finished on {worker:?} but ran on {w:?}"
-                            ))
+                            return Err(format!("{task} finished on {worker:?} but ran on {w:?}"))
                         }
                         None => return Err(format!("{task} finished without dispatch")),
                     }
@@ -188,7 +186,10 @@ impl EventLog {
             }
         }
         if !open_dispatches.is_empty() {
-            return Err(format!("{} dispatches never terminated", open_dispatches.len()));
+            return Err(format!(
+                "{} dispatches never terminated",
+                open_dispatches.len()
+            ));
         }
         for (task, count) in &submitted {
             if *count != 1 {
@@ -232,7 +233,13 @@ mod tests {
                 allocation: alloc(),
             },
         );
-        log.push(5.0, SimEvent::TaskKilled { task: t0, worker: w0 });
+        log.push(
+            5.0,
+            SimEvent::TaskKilled {
+                task: t0,
+                worker: w0,
+            },
+        );
         log.push(
             5.0,
             SimEvent::TaskDispatched {
@@ -242,7 +249,13 @@ mod tests {
                 allocation: alloc().scale(2.0),
             },
         );
-        log.push(15.0, SimEvent::TaskCompleted { task: t0, worker: w0 });
+        log.push(
+            15.0,
+            SimEvent::TaskCompleted {
+                task: t0,
+                worker: w0,
+            },
+        );
         log
     }
 
@@ -264,7 +277,12 @@ mod tests {
     #[test]
     fn detects_double_dispatch() {
         let mut log = EventLog::new();
-        log.push(0.0, SimEvent::WorkerJoined { worker: WorkerId(0) });
+        log.push(
+            0.0,
+            SimEvent::WorkerJoined {
+                worker: WorkerId(0),
+            },
+        );
         log.push(0.0, SimEvent::TaskSubmitted { task: TaskId(1) });
         for _ in 0..2 {
             log.push(
@@ -283,8 +301,18 @@ mod tests {
     #[test]
     fn detects_dispatch_to_dead_worker() {
         let mut log = EventLog::new();
-        log.push(0.0, SimEvent::WorkerJoined { worker: WorkerId(0) });
-        log.push(1.0, SimEvent::WorkerLeft { worker: WorkerId(0) });
+        log.push(
+            0.0,
+            SimEvent::WorkerJoined {
+                worker: WorkerId(0),
+            },
+        );
+        log.push(
+            1.0,
+            SimEvent::WorkerLeft {
+                worker: WorkerId(0),
+            },
+        );
         log.push(1.0, SimEvent::TaskSubmitted { task: TaskId(0) });
         log.push(
             2.0,
@@ -301,7 +329,12 @@ mod tests {
     #[test]
     fn detects_unterminated_dispatch_and_missing_completion() {
         let mut log = EventLog::new();
-        log.push(0.0, SimEvent::WorkerJoined { worker: WorkerId(0) });
+        log.push(
+            0.0,
+            SimEvent::WorkerJoined {
+                worker: WorkerId(0),
+            },
+        );
         log.push(0.0, SimEvent::TaskSubmitted { task: TaskId(0) });
         log.push(
             0.0,

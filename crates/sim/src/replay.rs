@@ -8,7 +8,7 @@
 //! cross-check replay against [`crate::engine`] runs.
 
 use crate::enforcement::EnforcementModel;
-use tora_alloc::allocator::{Allocator, AllocatorConfig, AlgorithmKind};
+use tora_alloc::allocator::{AlgorithmKind, Allocator, AllocatorConfig};
 use tora_alloc::task::ResourceRecord;
 use tora_metrics::{AttemptOutcome, TaskOutcome, WorkflowMetrics};
 use tora_workloads::Workflow;
@@ -44,7 +44,7 @@ pub fn replay_with_config(
     let mut metrics = WorkflowMetrics::new();
     for task in &workflow.tasks {
         let mut attempts = Vec::new();
-        let mut alloc = allocator.predict_first(task.category);
+        let mut alloc = allocator.predict_first(task.category).into_alloc();
         loop {
             let verdict = enforcement.judge(task, &alloc);
             if verdict.success {
@@ -58,7 +58,9 @@ pub fn replay_with_config(
                 task.id,
                 task.peak
             );
-            alloc = allocator.predict_retry(task.category, &alloc, &verdict.exhausted);
+            alloc = allocator
+                .predict_retry(task.category, &alloc, &verdict.exhausted)
+                .into_alloc();
         }
         metrics.push(TaskOutcome {
             task: task.id,
@@ -97,7 +99,12 @@ mod tests {
         // No algorithm can beat AWE = 1; whole machine is the floor among
         // sensible ones on memory for these workloads.
         let wf = synthetic::generate(SyntheticKind::Normal, 400, 8);
-        let wm = replay(&wf, AlgorithmKind::WholeMachine, EnforcementModel::LinearRamp, 1);
+        let wm = replay(
+            &wf,
+            AlgorithmKind::WholeMachine,
+            EnforcementModel::LinearRamp,
+            1,
+        );
         let eb = replay(
             &wf,
             AlgorithmKind::ExhaustiveBucketing,
@@ -170,11 +177,18 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let wf = synthetic::generate(SyntheticKind::Uniform, 200, 6);
-        let a = replay(&wf, AlgorithmKind::GreedyBucketing, EnforcementModel::LinearRamp, 5);
-        let b = replay(&wf, AlgorithmKind::GreedyBucketing, EnforcementModel::LinearRamp, 5);
-        assert_eq!(
-            a.awe(ResourceKind::MemoryMb),
-            b.awe(ResourceKind::MemoryMb)
+        let a = replay(
+            &wf,
+            AlgorithmKind::GreedyBucketing,
+            EnforcementModel::LinearRamp,
+            5,
         );
+        let b = replay(
+            &wf,
+            AlgorithmKind::GreedyBucketing,
+            EnforcementModel::LinearRamp,
+            5,
+        );
+        assert_eq!(a.awe(ResourceKind::MemoryMb), b.awe(ResourceKind::MemoryMb));
     }
 }

@@ -54,11 +54,7 @@ impl QueuePolicy {
     ///
     /// `queue` yields `(position, allocation)` in queue order; `fits` tests
     /// whether an allocation can be placed right now.
-    pub fn select<F>(
-        &self,
-        queue: &[(usize, ResourceVector)],
-        mut fits: F,
-    ) -> Option<usize>
+    pub fn select<F>(&self, queue: &[(usize, ResourceVector)], mut fits: F) -> Option<usize>
     where
         F: FnMut(&ResourceVector) -> bool,
     {

@@ -1,12 +1,186 @@
-//! Pool utilization time-series.
+//! Pool utilization time-series and engine-side allocation bookkeeping.
 //!
 //! The administrator-side motivation of the paper (§I) is cluster
 //! utilization: opportunistic workers plus tight allocations keep granted
 //! resources busy. This module samples the pool at every engine event and
 //! summarizes reserved-versus-granted capacity over time.
+//!
+//! It also defines [`SimStats`]: the engine's own tally of how often it
+//! called into the allocator. Because the allocator's tracing layer counts
+//! the same interactions from the other side ([`TraceStats`]), the two can
+//! be reconciled exactly — [`SimStats::reconcile`] is the correctness check
+//! behind the `tora trace` subcommand.
 
 use serde::{Deserialize, Serialize};
 use tora_alloc::resources::{ResourceKind, ResourceVector};
+use tora_alloc::task::CategoryId;
+use tora_alloc::trace::TraceStats;
+
+/// Allocator-call counters, engine-side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocCallCounts {
+    /// `predict_first` calls (exploratory and steady-state alike).
+    pub predictions_first: u64,
+    /// `predict_retry` calls (exactly one per resource-exhaustion kill).
+    pub predictions_retry: u64,
+    /// `observe` calls (exactly one per completed task).
+    pub observations: u64,
+    /// Exhausted *managed* axes summed over all kills — the number of
+    /// per-axis escalations the retries asked for.
+    pub escalations: u64,
+}
+
+/// The engine's record of a run, counted at the call sites.
+///
+/// `failures` counts resource-exhaustion kills only; preempted attempts are
+/// under `preemptions` (a departing worker is an infrastructure artifact,
+/// not an allocation failure).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Task attempts placed on workers.
+    pub dispatches: u64,
+    /// Attempts that ran to success.
+    pub completions: u64,
+    /// Attempts killed for exceeding their allocation.
+    pub failures: u64,
+    /// Attempts lost to departing workers.
+    pub preemptions: u64,
+    /// Allocator calls, across all categories.
+    pub calls: AllocCallCounts,
+    /// Allocator calls per task category, keyed by raw category id.
+    pub by_category: Vec<(u32, AllocCallCounts)>,
+}
+
+impl SimStats {
+    /// A fresh, all-zero tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The call counters for one category, if the engine ever touched it.
+    pub fn category(&self, category: CategoryId) -> Option<&AllocCallCounts> {
+        self.by_category
+            .iter()
+            .find(|(id, _)| *id == category.0)
+            .map(|(_, c)| c)
+    }
+
+    fn category_mut(&mut self, category: u32) -> &mut AllocCallCounts {
+        let idx = match self.by_category.iter().position(|(id, _)| *id == category) {
+            Some(i) => i,
+            None => {
+                self.by_category
+                    .push((category, AllocCallCounts::default()));
+                self.by_category.len() - 1
+            }
+        };
+        &mut self.by_category[idx].1
+    }
+
+    /// Record one `predict_first` call.
+    pub fn record_predict_first(&mut self, category: u32) {
+        self.calls.predictions_first += 1;
+        self.category_mut(category).predictions_first += 1;
+    }
+
+    /// Record one `predict_retry` call escalating `escalations` managed axes.
+    pub fn record_predict_retry(&mut self, category: u32, escalations: u64) {
+        self.calls.predictions_retry += 1;
+        self.calls.escalations += escalations;
+        let c = self.category_mut(category);
+        c.predictions_retry += 1;
+        c.escalations += escalations;
+    }
+
+    /// Record one `observe` call.
+    pub fn record_observation(&mut self, category: u32) {
+        self.calls.observations += 1;
+        self.category_mut(category).observations += 1;
+    }
+
+    /// Cross-check this engine-side tally against the allocator's own
+    /// [`TraceStats`]. Every mismatch produces one human-readable line;
+    /// `Ok(())` means the two bookkeepers agree exactly, overall and per
+    /// category.
+    pub fn reconcile(&self, trace: &TraceStats) -> Result<(), Vec<String>> {
+        let mut mismatches = Vec::new();
+        let mut check = |label: String, engine: u64, traced: u64| {
+            if engine != traced {
+                mismatches.push(format!("{label}: engine counted {engine}, trace {traced}"));
+            }
+        };
+        check(
+            "predictions_first".into(),
+            self.calls.predictions_first,
+            trace.overall.predictions_first(),
+        );
+        check(
+            "predictions_retry".into(),
+            self.calls.predictions_retry,
+            trace.overall.retry,
+        );
+        check(
+            "observations".into(),
+            self.calls.observations,
+            trace.overall.observe,
+        );
+        check(
+            "escalations".into(),
+            self.calls.escalations,
+            trace.overall.escalate,
+        );
+        // Structural identities of the engine loop: one retry prediction per
+        // kill, one observation per completion.
+        check(
+            "failures=retry events".into(),
+            self.failures,
+            trace.overall.retry,
+        );
+        check(
+            "completions=observe events".into(),
+            self.completions,
+            trace.overall.observe,
+        );
+        // Per-category, over the union of both key sets.
+        let mut categories: Vec<u32> = self
+            .by_category
+            .iter()
+            .map(|(id, _)| *id)
+            .chain(trace.by_category.iter().map(|(id, _)| *id))
+            .collect();
+        categories.sort_unstable();
+        categories.dedup();
+        for id in categories {
+            let engine = self.category(CategoryId(id)).copied().unwrap_or_default();
+            let traced = trace.category(CategoryId(id)).copied().unwrap_or_default();
+            check(
+                format!("category {id} predictions_first"),
+                engine.predictions_first,
+                traced.predictions_first(),
+            );
+            check(
+                format!("category {id} predictions_retry"),
+                engine.predictions_retry,
+                traced.retry,
+            );
+            check(
+                format!("category {id} observations"),
+                engine.observations,
+                traced.observe,
+            );
+            check(
+                format!("category {id} escalations"),
+                engine.escalations,
+                traced.escalate,
+            );
+        }
+        if mismatches.is_empty() {
+            Ok(())
+        } else {
+            Err(mismatches)
+        }
+    }
+}
 
 /// One utilization sample.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,7 +224,9 @@ impl UtilizationSeries {
     /// Append a sample (samples must arrive in time order).
     pub fn push(&mut self, sample: UtilizationSample) {
         debug_assert!(
-            self.samples.last().is_none_or(|s| s.time_s <= sample.time_s),
+            self.samples
+                .last()
+                .is_none_or(|s| s.time_s <= sample.time_s),
             "series must be time-ordered"
         );
         self.samples.push(sample);
@@ -177,5 +353,105 @@ mod tests {
         // Downsampling a short series is identity.
         assert_eq!(series.downsample(1000).len(), 100);
         assert_eq!(series.downsample(0).len(), 100);
+    }
+}
+
+#[cfg(test)]
+mod sim_stats_tests {
+    use super::*;
+    use tora_alloc::trace::{AllocEvent, EventSink, PredictKind, TraceStats};
+
+    fn matching_pair() -> (SimStats, TraceStats) {
+        let mut stats = SimStats::new();
+        let mut trace = TraceStats::new();
+        let alloc = ResourceVector::new(1.0, 100.0, 10.0);
+        // Category 0: explore, first, one retry escalating two axes, one
+        // completion.
+        stats.record_predict_first(0);
+        trace.emit(AllocEvent::predict(
+            CategoryId(0),
+            PredictKind::Explore,
+            alloc,
+            Vec::new(),
+        ));
+        stats.record_predict_first(0);
+        trace.emit(AllocEvent::predict(
+            CategoryId(0),
+            PredictKind::First,
+            alloc,
+            Vec::new(),
+        ));
+        stats.failures += 1;
+        stats.record_predict_retry(0, 2);
+        trace.emit(AllocEvent::escalate(
+            CategoryId(0),
+            ResourceKind::Cores,
+            1.0,
+            2.0,
+        ));
+        trace.emit(AllocEvent::escalate(
+            CategoryId(0),
+            ResourceKind::MemoryMb,
+            100.0,
+            200.0,
+        ));
+        trace.emit(AllocEvent::predict(
+            CategoryId(0),
+            PredictKind::Retry,
+            alloc,
+            Vec::new(),
+        ));
+        stats.completions += 1;
+        stats.record_observation(0);
+        trace.emit(AllocEvent::observe(CategoryId(0), alloc, 1.0));
+        // Category 3: a lone exploratory prediction.
+        stats.record_predict_first(3);
+        trace.emit(AllocEvent::predict(
+            CategoryId(3),
+            PredictKind::Explore,
+            alloc,
+            Vec::new(),
+        ));
+        (stats, trace)
+    }
+
+    #[test]
+    fn reconcile_accepts_matching_tallies() {
+        let (stats, trace) = matching_pair();
+        stats.reconcile(&trace).unwrap();
+        assert_eq!(stats.calls.predictions_first, 3);
+        assert_eq!(stats.category(CategoryId(3)).unwrap().predictions_first, 1);
+        assert!(stats.category(CategoryId(9)).is_none());
+    }
+
+    #[test]
+    fn reconcile_reports_every_mismatch() {
+        let (mut stats, trace) = matching_pair();
+        stats.record_predict_first(0); // engine claims an extra prediction
+        stats.calls.escalations += 1; // and an extra escalation
+        let errs = stats.reconcile(&trace).unwrap_err();
+        assert!(errs.len() >= 3, "{errs:?}"); // overall x2 + category 0
+        assert!(errs.iter().any(|e| e.contains("predictions_first")));
+        assert!(errs.iter().any(|e| e.contains("escalations")));
+    }
+
+    #[test]
+    fn reconcile_catches_category_only_skew() {
+        // Overall totals agree but the per-category split does not.
+        let (mut stats, trace) = matching_pair();
+        // Move a first-prediction from category 0 to category 3.
+        stats.category_mut(0).predictions_first -= 1;
+        stats.category_mut(3).predictions_first += 1;
+        let errs = stats.reconcile(&trace).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("category 0")));
+        assert!(errs.iter().any(|e| e.contains("category 3")));
+    }
+
+    #[test]
+    fn sim_stats_serde_round_trip() {
+        let (stats, _) = matching_pair();
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: SimStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
     }
 }

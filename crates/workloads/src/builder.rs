@@ -176,7 +176,10 @@ mod tests {
                     min: 1000.0,
                 },
                 disk_mb: Dist::Constant(306.0),
-                duration_s: Dist::Uniform { lo: 60.0, hi: 120.0 },
+                duration_s: Dist::Uniform {
+                    lo: 60.0,
+                    hi: 120.0,
+                },
             })
     }
 

@@ -95,9 +95,7 @@ impl Dist {
             Dist::Constant(v) => v,
             Dist::Normal { mean, std_dev, min } => normal(rng, mean, std_dev).max(min),
             Dist::Uniform { lo, hi } => uniform(rng, lo, hi),
-            Dist::Exponential { offset, mean, max } => {
-                (offset + exponential(rng, mean)).min(max)
-            }
+            Dist::Exponential { offset, mean, max } => (offset + exponential(rng, mean)).min(max),
             Dist::Bimodal {
                 p_low,
                 low_mean,

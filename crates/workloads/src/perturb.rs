@@ -137,9 +137,7 @@ mod tests {
         let scaled = scale(&wf, ResourceKind::MemoryMb, 2.0);
         scaled.validate().unwrap();
         for (a, b) in wf.tasks.iter().zip(&scaled.tasks) {
-            assert!(
-                (b.peak.memory_mb() - (a.peak.memory_mb() * 2.0).min(65536.0)).abs() < 1e-9
-            );
+            assert!((b.peak.memory_mb() - (a.peak.memory_mb() * 2.0).min(65536.0)).abs() < 1e-9);
             assert_eq!(a.peak.cores(), b.peak.cores());
             assert_eq!(a.peak.disk_mb(), b.peak.disk_mb());
             assert_eq!(a.duration_s, b.duration_s);
@@ -180,8 +178,15 @@ mod tests {
             assert_eq!(t.id.0, i as u64);
         }
         assert_ne!(
-            wf.tasks.iter().map(|t| t.peak.memory_mb()).collect::<Vec<_>>(),
-            shuffled.tasks.iter().map(|t| t.peak.memory_mb()).collect::<Vec<_>>()
+            wf.tasks
+                .iter()
+                .map(|t| t.peak.memory_mb())
+                .collect::<Vec<_>>(),
+            shuffled
+                .tasks
+                .iter()
+                .map(|t| t.peak.memory_mb())
+                .collect::<Vec<_>>()
         );
     }
 

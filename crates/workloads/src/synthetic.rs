@@ -198,12 +198,7 @@ mod tests {
     #[test]
     fn normal_memory_centers_on_its_mean() {
         let wf = paper_workflow(SyntheticKind::Normal, 3);
-        let mean = wf
-            .tasks
-            .iter()
-            .map(|t| t.peak.memory_mb())
-            .sum::<f64>()
-            / wf.len() as f64;
+        let mean = wf.tasks.iter().map(|t| t.peak.memory_mb()).sum::<f64>() / wf.len() as f64;
         assert!((mean - 4000.0).abs() < 150.0, "mean {mean}");
     }
 

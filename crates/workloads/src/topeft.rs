@@ -169,18 +169,8 @@ mod tests {
         assert_eq!(wf.category_counts(), vec![363, 3994, 212]);
         wf.validate().unwrap();
         // Phase order: pre < proc < acc by id ranges.
-        let max_id = |c: u32| {
-            wf.tasks_of(CategoryId(c))
-                .map(|t| t.id.0)
-                .max()
-                .unwrap()
-        };
-        let min_id = |c: u32| {
-            wf.tasks_of(CategoryId(c))
-                .map(|t| t.id.0)
-                .min()
-                .unwrap()
-        };
+        let max_id = |c: u32| wf.tasks_of(CategoryId(c)).map(|t| t.id.0).max().unwrap();
+        let min_id = |c: u32| wf.tasks_of(CategoryId(c)).map(|t| t.id.0).min().unwrap();
         assert!(max_id(CAT_PREPROCESSING) < min_id(CAT_PROCESSING));
         assert!(max_id(CAT_PROCESSING) < min_id(CAT_ACCUMULATING));
     }
@@ -251,8 +241,9 @@ mod tests {
             for &d in wf.deps_of(PREPROCESSING_TASKS + PROCESSING_TASKS + k) {
                 assert!(covered.insert(d), "processing task {d} merged twice");
                 let idx = d as usize;
-                assert!((PREPROCESSING_TASKS..PREPROCESSING_TASKS + PROCESSING_TASKS)
-                    .contains(&idx));
+                assert!(
+                    (PREPROCESSING_TASKS..PREPROCESSING_TASKS + PROCESSING_TASKS).contains(&idx)
+                );
             }
         }
         assert_eq!(covered.len(), PROCESSING_TASKS);

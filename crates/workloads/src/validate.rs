@@ -81,8 +81,10 @@ pub fn dist_cdf(dist: &Dist, x: f64) -> f64 {
             high_mean,
             high_std,
             ..
-        } => p_low * normal_cdf(x, low_mean, low_std)
-            + (1.0 - p_low) * normal_cdf(x, high_mean, high_std),
+        } => {
+            p_low * normal_cdf(x, low_mean, low_std)
+                + (1.0 - p_low) * normal_cdf(x, high_mean, high_std)
+        }
     }
 }
 
@@ -116,7 +118,9 @@ mod tests {
     #[test]
     fn ks_accepts_matching_distribution() {
         let mut rng = StdRng::seed_from_u64(1);
-        let samples: Vec<f64> = (0..5000).map(|_| dist::normal(&mut rng, 10.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| dist::normal(&mut rng, 10.0, 2.0))
+            .collect();
         let d = ks_statistic(&samples, |x| normal_cdf(x, 10.0, 2.0));
         let crit = ks_critical(samples.len(), 0.01);
         assert!(d < crit, "D {d} ≥ critical {crit}");
@@ -125,7 +129,9 @@ mod tests {
     #[test]
     fn ks_rejects_wrong_distribution() {
         let mut rng = StdRng::seed_from_u64(2);
-        let samples: Vec<f64> = (0..5000).map(|_| dist::normal(&mut rng, 10.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| dist::normal(&mut rng, 10.0, 2.0))
+            .collect();
         // Against a shifted reference, the statistic must blow past critical.
         let d = ks_statistic(&samples, |x| normal_cdf(x, 12.0, 2.0));
         let crit = ks_critical(samples.len(), 0.01);

@@ -27,7 +27,13 @@ fn main() {
 
     let mut table = Table::new(
         "TopEFT under two allocators",
-        &["algorithm", "cores AWE", "memory AWE", "disk AWE", "retries"],
+        &[
+            "algorithm",
+            "cores AWE",
+            "memory AWE",
+            "disk AWE",
+            "retries",
+        ],
     );
     let mut steady_disk = Vec::new();
     for algorithm in [AlgorithmKind::ExhaustiveBucketing, AlgorithmKind::MaxSeen] {

@@ -10,7 +10,7 @@
 //! — the extensibility called out in §VII.
 
 use tora::alloc::allocator::EstimatorFactory;
-use tora::alloc::{RecordList, ValueEstimator};
+use tora::alloc::{Prediction, RecordList, ValueEstimator};
 use tora::metrics::{pct, Table};
 use tora::prelude::*;
 
@@ -41,15 +41,19 @@ impl ValueEstimator for P95Headroom {
         self.records.len()
     }
 
-    fn first(&mut self, _u: f64) -> Option<f64> {
-        self.records.quantile(0.95).map(|v| v * 1.2)
+    fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
+        // A deterministic point estimate — the provenance shows up in
+        // traced runs as `AllocSource::Point`.
+        self.records
+            .quantile(0.95)
+            .map(|v| Prediction::point(v * 1.2))
     }
 
-    fn retry(&mut self, prev: f64, _u: f64) -> Option<f64> {
+    fn predict_retry(&mut self, prev: f64, _u: f64) -> Option<Prediction> {
         if self.records.is_empty() {
             None
         } else {
-            Some(prev * 2.0)
+            Some(Prediction::doubling(prev * 2.0))
         }
     }
 }
@@ -70,7 +74,7 @@ fn main() {
     let mut metrics = WorkflowMetrics::new();
     for task in &workflow.tasks {
         let mut attempts = Vec::new();
-        let mut alloc = custom.predict_first(task.category);
+        let mut alloc = custom.predict_first(task.category).into_alloc();
         loop {
             let verdict = enforcement.judge(task, &alloc);
             if verdict.success {
@@ -78,7 +82,9 @@ fn main() {
                 break;
             }
             attempts.push(AttemptOutcome::failure(alloc, verdict.charged_time_s));
-            alloc = custom.predict_retry(task.category, &alloc, &verdict.exhausted);
+            alloc = custom
+                .predict_retry(task.category, &alloc, &verdict.exhausted)
+                .into_alloc();
         }
         metrics.push(TaskOutcome {
             task: task.id,
@@ -101,7 +107,10 @@ fn main() {
         "custom estimator vs Exhaustive Bucketing (serial replay)",
         &["allocator", "cores AWE", "memory AWE", "retries"],
     );
-    for (name, m) in [("p95-headroom", &metrics), ("exhaustive-bucketing", &reference)] {
+    for (name, m) in [
+        ("p95-headroom", &metrics),
+        ("exhaustive-bucketing", &reference),
+    ] {
         table.row(&[
             name.to_string(),
             pct(m.awe(ResourceKind::Cores).unwrap()),
@@ -113,10 +122,9 @@ fn main() {
 
     // Extensibility: manage the GPU axis too. Build a workflow where tasks
     // consume 1 GPU and let the allocator manage all four dimensions.
-    let worker = WorkerSpec::new(ResourceVector::new(16.0, 65536.0, 65536.0).with(
-        tora::alloc::ResourceKind::Gpus,
-        4.0,
-    ));
+    let worker = WorkerSpec::new(
+        ResourceVector::new(16.0, 65536.0, 65536.0).with(tora::alloc::ResourceKind::Gpus, 4.0),
+    );
     let mut gpu_alloc = Allocator::with_config(
         AlgorithmKind::ExhaustiveBucketing,
         AllocatorConfig {
@@ -133,8 +141,13 @@ fn main() {
     );
     for id in 0..50u64 {
         let peak = ResourceVector::new(1.0, 500.0, 100.0).with(ResourceKind::Gpus, 1.0);
-        gpu_alloc.observe(&ResourceRecord::from_task(&TaskSpec::new(id, 0, peak, 30.0)));
+        gpu_alloc.observe(&ResourceRecord::from_task(&TaskSpec::new(
+            id, 0, peak, 30.0,
+        )));
     }
     let next = gpu_alloc.predict_first(CategoryId(0));
-    println!("\nfour-axis allocation with GPUs managed: {next} + {} gpus", next.gpus());
+    println!(
+        "\nfour-axis allocation with GPUs managed: {next} + {} gpus",
+        next.gpus()
+    );
 }

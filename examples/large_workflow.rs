@@ -20,11 +20,22 @@ fn main() {
 
     let mut table = Table::new(
         "Exhaustive Bucketing: small vs >10k-task workflow (§VII hypothesis)",
-        &["workflow", "tasks", "cores AWE", "memory AWE", "disk AWE", "retries/task"],
+        &[
+            "workflow",
+            "tasks",
+            "cores AWE",
+            "memory AWE",
+            "disk AWE",
+            "retries/task",
+        ],
     );
     let mut memory_awe = Vec::new();
     for wf in [&small, &large] {
-        let result = simulate(wf, AlgorithmKind::ExhaustiveBucketing, SimConfig::paper_like(3));
+        let result = simulate(
+            wf,
+            AlgorithmKind::ExhaustiveBucketing,
+            SimConfig::paper_like(3),
+        );
         let mem = result.metrics.awe(ResourceKind::MemoryMb).unwrap();
         memory_awe.push(mem);
         table.row(&[

@@ -49,12 +49,24 @@ fn main() {
     log.check_consistency().expect("run is self-consistent");
     println!("\n== event log ({} entries) ==", log.len());
     for (label, pred) in [
-        ("dispatched", |e: &SimEvent| matches!(e, SimEvent::TaskDispatched { .. })),
-        ("completed", |e: &SimEvent| matches!(e, SimEvent::TaskCompleted { .. })),
-        ("killed", |e: &SimEvent| matches!(e, SimEvent::TaskKilled { .. })),
-        ("preempted", |e: &SimEvent| matches!(e, SimEvent::TaskPreempted { .. })),
-        ("worker joins", |e: &SimEvent| matches!(e, SimEvent::WorkerJoined { .. })),
-        ("worker leaves", |e: &SimEvent| matches!(e, SimEvent::WorkerLeft { .. })),
+        ("dispatched", |e: &SimEvent| {
+            matches!(e, SimEvent::TaskDispatched { .. })
+        }),
+        ("completed", |e: &SimEvent| {
+            matches!(e, SimEvent::TaskCompleted { .. })
+        }),
+        ("killed", |e: &SimEvent| {
+            matches!(e, SimEvent::TaskKilled { .. })
+        }),
+        ("preempted", |e: &SimEvent| {
+            matches!(e, SimEvent::TaskPreempted { .. })
+        }),
+        ("worker joins", |e: &SimEvent| {
+            matches!(e, SimEvent::WorkerJoined { .. })
+        }),
+        ("worker leaves", |e: &SimEvent| {
+            matches!(e, SimEvent::WorkerLeft { .. })
+        }),
     ] as [(&str, fn(&SimEvent) -> bool); 6]
     {
         println!("  {label:<13}: {}", log.count(pred));
@@ -64,7 +76,11 @@ fn main() {
     let series = result.utilization.expect("utilization enabled");
     println!("\n== pool utilization ==");
     let mut table = Table::new("", &["resource", "time-weighted mean", "peak running"]);
-    for kind in [ResourceKind::Cores, ResourceKind::MemoryMb, ResourceKind::DiskMb] {
+    for kind in [
+        ResourceKind::Cores,
+        ResourceKind::MemoryMb,
+        ResourceKind::DiskMb,
+    ] {
         table.row(&[
             kind.label().to_string(),
             pct(series.mean_utilization(kind).unwrap_or(0.0)),
@@ -90,11 +106,24 @@ fn main() {
     for task in &workflow.tasks {
         allocator.observe(&ResourceRecord::from_task(task));
     }
+    // Bucketing is lazy: force the recomputation now, then take a read-only
+    // snapshot of the result (`snapshot` alone never recomputes).
+    let info = allocator
+        .rebucket(CategoryId(0), ResourceKind::MemoryMb)
+        .expect("records observed");
     let set = allocator
         .snapshot(CategoryId(0), ResourceKind::MemoryMb)
         .expect("bucketing state exists");
-    println!("\n== learned memory buckets ({}) ==", set.len());
-    let mut buckets = Table::new("", &["bucket", "representative (MB)", "probability", "records"]);
+    println!(
+        "\n== learned memory buckets ({} from {} records, expected waste {:.3e}) ==",
+        set.len(),
+        info.n_records,
+        info.cost
+    );
+    let mut buckets = Table::new(
+        "",
+        &["bucket", "representative (MB)", "probability", "records"],
+    );
     for (i, b) in set.buckets().iter().enumerate() {
         buckets.row(&[
             format!("B{}", i + 1),

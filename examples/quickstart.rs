@@ -21,7 +21,14 @@ fn main() {
 
     let mut table = Table::new(
         "Absolute Workflow Efficiency by algorithm",
-        &["algorithm", "cores", "memory", "disk", "retries", "makespan"],
+        &[
+            "algorithm",
+            "cores",
+            "memory",
+            "disk",
+            "retries",
+            "makespan",
+        ],
     );
     for algorithm in AlgorithmKind::PAPER_SET {
         // An opportunistic pool that ramps from 8 workers into a 20–50 band,

@@ -58,7 +58,14 @@ fn main() {
 
     let mut table = Table::new(
         "what each allocator's run costs (spot pricing, 91% discount)",
-        &["algorithm", "memory AWE", "$ paid", "$ useful", "$ wasted", "$ on-demand"],
+        &[
+            "algorithm",
+            "memory AWE",
+            "$ paid",
+            "$ useful",
+            "$ wasted",
+            "$ on-demand",
+        ],
     );
     let mut bills = Vec::new();
     for algorithm in AlgorithmKind::PAPER_SET {

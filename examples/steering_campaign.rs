@@ -13,11 +13,11 @@
 //! cargo run --release --example steering_campaign
 //! ```
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use tora::metrics::{pct, Table};
 use tora::prelude::*;
 use tora::workloads::dist;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const RANK_BATCHES: usize = 12;
 const CANDIDATES_PER_BATCH: usize = 40;
@@ -75,8 +75,7 @@ impl Driver for Campaign {
                 dist::normal(&mut self.rng, 200.0, 15.0).max(120.0),
                 dist::uniform(&mut self.rng, 8.0, 12.0),
             );
-            let duration =
-                dist::lognormal(&mut self.rng, 180.0f64.ln(), 0.6).clamp(20.0, 1800.0);
+            let duration = dist::lognormal(&mut self.rng, 180.0f64.ln(), 0.6).clamp(20.0, 1800.0);
             api.submit(CAT_ENERGY, peak, duration);
             self.energy_submitted += 1;
         }
@@ -111,7 +110,10 @@ fn main() {
         "per-category results (Exhaustive Bucketing)",
         &["category", "tasks", "cores AWE", "memory AWE", "retries"],
     );
-    for (id, name) in [(CAT_RANK, "rank_candidates"), (CAT_ENERGY, "compute_energy")] {
+    for (id, name) in [
+        (CAT_RANK, "rank_candidates"),
+        (CAT_ENERGY, "compute_energy"),
+    ] {
         let m = res.metrics.filter_category(CategoryId(id));
         table.row(&[
             name.to_string(),

@@ -7,6 +7,7 @@
 //! tora generate <workflow> [opts]             emit a workflow trace as JSON
 //! tora simulate <workflow|file> [opts]        run the discrete-event engine
 //! tora replay   <workflow|file> [opts]        run the fast serial replay
+//! tora trace    <workflow|file> [opts]        traced run: allocation events as JSONL
 //! tora matrix   [opts]                        the 7×7 AWE matrix (Fig. 5)
 //! ```
 //!
@@ -26,6 +27,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("simulate") => cmd_run(&args[1..], Mode::Simulate),
         Some("replay") => cmd_run(&args[1..], Mode::Replay),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("matrix") => cmd_matrix(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -52,6 +54,8 @@ fn print_usage() {
            generate <workflow> [opts]      emit a workflow trace as JSON\n\
            simulate <workflow|file> [opts] run the discrete-event engine\n\
            replay   <workflow|file> [opts] run the fast serial replay\n\
+           trace    <workflow|file> [opts] traced engine run: allocation decisions as\n\
+                                           JSONL plus an engine/allocator reconciliation\n\
            matrix   [opts]                 AWE matrix across workflows × algorithms\n\n\
          COMMON OPTIONS:\n\
            --seed <u64>          seed (default 42)\n\
@@ -235,11 +239,23 @@ fn cmd_algorithms() -> Result<(), String> {
         (AlgorithmKind::MaxSeen, "naive baseline"),
         (AlgorithmKind::MinWaste, "Tovar et al. job sizing"),
         (AlgorithmKind::MaxThroughput, "Tovar et al. job sizing"),
-        (AlgorithmKind::QuantizedBucketing, "Phung et al. quantile clustering"),
+        (
+            AlgorithmKind::QuantizedBucketing,
+            "Phung et al. quantile clustering",
+        ),
         (AlgorithmKind::GreedyBucketing, "this paper (Algorithm 1)"),
-        (AlgorithmKind::ExhaustiveBucketing, "this paper (Algorithm 2)"),
-        (AlgorithmKind::GreedyBucketingIncremental, "ablation: fast greedy scan"),
-        (AlgorithmKind::KMeansBucketing, "extension: k-means clustering"),
+        (
+            AlgorithmKind::ExhaustiveBucketing,
+            "this paper (Algorithm 2)",
+        ),
+        (
+            AlgorithmKind::GreedyBucketingIncremental,
+            "ablation: fast greedy scan",
+        ),
+        (
+            AlgorithmKind::KMeansBucketing,
+            "extension: k-means clustering",
+        ),
     ];
     for (alg, kind) in rows {
         table.row(&[
@@ -257,7 +273,10 @@ fn cmd_algorithms() -> Result<(), String> {
 }
 
 fn cmd_workflows() -> Result<(), String> {
-    let mut table = Table::new("built-in workflows", &["name", "tasks", "categories", "kind"]);
+    let mut table = Table::new(
+        "built-in workflows",
+        &["name", "tasks", "categories", "kind"],
+    );
     for wf in PaperWorkflow::ALL {
         let built = wf.build(42);
         table.row(&[
@@ -340,9 +359,20 @@ fn cmd_run(raw: &[String], mode: Mode) -> Result<(), String> {
     );
     let mut table = Table::new(
         "efficiency",
-        &["resource", "AWE", "consumption", "allocation", "IF waste", "FA waste"],
+        &[
+            "resource",
+            "AWE",
+            "consumption",
+            "allocation",
+            "IF waste",
+            "FA waste",
+        ],
     );
-    for kind in [ResourceKind::Cores, ResourceKind::MemoryMb, ResourceKind::DiskMb] {
+    for kind in [
+        ResourceKind::Cores,
+        ResourceKind::MemoryMb,
+        ResourceKind::DiskMb,
+    ] {
         let w = metrics.waste(kind);
         table.row(&[
             kind.label().to_string(),
@@ -386,6 +416,124 @@ fn cmd_run(raw: &[String], mode: Mode) -> Result<(), String> {
     Ok(())
 }
 
+/// `tora trace`: run the engine with a live event sink attached, dump the
+/// allocator's decision stream as JSONL, and cross-check the stream's counts
+/// against the engine's own bookkeeping. A mismatch is a bug in one of the
+/// two bookkeepers, so it fails the command.
+fn cmd_trace(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let name = args
+        .positional
+        .first()
+        .ok_or("trace requires a workflow name or trace file")?;
+    let wf = parse_workflow(name, &args)?;
+    let algorithm = match args.value_of("algorithm")? {
+        None => AlgorithmKind::ExhaustiveBucketing,
+        Some(name) => parse_algorithm(name)?,
+    };
+    let seed = args.seed()?;
+    let config = parse_sim_config(&args)?;
+
+    // Count and serialize in one pass: a pair of sinks sees every event.
+    let sink = (TraceStats::new(), JsonlSink::new(Vec::<u8>::new()));
+    let (result, (trace, jsonl)) = Simulation::new(&wf, algorithm, config)
+        .with_sink(sink)
+        .run_traced();
+    if jsonl.errors() > 0 {
+        return Err(format!("{} events failed to serialize", jsonl.errors()));
+    }
+    let events_written = jsonl.written();
+    let bytes = jsonl.into_inner();
+
+    // Events go to --out or stdout; the summary goes to the other stream so
+    // `tora trace ... | jq` stays clean.
+    let events_on_stdout = match args.value_of("out")? {
+        Some(path) => {
+            std::fs::write(path, &bytes).map_err(|e| e.to_string())?;
+            eprintln!("wrote {events_written} events to {path}");
+            false
+        }
+        None => {
+            use std::io::Write as _;
+            std::io::stdout()
+                .write_all(&bytes)
+                .map_err(|e| e.to_string())?;
+            true
+        }
+    };
+    let emit = |s: String| {
+        if events_on_stdout {
+            eprintln!("{s}");
+        } else {
+            println!("{s}");
+        }
+    };
+
+    emit(format!(
+        "workflow `{}` × {} (seed {seed}): {events_written} events, {} tasks, {} retries",
+        wf.name,
+        algorithm.label(),
+        result.metrics.len(),
+        result.metrics.total_retries()
+    ));
+    let mut table = Table::new(
+        "allocation events by category",
+        &[
+            "category", "explore", "first", "retry", "escalate", "rebucket", "observe",
+        ],
+    );
+    let mut categories: Vec<u32> = trace.by_category.iter().map(|(id, _)| *id).collect();
+    categories.sort_unstable();
+    let tally_row = |label: String, t: &tora::alloc::trace::Tally| {
+        [
+            label,
+            t.explore.to_string(),
+            t.first.to_string(),
+            t.retry.to_string(),
+            t.escalate.to_string(),
+            t.rebucket.to_string(),
+            t.observe.to_string(),
+        ]
+    };
+    for id in categories {
+        let t = trace.category(CategoryId(id)).copied().unwrap_or_default();
+        table.row(&tally_row(id.to_string(), &t));
+    }
+    table.row(&tally_row("all".into(), &trace.overall));
+    emit(table.render().trim_end().to_string());
+    emit(format!(
+        "engine: {} dispatches | {} completions | {} kills | {} preemptions | makespan {:.0} s",
+        result.stats.dispatches,
+        result.stats.completions,
+        result.stats.failures,
+        result.stats.preemptions,
+        result.makespan_s
+    ));
+
+    match result.stats.reconcile(&trace) {
+        Ok(()) => {
+            emit(format!(
+                "reconciliation OK: {} predictions, {} retries, {} escalations and {} \
+                 observations agree with the engine's tally",
+                trace.overall.predictions_first(),
+                trace.overall.retry,
+                trace.overall.escalate,
+                trace.overall.observe
+            ));
+            Ok(())
+        }
+        Err(mismatches) => {
+            for m in &mismatches {
+                eprintln!("reconciliation mismatch: {m}");
+            }
+            Err(format!(
+                "engine/trace reconciliation failed ({} mismatches)",
+                mismatches.len()
+            ))
+        }
+    }
+}
+
 fn cmd_matrix(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let seed = args.seed()?;
@@ -401,7 +549,10 @@ fn cmd_matrix(raw: &[String]) -> Result<(), String> {
         for wf in PaperWorkflow::ALL {
             let built = wf.build(seed);
             let result = simulate(&built, alg.fast_equivalent(), SimConfig::paper_like(seed));
-            row.push(pct(result.metrics.awe(ResourceKind::MemoryMb).unwrap_or(0.0)));
+            row.push(pct(result
+                .metrics
+                .awe(ResourceKind::MemoryMb)
+                .unwrap_or(0.0)));
         }
         table.push_row(row);
         eprint!(".");

@@ -44,15 +44,20 @@ pub use tora_workloads as workloads;
 /// The names most programs need.
 pub mod prelude {
     pub use tora_alloc::allocator::{
-        AlgorithmKind, Allocator, AllocatorConfig, ExploratoryPolicy,
+        AlgorithmKind, AllocationDecision, Allocator, AllocatorBuilder, AllocatorConfig,
+        ExploratoryPolicy,
     };
     pub use tora_alloc::resources::{ResourceKind, ResourceMask, ResourceVector, WorkerSpec};
     pub use tora_alloc::task::{CategoryId, ResourceRecord, TaskId, TaskSpec};
+    pub use tora_alloc::trace::{
+        AllocEvent, AxisProvenance, EventSink, JsonlSink, MemorySink, NoopSink, PredictKind,
+        TraceStats,
+    };
     pub use tora_metrics::{AttemptOutcome, TaskOutcome, WasteBreakdown, WorkflowMetrics};
     pub use tora_sim::{
         replay, simulate, ArrivalModel, ChurnConfig, Driver, EnforcementModel, EventLog,
-        QueuePolicy, SimConfig, SimEvent, SimResult, Simulation, SubmitApi, UtilizationSeries,
-        WorkerMix,
+        QueuePolicy, SimConfig, SimEvent, SimResult, SimStats, Simulation, SubmitApi,
+        UtilizationSeries, WorkerMix,
     };
     pub use tora_workloads::{PaperWorkflow, SyntheticKind, Workflow};
 }

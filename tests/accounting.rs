@@ -67,7 +67,10 @@ fn engine_identities_hold_with_churn_and_preemption() {
         // Every task id appears exactly once.
         let mut ids: Vec<u64> = res.metrics.outcomes().iter().map(|o| o.task.0).collect();
         ids.sort_unstable();
-        assert!(ids.windows(2).all(|w| w[0] + 1 == w[1]), "{alg}: duplicate or missing tasks");
+        assert!(
+            ids.windows(2).all(|w| w[0] + 1 == w[1]),
+            "{alg}: duplicate or missing tasks"
+        );
         // Every outcome passes the structural check.
         for o in res.metrics.outcomes() {
             o.check().unwrap();
@@ -91,7 +94,10 @@ fn preemption_accounting_is_separate_from_waste() {
         ..SimConfig::paper_like(23)
     };
     let res = simulate(&wf, AlgorithmKind::MaxSeen, churny);
-    assert!(res.preemptions > 0, "expected preemptions under heavy churn");
+    assert!(
+        res.preemptions > 0,
+        "expected preemptions under heavy churn"
+    );
     // Outcomes remain structurally sound despite preemptions.
     for o in res.metrics.outcomes() {
         o.check().unwrap();

@@ -106,7 +106,13 @@ fn simulate_writes_event_log() {
 #[test]
 fn dag_and_mix_options() {
     let (ok, out, err) = tora(&[
-        "replay", "topeft", "--dag", "--seed", "2", "--algorithm", "max-seen",
+        "replay",
+        "topeft",
+        "--dag",
+        "--seed",
+        "2",
+        "--algorithm",
+        "max-seen",
     ]);
     assert!(ok, "{err}");
     assert!(out.contains("4569 tasks"), "{out}");
@@ -120,6 +126,53 @@ fn dag_and_mix_options() {
 
     let (ok, _, err) = tora(&["simulate", "normal", "--tasks", "40", "--mix", "2:0.5"]);
     assert!(!ok, "{err}");
+}
+
+#[test]
+fn trace_emits_jsonl_and_reconciles() {
+    let dir = std::env::temp_dir().join("tora-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("alloc-events.jsonl");
+    let path_str = path.to_str().unwrap();
+    let (ok, out, err) = tora(&[
+        "trace",
+        "bimodal",
+        "--tasks",
+        "80",
+        "--seed",
+        "3",
+        "--workers",
+        "fixed:8",
+        "--out",
+        path_str,
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("reconciliation OK"), "{out}");
+    assert!(out.contains("allocation events by category"), "{out}");
+    // Every line of the dump is one well-formed event.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let events: Vec<tora::prelude::AllocEvent> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("valid event JSON"))
+        .collect();
+    assert!(!events.is_empty());
+    assert!(out.contains(&format!("{} events", events.len())), "{out}");
+    std::fs::remove_file(&path).ok();
+
+    // Without --out the events go to stdout and the summary to stderr.
+    let (ok, out, err) = tora(&[
+        "trace",
+        "bimodal",
+        "--tasks",
+        "40",
+        "--seed",
+        "3",
+        "--workers",
+        "fixed:8",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.lines().all(|l| l.starts_with('{')), "{out}");
+    assert!(err.contains("reconciliation OK"), "{err}");
 }
 
 #[test]

@@ -9,7 +9,11 @@ fn bucketing_converges_to_a_steady_state() {
     // §VII: the bucketing algorithms "quickly converge to a steady state on
     // workflows of around 4,500 tasks" — check onset on a 1,200-task run.
     let wf = synthetic::generate(SyntheticKind::Normal, 1200, 4);
-    let res = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, SimConfig::paper_like(4));
+    let res = simulate(
+        &wf,
+        AlgorithmKind::ExhaustiveBucketing,
+        SimConfig::paper_like(4),
+    );
     // Bucket sampling keeps the trajectory noisy, so the band is generous;
     // what matters is that the run settles well before its end.
     let onset = steady_state_onset(&res.metrics, ResourceKind::MemoryMb, 120, 0.15)
@@ -25,7 +29,11 @@ fn steady_state_beats_the_exploration_phase() {
     // The rolling AWE of the last quarter should beat the first window,
     // which pays the exploratory probes.
     let wf = topeft::generate(60, 900, 40, 9);
-    let res = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, SimConfig::paper_like(9));
+    let res = simulate(
+        &wf,
+        AlgorithmKind::ExhaustiveBucketing,
+        SimConfig::paper_like(9),
+    );
     let points = rolling_awe(&res.metrics, ResourceKind::DiskMb, 100);
     assert!(points.len() >= 4);
     let first = points.first().unwrap().1;
@@ -47,7 +55,11 @@ fn phase_change_is_relearned() {
     // re-learns). Compare against a frozen-oracle-free reference: the final
     // third's rolling AWE should be in the same band as the first third's.
     let wf = synthetic::generate(SyntheticKind::PhasingTrimodal, 1200, 6);
-    let res = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, SimConfig::paper_like(6));
+    let res = simulate(
+        &wf,
+        AlgorithmKind::ExhaustiveBucketing,
+        SimConfig::paper_like(6),
+    );
     let points = rolling_awe(&res.metrics, ResourceKind::MemoryMb, 120);
     let third = points.len() / 3;
     let mean = |s: &[(u64, f64)]| s.iter().map(|p| p.1).sum::<f64>() / s.len() as f64;

@@ -23,11 +23,19 @@ fn small_sim(workflow: &Workflow, algorithm: AlgorithmKind, seed: u64) -> SimRes
 
 #[test]
 fn bucketing_beats_whole_machine_on_every_synthetic() {
-    for kind in [SyntheticKind::Normal, SyntheticKind::Bimodal, SyntheticKind::Uniform] {
+    for kind in [
+        SyntheticKind::Normal,
+        SyntheticKind::Bimodal,
+        SyntheticKind::Uniform,
+    ] {
         let wf = synthetic::generate(kind, 300, 9);
         let eb = small_sim(&wf, AlgorithmKind::ExhaustiveBucketing, 9);
         let wm = small_sim(&wf, AlgorithmKind::WholeMachine, 9);
-        for res in [ResourceKind::Cores, ResourceKind::MemoryMb, ResourceKind::DiskMb] {
+        for res in [
+            ResourceKind::Cores,
+            ResourceKind::MemoryMb,
+            ResourceKind::DiskMb,
+        ] {
             let eb_awe = eb.metrics.awe(res).unwrap();
             let wm_awe = wm.metrics.awe(res).unwrap();
             assert!(

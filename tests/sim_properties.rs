@@ -6,8 +6,13 @@ use tora::prelude::*;
 use tora::workloads::synthetic;
 
 fn arb_churn() -> impl Strategy<Value = ChurnConfig> {
-    (1usize..6, 1usize..4, 0usize..10, prop::option::of(5.0f64..40.0)).prop_map(
-        |(initial, min, extra, interval)| {
+    (
+        1usize..6,
+        1usize..4,
+        0usize..10,
+        prop::option::of(5.0f64..40.0),
+    )
+        .prop_map(|(initial, min, extra, interval)| {
             let max = min + extra;
             let initial = initial.clamp(1, max);
             let mean_interval_s = if initial < min {
@@ -22,8 +27,7 @@ fn arb_churn() -> impl Strategy<Value = ChurnConfig> {
                 max,
                 mean_interval_s,
             }
-        },
-    )
+        })
 }
 
 fn arb_arrival() -> impl Strategy<Value = ArrivalModel> {

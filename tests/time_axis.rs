@@ -47,7 +47,11 @@ fn time_axis_is_learned_and_enforced() {
     // (probabilistic bucket sampling under-allocates occasionally).
     assert!(metrics.total_retries() > 0);
     // All spatial accounting is still consistent.
-    for kind in [ResourceKind::Cores, ResourceKind::MemoryMb, ResourceKind::DiskMb] {
+    for kind in [
+        ResourceKind::Cores,
+        ResourceKind::MemoryMb,
+        ResourceKind::DiskMb,
+    ] {
         let a = metrics.total_allocation(kind);
         let c = metrics.total_consumption(kind);
         let w = metrics.waste(kind);
@@ -61,10 +65,18 @@ fn unmanaged_time_axis_never_fails_tasks() {
     // the machine's (huge) time capacity, so no task is ever killed for
     // time.
     let wf = synthetic::generate(SyntheticKind::Normal, 200, 12);
-    let metrics = replay(&wf, AlgorithmKind::WholeMachine, EnforcementModel::LinearRamp, 12);
+    let metrics = replay(
+        &wf,
+        AlgorithmKind::WholeMachine,
+        EnforcementModel::LinearRamp,
+        12,
+    );
     assert_eq!(metrics.total_retries(), 0);
     let awe = metrics.awe(ResourceKind::TimeS).unwrap();
-    assert!(awe < 0.01, "unmanaged time AWE is tiny by design, got {awe}");
+    assert!(
+        awe < 0.01,
+        "unmanaged time AWE is tiny by design, got {awe}"
+    );
 }
 
 #[test]
