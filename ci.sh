@@ -18,4 +18,10 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== bench harnesses compile =="
+cargo build --benches --workspace
+
+echo "== tora bench --quick (hot-path smoke) =="
+cargo run --release --bin tora -- bench --quick --out target/bench-smoke.json
+
 echo "CI green."

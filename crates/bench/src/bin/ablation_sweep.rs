@@ -2,7 +2,9 @@
 //!
 //! Estimator-level ablations run through the serial replay (fast,
 //! deterministic, isolates the allocator); system-level ablations (queue
-//! policy, arrival model) run through the engine. Sections:
+//! policy, arrival model) run through the engine. Every section computes its
+//! independent cells on the [`tora_bench::pool`] job pool and renders the
+//! tables sequentially, so output is deterministic. Sections:
 //!
 //! 1. significance weighting on/off (the §IV-A recency mechanism);
 //! 2. exploratory record threshold (§V-A uses 10);
@@ -19,6 +21,7 @@ use tora_alloc::baselines::QuantizedBucketing;
 use tora_alloc::exhaustive::ExhaustiveBucketing;
 use tora_alloc::policy::BucketingEstimator;
 use tora_alloc::resources::ResourceKind;
+use tora_bench::pool::run_parallel;
 use tora_metrics::{pct, Table, WorkflowMetrics};
 use tora_sim::replay::replay_with_config;
 use tora_sim::{
@@ -42,30 +45,44 @@ fn base_workflows() -> Vec<Workflow> {
     ]
 }
 
+/// Compute a rows×cols grid of cells on the job pool, row-major.
+fn grid<T: Send>(rows: usize, cols: usize, f: impl Fn(usize, usize) -> T + Sync) -> Vec<Vec<T>> {
+    let cells: Vec<(usize, usize)> = (0..rows)
+        .flat_map(|r| (0..cols).map(move |c| (r, c)))
+        .collect();
+    let mut flat = run_parallel(&cells, |&(r, c)| f(r, c)).into_iter();
+    (0..rows)
+        .map(|_| {
+            (0..cols)
+                .map(|_| flat.next().expect("grid complete"))
+                .collect()
+        })
+        .collect()
+}
+
 fn significance_ablation(workflows: &[Workflow]) {
     let mut table = Table::new(
         "1. significance weighting (memory AWE, Exhaustive Bucketing)",
         &["workflow", "sig = task id", "sig = 1"],
     );
-    for wf in workflows {
-        let row: Vec<String> = [false, true]
-            .iter()
-            .map(|&uniform| {
-                let config = AllocatorConfig {
-                    machine: wf.worker,
-                    uniform_significance: uniform,
-                    ..AllocatorConfig::default()
-                };
-                let m = replay_with_config(
-                    wf,
-                    AlgorithmKind::ExhaustiveBucketing,
-                    config,
-                    EnforcementModel::LinearRamp,
-                    SEED,
-                );
-                awe(&m)
-            })
-            .collect();
+    let modes = [false, true];
+    let results = grid(workflows.len(), modes.len(), |w, m| {
+        let wf = &workflows[w];
+        let config = AllocatorConfig {
+            machine: wf.worker,
+            uniform_significance: modes[m],
+            ..AllocatorConfig::default()
+        };
+        let metrics = replay_with_config(
+            wf,
+            AlgorithmKind::ExhaustiveBucketing,
+            config,
+            EnforcementModel::LinearRamp,
+            SEED,
+        );
+        awe(&metrics)
+    });
+    for (wf, row) in workflows.iter().zip(results) {
         table.push_row(vec![wf.name.clone(), row[0].clone(), row[1].clone()]);
     }
     print!("{}", table.render());
@@ -81,23 +98,25 @@ fn exploratory_threshold_ablation(workflows: &[Workflow]) {
         "2. exploratory threshold (memory AWE, Exhaustive Bucketing)",
         &header_refs,
     );
-    for wf in workflows {
+    let results = grid(workflows.len(), thresholds.len(), |w, t| {
+        let wf = &workflows[w];
+        let config = AllocatorConfig {
+            machine: wf.worker,
+            exploratory_records: thresholds[t],
+            ..AllocatorConfig::default()
+        };
+        let metrics = replay_with_config(
+            wf,
+            AlgorithmKind::ExhaustiveBucketing,
+            config,
+            EnforcementModel::LinearRamp,
+            SEED,
+        );
+        awe(&metrics)
+    });
+    for (wf, cells) in workflows.iter().zip(results) {
         let mut row = vec![wf.name.clone()];
-        for &t in &thresholds {
-            let config = AllocatorConfig {
-                machine: wf.worker,
-                exploratory_records: t,
-                ..AllocatorConfig::default()
-            };
-            let m = replay_with_config(
-                wf,
-                AlgorithmKind::ExhaustiveBucketing,
-                config,
-                EnforcementModel::LinearRamp,
-                SEED,
-            );
-            row.push(awe(&m));
-        }
+        row.extend(cells);
         table.push_row(row);
     }
     print!("{}", table.render());
@@ -151,17 +170,22 @@ fn bucket_cap_ablation(workflows: &[Workflow]) {
         "3. Exhaustive Bucketing bucket cap (memory AWE)",
         &header_refs,
     );
-    for wf in workflows {
+    let results = grid(workflows.len(), caps.len(), |w, c| {
+        let cap = caps[c];
+        let factory: EstimatorFactory = Box::new(move |_, _| {
+            Box::new(BucketingEstimator::new(
+                ExhaustiveBucketing::with_max_buckets(cap),
+            ))
+        });
+        awe(&replay_with_factory(
+            &workflows[w],
+            format!("eb-k{cap}"),
+            factory,
+        ))
+    });
+    for (wf, cells) in workflows.iter().zip(results) {
         let mut row = vec![wf.name.clone()];
-        for &cap in &caps {
-            let factory: EstimatorFactory = Box::new(move |_, _| {
-                Box::new(BucketingEstimator::new(
-                    ExhaustiveBucketing::with_max_buckets(cap),
-                ))
-            });
-            let m = replay_with_factory(wf, format!("eb-k{cap}"), factory);
-            row.push(awe(&m));
-        }
+        row.extend(cells);
         table.push_row(row);
     }
     print!("{}", table.render());
@@ -177,14 +201,19 @@ fn quantile_ablation(workflows: &[Workflow]) {
         "4. Quantized Bucketing split quantile (memory AWE)",
         &header_refs,
     );
-    for wf in workflows {
+    let results = grid(workflows.len(), quantiles.len(), |w, q| {
+        let quantile = quantiles[q];
+        let factory: EstimatorFactory =
+            Box::new(move |_, _| Box::new(QuantizedBucketing::with_quantile(quantile)));
+        awe(&replay_with_factory(
+            &workflows[w],
+            format!("qb-{quantile}"),
+            factory,
+        ))
+    });
+    for (wf, cells) in workflows.iter().zip(results) {
         let mut row = vec![wf.name.clone()];
-        for &q in &quantiles {
-            let factory: EstimatorFactory =
-                Box::new(move |_, _| Box::new(QuantizedBucketing::with_quantile(q)));
-            let m = replay_with_factory(wf, format!("qb-{q}"), factory);
-            row.push(awe(&m));
-        }
+        row.extend(cells);
         table.push_row(row);
     }
     print!("{}", table.render());
@@ -196,26 +225,23 @@ fn clustering_rule_ablation(workflows: &[Workflow]) {
         "5. clustering rule behind the shared bucketing policy (memory AWE)",
         &["workflow", "value-grid (EB)", "greedy (GB)", "k-means"],
     );
-    for wf in workflows {
-        let eb = replay(
-            wf,
-            AlgorithmKind::ExhaustiveBucketing,
+    let rules = [
+        AlgorithmKind::ExhaustiveBucketing,
+        AlgorithmKind::GreedyBucketing,
+        AlgorithmKind::KMeansBucketing,
+    ];
+    let results = grid(workflows.len(), rules.len(), |w, r| {
+        awe(&replay(
+            &workflows[w],
+            rules[r],
             EnforcementModel::LinearRamp,
             SEED,
-        );
-        let gb = replay(
-            wf,
-            AlgorithmKind::GreedyBucketingIncremental,
-            EnforcementModel::LinearRamp,
-            SEED,
-        );
-        let km = replay(
-            wf,
-            AlgorithmKind::KMeansBucketing,
-            EnforcementModel::LinearRamp,
-            SEED,
-        );
-        table.push_row(vec![wf.name.clone(), awe(&eb), awe(&gb), awe(&km)]);
+        ))
+    });
+    for (wf, cells) in workflows.iter().zip(results) {
+        let mut row = vec![wf.name.clone()];
+        row.extend(cells);
+        table.push_row(row);
     }
     print!("{}", table.render());
     println!();
@@ -226,20 +252,19 @@ fn enforcement_ablation(workflows: &[Workflow]) {
         "6. enforcement model (memory AWE, Exhaustive Bucketing)",
         &["workflow", "linear-ramp", "instant-peak"],
     );
-    for wf in workflows {
-        let ramp = replay(
-            wf,
+    let models = [EnforcementModel::LinearRamp, EnforcementModel::InstantPeak];
+    let results = grid(workflows.len(), models.len(), |w, m| {
+        awe(&replay(
+            &workflows[w],
             AlgorithmKind::ExhaustiveBucketing,
-            EnforcementModel::LinearRamp,
+            models[m],
             SEED,
-        );
-        let instant = replay(
-            wf,
-            AlgorithmKind::ExhaustiveBucketing,
-            EnforcementModel::InstantPeak,
-            SEED,
-        );
-        table.push_row(vec![wf.name.clone(), awe(&ramp), awe(&instant)]);
+        ))
+    });
+    for (wf, cells) in workflows.iter().zip(results) {
+        let mut row = vec![wf.name.clone()];
+        row.extend(cells);
+        table.push_row(row);
     }
     print!("{}", table.render());
     println!();
@@ -260,7 +285,7 @@ fn robustness_ablation() {
     let algorithms = [
         AlgorithmKind::MaxSeen,
         AlgorithmKind::QuantizedBucketing,
-        AlgorithmKind::GreedyBucketingIncremental,
+        AlgorithmKind::GreedyBucketing,
         AlgorithmKind::ExhaustiveBucketing,
     ];
     let mut headers = vec!["perturbation"];
@@ -269,12 +294,17 @@ fn robustness_ablation() {
         "7. robustness to §II-D2 perturbations (bimodal, memory AWE)",
         &headers,
     );
-    for (name, wf) in &variants {
+    let results = grid(variants.len(), algorithms.len(), |v, a| {
+        awe(&replay(
+            &variants[v].1,
+            algorithms[a],
+            EnforcementModel::LinearRamp,
+            SEED,
+        ))
+    });
+    for ((name, _), cells) in variants.iter().zip(results) {
         let mut row = vec![name.to_string()];
-        for alg in algorithms {
-            let m = replay(wf, alg, EnforcementModel::LinearRamp, SEED);
-            row.push(awe(&m));
-        }
+        row.extend(cells);
         table.push_row(row);
     }
     print!("{}", table.render());
@@ -287,37 +317,42 @@ fn system_ablation() {
         "8. engine-level choices (bimodal, Exhaustive Bucketing)",
         &["configuration", "memory AWE", "makespan", "retries"],
     );
-    let mut run = |name: &str, config: SimConfig| {
-        let res = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config);
-        table.push_row(vec![
-            name.to_string(),
-            awe(&res.metrics),
-            format!("{:.0}s", res.makespan_s),
-            res.metrics.total_retries().to_string(),
-        ]);
-    };
-    for policy in QueuePolicy::ALL {
-        run(
-            &format!("fixed pool, {}", policy.label()),
-            SimConfig {
-                queue_policy: policy,
-                churn: ChurnConfig::fixed(20),
-                seed: SEED,
-                ..SimConfig::default()
-            },
-        );
-    }
-    run(
-        "paper pool, batch arrivals",
+    let mut configs: Vec<(String, SimConfig)> = QueuePolicy::ALL
+        .iter()
+        .map(|&policy| {
+            (
+                format!("fixed pool, {}", policy.label()),
+                SimConfig {
+                    queue_policy: policy,
+                    churn: ChurnConfig::fixed(20),
+                    seed: SEED,
+                    ..SimConfig::default()
+                },
+            )
+        })
+        .collect();
+    configs.push((
+        "paper pool, batch arrivals".to_string(),
         SimConfig {
             arrival: ArrivalModel::Batch,
             ..SimConfig::paper_like(SEED)
         },
-    );
-    run(
-        "paper pool, poisson arrivals (1.5 s)",
+    ));
+    configs.push((
+        "paper pool, poisson arrivals (1.5 s)".to_string(),
         SimConfig::paper_like(SEED),
-    );
+    ));
+    let results = run_parallel(&configs, |(_, config)| {
+        let res = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, *config);
+        (
+            awe(&res.metrics),
+            format!("{:.0}s", res.makespan_s),
+            res.metrics.total_retries().to_string(),
+        )
+    });
+    for ((name, _), (awe, makespan, retries)) in configs.iter().zip(results) {
+        table.push_row(vec![name.clone(), awe, makespan, retries]);
+    }
     print!("{}", table.render());
 }
 

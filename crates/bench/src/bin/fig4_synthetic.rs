@@ -76,12 +76,15 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(42u64);
-    for kind in SyntheticKind::ALL {
-        let wf = paper_workflow(kind, seed);
-        histogram(&wf, 16);
-        if kind == SyntheticKind::PhasingTrimodal {
-            phase_table(&wf);
+    // Generate the five workflows in parallel; render in deterministic order.
+    let workflows = tora_bench::pool::run_parallel(&SyntheticKind::ALL, |&kind| {
+        (kind, paper_workflow(kind, seed))
+    });
+    for (kind, wf) in &workflows {
+        histogram(wf, 16);
+        if *kind == SyntheticKind::PhasingTrimodal {
+            phase_table(wf);
         }
-        dump_csv(&wf);
+        dump_csv(wf);
     }
 }

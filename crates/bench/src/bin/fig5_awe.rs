@@ -8,7 +8,8 @@
 
 use tora_alloc::allocator::AlgorithmKind;
 use tora_alloc::resources::ResourceKind;
-use tora_bench::experiments::{maybe_dump_json, run_matrix, MatrixCell, MatrixConfig};
+use tora_bench::experiments::{maybe_dump_json, run_cell, MatrixCell, MatrixConfig};
+use tora_bench::pool::run_parallel;
 use tora_metrics::{pct, Table};
 use tora_workloads::PaperWorkflow;
 
@@ -53,17 +54,22 @@ fn main() {
          ({}-{} workers, {} seed(s) from {seed})...",
         base.churn.min, base.churn.max, seeds
     );
-    let sweeps: Vec<Vec<MatrixCell>> = (0..seeds)
-        .map(|i| {
-            let config = MatrixConfig {
-                seed: seed + i,
-                ..base
-            };
-            let cells = run_matrix(&config);
-            eprintln!("  seed {} done", seed + i);
-            cells
+    // One flat (seed × workflow × algorithm) job list: the whole sweep fans
+    // across cores in a single pool pass instead of seed-by-seed barriers.
+    let jobs: Vec<(u64, PaperWorkflow, AlgorithmKind)> = (0..seeds)
+        .flat_map(|i| {
+            PaperWorkflow::ALL.iter().flat_map(move |&w| {
+                AlgorithmKind::PAPER_SET
+                    .iter()
+                    .map(move |&a| (seed + i, w, a))
+            })
         })
         .collect();
+    let per_seed = PaperWorkflow::ALL.len() * AlgorithmKind::PAPER_SET.len();
+    let flat = run_parallel(&jobs, |&(s, w, a)| {
+        run_cell(w, a, &MatrixConfig { seed: s, ..base })
+    });
+    let sweeps: Vec<Vec<MatrixCell>> = flat.chunks(per_seed).map(|chunk| chunk.to_vec()).collect();
     let cells = &sweeps[0];
 
     for kind in ResourceKind::STANDARD {

@@ -6,9 +6,11 @@
 //! §II-C accounting for all three resource dimensions. Figure 5 reads the
 //! AWE values out of the cells; Figure 6 reads the waste breakdown.
 //!
-//! Greedy Bucketing runs through its output-identical incremental scan here
-//! (`AlgorithmKind::fast_equivalent`); the faithful quadratic scan is
-//! exercised by the Table I harness, whose *subject* is that compute cost.
+//! The bucketing algorithms run through their prefix-sum fast kernels here
+//! (the production default; `AlgorithmKind::fast_equivalent` is now the
+//! identity); the paper-faithful quadratic scans are exercised by the
+//! Table I harness, whose *subject* is that compute cost. Cells fan across
+//! cores via [`crate::pool::run_parallel`].
 
 use serde::{Deserialize, Serialize};
 use tora_alloc::allocator::AlgorithmKind;
@@ -37,8 +39,7 @@ pub struct DimensionStats {
 pub struct MatrixCell {
     /// The workflow.
     pub workflow: PaperWorkflow,
-    /// The algorithm (paper label, i.e. `GreedyBucketing` even when the
-    /// incremental scan executed it).
+    /// The algorithm.
     pub algorithm: AlgorithmKind,
     /// Cores / memory / disk stats.
     pub dims: Vec<DimensionStats>,
@@ -125,31 +126,7 @@ pub fn run_matrix_for(
         .iter()
         .flat_map(|&w| algorithms.iter().map(move |&a| (w, a)))
         .collect();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(pairs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results = std::sync::Mutex::new(vec![None; pairs.len()]);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= pairs.len() {
-                    break;
-                }
-                let (w, a) = pairs[i];
-                let cell = run_cell(w, a, config);
-                results.lock().expect("no poisoned cells")[i] = Some(cell);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("no poisoned cells")
-        .into_iter()
-        .map(|c| c.expect("all cells computed"))
-        .collect()
+    crate::pool::run_parallel(&pairs, |&(w, a)| run_cell(w, a, config))
 }
 
 /// Write cells as JSON into `$TORA_RESULTS_DIR/<name>.json` when that

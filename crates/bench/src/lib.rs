@@ -16,13 +16,21 @@
 //! prediction cost across all seven algorithms (`predict_cost`).
 //!
 //! Set `TORA_RESULTS_DIR=<dir>` to also dump each harness's raw cells as
-//! JSON/CSV for post-processing.
+//! JSON/CSV for post-processing. The harnesses fan independent cells across
+//! cores via [`pool::run_parallel`]; `TORA_THREADS` caps the worker count
+//! (`TORA_THREADS=1` forces a sequential run with identical output).
+//! [`perf::run_bench`] backs the `tora bench` subcommand and writes
+//! `BENCH.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod perf;
+pub mod pool;
 pub mod timing;
 
 pub use experiments::{run_cell, run_matrix, run_matrix_for, MatrixCell, MatrixConfig};
+pub use perf::{run_bench, BenchReport};
+pub use pool::run_parallel;
 pub use timing::{loaded_estimator, sample_values, state_compute_time, TABLE1_SIZES};

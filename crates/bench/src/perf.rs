@@ -1,0 +1,388 @@
+//! `tora bench`: a self-contained performance report for the hot paths.
+//!
+//! Three layers, mirroring the performance architecture in DESIGN.md:
+//!
+//! 1. **prediction throughput** — steady-state `first()` allocations per
+//!    second against a warm (already-bucketed) estimator, where the fast
+//!    kernels have amortized everything away and a request is a table walk;
+//! 2. **rebucket latency** — one full `partition()` of n pre-sorted records
+//!    at Table I scales, fast kernel vs the paper-faithful quadratic scan,
+//!    with the speedup ratio (the headline number of this report);
+//! 3. **end-to-end and matrix throughput** — simulated tasks per second
+//!    through the discrete-event engine, and the wall-clock speedup of the
+//!    parallel experiment runner over a forced-sequential run of the same
+//!    matrix, cross-checked byte-identical.
+//!
+//! [`run_bench`] produces a serializable [`BenchReport`]; the `tora bench`
+//! subcommand renders it and writes `BENCH.json`.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use tora_alloc::exhaustive::ExhaustiveBucketing;
+use tora_alloc::greedy::GreedyBucketing;
+use tora_alloc::partition::Partitioner;
+use tora_alloc::policy::BucketingEstimator;
+use tora_alloc::record::{RecordList, ScalarRecord};
+use tora_alloc::ValueEstimator;
+use tora_sim::{simulate, SimConfig};
+use tora_workloads::synthetic::{generate, SyntheticKind};
+
+use crate::experiments::{run_matrix_for, MatrixConfig};
+use crate::timing::sample_values;
+use tora_alloc::allocator::AlgorithmKind;
+use tora_workloads::PaperWorkflow;
+
+/// Steady-state prediction throughput of one warm estimator.
+#[derive(Debug, Clone, Serialize)]
+pub struct PredictionRate {
+    /// Partitioner name behind the estimator.
+    pub algorithm: String,
+    /// Records loaded before timing.
+    pub records: usize,
+    /// `first()` allocations per second with a warm bucketing state.
+    pub allocs_per_sec: f64,
+}
+
+/// Fast vs faithful `partition()` latency at one record count.
+#[derive(Debug, Clone, Serialize)]
+pub struct RebucketRow {
+    /// Partitioner family ("greedy-bucketing" / "exhaustive-bucketing").
+    pub partitioner: String,
+    /// Record count.
+    pub records: usize,
+    /// Mean fast-kernel partition latency, microseconds.
+    pub fast_us: f64,
+    /// Mean paper-faithful partition latency, microseconds.
+    pub faithful_us: f64,
+    /// `faithful_us / fast_us`.
+    pub speedup: f64,
+}
+
+/// End-to-end engine throughput.
+#[derive(Debug, Clone, Serialize)]
+pub struct EndToEndRow {
+    /// Workflow name.
+    pub workflow: String,
+    /// Task count.
+    pub tasks: usize,
+    /// Wall-clock seconds for one engine run.
+    pub wall_s: f64,
+    /// Simulated tasks per wall-clock second.
+    pub tasks_per_sec: f64,
+}
+
+/// Parallel experiment-runner speedup over a forced-sequential run.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixSpeedup {
+    /// Cells in the measured matrix.
+    pub cells: usize,
+    /// Worker threads the parallel run used.
+    pub threads: usize,
+    /// Sequential wall-clock seconds (`TORA_THREADS=1`).
+    pub sequential_s: f64,
+    /// Parallel wall-clock seconds.
+    pub parallel_s: f64,
+    /// `sequential_s / parallel_s`.
+    pub speedup: f64,
+    /// Whether both runs serialized to byte-identical JSON.
+    pub identical: bool,
+}
+
+/// The full `tora bench` report, serialized to `BENCH.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Seed behind every measurement.
+    pub seed: u64,
+    /// Whether this was a `--quick` run (fewer iterations, smaller matrix).
+    pub quick: bool,
+    /// Steady-state prediction throughput per bucketing estimator.
+    pub prediction: Vec<PredictionRate>,
+    /// Rebucket latency, fast vs faithful, at Table I-like scales.
+    pub rebucket: Vec<RebucketRow>,
+    /// Engine throughput.
+    pub end_to_end: EndToEndRow,
+    /// Parallel-runner speedup with the byte-identical cross-check.
+    pub matrix: MatrixSpeedup,
+}
+
+fn sorted_records(n: usize, seed: u64) -> RecordList {
+    sample_values(n, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64))
+        .collect()
+}
+
+fn partition_time<P: Partitioner>(p: &P, records: &[ScalarRecord], iters: usize) -> Duration {
+    // One warm-up outside the window so allocator effects don't skew iters=1.
+    std::hint::black_box(p.partition(records));
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(p.partition(records));
+    }
+    start.elapsed() / iters as u32
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn prediction_rate<P: Partitioner>(
+    partitioner: P,
+    n: usize,
+    iters: usize,
+    seed: u64,
+) -> PredictionRate {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let algorithm = partitioner.name().to_string();
+    let mut est = BucketingEstimator::new(partitioner);
+    for (i, v) in sample_values(n, seed).into_iter().enumerate() {
+        est.observe(v, (i + 1) as f64);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA110C);
+    // First request commits the records and builds the bucketing state; the
+    // timed window below measures the steady-state per-allocation cost.
+    let _ = est.first(rng.gen());
+    let start = Instant::now();
+    let mut sink = 0.0;
+    for _ in 0..iters {
+        sink += est.first(rng.gen()).unwrap_or(0.0);
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sink);
+    PredictionRate {
+        algorithm,
+        records: n,
+        allocs_per_sec: iters as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+fn rebucket_rows(quick: bool, seed: u64) -> Vec<RebucketRow> {
+    let sizes: &[usize] = if quick {
+        &[1000, 5000]
+    } else {
+        &[1000, 5000, 10_000]
+    };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let list = sorted_records(n, seed);
+        let records = list.sorted();
+        // Keep iteration counts small at large n: the faithful greedy scan is
+        // quadratic, which is the very thing being measured.
+        let iters = if quick { 1 } else { (10_000 / n).max(1) };
+        let fast_iters = iters * 16;
+        type PartitionerPair = (&'static str, Box<dyn Partitioner>, Box<dyn Partitioner>);
+        let pairs: [PartitionerPair; 2] = [
+            (
+                "greedy-bucketing",
+                Box::new(GreedyBucketing::new()),
+                Box::new(GreedyBucketing::faithful()),
+            ),
+            (
+                "exhaustive-bucketing",
+                Box::new(ExhaustiveBucketing::new()),
+                Box::new(ExhaustiveBucketing::faithful()),
+            ),
+        ];
+        for (name, fast, faithful) in pairs {
+            let fast_us = micros(partition_time(&fast, records, fast_iters));
+            let faithful_us = micros(partition_time(&faithful, records, iters));
+            rows.push(RebucketRow {
+                partitioner: name.to_string(),
+                records: n,
+                fast_us,
+                faithful_us,
+                speedup: faithful_us / fast_us.max(f64::MIN_POSITIVE),
+            });
+        }
+    }
+    rows
+}
+
+fn end_to_end(quick: bool, seed: u64) -> EndToEndRow {
+    let tasks = if quick { 600 } else { 2000 };
+    let wf = generate(SyntheticKind::Bimodal, tasks, seed);
+    let config = SimConfig::paper_like(seed);
+    // Warm-up run so the report measures steady-state engine throughput.
+    std::hint::black_box(simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config));
+    let start = Instant::now();
+    let result = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config);
+    let wall_s = start.elapsed().as_secs_f64();
+    std::hint::black_box(result.makespan_s);
+    EndToEndRow {
+        workflow: wf.name.clone(),
+        tasks,
+        wall_s,
+        tasks_per_sec: tasks as f64 / wall_s.max(f64::MIN_POSITIVE),
+    }
+}
+
+fn matrix_speedup(quick: bool, seed: u64) -> MatrixSpeedup {
+    let (workflows, algorithms): (&[PaperWorkflow], &[AlgorithmKind]) = if quick {
+        (
+            &[PaperWorkflow::Uniform, PaperWorkflow::Bimodal],
+            &[
+                AlgorithmKind::MaxSeen,
+                AlgorithmKind::GreedyBucketing,
+                AlgorithmKind::ExhaustiveBucketing,
+            ],
+        )
+    } else {
+        (&PaperWorkflow::ALL, &AlgorithmKind::PAPER_SET)
+    };
+    let config = MatrixConfig {
+        seed,
+        ..MatrixConfig::default()
+    };
+    let threads = crate::pool::thread_count(workflows.len() * algorithms.len());
+
+    // Forced-sequential reference run. `TORA_THREADS` is read per
+    // `run_parallel` call, so scoping the override around the call is safe
+    // here (the bench runs on one thread).
+    let saved = std::env::var_os("TORA_THREADS");
+    std::env::set_var("TORA_THREADS", "1");
+    let start = Instant::now();
+    let sequential = run_matrix_for(workflows, algorithms, &config);
+    let sequential_s = start.elapsed().as_secs_f64();
+    match &saved {
+        Some(v) => std::env::set_var("TORA_THREADS", v),
+        None => std::env::remove_var("TORA_THREADS"),
+    }
+
+    let start = Instant::now();
+    let parallel = run_matrix_for(workflows, algorithms, &config);
+    let parallel_s = start.elapsed().as_secs_f64();
+
+    let identical =
+        serde_json::to_string(&sequential).ok() == serde_json::to_string(&parallel).ok();
+    MatrixSpeedup {
+        cells: sequential.len(),
+        threads,
+        sequential_s,
+        parallel_s,
+        speedup: sequential_s / parallel_s.max(f64::MIN_POSITIVE),
+        identical,
+    }
+}
+
+/// Run the full benchmark suite. `quick` shrinks iteration counts and the
+/// matrix so the whole thing finishes in a few seconds (the CI smoke mode).
+pub fn run_bench(quick: bool, seed: u64) -> BenchReport {
+    let (pred_n, pred_iters) = if quick {
+        (1000, 20_000)
+    } else {
+        (5000, 200_000)
+    };
+    let prediction = vec![
+        prediction_rate(GreedyBucketing::new(), pred_n, pred_iters, seed),
+        prediction_rate(ExhaustiveBucketing::new(), pred_n, pred_iters, seed),
+    ];
+    BenchReport {
+        seed,
+        quick,
+        prediction,
+        rebucket: rebucket_rows(quick, seed),
+        end_to_end: end_to_end(quick, seed),
+        matrix: matrix_speedup(quick, seed),
+    }
+}
+
+impl BenchReport {
+    /// Render the report as the tables `tora bench` prints.
+    pub fn render(&self) -> String {
+        use tora_metrics::Table;
+        let mut out = String::new();
+        let mut t = Table::new(
+            "steady-state prediction throughput",
+            &["estimator", "records", "allocs/sec"],
+        );
+        for p in &self.prediction {
+            t.row(&[
+                p.algorithm.clone(),
+                p.records.to_string(),
+                format!("{:.2e}", p.allocs_per_sec),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        let mut t = Table::new(
+            "rebucket latency: fast kernel vs paper-faithful scan",
+            &[
+                "partitioner",
+                "records",
+                "fast (µs)",
+                "faithful (µs)",
+                "speedup",
+            ],
+        );
+        for r in &self.rebucket {
+            t.row(&[
+                r.partitioner.clone(),
+                r.records.to_string(),
+                format!("{:.1}", r.fast_us),
+                format!("{:.1}", r.faithful_us),
+                format!("{:.1}×", r.speedup),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        let e = &self.end_to_end;
+        out.push_str(&format!(
+            "end-to-end engine: {} × {} tasks in {:.2} s = {:.0} simulated tasks/sec\n",
+            e.workflow, e.tasks, e.wall_s, e.tasks_per_sec
+        ));
+        let m = &self.matrix;
+        out.push_str(&format!(
+            "parallel runner: {} cells on {} threads — {:.2} s sequential vs {:.2} s \
+             parallel ({:.1}× speedup), outputs {}\n",
+            m.cells,
+            m.threads,
+            m.sequential_s,
+            m.parallel_s,
+            m.speedup,
+            if m.identical {
+                "byte-identical"
+            } else {
+                "DIFFER (bug!)"
+            }
+        ));
+        out
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_consistent_report() {
+        let report = run_bench(true, 7);
+        assert_eq!(report.prediction.len(), 2);
+        assert!(report
+            .prediction
+            .iter()
+            .all(|p| p.allocs_per_sec > 0.0 && p.allocs_per_sec.is_finite()));
+        // quick: 2 sizes × 2 partitioner families.
+        assert_eq!(report.rebucket.len(), 4);
+        for r in &report.rebucket {
+            assert!(r.fast_us > 0.0 && r.faithful_us > 0.0, "{r:?}");
+            assert!(r.speedup.is_finite());
+        }
+        assert!(report.end_to_end.tasks_per_sec > 0.0);
+        assert_eq!(report.matrix.cells, 6);
+        assert!(
+            report.matrix.identical,
+            "sequential and parallel matrix runs must agree byte-for-byte"
+        );
+        let json = report.to_json().expect("serializes");
+        assert!(json.contains("\"rebucket\""));
+        assert!(!report.render().is_empty());
+    }
+}

@@ -90,7 +90,7 @@ mod tests {
         // The Table I growth driver: the faithful scan is quadratic per
         // interval, the incremental one linear.
         let n = 1000;
-        let faithful = state_compute_time(GreedyBucketing::new(), n, 2, 1);
+        let faithful = state_compute_time(GreedyBucketing::faithful(), n, 2, 1);
         let incremental = state_compute_time(GreedyBucketing::incremental(), n, 2, 1);
         assert!(
             faithful > incremental,

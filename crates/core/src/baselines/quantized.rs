@@ -75,6 +75,8 @@ impl ValueEstimator for QuantizedBucketing {
     }
 
     fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
+        // The quantile needs the sorted order; fold any pending batch first.
+        self.records.commit();
         // The low bucket's representative: the quantile value itself.
         self.low_rep().map(Prediction::point)
     }

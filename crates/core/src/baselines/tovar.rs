@@ -129,6 +129,7 @@ impl Tovar {
         if self.records.is_empty() {
             return None;
         }
+        self.records.commit();
         let sorted = self.records.sorted();
         let n = sorted.len() as f64;
         let m = self.machine_capacity;

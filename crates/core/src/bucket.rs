@@ -246,6 +246,7 @@ mod tests {
         for (v, s) in [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 4.0)] {
             l.observe(v, s);
         }
+        l.commit();
         let set = BucketSet::from_breaks(l.sorted(), &[1]);
         assert_eq!(set.len(), 2);
         let a = set.buckets()[0];
@@ -266,6 +267,7 @@ mod tests {
         for (v, s) in [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 4.0)] {
             l.observe(v, s);
         }
+        l.commit();
         let set = BucketSet::from_breaks(l.sorted(), &[1]); // probs 0.3 / 0.7
         assert_eq!(set.sample(0.0), Some(0));
         assert_eq!(set.sample(0.29), Some(0));
@@ -279,6 +281,7 @@ mod tests {
         for (v, s) in [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 4.0)] {
             l.observe(v, s);
         }
+        l.commit();
         let set = BucketSet::from_breaks(l.sorted(), &[0, 1]); // reps 1,2,4
                                                                // floor = 1.0 excludes only the first bucket.
         assert_eq!(set.sample_above(1.0, 0.0), Some(1));

@@ -5,9 +5,14 @@
 //! tasks (§IV-B, §IV-C). This module implements:
 //!
 //! * [`greedy_cost`] — the two-bucket (or one-bucket) model of
-//!   `compute_greedy_cost` in Algorithm 1, and
+//!   `compute_greedy_cost` in Algorithm 1,
 //! * [`exhaustive_cost`] — the N×N expected-waste table of
-//!   `compute_exhaust_cost` in Algorithm 2.
+//!   `compute_exhaust_cost` in Algorithm 2, and
+//! * [`PrefixStats`] / [`exhaustive_cost_with`] — the prefix-sum fast path:
+//!   cumulative `sig` and `value·sig` arrays built once per rebucket make any
+//!   interval's statistics an O(1) query, so the fast partitioner modes score
+//!   candidates without re-walking the record list or materializing a
+//!   [`BucketSet`] per configuration.
 
 use crate::bucket::BucketSet;
 use crate::record::ScalarRecord;
@@ -105,7 +110,6 @@ pub fn exhaustive_cost(set: &BucketSet) -> f64 {
         suffix_p[j] = suffix_p[j + 1] + buckets[j].prob;
     }
     let mut total = 0.0;
-    let mut row = vec![0.0; n];
     for i in 0..n {
         let v_i = buckets[i].wmean;
         // s_pt = Σ_{k > j} p_k · T[i][k], maintained as j walks left.
@@ -124,9 +128,182 @@ pub fn exhaustive_cost(set: &BucketSet) -> f64 {
                     rep_j
                 }
             };
-            row[j] = t;
             s_pt += buckets[j].prob * t;
             total += buckets[i].prob * buckets[j].prob * t;
+        }
+    }
+    total
+}
+
+/// Prefix-sum cache over a sorted record slice: cumulative `sig` and
+/// `value·sig` arrays that answer any contiguous interval's significance sum
+/// and weighted sum in O(1).
+///
+/// Built once per rebucket by the fast partitioner modes; every candidate
+/// break the scan considers then costs O(1) instead of an O(interval)
+/// re-walk.
+///
+/// # Examples
+///
+/// ```
+/// use tora_alloc::cost::PrefixStats;
+/// use tora_alloc::record::ScalarRecord;
+///
+/// let records = [
+///     ScalarRecord::new(2.0, 1.0),
+///     ScalarRecord::new(4.0, 3.0),
+///     ScalarRecord::new(8.0, 1.0),
+/// ];
+/// let stats = PrefixStats::from_records(&records);
+/// assert_eq!(stats.sig(0, 2), 5.0);
+/// assert_eq!(stats.wsum(1, 2), 4.0 * 3.0 + 8.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PrefixStats {
+    /// cum_sig[i] = Σ_{k < i} sig_k (so cum_sig[0] = 0).
+    cum_sig: Vec<f64>,
+    /// cum_wsum[i] = Σ_{k < i} value_k · sig_k.
+    cum_wsum: Vec<f64>,
+}
+
+impl PrefixStats {
+    /// An empty cache; call [`rebuild`](Self::rebuild) before querying.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a cache for `records`.
+    pub fn from_records(records: &[ScalarRecord]) -> Self {
+        let mut stats = Self::new();
+        stats.rebuild(records);
+        stats
+    }
+
+    /// Recompute the cumulative arrays for `records`, reusing the
+    /// allocations.
+    pub fn rebuild(&mut self, records: &[ScalarRecord]) {
+        self.cum_sig.clear();
+        self.cum_wsum.clear();
+        self.cum_sig.reserve(records.len() + 1);
+        self.cum_wsum.reserve(records.len() + 1);
+        let mut sig = 0.0;
+        let mut wsum = 0.0;
+        self.cum_sig.push(0.0);
+        self.cum_wsum.push(0.0);
+        for r in records {
+            sig += r.sig;
+            wsum += r.value * r.sig;
+            self.cum_sig.push(sig);
+            self.cum_wsum.push(wsum);
+        }
+    }
+
+    /// Number of records the cache covers.
+    pub fn len(&self) -> usize {
+        self.cum_sig.len().saturating_sub(1)
+    }
+
+    /// Whether the cache covers no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Σ sig over `records[lo..=hi]` (inclusive).
+    #[inline]
+    pub fn sig(&self, lo: usize, hi: usize) -> f64 {
+        debug_assert!(lo <= hi && hi < self.len());
+        self.cum_sig[hi + 1] - self.cum_sig[lo]
+    }
+
+    /// Σ value·sig over `records[lo..=hi]` (inclusive).
+    #[inline]
+    pub fn wsum(&self, lo: usize, hi: usize) -> f64 {
+        debug_assert!(lo <= hi && hi < self.len());
+        self.cum_wsum[hi + 1] - self.cum_wsum[lo]
+    }
+}
+
+/// Reusable buffers for [`exhaustive_cost_with`]: per-bucket probabilities,
+/// representatives, weighted means, and the suffix-probability array. One
+/// instance lives across the b = 1..=10 configuration loop of the fast
+/// Exhaustive Bucketing mode, so scoring a configuration allocates nothing
+/// after the first iteration.
+#[derive(Debug, Clone, Default)]
+pub struct ExhaustiveScratch {
+    probs: Vec<f64>,
+    reps: Vec<f64>,
+    wmeans: Vec<f64>,
+    suffix_p: Vec<f64>,
+}
+
+impl ExhaustiveScratch {
+    /// Empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`exhaustive_cost`] computed directly from break indices and a
+/// [`PrefixStats`] cache — no [`BucketSet`] is materialized. Per-bucket
+/// statistics are O(1) prefix-sum queries; the N×N table walk is identical to
+/// the canonical version.
+///
+/// `breaks` are the inclusive end indices of all buckets but the last, as
+/// produced by a [`crate::partition::Partitioner`].
+pub fn exhaustive_cost_with(
+    records: &[ScalarRecord],
+    stats: &PrefixStats,
+    breaks: &[usize],
+    scratch: &mut ExhaustiveScratch,
+) -> f64 {
+    let n_records = records.len();
+    debug_assert!(n_records > 0, "cost of an empty configuration is undefined");
+    debug_assert_eq!(stats.len(), n_records, "stale PrefixStats");
+    let n = breaks.len() + 1;
+    let total_sig = stats.sig(0, n_records - 1);
+
+    scratch.probs.clear();
+    scratch.reps.clear();
+    scratch.wmeans.clear();
+    let mut start = 0usize;
+    for b in 0..n {
+        let end = if b < breaks.len() {
+            breaks[b]
+        } else {
+            n_records - 1
+        };
+        debug_assert!(start <= end && end < n_records, "invalid break indices");
+        let sig = stats.sig(start, end);
+        scratch.probs.push(sig / total_sig);
+        scratch.reps.push(records[end].value);
+        scratch.wmeans.push(stats.wsum(start, end) / sig);
+        start = end + 1;
+    }
+
+    scratch.suffix_p.clear();
+    scratch.suffix_p.resize(n + 1, 0.0);
+    for j in (0..n).rev() {
+        scratch.suffix_p[j] = scratch.suffix_p[j + 1] + scratch.probs[j];
+    }
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let v_i = scratch.wmeans[i];
+        let mut s_pt = 0.0;
+        for j in (0..n).rev() {
+            let rep_j = scratch.reps[j];
+            let t = if i <= j {
+                rep_j - v_i
+            } else {
+                let denom = scratch.suffix_p[j + 1];
+                if denom > 0.0 {
+                    rep_j + s_pt / denom
+                } else {
+                    rep_j
+                }
+            };
+            s_pt += scratch.probs[j] * t;
+            total += scratch.probs[i] * scratch.probs[j] * t;
         }
     }
     total
@@ -248,6 +425,50 @@ mod tests {
         let set = BucketSet::from_breaks(l.sorted(), &[0, 1]);
         let c = exhaustive_cost(&set);
         assert!((c - 12.0 / 9.0).abs() < 1e-12, "{c}");
+    }
+
+    #[test]
+    fn prefix_stats_match_direct_interval_sums() {
+        let l = sorted(&[(1.0, 2.0), (3.0, 1.0), (7.0, 4.0), (9.0, 0.5)]);
+        let stats = PrefixStats::from_records(l.sorted());
+        assert_eq!(stats.len(), 4);
+        for lo in 0..4 {
+            for hi in lo..4 {
+                let mut sig = 0.0;
+                let mut wsum = 0.0;
+                for r in &l.sorted()[lo..=hi] {
+                    sig += r.sig;
+                    wsum += r.value * r.sig;
+                }
+                assert!((stats.sig(lo, hi) - sig).abs() < 1e-12, "sig {lo}..={hi}");
+                assert!(
+                    (stats.wsum(lo, hi) - wsum).abs() < 1e-12,
+                    "wsum {lo}..={hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_cost_with_matches_bucket_set_version() {
+        let l = sorted(&[
+            (1.0, 1.0),
+            (2.0, 2.0),
+            (3.0, 1.5),
+            (10.0, 1.0),
+            (11.0, 4.0),
+            (50.0, 2.0),
+        ]);
+        let stats = PrefixStats::from_records(l.sorted());
+        let mut scratch = ExhaustiveScratch::new();
+        for breaks in [vec![], vec![0], vec![2], vec![2, 4], vec![0, 1, 2, 3, 4]] {
+            let canonical = exhaustive_cost(&BucketSet::from_breaks(l.sorted(), &breaks));
+            let fast = exhaustive_cost_with(l.sorted(), &stats, &breaks, &mut scratch);
+            assert!(
+                (canonical - fast).abs() < 1e-12,
+                "breaks {breaks:?}: {canonical} vs {fast}"
+            );
+        }
     }
 
     #[test]

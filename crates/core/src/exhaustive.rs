@@ -12,7 +12,7 @@
 //! at any given time").
 
 use crate::bucket::BucketSet;
-use crate::cost::exhaustive_cost;
+use crate::cost::{exhaustive_cost, exhaustive_cost_with, ExhaustiveScratch, PrefixStats};
 use crate::partition::Partitioner;
 use crate::record::{RecordList, ScalarRecord};
 
@@ -38,26 +38,43 @@ pub const PAPER_MAX_BUCKETS: usize = 10;
 #[derive(Debug, Clone, Copy)]
 pub struct ExhaustiveBucketing {
     max_buckets: usize,
+    faithful: bool,
 }
 
 impl Default for ExhaustiveBucketing {
     fn default() -> Self {
         ExhaustiveBucketing {
             max_buckets: PAPER_MAX_BUCKETS,
+            faithful: false,
         }
     }
 }
 
 impl ExhaustiveBucketing {
-    /// The paper's configuration (at most 10 buckets).
+    /// The paper's configuration (at most 10 buckets), scored with the
+    /// prefix-sum fast kernel (production default). Output-identical to
+    /// [`Self::faithful`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The paper's per-configuration costing: materialize a [`BucketSet`]
+    /// per bucket count and score it with [`exhaustive_cost`]. Use this to
+    /// reproduce Table I's compute-cost measurements.
+    pub fn faithful() -> Self {
+        ExhaustiveBucketing {
+            faithful: true,
+            ..Self::default()
+        }
     }
 
     /// Ablation constructor: cap configurations at `max_buckets` (≥ 1).
     pub fn with_max_buckets(max_buckets: usize) -> Self {
         assert!(max_buckets >= 1, "need at least one bucket");
-        ExhaustiveBucketing { max_buckets }
+        ExhaustiveBucketing {
+            max_buckets,
+            faithful: false,
+        }
     }
 
     /// The configured bucket-count cap.
@@ -65,18 +82,33 @@ impl ExhaustiveBucketing {
         self.max_buckets
     }
 
+    /// Whether this instance reproduces the paper's per-configuration
+    /// costing (fresh bucket set per candidate count).
+    pub fn is_faithful(&self) -> bool {
+        self.faithful
+    }
+
     /// The §IV-D grid for a `b`-bucket configuration over `records`:
     /// break *indices* after mapping each `v_max·i/b` to the closest record
     /// strictly below it, deduplicated.
     pub fn grid_breaks(records: &[ScalarRecord], b: usize) -> Vec<usize> {
+        let mut breaks = Vec::new();
+        Self::grid_breaks_into(records, b, &mut breaks);
+        breaks
+    }
+
+    /// [`Self::grid_breaks`] writing into a caller-owned buffer, so the
+    /// b = 2..=10 configuration loop reuses one allocation.
+    fn grid_breaks_into(records: &[ScalarRecord], b: usize, breaks: &mut Vec<usize>) {
         debug_assert!(b >= 2);
+        breaks.clear();
         let n = records.len();
         if n < 2 {
-            return Vec::new();
+            return;
         }
         let v_max = records[n - 1].value;
         if v_max <= 0.0 {
-            return Vec::new();
+            return;
         }
         // Reuse RecordList's strictly-below search without copying: a local
         // binary search over the sorted slice.
@@ -84,28 +116,18 @@ impl ExhaustiveBucketing {
             let idx = records.partition_point(|r| r.value < target);
             idx.checked_sub(1)
         };
-        let mut breaks: Vec<usize> = (1..b)
-            .filter_map(|i| closest_below(v_max * i as f64 / b as f64))
-            .collect();
+        breaks.extend((1..b).filter_map(|i| closest_below(v_max * i as f64 / b as f64)));
         breaks.sort_unstable();
         breaks.dedup();
         // A break at the final index would empty the last bucket; the strict
         // "< target < v_max" mapping already prevents it, assert in debug.
         debug_assert!(breaks.last().is_none_or(|&e| e < n - 1));
-        breaks
-    }
-}
-
-impl Partitioner for ExhaustiveBucketing {
-    fn name(&self) -> &'static str {
-        "exhaustive-bucketing"
     }
 
-    fn partition(&self, records: &[ScalarRecord]) -> Vec<usize> {
+    /// The paper's costing loop: a fresh [`BucketSet`] per bucket count,
+    /// scored with the canonical [`exhaustive_cost`].
+    fn partition_faithful(&self, records: &[ScalarRecord]) -> Vec<usize> {
         let n = records.len();
-        if n <= 1 {
-            return Vec::new();
-        }
         // b = 1: the single-bucket configuration.
         let mut best_breaks = Vec::new();
         let mut best_cost = exhaustive_cost(&BucketSet::single(records));
@@ -122,6 +144,54 @@ impl Partitioner for ExhaustiveBucketing {
             }
         }
         best_breaks
+    }
+
+    /// The fast costing loop: per-configuration bucket statistics are O(1)
+    /// prefix-sum queries and the scoring table reuses one scratch space —
+    /// no `BucketSet` is materialized until the winning configuration is
+    /// rebuilt by the caller.
+    fn partition_fast(&self, records: &[ScalarRecord]) -> Vec<usize> {
+        let n = records.len();
+        let stats = PrefixStats::from_records(records);
+        let mut scratch = ExhaustiveScratch::new();
+        let mut candidate = Vec::new();
+        // b = 1: the single-bucket configuration.
+        let mut best_breaks = Vec::new();
+        let mut best_cost = exhaustive_cost_with(records, &stats, &[], &mut scratch);
+        for b in 2..=self.max_buckets.min(n) {
+            Self::grid_breaks_into(records, b, &mut candidate);
+            if candidate.is_empty() {
+                continue; // grid collapsed (e.g. all values equal)
+            }
+            let cost = exhaustive_cost_with(records, &stats, &candidate, &mut scratch);
+            if cost < best_cost {
+                best_cost = cost;
+                best_breaks.clear();
+                best_breaks.extend_from_slice(&candidate);
+            }
+        }
+        best_breaks
+    }
+}
+
+impl Partitioner for ExhaustiveBucketing {
+    fn name(&self) -> &'static str {
+        if self.faithful {
+            "exhaustive-bucketing-faithful"
+        } else {
+            "exhaustive-bucketing"
+        }
+    }
+
+    fn partition(&self, records: &[ScalarRecord]) -> Vec<usize> {
+        if records.len() <= 1 {
+            return Vec::new();
+        }
+        if self.faithful {
+            self.partition_faithful(records)
+        } else {
+            self.partition_fast(records)
+        }
     }
 }
 
@@ -232,6 +302,38 @@ mod tests {
             let single = exhaustive_cost(&BucketSet::single(l.sorted()));
             assert!(chosen <= single + 1e-9, "n={n}: {chosen} vs {single}");
         }
+    }
+
+    #[test]
+    fn fast_and_faithful_modes_produce_identical_partitions() {
+        let eb = ExhaustiveBucketing::new();
+        let eb_f = ExhaustiveBucketing::faithful();
+        let mut state = 0xBEEFu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 2000.0 + 1.0
+        };
+        for n in [2usize, 3, 5, 16, 41, 150] {
+            let values: Vec<f64> = (0..n).map(|_| next()).collect();
+            let l = list(&values);
+            assert_eq!(
+                eb.partition(l.sorted()),
+                eb_f.partition(l.sorted()),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(ExhaustiveBucketing::new().name(), "exhaustive-bucketing");
+        assert_eq!(
+            ExhaustiveBucketing::faithful().name(),
+            "exhaustive-bucketing-faithful"
+        );
+        assert!(ExhaustiveBucketing::faithful().is_faithful());
+        assert!(!ExhaustiveBucketing::new().is_faithful());
+        assert!(!ExhaustiveBucketing::with_max_buckets(3).is_faithful());
     }
 
     #[test]

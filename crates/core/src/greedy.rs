@@ -7,49 +7,91 @@
 //! best "break" is the interval's end (one bucket), it stops; otherwise it
 //! recurses into both halves, accumulating break points.
 //!
-//! Two scan strategies are provided:
+//! Three scan strategies are provided:
 //!
-//! * **Faithful** (default): each candidate's cost re-walks the interval,
-//!   exactly like the paper's `compute_greedy_cost` — O(len²) per scan. This
-//!   reproduces Table I's measured growth (GB ≈ 0.44 s at 5000 records).
+//! * **Prefix** (default): a [`PrefixStats`] cache built once per
+//!   `partition` call answers every interval's statistics in O(1), so each
+//!   scan is O(len) with no per-interval re-accumulation. This is the
+//!   production mode.
+//! * **Faithful** ([`GreedyBucketing::faithful`]): each candidate's cost
+//!   re-walks the interval, exactly like the paper's `compute_greedy_cost` —
+//!   O(len²) per scan. This reproduces Table I's measured growth
+//!   (GB ≈ 0.44 s at 5000 records) and is what the `table1` bench times.
 //! * **Incremental** (ablation, §VII "potential optimizations"): one prefix
-//!   pass computes every candidate's cost in O(len) total. Identical output,
-//!   different speed; the `table1` bench compares both.
+//!   pass per interval computes every candidate's cost with running sums.
+//!   Kept as the historical ablation variant; output-identical to both
+//!   others.
 
-use crate::cost::greedy_cost;
+use crate::cost::{greedy_cost, PrefixStats};
 use crate::partition::Partitioner;
 use crate::record::ScalarRecord;
+
+/// How the per-interval break scan computes candidate costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum GreedyScan {
+    /// O(1) interval stats from a partition-wide prefix-sum cache.
+    #[default]
+    Prefix,
+    /// Per-interval running sums (the historical fast ablation).
+    Incremental,
+    /// The paper's per-candidate interval re-walk (Table I's cost).
+    Faithful,
+}
 
 /// The Greedy Bucketing partitioner.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GreedyBucketing {
-    incremental: bool,
+    scan: GreedyScan,
 }
 
 impl GreedyBucketing {
-    /// The paper's algorithm with the paper's per-candidate scan cost.
+    /// The paper's algorithm with the prefix-sum fast scan (production
+    /// default). Output-identical to [`Self::faithful`].
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Output-identical variant whose scan is computed incrementally in one
-    /// pass (the optimization ablation).
-    pub fn incremental() -> Self {
-        GreedyBucketing { incremental: true }
+    /// The paper's per-candidate scan cost — O(len²) per interval. Use this
+    /// to reproduce Table I's compute-cost measurements.
+    pub fn faithful() -> Self {
+        GreedyBucketing {
+            scan: GreedyScan::Faithful,
+        }
     }
 
-    /// Whether this instance uses the incremental scan.
+    /// Output-identical variant whose scan is computed incrementally in one
+    /// pass per interval (the optimization ablation).
+    pub fn incremental() -> Self {
+        GreedyBucketing {
+            scan: GreedyScan::Incremental,
+        }
+    }
+
+    /// Whether this instance uses one of the fast scans (anything but the
+    /// paper-faithful re-walk).
     pub fn is_incremental(&self) -> bool {
-        self.incremental
+        self.scan != GreedyScan::Faithful
+    }
+
+    /// Whether this instance reproduces the paper's O(len²) scan cost.
+    pub fn is_faithful(&self) -> bool {
+        self.scan == GreedyScan::Faithful
     }
 
     /// Find the best break for `records[lo..=hi]`. Returns `(break, cost)`;
-    /// `break == hi` means "keep one bucket".
-    fn best_break(&self, records: &[ScalarRecord], lo: usize, hi: usize) -> (usize, f64) {
-        if self.incremental {
-            best_break_incremental(records, lo, hi)
-        } else {
-            best_break_faithful(records, lo, hi)
+    /// `break == hi` means "keep one bucket". `stats` is only consulted by
+    /// the prefix scan.
+    fn best_break(
+        &self,
+        records: &[ScalarRecord],
+        stats: &PrefixStats,
+        lo: usize,
+        hi: usize,
+    ) -> (usize, f64) {
+        match self.scan {
+            GreedyScan::Prefix => best_break_prefix(records, stats, lo, hi),
+            GreedyScan::Incremental => best_break_incremental(records, lo, hi),
+            GreedyScan::Faithful => best_break_faithful(records, lo, hi),
         }
     }
 }
@@ -93,15 +135,15 @@ fn best_break_incremental(records: &[ScalarRecord], lo: usize, hi: usize) -> (us
         } else {
             let high_sig = total_sig - low_sig;
             let high_wsum = total_wsum - low_wsum;
-            let p_lo = low_sig / total_sig;
-            let p_hi = high_sig / total_sig;
-            let v_lo = low_wsum / low_sig;
-            let v_hi = high_wsum / high_sig;
-            let rep_lo = records[i].value;
-            p_lo * p_lo * (rep_lo - v_lo)
-                + p_lo * p_hi * (rep_hi - v_lo)
-                + p_hi * p_lo * (rep_lo + rep_hi - v_hi)
-                + p_hi * p_hi * (rep_hi - v_hi)
+            two_bucket_cost(
+                total_sig,
+                low_sig,
+                high_sig,
+                low_wsum / low_sig,
+                high_wsum / high_sig,
+                records[i].value,
+                rep_hi,
+            )
         };
         if cost < min_cost {
             min_cost = cost;
@@ -111,12 +153,64 @@ fn best_break_incremental(records: &[ScalarRecord], lo: usize, hi: usize) -> (us
     (break_idx, min_cost)
 }
 
+/// Prefix-cache scan: the partition-wide [`PrefixStats`] answers every
+/// interval query in O(1), so no per-interval accumulation pass is needed.
+fn best_break_prefix(
+    records: &[ScalarRecord],
+    stats: &PrefixStats,
+    lo: usize,
+    hi: usize,
+) -> (usize, f64) {
+    let total_sig = stats.sig(lo, hi);
+    let total_wsum = stats.wsum(lo, hi);
+    let rep_hi = records[hi].value;
+
+    let mut min_cost = f64::INFINITY;
+    let mut break_idx = hi;
+    for (i, rec) in records.iter().enumerate().take(hi + 1).skip(lo) {
+        let cost = if i == hi {
+            rep_hi - total_wsum / total_sig
+        } else {
+            let low_sig = stats.sig(lo, i);
+            let high_sig = stats.sig(i + 1, hi);
+            let v_lo = stats.wsum(lo, i) / low_sig;
+            let v_hi = stats.wsum(i + 1, hi) / high_sig;
+            two_bucket_cost(total_sig, low_sig, high_sig, v_lo, v_hi, rec.value, rep_hi)
+        };
+        if cost < min_cost {
+            min_cost = cost;
+            break_idx = i;
+        }
+    }
+    (break_idx, min_cost)
+}
+
+/// The §IV-B four-case two-bucket expected waste, from precomputed interval
+/// statistics.
+#[inline]
+fn two_bucket_cost(
+    total_sig: f64,
+    low_sig: f64,
+    high_sig: f64,
+    v_lo: f64,
+    v_hi: f64,
+    rep_lo: f64,
+    rep_hi: f64,
+) -> f64 {
+    let p_lo = low_sig / total_sig;
+    let p_hi = high_sig / total_sig;
+    p_lo * p_lo * (rep_lo - v_lo)
+        + p_lo * p_hi * (rep_hi - v_lo)
+        + p_hi * p_lo * (rep_lo + rep_hi - v_hi)
+        + p_hi * p_hi * (rep_hi - v_hi)
+}
+
 impl Partitioner for GreedyBucketing {
     fn name(&self) -> &'static str {
-        if self.incremental {
-            "greedy-bucketing-incremental"
-        } else {
-            "greedy-bucketing"
+        match self.scan {
+            GreedyScan::Prefix => "greedy-bucketing",
+            GreedyScan::Incremental => "greedy-bucketing-incremental",
+            GreedyScan::Faithful => "greedy-bucketing-faithful",
         }
     }
 
@@ -127,6 +221,13 @@ impl Partitioner for GreedyBucketing {
         if n <= 1 {
             return Vec::new();
         }
+        // The prefix cache is built once per partition call and shared by
+        // every interval scan; the other scan modes never touch it.
+        let stats = if self.scan == GreedyScan::Prefix {
+            PrefixStats::from_records(records)
+        } else {
+            PrefixStats::new()
+        };
         let mut ends: Vec<usize> = Vec::new();
         let mut stack = vec![(0usize, n - 1)];
         while let Some((lo, hi)) = stack.pop() {
@@ -134,7 +235,7 @@ impl Partitioner for GreedyBucketing {
                 ends.push(hi);
                 continue;
             }
-            let (brk, _cost) = self.best_break(records, lo, hi);
+            let (brk, _cost) = self.best_break(records, &stats, lo, hi);
             if brk == hi {
                 ends.push(hi);
             } else {
@@ -207,8 +308,9 @@ mod tests {
     }
 
     #[test]
-    fn incremental_scan_matches_faithful_scan() {
-        let gb_f = GreedyBucketing::new();
+    fn all_scan_modes_produce_identical_partitions() {
+        let gb_p = GreedyBucketing::new();
+        let gb_f = GreedyBucketing::faithful();
         let gb_i = GreedyBucketing::incremental();
         // Deterministic pseudo-random values.
         let mut state = 0x1234_5678_u64;
@@ -221,11 +323,9 @@ mod tests {
         for n in [2usize, 3, 7, 20, 64, 133] {
             let values: Vec<f64> = (0..n).map(|_| next()).collect();
             let l = list(&values);
-            assert_eq!(
-                gb_f.partition(l.sorted()),
-                gb_i.partition(l.sorted()),
-                "n = {n}"
-            );
+            let faithful = gb_f.partition(l.sorted());
+            assert_eq!(gb_p.partition(l.sorted()), faithful, "prefix, n = {n}");
+            assert_eq!(gb_i.partition(l.sorted()), faithful, "incremental, n = {n}");
         }
     }
 
@@ -243,7 +343,8 @@ mod tests {
     fn best_break_single_element_interval() {
         let l = list(&[3.0, 9.0]);
         let gb = GreedyBucketing::new();
-        let (brk, cost) = gb.best_break(l.sorted(), 0, 0);
+        let stats = PrefixStats::from_records(l.sorted());
+        let (brk, cost) = gb.best_break(l.sorted(), &stats, 0, 0);
         assert_eq!(brk, 0);
         assert!(cost.abs() < 1e-12); // singleton bucket: rep == mean
     }
@@ -252,9 +353,17 @@ mod tests {
     fn names_distinguish_variants() {
         assert_eq!(GreedyBucketing::new().name(), "greedy-bucketing");
         assert_eq!(
+            GreedyBucketing::faithful().name(),
+            "greedy-bucketing-faithful"
+        );
+        assert_eq!(
             GreedyBucketing::incremental().name(),
             "greedy-bucketing-incremental"
         );
+        assert!(GreedyBucketing::new().is_incremental());
         assert!(GreedyBucketing::incremental().is_incremental());
+        assert!(!GreedyBucketing::faithful().is_incremental());
+        assert!(GreedyBucketing::faithful().is_faithful());
+        assert!(!GreedyBucketing::new().is_faithful());
     }
 }

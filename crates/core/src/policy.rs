@@ -88,6 +88,10 @@ impl<P: Partitioner> BucketingEstimator<P> {
             return None;
         }
         if self.dirty || self.recompute_always || self.cached.is_empty() {
+            // Fold the pending observation batch into the sorted list in one
+            // merge pass — the amortization that replaces per-observe sorted
+            // inserts.
+            self.records.commit();
             let breaks = self.partitioner.partition(self.records.sorted());
             self.cached = BucketSet::from_breaks(self.records.sorted(), &breaks);
             self.dirty = false;

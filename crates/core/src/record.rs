@@ -3,7 +3,14 @@
 //! The bucketing manager keeps, per task category and per resource kind, a
 //! list of `(value, significance)` pairs from completed tasks (§IV-A). The
 //! algorithms operate on the records *sorted by value*; [`RecordList`]
-//! maintains that order incrementally.
+//! maintains that order with **amortized batch ingestion**: observations land
+//! in a pending buffer in O(1) and are folded into the sorted list in one
+//! merge pass when a consumer next needs the order
+//! ([`RecordList::commit`]). Aggregates that don't need the order —
+//! [`RecordList::sig_sum`], [`RecordList::weighted_mean`],
+//! [`RecordList::min_value`], [`RecordList::max_value`],
+//! [`RecordList::max_sig`] — are maintained as running caches and stay O(1)
+//! regardless of pending state.
 
 use serde::{Deserialize, Serialize};
 
@@ -28,57 +35,156 @@ impl ScalarRecord {
 
 /// A list of scalar records kept sorted by value (ties keep insertion order
 /// among equals, which does not affect any bucketing computation).
+///
+/// Observations accumulate in a pending batch; order-dependent accessors
+/// ([`sorted`](Self::sorted), [`quantile`](Self::quantile),
+/// [`closest_below`](Self::closest_below)) require the batch to be folded in
+/// first via [`commit`](Self::commit). The lazy-rebucket estimators call
+/// `commit` once per rebucket, turning N sorted inserts into one merge pass.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RecordList {
     sorted: Vec<ScalarRecord>,
+    /// Observations not yet merged into `sorted`.
+    pending: Vec<ScalarRecord>,
     /// Running maximum significance, used by callers that need a "most
     /// recent" notion without re-scanning.
     max_sig: f64,
+    /// Running Σ sig over `sorted` and `pending`.
+    sig_sum: f64,
+    /// Running Σ value·sig over `sorted` and `pending`.
+    weighted_sum: f64,
+    /// Running min/max value over `sorted` and `pending` (NaN when empty).
+    min_value: f64,
+    max_value: f64,
 }
 
 impl RecordList {
     /// An empty list.
     pub fn new() -> Self {
-        Self::default()
+        RecordList {
+            sorted: Vec::new(),
+            pending: Vec::new(),
+            max_sig: 0.0,
+            sig_sum: 0.0,
+            weighted_sum: 0.0,
+            min_value: f64::NAN,
+            max_value: f64::NAN,
+        }
     }
 
-    /// Number of records.
+    /// Number of records, including uncommitted pending observations.
     pub fn len(&self) -> usize {
-        self.sorted.len()
+        self.sorted.len() + self.pending.len()
     }
 
     /// Whether the list is empty.
     pub fn is_empty(&self) -> bool {
-        self.sorted.is_empty()
+        self.sorted.is_empty() && self.pending.is_empty()
     }
 
-    /// Insert a record, keeping the list sorted by value.
+    /// Whether all observations have been merged into the sorted list.
+    pub fn is_committed(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of observations waiting in the pending batch.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Buffer a record in O(1); it joins the sorted order at the next
+    /// [`commit`](Self::commit).
     pub fn push(&mut self, record: ScalarRecord) {
-        let idx = self.sorted.partition_point(|r| r.value <= record.value);
-        self.sorted.insert(idx, record);
         if record.sig > self.max_sig {
             self.max_sig = record.sig;
         }
+        self.sig_sum += record.sig;
+        self.weighted_sum += record.value * record.sig;
+        if self.min_value.is_nan() || record.value < self.min_value {
+            self.min_value = record.value;
+        }
+        if self.max_value.is_nan() || record.value > self.max_value {
+            self.max_value = record.value;
+        }
+        self.pending.push(record);
     }
 
-    /// Insert a `(value, sig)` pair.
+    /// Buffer a `(value, sig)` pair.
     pub fn observe(&mut self, value: f64, sig: f64) {
         self.push(ScalarRecord::new(value, sig));
     }
 
+    /// Fold the pending batch into the sorted list in one pass: sort the
+    /// batch, then merge the two sorted runs back-to-front in place. Returns
+    /// `true` when anything was merged. Ties keep insertion order (pending
+    /// records were observed later, so they land after equal-valued sorted
+    /// ones).
+    pub fn commit(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        // Stable sort keeps insertion order among equal pending values.
+        self.pending
+            .sort_by(|a, b| a.value.partial_cmp(&b.value).expect("finite record values"));
+        let old_len = self.sorted.len();
+        let add = self.pending.len();
+        self.sorted.resize(
+            old_len + add,
+            ScalarRecord {
+                value: 0.0,
+                sig: 0.0,
+            },
+        );
+        // Back-to-front merge: each slot is written before it is read.
+        let mut i = old_len; // one past the last unmerged sorted element
+        let mut j = add; // one past the last unmerged pending element
+        for k in (0..old_len + add).rev() {
+            let take_pending =
+                i == 0 || (j > 0 && self.pending[j - 1].value >= self.sorted[i - 1].value);
+            if take_pending {
+                j -= 1;
+                self.sorted[k] = self.pending[j];
+            } else {
+                i -= 1;
+                self.sorted[k] = self.sorted[i];
+            }
+            if j == 0 {
+                break; // remaining sorted prefix is already in place
+            }
+        }
+        self.pending.clear();
+        true
+    }
+
     /// The records, sorted ascending by value.
+    ///
+    /// # Panics
+    /// If observations are pending — call [`commit`](Self::commit) first.
     pub fn sorted(&self) -> &[ScalarRecord] {
+        assert!(
+            self.pending.is_empty(),
+            "RecordList::sorted with {} uncommitted observations; call commit() first",
+            self.pending.len()
+        );
         &self.sorted
     }
 
-    /// Largest observed value, if any.
+    /// Largest observed value, if any (O(1), pending included).
     pub fn max_value(&self) -> Option<f64> {
-        self.sorted.last().map(|r| r.value)
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.max_value)
+        }
     }
 
-    /// Smallest observed value, if any.
+    /// Smallest observed value, if any (O(1), pending included).
     pub fn min_value(&self) -> Option<f64> {
-        self.sorted.first().map(|r| r.value)
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.min_value)
+        }
     }
 
     /// Largest significance seen so far.
@@ -86,33 +192,34 @@ impl RecordList {
         self.max_sig
     }
 
-    /// Total significance weight.
+    /// Total significance weight (O(1), pending included).
     pub fn sig_sum(&self) -> f64 {
-        self.sorted.iter().map(|r| r.sig).sum()
+        self.sig_sum
     }
 
-    /// Significance-weighted mean of all values (`None` when empty).
+    /// Significance-weighted mean of all values (`None` when empty; O(1),
+    /// pending included).
     pub fn weighted_mean(&self) -> Option<f64> {
-        if self.sorted.is_empty() {
+        if self.is_empty() {
             return None;
         }
-        let (num, den) = self
-            .sorted
-            .iter()
-            .fold((0.0, 0.0), |(n, d), r| (n + r.value * r.sig, d + r.sig));
-        Some(num / den)
+        Some(self.weighted_sum / self.sig_sum)
     }
 
     /// The value at the given quantile `q ∈ [0, 1]` by *record count*
     /// (nearest-rank on the sorted list). `None` when empty.
+    ///
+    /// # Panics
+    /// If observations are pending — call [`commit`](Self::commit) first.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.sorted.is_empty() {
+        let sorted = self.sorted();
+        if sorted.is_empty() {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
-        let n = self.sorted.len();
+        let n = sorted.len();
         let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
-        Some(self.sorted[idx].value)
+        Some(sorted[idx].value)
     }
 
     /// Index of the record closest to `target` from below: the largest index
@@ -122,15 +229,24 @@ impl RecordList {
     /// This is the mapping step of the Exhaustive Bucketing candidate grid
     /// (§IV-D step 2: "map its value to the closest record that has a lower
     /// value than it").
+    ///
+    /// # Panics
+    /// If observations are pending — call [`commit`](Self::commit) first.
     pub fn closest_below(&self, target: f64) -> Option<usize> {
-        let idx = self.sorted.partition_point(|r| r.value < target);
+        let idx = self.sorted().partition_point(|r| r.value < target);
         idx.checked_sub(1)
     }
 
-    /// Drop all records, keeping capacity.
+    /// Drop all records (sorted and pending), keeping capacity, and reset
+    /// every running cache.
     pub fn clear(&mut self) {
         self.sorted.clear();
+        self.pending.clear();
         self.max_sig = 0.0;
+        self.sig_sum = 0.0;
+        self.weighted_sum = 0.0;
+        self.min_value = f64::NAN;
+        self.max_value = f64::NAN;
     }
 }
 
@@ -140,6 +256,7 @@ impl FromIterator<(f64, f64)> for RecordList {
         for (value, sig) in iter {
             list.observe(value, sig);
         }
+        list.commit();
         list
     }
 }
@@ -177,10 +294,69 @@ mod tests {
     }
 
     #[test]
+    fn aggregates_are_live_before_commit() {
+        // The running caches answer without a merge.
+        let mut l = RecordList::new();
+        l.observe(10.0, 1.0);
+        l.observe(2.0, 3.0);
+        assert!(!l.is_committed());
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.min_value(), Some(2.0));
+        assert_eq!(l.max_value(), Some(10.0));
+        assert_eq!(l.sig_sum(), 4.0);
+        assert_eq!(l.max_sig(), 3.0);
+        assert!((l.weighted_mean().unwrap() - 4.0).abs() < 1e-12);
+        assert!(l.commit());
+        assert!(l.is_committed());
+        assert!(!l.commit(), "second commit is a no-op");
+        assert_eq!(l.sorted().len(), 2);
+    }
+
+    #[test]
+    fn commit_interleaves_batches_correctly() {
+        let mut l = RecordList::new();
+        for v in [5.0, 1.0, 9.0] {
+            l.observe(v, 1.0);
+        }
+        l.commit();
+        for v in [7.0, 0.5, 9.5, 3.0] {
+            l.observe(v, 2.0);
+        }
+        l.commit();
+        let values: Vec<f64> = l.sorted().iter().map(|r| r.value).collect();
+        assert_eq!(values, vec![0.5, 1.0, 3.0, 5.0, 7.0, 9.0, 9.5]);
+        assert_eq!(l.max_sig(), 2.0);
+    }
+
+    #[test]
+    fn commit_keeps_tie_order_by_insertion() {
+        // Equal values: earlier-committed records stay first, pending ones
+        // keep their relative order after them.
+        let mut l = RecordList::new();
+        l.observe(2.0, 1.0);
+        l.observe(2.0, 2.0);
+        l.commit();
+        l.observe(2.0, 3.0);
+        l.observe(2.0, 4.0);
+        l.commit();
+        let sigs: Vec<f64> = l.sorted().iter().map(|r| r.sig).collect();
+        assert_eq!(sigs, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "uncommitted")]
+    fn sorted_rejects_uncommitted_state() {
+        let mut l = RecordList::new();
+        l.observe(1.0, 1.0);
+        let _ = l.sorted();
+    }
+
+    #[test]
     fn empty_list_yields_none() {
         let l = RecordList::new();
         assert!(l.is_empty());
         assert_eq!(l.max_value(), None);
+        assert_eq!(l.min_value(), None);
         assert_eq!(l.weighted_mean(), None);
         assert_eq!(l.quantile(0.5), None);
         assert_eq!(l.closest_below(10.0), None);
@@ -213,6 +389,8 @@ mod tests {
         l.observe(1.0, 7.0);
         l.observe(9.0, 2.0);
         assert_eq!(l.max_sig(), 7.0);
+        l.commit();
+        assert_eq!(l.max_sig(), 7.0, "merge must not disturb max_sig");
     }
 
     #[test]
@@ -221,6 +399,7 @@ mod tests {
         for i in 0..4 {
             l.observe(2.0, (i + 1) as f64);
         }
+        l.commit();
         assert_eq!(l.len(), 4);
         assert_eq!(l.quantile(0.5), Some(2.0));
     }
@@ -231,5 +410,29 @@ mod tests {
         l.clear();
         assert!(l.is_empty());
         assert_eq!(l.max_sig(), 0.0);
+        assert_eq!(l.sig_sum(), 0.0);
+        assert_eq!(l.weighted_mean(), None);
+        assert_eq!(l.min_value(), None);
+        assert_eq!(l.max_value(), None);
+    }
+
+    #[test]
+    fn clear_then_observe_rebuilds_caches_from_scratch() {
+        // Regression: a stale running sum after clear() would poison every
+        // later weighted_mean/sig_sum.
+        let mut l = list(&[100.0, 200.0]);
+        l.observe(300.0, 50.0); // leave something pending too
+        l.clear();
+        l.observe(4.0, 2.0);
+        l.observe(8.0, 2.0);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.sig_sum(), 4.0);
+        assert_eq!(l.max_sig(), 2.0);
+        assert!((l.weighted_mean().unwrap() - 6.0).abs() < 1e-12);
+        assert_eq!(l.min_value(), Some(4.0));
+        assert_eq!(l.max_value(), Some(8.0));
+        l.commit();
+        let values: Vec<f64> = l.sorted().iter().map(|r| r.value).collect();
+        assert_eq!(values, vec![4.0, 8.0]);
     }
 }

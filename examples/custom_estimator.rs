@@ -43,7 +43,9 @@ impl ValueEstimator for P95Headroom {
 
     fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
         // A deterministic point estimate — the provenance shows up in
-        // traced runs as `AllocSource::Point`.
+        // traced runs as `AllocSource::Point`. Quantiles need the sorted
+        // order, so fold any pending observations first.
+        self.records.commit();
         self.records
             .quantile(0.95)
             .map(|v| Prediction::point(v * 1.2))

@@ -9,6 +9,7 @@
 //! tora replay   <workflow|file> [opts]        run the fast serial replay
 //! tora trace    <workflow|file> [opts]        traced run: allocation events as JSONL
 //! tora matrix   [opts]                        the 7×7 AWE matrix (Fig. 5)
+//! tora bench    [--quick]                     hot-path performance report → BENCH.json
 //! ```
 //!
 //! Run `tora <command> --help` for per-command options. Everything is
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_run(&args[1..], Mode::Replay),
         Some("trace") => cmd_trace(&args[1..]),
         Some("matrix") => cmd_matrix(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -56,7 +58,10 @@ fn print_usage() {
            replay   <workflow|file> [opts] run the fast serial replay\n\
            trace    <workflow|file> [opts] traced engine run: allocation decisions as\n\
                                            JSONL plus an engine/allocator reconciliation\n\
-           matrix   [opts]                 AWE matrix across workflows × algorithms\n\n\
+           matrix   [opts]                 AWE matrix across workflows × algorithms\n\
+           bench    [--quick] [opts]       time the hot paths (prediction, rebucket fast\n\
+                                           vs faithful, engine, parallel runner) and\n\
+                                           write BENCH.json\n\n\
          COMMON OPTIONS:\n\
            --seed <u64>          seed (default 42)\n\
            --algorithm <name>    see `tora algorithms` (default exhaustive-bucketing)\n\
@@ -532,6 +537,27 @@ fn cmd_trace(raw: &[String]) -> Result<(), String> {
             ))
         }
     }
+}
+
+/// `tora bench`: measure the hot paths and write `BENCH.json`.
+///
+/// `--quick` shrinks iteration counts and the matrix to a CI-friendly smoke
+/// run; `--out` redirects the JSON report (default `BENCH.json`).
+fn cmd_bench(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let seed = args.seed()?;
+    let quick = args.has("quick");
+    let out = args.value_of("out")?.unwrap_or("BENCH.json");
+    eprintln!(
+        "benchmarking hot paths (seed {seed}{})...",
+        if quick { ", quick" } else { "" }
+    );
+    let report = tora_bench::run_bench(quick, seed);
+    print!("{}", report.render());
+    let json = report.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
 }
 
 fn cmd_matrix(raw: &[String]) -> Result<(), String> {

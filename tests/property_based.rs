@@ -36,10 +36,34 @@ proptest! {
     }
 
     #[test]
-    fn greedy_incremental_matches_faithful(list in record_list()) {
-        let faithful = GreedyBucketing::new().partition(list.sorted());
+    fn greedy_fast_scans_match_faithful(list in record_list()) {
+        // The prefix-sum default and the incremental ablation scan must pick
+        // exactly the break points the paper-faithful quadratic scan picks,
+        // and the chosen configuration must cost bit-for-bit the same when
+        // scored through the canonical bucket-set kernel.
+        let faithful = GreedyBucketing::faithful().partition(list.sorted());
+        let prefix = GreedyBucketing::new().partition(list.sorted());
         let incremental = GreedyBucketing::incremental().partition(list.sorted());
-        prop_assert_eq!(faithful, incremental);
+        prop_assert_eq!(&faithful, &prefix);
+        prop_assert_eq!(&faithful, &incremental);
+        let cost_of = |breaks: &[usize]| {
+            exhaustive_cost(&BucketSet::from_breaks(list.sorted(), breaks))
+        };
+        prop_assert_eq!(cost_of(&faithful).to_bits(), cost_of(&prefix).to_bits());
+    }
+
+    #[test]
+    fn exhaustive_fast_matches_faithful(list in record_list()) {
+        // Same contract for Exhaustive Bucketing: the scratch-buffer fast
+        // path must be an observationally identical drop-in for the
+        // bucket-set-per-candidate faithful path.
+        let faithful = ExhaustiveBucketing::faithful().partition(list.sorted());
+        let fast = ExhaustiveBucketing::new().partition(list.sorted());
+        prop_assert_eq!(&faithful, &fast);
+        let cost_of = |breaks: &[usize]| {
+            exhaustive_cost(&BucketSet::from_breaks(list.sorted(), breaks))
+        };
+        prop_assert_eq!(cost_of(&faithful).to_bits(), cost_of(&fast).to_bits());
     }
 
     #[test]
