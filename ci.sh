@@ -24,4 +24,7 @@ cargo build --benches --workspace
 echo "== tora bench --quick (hot-path smoke) =="
 cargo run --release --bin tora -- bench --quick --out target/bench-smoke.json
 
+echo "== tora chaos --quick (fault-injection smoke) =="
+cargo run --release --bin tora -- chaos --quick
+
 echo "CI green."

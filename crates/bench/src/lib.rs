@@ -10,6 +10,7 @@
 //! | Figure 6 | `fig6_waste` | waste breakdown (IF vs FA), 7 workflows × 6 algorithms |
 //! | Table I | `table1_timing` | µs per bucketing-state compute at 10–5000 records |
 //! | ablations | `ablation_sweep` | design-choice sweeps called out in DESIGN.md |
+//! | resilience | `chaos_sweep` | GB/EB AWE degradation versus injected fault rate |
 //!
 //! Criterion benches (`cargo bench -p tora-bench`) cover the Table I
 //! measurement (`table1_state_compute`) and steady-state per-allocation
@@ -25,11 +26,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod perf;
 pub mod pool;
 pub mod timing;
 
+pub use chaos::{run_chaos_cell, run_chaos_sweep, ChaosCell};
 pub use experiments::{run_cell, run_matrix, run_matrix_for, MatrixCell, MatrixConfig};
 pub use perf::{run_bench, BenchReport};
 pub use pool::run_parallel;

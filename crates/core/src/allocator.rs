@@ -257,6 +257,13 @@ pub struct AllocationDecision {
     /// Per-axis derivation, in managed-axis order. Empty for exploratory
     /// predictions (every managed axis is the probe).
     pub provenance: Vec<AxisProvenance>,
+    /// True when the attempt exhausted some dimension but no exhausted axis
+    /// could be raised above its previous allocation (everything was already
+    /// at machine capacity). Retrying such a decision reproduces the same
+    /// kill: the task does not fit the machine and must be dead-lettered,
+    /// not retried forever.
+    #[serde(default)]
+    pub infeasible: bool,
 }
 
 impl AllocationDecision {
@@ -382,6 +389,7 @@ pub struct Allocator<S: EventSink = NoopSink> {
     exploratory: ExploratoryPolicy,
     categories: HashMap<CategoryId, CategoryState>,
     rng: StdRng,
+    rejected: u64,
     sink: S,
 }
 
@@ -419,6 +427,7 @@ impl Allocator {
             exploratory,
             categories: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
+            rejected: 0,
             sink: NoopSink,
         }
     }
@@ -444,6 +453,7 @@ impl Allocator {
             exploratory,
             categories: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
+            rejected: 0,
             sink: NoopSink,
         }
     }
@@ -459,6 +469,7 @@ impl Allocator {
             exploratory: self.exploratory,
             categories: self.categories,
             rng: self.rng,
+            rejected: self.rejected,
             sink,
         }
     }
@@ -562,6 +573,7 @@ impl<S: EventSink> Allocator<S> {
                 alloc,
                 kind: PredictKind::Explore,
                 provenance: Vec::new(),
+                infeasible: false,
             };
         }
         let n = self.config.managed.len();
@@ -615,6 +627,7 @@ impl<S: EventSink> Allocator<S> {
             alloc,
             kind: PredictKind::First,
             provenance,
+            infeasible: false,
         }
     }
 
@@ -673,7 +686,27 @@ impl<S: EventSink> Allocator<S> {
                 clamped: raised > machine_cap[*kind],
             });
         }
+        // An exhausted axis outside the managed set has no estimator to
+        // escalate it; left alone the retry would return the same allocation
+        // and the engine would re-kill the task forever. Raise such axes
+        // straight to machine capacity — the most any retry could grant.
+        for kind in exhausted.iter() {
+            if self.config.managed.contains(&kind) {
+                continue;
+            }
+            let raised = machine_cap[kind].max(alloc[kind]);
+            provenance.push(AxisProvenance {
+                resource: kind,
+                source: AllocSource::Capacity,
+                draw: None,
+                clamped: raised > machine_cap[kind],
+            });
+            alloc[kind] = raised;
+        }
         let alloc = alloc.clamp_to(&machine_cap);
+        // If no exhausted axis actually grew, the retry is a guaranteed
+        // repeat kill (everything exhausted already sat at capacity).
+        let infeasible = exhausted.any() && !exhausted.iter().any(|k| alloc[k] > prev[k]);
         if S::ENABLED {
             for &kind in &self.config.managed {
                 if exhausted.contains(kind) {
@@ -696,6 +729,7 @@ impl<S: EventSink> Allocator<S> {
             alloc,
             kind: PredictKind::Retry,
             provenance,
+            infeasible,
         }
     }
 
@@ -731,12 +765,30 @@ impl<S: EventSink> Allocator<S> {
     }
 
     /// Ingest a completed task's resource record (§IV-A step 6).
-    pub fn observe(&mut self, record: &ResourceRecord) {
+    ///
+    /// The record is validated first: a non-finite or negative peak on any
+    /// managed axis, or a non-finite/non-positive significance, would
+    /// silently poison the estimators' weighted sums (`debug_assert`s inside
+    /// the estimators vanish in release builds). Invalid records are
+    /// rejected, counted (see [`rejected_records`](Self::rejected_records)),
+    /// and leave every estimator untouched. Returns whether the record was
+    /// ingested.
+    pub fn observe(&mut self, record: &ResourceRecord) -> bool {
         let sig = if self.config.uniform_significance {
             1.0
         } else {
             record.significance
         };
+        let valid = sig.is_finite()
+            && sig > 0.0
+            && self.config.managed.iter().all(|&k| {
+                let peak = record.peak[k];
+                peak.is_finite() && peak >= 0.0
+            });
+        if !valid {
+            self.rejected += 1;
+            return false;
+        }
         if S::ENABLED {
             self.sink
                 .emit(AllocEvent::observe(record.category, record.peak, sig));
@@ -751,6 +803,13 @@ impl<S: EventSink> Allocator<S> {
             est.observe(record.peak[*kind], sig);
         }
         state.records += 1;
+        true
+    }
+
+    /// Number of records rejected at the [`observe`](Self::observe)
+    /// validation boundary.
+    pub fn rejected_records(&self) -> u64 {
+        self.rejected
     }
 }
 
@@ -996,6 +1055,102 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run_traced(9), run_plain(9));
+    }
+
+    #[test]
+    fn retry_escalates_unmanaged_exhausted_axis_to_capacity() {
+        // Regression: only memory is managed, but the kill exhausted cores.
+        // The estimator loop and the escalate loop both iterate the managed
+        // set, so before the unmanaged-axis pass the retry returned `prev`
+        // unchanged — and the engine re-killed the task forever.
+        let config = AllocatorConfig {
+            managed: vec![ResourceKind::MemoryMb],
+            ..AllocatorConfig::default()
+        };
+        let mut a = Allocator::with_config(AlgorithmKind::MaxSeen, config, 1);
+        for i in 0..10 {
+            a.observe(&record(i, 0, ResourceVector::new(2.0, 100.0, 100.0)));
+        }
+        let prev = ResourceVector::new(1.0, 250.0, 65536.0)
+            .with(ResourceKind::TimeS, WorkerSpec::UNLIMITED_TIME_S);
+        let exhausted = ResourceMask::only(ResourceKind::Cores);
+        let retry = a.predict_retry(CategoryId(0), &prev, &exhausted);
+        assert_ne!(
+            retry.alloc, prev,
+            "retry must change an allocation whose kill axis is unmanaged"
+        );
+        assert_eq!(retry.cores(), 16.0, "raised to machine capacity");
+        assert!(!retry.infeasible);
+        let cores = retry.axis(ResourceKind::Cores).unwrap();
+        assert_eq!(cores.source, AllocSource::Capacity);
+    }
+
+    #[test]
+    fn retry_at_capacity_is_marked_infeasible() {
+        let mut a = Allocator::new(AlgorithmKind::MaxSeen, 1);
+        for i in 0..10 {
+            a.observe(&record(i, 0, ResourceVector::new(1.0, 100.0, 100.0)));
+        }
+        let cap = WorkerSpec::paper_default().capacity;
+        // Every exhausted axis already at capacity: nothing can grow.
+        let retry = a.predict_retry(
+            CategoryId(0),
+            &cap,
+            &ResourceMask::only(ResourceKind::MemoryMb),
+        );
+        assert_eq!(retry.alloc, cap);
+        assert!(retry.infeasible);
+        // Same for an unmanaged axis already at capacity.
+        let retry = a.predict_retry(CategoryId(0), &cap, &ResourceMask::only(ResourceKind::Gpus));
+        assert!(retry.infeasible);
+        // But a retry that can still raise some exhausted axis is feasible.
+        let below = cap.with(ResourceKind::MemoryMb, 100.0);
+        let retry = a.predict_retry(
+            CategoryId(0),
+            &below,
+            &ResourceMask::only(ResourceKind::MemoryMb),
+        );
+        assert!(!retry.infeasible);
+        assert!(retry.memory_mb() > 100.0);
+    }
+
+    #[test]
+    fn non_finite_records_are_rejected_and_leave_predictions_unchanged() {
+        // Max Seen predicts the rounded running maximum — deterministic, so
+        // any post-poisoning drift is attributable to the bad record alone.
+        let mut a = Allocator::new(AlgorithmKind::MaxSeen, 11);
+        for i in 0..12 {
+            a.observe(&record(
+                i,
+                0,
+                ResourceVector::new(1.0, 200.0 + i as f64, 50.0),
+            ));
+        }
+        let before = a.predict_first(CategoryId(0)).into_alloc();
+        // NaN peak, negative peak, non-finite significance: all rejected.
+        // Built directly — `TaskSpec::new` debug-asserts finiteness, but a
+        // record arriving over the wire carries no such guarantee.
+        let raw = |peak: ResourceVector, significance: f64| crate::task::ResourceRecord {
+            task: crate::task::TaskId(100),
+            category: CategoryId(0),
+            peak,
+            duration_s: 10.0,
+            significance,
+        };
+        assert!(!a.observe(&raw(ResourceVector::new(1.0, f64::NAN, 50.0), 100.0)));
+        assert!(!a.observe(&raw(ResourceVector::new(-1.0, 200.0, 50.0), 100.0)));
+        assert!(!a.observe(&raw(ResourceVector::new(1.0, 200.0, 50.0), f64::INFINITY)));
+        assert_eq!(a.rejected_records(), 3);
+        assert_eq!(
+            a.records_for(CategoryId(0)),
+            12,
+            "rejected records not counted"
+        );
+        let after = a.predict_first(CategoryId(0)).into_alloc();
+        assert_eq!(before, after, "a poisoned record must not move predictions");
+        // A later valid record still lands.
+        assert!(a.observe(&record(103, 0, ResourceVector::new(1.0, 220.0, 50.0))));
+        assert_eq!(a.records_for(CategoryId(0)), 13);
     }
 
     #[test]

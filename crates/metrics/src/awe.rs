@@ -8,7 +8,7 @@
 //! the complementary waste into internal fragmentation and failed
 //! allocations; [`WasteBreakdown`] carries that split.
 
-use crate::outcome::TaskOutcome;
+use crate::outcome::{DeadLetter, TaskOutcome};
 use serde::{Deserialize, Serialize};
 use tora_alloc::resources::ResourceKind;
 use tora_alloc::task::CategoryId;
@@ -39,10 +39,34 @@ impl WasteBreakdown {
     }
 }
 
+/// Waste of one dimension attributed by blame. Complements the §II-C
+/// [`WasteBreakdown`] (which splits by *mechanism*) with a split by
+/// *responsibility*: did the allocator waste it, or did the environment?
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WasteAttribution {
+    /// Allocator's fault: internal fragmentation plus retry waste of
+    /// attempts killed for over-consumption.
+    pub allocation_induced: f64,
+    /// Environment's fault: retry waste of crashed / timed-out attempts,
+    /// plus straggler drag on completed runs.
+    pub fault_induced: f64,
+    /// Allocation burned by tasks that never completed at all.
+    pub dead_lettered: f64,
+}
+
+impl WasteAttribution {
+    /// Total attributed waste.
+    pub fn total(&self) -> f64 {
+        self.allocation_induced + self.fault_induced + self.dead_lettered
+    }
+}
+
 /// Aggregated metrics over a completed workflow run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct WorkflowMetrics {
     outcomes: Vec<TaskOutcome>,
+    #[serde(default)]
+    dead_letters: Vec<DeadLetter>,
 }
 
 impl WorkflowMetrics {
@@ -107,6 +131,58 @@ impl WorkflowMetrics {
         self.outcomes.iter().map(|o| o.failed_attempts()).sum()
     }
 
+    /// Record a task the engine gave up on.
+    pub fn push_dead_letter(&mut self, letter: DeadLetter) {
+        debug_assert!(letter.check().is_ok(), "{:?}", letter.check());
+        self.dead_letters.push(letter);
+    }
+
+    /// All dead-lettered tasks.
+    pub fn dead_letters(&self) -> &[DeadLetter] {
+        &self.dead_letters
+    }
+
+    /// Number of dead-lettered tasks.
+    pub fn dead_lettered_count(&self) -> usize {
+        self.dead_letters.len()
+    }
+
+    /// Allocation burned by dead-lettered tasks in one dimension.
+    pub fn dead_letter_allocation(&self, kind: ResourceKind) -> f64 {
+        self.dead_letters
+            .iter()
+            .map(|d| d.total_allocation(kind))
+            .sum()
+    }
+
+    /// Degraded-mode AWE: useful consumption over *all* allocation the run
+    /// charged, including what dead-lettered tasks burned. Equals
+    /// [`awe`](Self::awe) when nothing was dead-lettered; strictly below it
+    /// otherwise. `None` when the denominator is zero.
+    pub fn degraded_awe(&self, kind: ResourceKind) -> Option<f64> {
+        let alloc = self.total_allocation(kind) + self.dead_letter_allocation(kind);
+        if alloc <= 0.0 {
+            return None;
+        }
+        Some(self.total_consumption(kind) / alloc)
+    }
+
+    /// Split one dimension's waste by blame: allocator vs environment vs
+    /// abandoned work. `allocation_induced + fault_induced` equals the
+    /// §II-C waste of the completed tasks plus their straggler drag;
+    /// adding `dead_lettered` covers every charged-but-useless unit.
+    pub fn attributed_waste(&self, kind: ResourceKind) -> WasteAttribution {
+        let mut w = WasteAttribution::default();
+        for o in &self.outcomes {
+            let fault_failed = o.fault_failed_waste(kind);
+            w.allocation_induced +=
+                o.internal_fragmentation(kind) + o.failed_allocation_waste(kind) - fault_failed;
+            w.fault_induced += fault_failed + o.straggler_drag(kind);
+        }
+        w.dead_lettered = self.dead_letter_allocation(kind);
+        w
+    }
+
     /// Restrict to one category's outcomes (§III-B's per-category analysis).
     pub fn filter_category(&self, category: CategoryId) -> WorkflowMetrics {
         WorkflowMetrics {
@@ -116,12 +192,19 @@ impl WorkflowMetrics {
                 .filter(|o| o.category == category)
                 .cloned()
                 .collect(),
+            dead_letters: self
+                .dead_letters
+                .iter()
+                .filter(|d| d.category == category)
+                .cloned()
+                .collect(),
         }
     }
 
     /// Merge another run's outcomes into this accumulator.
     pub fn merge(&mut self, other: WorkflowMetrics) {
         self.outcomes.extend(other.outcomes);
+        self.dead_letters.extend(other.dead_letters);
     }
 }
 
@@ -241,5 +324,75 @@ mod tests {
         let b: WorkflowMetrics = (3..5).map(|i| simple(i, 0, 100.0, 100.0)).collect();
         a.merge(b);
         assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn degraded_awe_charges_dead_lettered_allocation() {
+        use crate::outcome::{DeadLetter, DeadLetterCause};
+        // One clean completion: 100 used / 100 allocated over 10 s.
+        let mut m: WorkflowMetrics = [simple(0, 0, 100.0, 100.0)].into_iter().collect();
+        let k = ResourceKind::MemoryMb;
+        assert_eq!(m.awe(k), Some(1.0));
+        assert_eq!(m.degraded_awe(k), Some(1.0));
+        // A dead-lettered task that burned 100 MB for 10 s.
+        m.push_dead_letter(DeadLetter {
+            task: TaskId(1),
+            category: CategoryId(0),
+            cause: DeadLetterCause::AttemptsExhausted,
+            attempts: vec![AttemptOutcome::failure(
+                ResourceVector::new(1.0, 100.0, 10.0),
+                10.0,
+            )],
+        });
+        assert_eq!(m.dead_lettered_count(), 1);
+        // Plain AWE ignores the abandoned work; degraded AWE charges it:
+        // 1000 useful / (1000 + 1000) charged.
+        assert_eq!(m.awe(k), Some(1.0));
+        assert_eq!(m.degraded_awe(k), Some(0.5));
+        assert_eq!(m.dead_letter_allocation(k), 1000.0);
+    }
+
+    #[test]
+    fn attributed_waste_splits_blame() {
+        use crate::outcome::{AttemptCause, DeadLetter, DeadLetterCause};
+        let k = ResourceKind::MemoryMb;
+        // Task 0: one allocation kill (100 MB × 4 s), then a straggled
+        // success at 400 MB charged 12 s for a 10 s task.
+        let o = TaskOutcome {
+            task: TaskId(0),
+            category: CategoryId(0),
+            peak: ResourceVector::new(1.0, 300.0, 10.0),
+            duration_s: 10.0,
+            attempts: vec![
+                AttemptOutcome::failure(ResourceVector::new(1.0, 100.0, 10.0), 4.0),
+                AttemptOutcome::failure_with_cause(
+                    ResourceVector::new(1.0, 400.0, 10.0),
+                    2.0,
+                    AttemptCause::WorkerCrash,
+                ),
+                AttemptOutcome::success_straggled(ResourceVector::new(1.0, 400.0, 10.0), 12.0),
+            ],
+        };
+        o.check().unwrap();
+        let mut m: WorkflowMetrics = [o].into_iter().collect();
+        m.push_dead_letter(DeadLetter {
+            task: TaskId(1),
+            category: CategoryId(0),
+            cause: DeadLetterCause::Unplaceable,
+            attempts: vec![AttemptOutcome::failure_with_cause(
+                ResourceVector::new(1.0, 50.0, 10.0),
+                2.0,
+                AttemptCause::WorkerCrash,
+            )],
+        });
+        let w = m.attributed_waste(k);
+        // Allocator's fault: kill waste 100×4 + fragmentation (400−300)×10.
+        assert_eq!(w.allocation_induced, 400.0 + 1000.0);
+        // Environment's fault: crash waste 400×2 + drag 400×(12−10).
+        assert_eq!(w.fault_induced, 800.0 + 800.0);
+        assert_eq!(w.dead_lettered, 100.0);
+        // Every charged unit is useful consumption or attributed waste.
+        let charged = m.total_allocation(k) + m.dead_letter_allocation(k);
+        assert!((charged - (m.total_consumption(k) + w.total())).abs() < 1e-9);
     }
 }

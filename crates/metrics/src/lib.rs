@@ -18,9 +18,9 @@ pub mod outcome;
 pub mod report;
 pub mod summary;
 
-pub use awe::{WasteBreakdown, WorkflowMetrics};
+pub use awe::{WasteAttribution, WasteBreakdown, WorkflowMetrics};
 pub use cost::{Bill, CostModel};
-pub use outcome::{AttemptOutcome, TaskOutcome};
+pub use outcome::{AttemptCause, AttemptOutcome, DeadLetter, DeadLetterCause, TaskOutcome};
 pub use report::{grouped, pct, Table};
 pub use summary::{
     attempts_histogram, rolling_awe, steady_state_onset, waste_quantiles, Quantiles,

@@ -14,6 +14,49 @@ use serde::{Deserialize, Serialize};
 use tora_alloc::resources::{ResourceKind, ResourceVector};
 use tora_alloc::task::{CategoryId, TaskId};
 
+/// Why an attempt ended the way it did. Separates *allocation-induced*
+/// endings (the §II-B kill for over-consumption) from *fault-induced* ones
+/// (the environment failed the attempt), which is what lets the waste
+/// attribution split retry waste by blame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AttemptCause {
+    /// Ran to completion under its allocation.
+    #[default]
+    Completed,
+    /// Completed, but straggled: held its allocation for longer than the
+    /// task's true duration (the overhang is fault-induced drag waste).
+    StragglerCompleted,
+    /// Killed for over-consuming a dimension (§II-B assumption 4).
+    ResourceExhausted,
+    /// Lost when its worker crashed (abrupt departure, record lost).
+    WorkerCrash,
+    /// Hung past the straggler timeout and was killed.
+    StragglerTimeout,
+}
+
+impl AttemptCause {
+    /// Whether the environment, not the allocation, is to blame.
+    pub fn is_fault(self) -> bool {
+        matches!(
+            self,
+            AttemptCause::StragglerCompleted
+                | AttemptCause::WorkerCrash
+                | AttemptCause::StragglerTimeout
+        )
+    }
+
+    /// Stable report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttemptCause::Completed => "completed",
+            AttemptCause::StragglerCompleted => "straggler-completed",
+            AttemptCause::ResourceExhausted => "resource-exhausted",
+            AttemptCause::WorkerCrash => "worker-crash",
+            AttemptCause::StragglerTimeout => "straggler-timeout",
+        }
+    }
+}
+
 /// One attempt of one task.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AttemptOutcome {
@@ -24,6 +67,9 @@ pub struct AttemptOutcome {
     pub charged_time_s: f64,
     /// Whether the attempt completed successfully.
     pub success: bool,
+    /// Why the attempt ended.
+    #[serde(default)]
+    pub cause: AttemptCause,
 }
 
 impl AttemptOutcome {
@@ -33,6 +79,19 @@ impl AttemptOutcome {
             allocation,
             charged_time_s,
             success: true,
+            cause: AttemptCause::Completed,
+        }
+    }
+
+    /// A successful attempt that straggled: completed, but occupied its
+    /// allocation for `charged_time_s` seconds — longer than the task's
+    /// true duration.
+    pub fn success_straggled(allocation: ResourceVector, charged_time_s: f64) -> Self {
+        AttemptOutcome {
+            allocation,
+            charged_time_s,
+            success: true,
+            cause: AttemptCause::StragglerCompleted,
         }
     }
 
@@ -42,6 +101,25 @@ impl AttemptOutcome {
             allocation,
             charged_time_s,
             success: false,
+            cause: AttemptCause::ResourceExhausted,
+        }
+    }
+
+    /// A failed attempt with an explicit cause (crash, straggler timeout).
+    pub fn failure_with_cause(
+        allocation: ResourceVector,
+        charged_time_s: f64,
+        cause: AttemptCause,
+    ) -> Self {
+        debug_assert!(!matches!(
+            cause,
+            AttemptCause::Completed | AttemptCause::StragglerCompleted
+        ));
+        AttemptOutcome {
+            allocation,
+            charged_time_s,
+            success: false,
+            cause,
         }
     }
 }
@@ -84,6 +162,20 @@ impl TaskOutcome {
                 "{}: successful allocation {} does not cover peak {}",
                 self.task, last.allocation, self.peak
             ));
+        }
+        for a in &self.attempts {
+            let completing = matches!(
+                a.cause,
+                AttemptCause::Completed | AttemptCause::StragglerCompleted
+            );
+            if a.success != completing {
+                return Err(format!(
+                    "{}: attempt success={} contradicts cause {}",
+                    self.task,
+                    a.success,
+                    a.cause.label()
+                ));
+            }
         }
         Ok(())
     }
@@ -129,6 +221,103 @@ impl TaskOutcome {
     /// Total waste of one dimension (§II-C `ResourceWaste(T)`).
     pub fn waste(&self, kind: ResourceKind) -> f64 {
         self.internal_fragmentation(kind) + self.failed_allocation_waste(kind)
+    }
+
+    /// Straggler drag of one dimension: allocation the successful attempt
+    /// held *beyond* the task's true duration. Zero for non-straggled runs.
+    /// With drag, the accounting identity reads
+    /// `A = C + IF + FA + drag` — drag is fault-induced waste the §II-C
+    /// split does not see.
+    pub fn straggler_drag(&self, kind: ResourceKind) -> f64 {
+        let last = self.final_attempt();
+        last.allocation[kind] * (last.charged_time_s - self.duration_s).max(0.0)
+    }
+
+    /// Failed-allocation waste of one dimension restricted to attempts the
+    /// environment failed (crashes, straggler timeouts) — the retry waste
+    /// the allocator is *not* to blame for.
+    pub fn fault_failed_waste(&self, kind: ResourceKind) -> f64 {
+        self.attempts
+            .iter()
+            .filter(|a| !a.success && a.cause.is_fault())
+            .map(|a| a.allocation[kind] * a.charged_time_s)
+            .sum()
+    }
+}
+
+/// Why a task was dead-lettered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeadLetterCause {
+    /// Burned through the configured attempt budget.
+    AttemptsExhausted,
+    /// Exceeded the transient-dispatch-failure retry budget.
+    DispatchRetriesExhausted,
+    /// Its allocation exceeds the total capacity of every live worker.
+    Unplaceable,
+    /// A retry could not grow any exhausted axis: the task does not fit the
+    /// machine and every further attempt would reproduce the same kill.
+    Infeasible,
+    /// A dependency was dead-lettered, so this task can never become ready.
+    DependencyDeadLettered,
+    /// The run stalled with no event that could ever make progress.
+    Stalled,
+}
+
+impl DeadLetterCause {
+    /// Stable report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeadLetterCause::AttemptsExhausted => "attempts-exhausted",
+            DeadLetterCause::DispatchRetriesExhausted => "dispatch-retries-exhausted",
+            DeadLetterCause::Unplaceable => "unplaceable",
+            DeadLetterCause::Infeasible => "infeasible",
+            DeadLetterCause::DependencyDeadLettered => "dependency-dead-lettered",
+            DeadLetterCause::Stalled => "stalled",
+        }
+    }
+}
+
+/// The terminal state of a task that will never complete: the engine gave
+/// up on it, recording why and what its attempts cost. The counterpart of
+/// [`TaskOutcome`] — every submitted task ends as exactly one of the two,
+/// which is the conservation identity `submitted = completed +
+/// dead-lettered` a chaos run checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadLetter {
+    /// The task.
+    pub task: TaskId,
+    /// Its category.
+    pub category: CategoryId,
+    /// Why it was abandoned.
+    pub cause: DeadLetterCause,
+    /// Every attempt it burned before being abandoned (possibly none — a
+    /// task dead-lettered before it ever dispatched).
+    pub attempts: Vec<AttemptOutcome>,
+}
+
+impl DeadLetter {
+    /// Validate structural invariants: no successful attempts (a success
+    /// would have completed the task), non-negative charged times.
+    pub fn check(&self) -> Result<(), String> {
+        if let Some(a) = self.attempts.iter().find(|a| a.success) {
+            return Err(format!(
+                "{}: dead-lettered task has a successful attempt ({})",
+                self.task,
+                a.cause.label()
+            ));
+        }
+        if self.attempts.iter().any(|a| a.charged_time_s < 0.0) {
+            return Err(format!("{}: negative charged time", self.task));
+        }
+        Ok(())
+    }
+
+    /// Total allocation the abandoned attempts held — all of it waste.
+    pub fn total_allocation(&self, kind: ResourceKind) -> f64 {
+        self.attempts
+            .iter()
+            .map(|a| a.allocation[kind] * a.charged_time_s)
+            .sum()
     }
 }
 

@@ -11,6 +11,7 @@
 //! result reports it separately).
 
 use crate::enforcement::{AttemptVerdict, EnforcementModel};
+use crate::faults::FaultPlan;
 use crate::log::{EventLog, SimEvent};
 use crate::scheduler::QueuePolicy;
 use crate::stats::{SimStats, UtilizationSample, UtilizationSeries};
@@ -22,11 +23,13 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use tora_alloc::allocator::{AlgorithmKind, Allocator, AllocatorConfig};
-use tora_alloc::resources::{ResourceVector, WorkerSpec};
+use tora_alloc::resources::{ResourceMask, ResourceVector, WorkerSpec};
 use tora_alloc::task::ResourceRecord;
 use tora_alloc::task::TaskSpec;
 use tora_alloc::trace::{EventSink, NoopSink};
-use tora_metrics::{AttemptOutcome, TaskOutcome, WorkflowMetrics};
+use tora_metrics::{
+    AttemptCause, AttemptOutcome, DeadLetter, DeadLetterCause, TaskOutcome, WorkflowMetrics,
+};
 use tora_workloads::Workflow;
 
 /// How the dynamic workflow generates (submits) its tasks over time.
@@ -55,7 +58,9 @@ pub enum ArrivalModel {
 pub struct WorkerMix {
     /// Probability that a joining worker is a large one.
     pub large_fraction: f64,
-    /// Spatial capacity multiplier of large workers (≥ 1).
+    /// Spatial capacity multiplier of the mixed-in workers (> 0; values
+    /// below 1 model workers *smaller* than the workflow's base shape, which
+    /// is how a shrinking pool strands over-sized allocations).
     pub scale: f64,
 }
 
@@ -65,7 +70,7 @@ impl WorkerMix {
         if !(0.0..=1.0).contains(&self.large_fraction) {
             return Err(format!("bad large_fraction {}", self.large_fraction));
         }
-        if !(self.scale.is_finite() && self.scale >= 1.0) {
+        if !(self.scale.is_finite() && self.scale > 0.0) {
             return Err(format!("bad scale {}", self.scale));
         }
         Ok(())
@@ -93,6 +98,11 @@ pub struct SimConfig {
     /// RNG seed (drives the allocator's bucket sampling, arrivals and the
     /// churn).
     pub seed: u64,
+    /// Fault-injection plan (crashes, stragglers, lost records, flaky
+    /// dispatch) plus the resilience budgets bounding them. The default
+    /// [`FaultPlan::none`] reproduces fault-free behaviour exactly.
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -106,6 +116,7 @@ impl Default for SimConfig {
             record_log: false,
             track_utilization: false,
             seed: 0,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -125,6 +136,7 @@ impl SimConfig {
             record_log: false,
             track_utilization: false,
             seed,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -157,9 +169,20 @@ pub struct SimResult {
 
 #[derive(Debug)]
 enum Event {
-    Finish { dispatch: u64 },
-    Arrive { task_idx: usize },
+    Finish {
+        dispatch: u64,
+    },
+    Arrive {
+        task_idx: usize,
+    },
     Churn,
+    /// A worker crashes abruptly (fault plan), losing its running attempts.
+    Crash,
+    /// A task whose dispatch failed transiently re-enters the ready queue
+    /// after its backoff.
+    Requeue {
+        task_idx: usize,
+    },
 }
 
 struct QueuedEvent {
@@ -191,6 +214,9 @@ struct Running {
     alloc: ResourceVector,
     start: SimTime,
     verdict: AttemptVerdict,
+    /// How this attempt will end if it runs to its `Finish` event
+    /// (straggler injection is decided at dispatch time).
+    cause: AttemptCause,
 }
 
 struct TaskState {
@@ -208,6 +234,13 @@ struct TaskState {
     arrived: bool,
     /// Predecessors still running (Fig. 1's dependency resolution).
     deps_remaining: usize,
+    /// Terminally abandoned (dead-lettered): must never run again.
+    dead: bool,
+    /// Consecutive transient dispatch failures (reset on success).
+    dispatch_failures: usize,
+    /// Consecutive scheduling rounds spent ready but unplaceable on every
+    /// live worker (reset whenever some worker could ever host it).
+    unplaceable_strikes: usize,
 }
 
 impl TaskState {
@@ -219,6 +252,9 @@ impl TaskState {
             predicted_epoch: 0,
             arrived,
             deps_remaining,
+            dead: false,
+            dispatch_failures: 0,
+            unplaceable_strikes: 0,
         }
     }
 }
@@ -289,6 +325,9 @@ pub struct Simulation<S: EventSink = NoopSink> {
     config: SimConfig,
     pool: WorkerPool,
     churn_rng: StdRng,
+    /// Dedicated fault stream: a plan of all-zero rates draws nothing, so
+    /// the churn/arrival/allocator streams are never perturbed.
+    fault_rng: StdRng,
     events: BinaryHeap<Reverse<QueuedEvent>>,
     seq: u64,
     dispatch_ids: u64,
@@ -298,6 +337,10 @@ pub struct Simulation<S: EventSink = NoopSink> {
     dependents: Vec<Vec<usize>>,
     completed_flags: Vec<bool>,
     completed: usize,
+    /// Tasks abandoned to the dead-letter channel (terminal, like
+    /// completion: the run ends when `completed + dead_lettered` covers
+    /// every task).
+    dead_lettered: usize,
     now: SimTime,
     result_metrics: WorkflowMetrics,
     preempted_alloc_time: ResourceVector,
@@ -356,6 +399,7 @@ impl Simulation {
             config: self.config,
             pool: self.pool,
             churn_rng: self.churn_rng,
+            fault_rng: self.fault_rng,
             events: self.events,
             seq: self.seq,
             dispatch_ids: self.dispatch_ids,
@@ -365,6 +409,7 @@ impl Simulation {
             dependents: self.dependents,
             completed_flags: self.completed_flags,
             completed: self.completed,
+            dead_lettered: self.dead_lettered,
             now: self.now,
             result_metrics: self.result_metrics,
             preempted_alloc_time: self.preempted_alloc_time,
@@ -378,6 +423,7 @@ impl Simulation {
 
     fn bare(worker: WorkerSpec, algorithm: AlgorithmKind, config: SimConfig) -> Self {
         config.churn.validate().expect("invalid churn config");
+        config.faults.validate().expect("invalid fault plan");
         let alloc_config = AllocatorConfig {
             machine: worker,
             ..AllocatorConfig::default()
@@ -412,6 +458,7 @@ impl Simulation {
             config,
             pool,
             churn_rng,
+            fault_rng: StdRng::seed_from_u64(config.seed ^ 0x00FA_0175),
             events: BinaryHeap::new(),
             seq: 0,
             dispatch_ids: 0,
@@ -421,6 +468,7 @@ impl Simulation {
             dependents: Vec::new(),
             completed_flags: Vec::new(),
             completed: 0,
+            dead_lettered: 0,
             now: SimTime::ZERO,
             result_metrics: WorkflowMetrics::new(),
             preempted_alloc_time: ResourceVector::ZERO,
@@ -544,10 +592,36 @@ impl<S: EventSink> Simulation<S> {
                 break; // nothing dispatchable right now
             };
             let task_idx = self.ready.remove(qi).expect("selected index in queue");
+            // Transient dispatch failure: the placement RPC is lost before
+            // the attempt starts. The task backs off (exponentially) and
+            // re-enters the queue via a `Requeue` event — or is dead-lettered
+            // once its consecutive-failure budget is spent.
+            let plan = self.config.faults;
+            if plan.dispatch_failure_rate > 0.0
+                && self.fault_rng.gen::<f64>() < plan.dispatch_failure_rate
+            {
+                self.stats.faults.dispatch_failures += 1;
+                let state = &mut self.tasks[task_idx];
+                state.dispatch_failures += 1;
+                let failures = state.dispatch_failures;
+                self.log_event(SimEvent::DispatchFailed {
+                    task: self.specs[task_idx].id,
+                });
+                if plan.max_dispatch_retries > 0 && failures > plan.max_dispatch_retries {
+                    self.dead_letter(task_idx, DeadLetterCause::DispatchRetriesExhausted);
+                } else {
+                    let backoff = plan.dispatch_backoff_s
+                        * 2f64.powi(failures.saturating_sub(1).min(10) as i32);
+                    self.push_event(self.now + backoff, Event::Requeue { task_idx });
+                }
+                continue;
+            }
+            self.tasks[task_idx].dispatch_failures = 0;
             let alloc = self.tasks[task_idx].next_alloc.expect("alloc just ensured");
             let worker = self.pool.place(&alloc).expect("can_place verified");
             let task = self.specs[task_idx];
             let verdict = self.config.enforcement.judge(&task, &alloc);
+            let (verdict, cause) = self.inject_straggler(verdict);
             self.dispatch_ids += 1;
             let dispatch = self.dispatch_ids;
             self.running.insert(
@@ -558,6 +632,7 @@ impl<S: EventSink> Simulation<S> {
                     alloc,
                     start: self.now,
                     verdict,
+                    cause,
                 },
             );
             self.stats.dispatches += 1;
@@ -574,12 +649,62 @@ impl<S: EventSink> Simulation<S> {
         }
     }
 
+    /// Decide at dispatch time how the attempt will end, folding the
+    /// straggler model over the enforcement verdict: a straggling attempt
+    /// runs at `straggler_multiplier ×` its charged time, and a watchdog
+    /// kills anything that would run past `straggler_timeout_s`.
+    fn inject_straggler(&mut self, verdict: AttemptVerdict) -> (AttemptVerdict, AttemptCause) {
+        let plan = self.config.faults;
+        let base_cause = if verdict.success {
+            AttemptCause::Completed
+        } else {
+            AttemptCause::ResourceExhausted
+        };
+        if !(plan.straggler_rate > 0.0 && self.fault_rng.gen::<f64>() < plan.straggler_rate) {
+            return (verdict, base_cause);
+        }
+        let stretched = plan.straggler_multiplier * verdict.charged_time_s;
+        if stretched <= plan.straggler_timeout_s {
+            // Still reaches its natural end (completion or enforcement
+            // kill), just later: the extra allocation·time is drag waste.
+            let cause = if verdict.success {
+                AttemptCause::StragglerCompleted
+            } else {
+                base_cause
+            };
+            (
+                AttemptVerdict {
+                    charged_time_s: stretched,
+                    ..verdict
+                },
+                cause,
+            )
+        } else {
+            // Hangs past the watchdog: killed at the timeout, with nothing
+            // learned about which resource (if any) was the problem.
+            (
+                AttemptVerdict {
+                    success: false,
+                    charged_time_s: plan.straggler_timeout_s,
+                    exhausted: ResourceMask::NONE,
+                },
+                AttemptCause::StragglerTimeout,
+            )
+        }
+    }
+
     /// The arrival model released a task: it becomes ready once its
     /// predecessors (if any) have completed.
     fn on_arrive(&mut self, task_idx: usize) {
+        if self.tasks[task_idx].dead {
+            // Dead-lettered (dependency cascade) before it ever arrived; its
+            // submission was already accounted at dead-letter time.
+            return;
+        }
         self.log_event(SimEvent::TaskSubmitted {
             task: self.specs[task_idx].id,
         });
+        self.stats.submitted += 1;
         let state = &mut self.tasks[task_idx];
         debug_assert!(!state.arrived, "duplicate arrival");
         state.arrived = true;
@@ -590,7 +715,7 @@ impl<S: EventSink> Simulation<S> {
 
     fn on_finish(&mut self, dispatch: u64) {
         let Some(run) = self.running.remove(&dispatch) else {
-            return; // stale event: the attempt was preempted
+            return; // stale event: the attempt was preempted or crashed
         };
         self.pool.release(run.worker, &run.alloc);
         let task = self.specs[run.task_idx];
@@ -599,18 +724,14 @@ impl<S: EventSink> Simulation<S> {
                 task: task.id,
                 worker: run.worker,
             });
-        } else {
-            self.log_event(SimEvent::TaskKilled {
-                task: task.id,
-                worker: run.worker,
-            });
-        }
-        let state = &mut self.tasks[run.task_idx];
-        if run.verdict.success {
-            state.attempts.push(AttemptOutcome::success(
-                run.alloc,
-                run.verdict.charged_time_s,
-            ));
+            let attempt = if run.cause == AttemptCause::StragglerCompleted {
+                self.stats.faults.stragglers_slow += 1;
+                AttemptOutcome::success_straggled(run.alloc, run.verdict.charged_time_s)
+            } else {
+                AttemptOutcome::success(run.alloc, run.verdict.charged_time_s)
+            };
+            let state = &mut self.tasks[run.task_idx];
+            state.attempts.push(attempt);
             let outcome = TaskOutcome {
                 task: task.id,
                 category: task.category,
@@ -620,12 +741,23 @@ impl<S: EventSink> Simulation<S> {
             };
             debug_assert!(outcome.check().is_ok(), "{:?}", outcome.check());
             self.result_metrics.push(outcome);
-            self.allocator.observe(&ResourceRecord::from_task(&task));
+            let plan = self.config.faults;
+            if plan.record_dropout_rate > 0.0
+                && self.fault_rng.gen::<f64>() < plan.record_dropout_rate
+            {
+                // The completion is real but its resource record never
+                // reaches the allocator: nothing is learned from this task.
+                self.stats.faults.record_drops += 1;
+                self.log_event(SimEvent::RecordDropped { task: task.id });
+            } else if self.allocator.observe(&ResourceRecord::from_task(&task)) {
+                self.stats.record_observation(task.category.0);
+                // The estimator just learned something: queued (unpinned)
+                // first predictions are now stale.
+                self.alloc_epoch += 1;
+            } else {
+                self.stats.faults.rejected_records += 1;
+            }
             self.stats.completions += 1;
-            self.stats.record_observation(task.category.0);
-            // The estimator just learned something: queued (unpinned) first
-            // predictions are now stale.
-            self.alloc_epoch += 1;
             self.completed += 1;
             self.completed_flags[run.task_idx] = true;
             // Dependency resolution: completed inputs release dependents.
@@ -645,12 +777,50 @@ impl<S: EventSink> Simulation<S> {
                 self.integrate_submissions(api);
                 self.driver = Some(driver);
             }
+        } else if run.cause == AttemptCause::StragglerTimeout {
+            // Straggler watchdog kill: the allocation was not the problem,
+            // so no retry prediction is made — resubmit with the same
+            // (pinned) allocation, unless the attempt budget is spent.
+            self.log_event(SimEvent::TaskTimedOut {
+                task: task.id,
+                worker: run.worker,
+            });
+            self.stats.faults.straggler_kills += 1;
+            let state = &mut self.tasks[run.task_idx];
+            state.attempts.push(AttemptOutcome::failure_with_cause(
+                run.alloc,
+                run.verdict.charged_time_s,
+                AttemptCause::StragglerTimeout,
+            ));
+            let cap = self.config.faults.max_attempts;
+            if cap > 0 && self.tasks[run.task_idx].attempts.len() >= cap {
+                self.dead_letter(run.task_idx, DeadLetterCause::AttemptsExhausted);
+            } else {
+                let state = &mut self.tasks[run.task_idx];
+                state.next_alloc = Some(run.alloc);
+                state.pinned = true;
+                self.ready.push_back(run.task_idx);
+            }
         } else {
+            self.log_event(SimEvent::TaskKilled {
+                task: task.id,
+                worker: run.worker,
+            });
+            let state = &mut self.tasks[run.task_idx];
             state.attempts.push(AttemptOutcome::failure(
                 run.alloc,
                 run.verdict.charged_time_s,
             ));
             self.stats.failures += 1;
+            let cap = self.config.faults.max_attempts;
+            if cap > 0 && self.tasks[run.task_idx].attempts.len() >= cap {
+                // Attempt budget spent: dead-letter without asking the
+                // allocator for a retry (`capped_retries` balances the
+                // `failures = retry predictions` reconciliation identity).
+                self.stats.faults.capped_retries += 1;
+                self.dead_letter(run.task_idx, DeadLetterCause::AttemptsExhausted);
+                return;
+            }
             let escalations = self
                 .allocator
                 .config()
@@ -660,10 +830,17 @@ impl<S: EventSink> Simulation<S> {
                 .count() as u64;
             self.stats
                 .record_predict_retry(task.category.0, escalations);
-            let next = self
-                .allocator
-                .predict_retry(task.category, &run.alloc, &run.verdict.exhausted)
-                .into_alloc();
+            let decision =
+                self.allocator
+                    .predict_retry(task.category, &run.alloc, &run.verdict.exhausted);
+            if decision.infeasible {
+                // The retry could not grow any exhausted axis (already at
+                // machine capacity): re-running would reproduce the exact
+                // same kill forever.
+                self.dead_letter(run.task_idx, DeadLetterCause::Infeasible);
+                return;
+            }
+            let next = decision.into_alloc();
             let state = &mut self.tasks[run.task_idx];
             state.next_alloc = Some(next);
             // Escalations are pinned: a later, smaller prediction must not
@@ -726,6 +903,146 @@ impl<S: EventSink> Simulation<S> {
         self.schedule_churn();
     }
 
+    /// Schedule the next worker crash (exponential inter-arrival), when the
+    /// fault plan has crashes enabled.
+    fn schedule_crash(&mut self) {
+        if let Some(mean) = self.config.faults.crash_mean_interval_s {
+            let u: f64 = 1.0 - self.fault_rng.gen::<f64>();
+            let dt = -mean * u.ln();
+            self.push_event(self.now + dt.max(1e-9), Event::Crash);
+        }
+    }
+
+    /// A worker crashes abruptly. Unlike a graceful churn departure, every
+    /// running attempt is *lost*: it is charged for its elapsed time, counts
+    /// against the task's attempt budget, and teaches the allocator nothing
+    /// (the record died with the worker). Crashes ignore the churn band's
+    /// minimum — an opportunistic pool offers no such guarantee.
+    fn on_crash(&mut self) {
+        if let Some(id) = self.pool.random_worker(&mut self.fault_rng) {
+            self.stats.faults.worker_crashes += 1;
+            let mut victims: Vec<u64> = self
+                .running
+                .iter()
+                .filter(|(_, r)| r.worker == id)
+                .map(|(&d, _)| d)
+                .collect();
+            victims.sort_unstable();
+            for d in victims {
+                let run = self.running.remove(&d).expect("victim listed");
+                let elapsed = self.now - run.start;
+                self.stats.faults.crashed_attempts += 1;
+                self.log_event(SimEvent::TaskCrashed {
+                    task: self.specs[run.task_idx].id,
+                    worker: id,
+                });
+                let state = &mut self.tasks[run.task_idx];
+                state.attempts.push(AttemptOutcome::failure_with_cause(
+                    run.alloc,
+                    elapsed,
+                    AttemptCause::WorkerCrash,
+                ));
+                let cap = self.config.faults.max_attempts;
+                if cap > 0 && self.tasks[run.task_idx].attempts.len() >= cap {
+                    self.dead_letter(run.task_idx, DeadLetterCause::AttemptsExhausted);
+                } else {
+                    // The crash says nothing about the allocation: resubmit
+                    // with the same (pinned) one.
+                    let state = &mut self.tasks[run.task_idx];
+                    state.next_alloc = Some(run.alloc);
+                    state.pinned = true;
+                    self.ready.push_back(run.task_idx);
+                }
+            }
+            self.pool.leave(id);
+            self.log_event(SimEvent::WorkerCrashed { worker: id });
+            let n = self.pool.len();
+            self.worker_range = (self.worker_range.0.min(n), self.worker_range.1.max(n));
+        }
+        // Keep the crash process alive only while it can ever strike again:
+        // an empty pool with churn disabled never repopulates, and an
+        // eternal self-rescheduling event would keep the run alive forever.
+        if !(self.pool.is_empty() && self.config.churn.mean_interval_s.is_none()) {
+            self.schedule_crash();
+        }
+    }
+
+    /// A transiently-failed dispatch finished its backoff.
+    fn on_requeue(&mut self, task_idx: usize) {
+        let state = &self.tasks[task_idx];
+        if !state.dead && !self.completed_flags[task_idx] {
+            self.ready.push_back(task_idx);
+        }
+    }
+
+    /// Terminally abandon a task: it leaves the ready queue, is recorded as
+    /// a [`DeadLetter`] in the metrics, and recursively dooms every
+    /// dependent (their input will never exist). Idempotent.
+    fn dead_letter(&mut self, task_idx: usize, cause: DeadLetterCause) {
+        if self.tasks[task_idx].dead || self.completed_flags[task_idx] {
+            return;
+        }
+        let state = &mut self.tasks[task_idx];
+        state.dead = true;
+        if !state.arrived {
+            // Doomed before the arrival model released it: account the
+            // submission here so conservation (submitted = completed +
+            // dead-lettered) holds even if the run ends before its arrival.
+            state.arrived = true;
+            self.stats.submitted += 1;
+        }
+        let attempts = std::mem::take(&mut self.tasks[task_idx].attempts);
+        self.ready.retain(|&t| t != task_idx);
+        let spec = self.specs[task_idx];
+        let letter = DeadLetter {
+            task: spec.id,
+            category: spec.category,
+            cause,
+            attempts,
+        };
+        debug_assert!(letter.check().is_ok(), "{:?}", letter.check());
+        self.result_metrics.push_dead_letter(letter);
+        self.stats.faults.dead_lettered += 1;
+        self.dead_lettered += 1;
+        self.log_event(SimEvent::TaskDeadLettered {
+            task: spec.id,
+            cause,
+        });
+        let dependents = std::mem::take(&mut self.dependents[task_idx]);
+        for &d in &dependents {
+            self.dead_letter(d, DeadLetterCause::DependencyDeadLettered);
+        }
+        self.dependents[task_idx] = dependents;
+    }
+
+    /// Dead-letter ready tasks that no live worker could host even when
+    /// idle, once they have been stuck that way for more than the plan's
+    /// `max_unplaceable_rounds` consecutive scheduling rounds (a shrinking
+    /// pool can strand an escalated allocation forever).
+    fn enforce_unplaceable_strikes(&mut self) {
+        let max = self.config.faults.max_unplaceable_rounds;
+        if max == 0 || self.ready.is_empty() {
+            return;
+        }
+        let ready: Vec<usize> = self.ready.iter().copied().collect();
+        let mut doomed = Vec::new();
+        for task_idx in ready {
+            let alloc = self.ensure_alloc(task_idx);
+            if self.pool.could_ever_place(&alloc) {
+                self.tasks[task_idx].unplaceable_strikes = 0;
+            } else {
+                let state = &mut self.tasks[task_idx];
+                state.unplaceable_strikes += 1;
+                if state.unplaceable_strikes > max {
+                    doomed.push(task_idx);
+                }
+            }
+        }
+        for task_idx in doomed {
+            self.dead_letter(task_idx, DeadLetterCause::Unplaceable);
+        }
+    }
+
     /// Schedule every task's arrival according to the arrival model.
     fn schedule_arrivals(&mut self) {
         match self.config.arrival {
@@ -785,6 +1102,7 @@ impl<S: EventSink> Simulation<S> {
             self.dependents.push(Vec::new());
             self.completed_flags.push(false);
             self.log_event(SimEvent::TaskSubmitted { task: spec.id });
+            self.stats.submitted += 1;
             if deps_remaining == 0 {
                 self.ready.push_back(id as usize);
             }
@@ -800,6 +1118,7 @@ impl<S: EventSink> Simulation<S> {
     /// allocator emitted into — the traced variant of [`Simulation::run`].
     pub fn run_traced(mut self) -> (SimResult, S) {
         self.schedule_churn();
+        self.schedule_crash();
         self.schedule_arrivals();
         if let Some(mut driver) = self.driver.take() {
             let mut api = self.submit_api();
@@ -808,20 +1127,38 @@ impl<S: EventSink> Simulation<S> {
             self.driver = Some(driver);
         }
         self.dispatch();
+        self.enforce_unplaceable_strikes();
         self.sample_utilization();
-        while self.completed < self.specs.len() {
-            let Reverse(ev) = self
-                .events
-                .pop()
-                .expect("tasks pending but no events scheduled");
+        while self.completed + self.dead_lettered < self.specs.len() {
+            let Some(Reverse(ev)) = self.events.pop() else {
+                // Without faults this is unreachable: every non-terminal
+                // task has a Finish or Arrive event in flight. Under a fault
+                // plan the event stream can legitimately dry up (e.g. every
+                // worker crashed away); dead-letter the stranded remainder
+                // so the run still terminates with conserved accounting.
+                assert!(
+                    self.config.faults.is_active(),
+                    "tasks pending but no events scheduled"
+                );
+                let stranded: Vec<usize> = (0..self.tasks.len())
+                    .filter(|&i| !self.completed_flags[i] && !self.tasks[i].dead)
+                    .collect();
+                for task_idx in stranded {
+                    self.dead_letter(task_idx, DeadLetterCause::Stalled);
+                }
+                break;
+            };
             debug_assert!(ev.time >= self.now);
             self.now = ev.time;
             match ev.event {
                 Event::Finish { dispatch } => self.on_finish(dispatch),
                 Event::Arrive { task_idx } => self.on_arrive(task_idx),
                 Event::Churn => self.on_churn(),
+                Event::Crash => self.on_crash(),
+                Event::Requeue { task_idx } => self.on_requeue(task_idx),
             }
             self.dispatch();
+            self.enforce_unplaceable_strikes();
             self.sample_utilization();
         }
         let stats = self.stats;
@@ -1188,9 +1525,17 @@ mod tests {
         }
         .validate()
         .is_err());
+        // Sub-unit scales are legal: they model workers smaller than the
+        // workflow's base shape (shrinking-pool scenarios).
         assert!(WorkerMix {
             large_fraction: 0.5,
             scale: 0.5
+        }
+        .validate()
+        .is_ok());
+        assert!(WorkerMix {
+            large_fraction: 0.5,
+            scale: 0.0
         }
         .validate()
         .is_err());
@@ -1315,5 +1660,297 @@ mod tests {
             );
             assert_eq!(res.metrics.len(), built.len(), "{}", built.name);
         }
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    fn assert_conserved(res: &SimResult, total: usize) {
+        let dead = res.stats.faults.dead_lettered;
+        assert_eq!(
+            res.stats.submitted,
+            res.stats.completions + dead,
+            "conservation: submitted = completed + dead-lettered"
+        );
+        assert_eq!(res.stats.submitted as usize, total);
+        assert_eq!(res.metrics.len() as u64, res.stats.completions);
+        assert_eq!(res.metrics.dead_lettered_count() as u64, dead);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_reproduces_fault_free_run() {
+        let wf = small(SyntheticKind::Bimodal);
+        let config = SimConfig {
+            churn: ChurnConfig::paper_like(),
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let with_plan = SimConfig {
+            faults: FaultPlan::none(),
+            ..config
+        };
+        let a = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config);
+        let b = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, with_plan);
+        assert_eq!(
+            serde_json::to_string(&a.metrics).unwrap(),
+            serde_json::to_string(&b.metrics).unwrap()
+        );
+        assert_eq!(a.makespan_s, b.makespan_s);
+        assert!(!a.stats.faults.any());
+    }
+
+    #[test]
+    fn crash_plan_conserves_tasks_and_logs_consistently() {
+        let wf = small(SyntheticKind::Uniform);
+        let config = SimConfig {
+            churn: ChurnConfig {
+                initial: 6,
+                min: 3,
+                max: 10,
+                mean_interval_s: Some(15.0),
+            },
+            faults: FaultPlan::named("crashes").unwrap(),
+            record_log: true,
+            seed: 13,
+            ..SimConfig::default()
+        };
+        let res = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config);
+        assert_conserved(&res, wf.len());
+        assert!(res.stats.faults.worker_crashes > 0, "no crash fired");
+        assert!(res.stats.faults.crashed_attempts > 0, "no attempt lost");
+        res.log.unwrap().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn straggler_plan_slows_and_kills_attempts() {
+        let wf = small(SyntheticKind::Normal);
+        let config = SimConfig {
+            faults: FaultPlan {
+                straggler_rate: 0.3,
+                straggler_multiplier: 10.0,
+                straggler_timeout_s: 120.0,
+                max_attempts: 8,
+                ..FaultPlan::none()
+            },
+            record_log: true,
+            seed: 3,
+            ..SimConfig::default()
+        };
+        let res = simulate(&wf, AlgorithmKind::MaxSeen, config);
+        assert_conserved(&res, wf.len());
+        let f = &res.stats.faults;
+        assert!(
+            f.straggler_kills > 0 || f.stragglers_slow > 0,
+            "30% straggler rate drew nothing: {f:?}"
+        );
+        // Drag waste is attributed to faults, not to the allocator.
+        let attributed = res
+            .metrics
+            .attributed_waste(tora_alloc::resources::ResourceKind::MemoryMb);
+        if f.stragglers_slow > 0 || f.straggler_kills > 0 {
+            assert!(attributed.fault_induced > 0.0, "{attributed:?}");
+        }
+        res.log.unwrap().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn record_dropout_starves_learning_but_not_completion() {
+        let wf = small(SyntheticKind::Exponential);
+        let config = SimConfig {
+            faults: FaultPlan {
+                record_dropout_rate: 0.4,
+                ..FaultPlan::none()
+            },
+            record_log: true,
+            seed: 21,
+            ..SimConfig::default()
+        };
+        let res = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config);
+        assert_eq!(res.metrics.len(), wf.len(), "dropout must not lose tasks");
+        assert!(res.stats.faults.record_drops > 0);
+        // Observations + drops covers every completion.
+        assert_eq!(
+            res.stats.calls.observations + res.stats.faults.record_drops,
+            res.stats.completions
+        );
+        res.log.unwrap().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn flaky_dispatch_backs_off_and_conserves() {
+        let wf = small(SyntheticKind::Bimodal);
+        let config = SimConfig {
+            faults: FaultPlan::named("flaky-dispatch").unwrap(),
+            record_log: true,
+            seed: 2,
+            ..SimConfig::default()
+        };
+        let res = simulate(&wf, AlgorithmKind::MaxSeen, config);
+        assert_conserved(&res, wf.len());
+        assert!(
+            res.stats.faults.dispatch_failures > 0,
+            "25% rate drew nothing"
+        );
+        // Failed dispatches are not real dispatches.
+        assert!(res.stats.dispatches >= res.stats.completions);
+        res.log.unwrap().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn attempt_budget_dead_letters_instead_of_spinning() {
+        // With a budget of one attempt, any first-attempt kill is terminal.
+        let wf = small(SyntheticKind::Bimodal);
+        let config = SimConfig {
+            faults: FaultPlan {
+                max_attempts: 1,
+                ..FaultPlan::none()
+            },
+            record_log: true,
+            seed: 5,
+            ..SimConfig::default()
+        };
+        let res = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config);
+        assert_conserved(&res, wf.len());
+        let dead = res.stats.faults.dead_lettered;
+        assert!(dead > 0, "exploratory kills should exist under EB");
+        assert_eq!(res.stats.faults.capped_retries, dead);
+        assert!(res
+            .metrics
+            .dead_letters()
+            .iter()
+            .all(|l| l.cause == DeadLetterCause::AttemptsExhausted));
+        // No completed task has more than one attempt.
+        assert!(res.metrics.outcomes().iter().all(|o| o.attempts.len() == 1));
+        res.log.unwrap().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn shrunken_pool_dead_letters_unplaceable_tasks() {
+        // Every worker is a quarter of the base shape, so a whole-machine
+        // allocation can never be placed; the unplaceable-rounds budget must
+        // dead-letter the stranded tasks instead of hanging the run.
+        use tora_alloc::resources::ResourceVector;
+        use tora_alloc::task::TaskSpec;
+        let peak = ResourceVector::new(8.0, 32768.0, 1000.0);
+        let tasks: Vec<TaskSpec> = (0..4).map(|i| TaskSpec::new(i, 0, peak, 30.0)).collect();
+        let wf = Workflow::new(
+            "stranded",
+            vec!["t".into()],
+            tasks,
+            tora_alloc::resources::WorkerSpec::paper_default(),
+        );
+        let config = SimConfig {
+            churn: ChurnConfig {
+                initial: 3,
+                min: 3,
+                max: 3,
+                mean_interval_s: Some(5.0),
+            },
+            worker_mix: Some(WorkerMix {
+                large_fraction: 1.0,
+                scale: 0.25,
+            }),
+            faults: FaultPlan {
+                max_unplaceable_rounds: 2,
+                ..FaultPlan::none()
+            },
+            record_log: true,
+            ..SimConfig::default()
+        };
+        let res = simulate(&wf, AlgorithmKind::WholeMachine, config);
+        assert_conserved(&res, 4);
+        assert_eq!(res.stats.faults.dead_lettered, 4);
+        assert!(res
+            .metrics
+            .dead_letters()
+            .iter()
+            .all(|l| l.cause == DeadLetterCause::Unplaceable));
+        res.log.unwrap().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn dead_letter_cascades_to_dependents() {
+        // 0 → 1 → 2; task 0 can never be placed, so 1 and 2 are doomed too.
+        use tora_alloc::resources::ResourceVector;
+        use tora_alloc::task::TaskSpec;
+        let big = ResourceVector::new(8.0, 32768.0, 1000.0);
+        let smallp = ResourceVector::new(1.0, 100.0, 10.0);
+        let tasks = vec![
+            TaskSpec::new(0, 0, big, 30.0),
+            TaskSpec::new(1, 1, smallp, 10.0),
+            TaskSpec::new(2, 1, smallp, 10.0),
+        ];
+        let wf = Workflow::new(
+            "chain",
+            vec!["big".into(), "small".into()],
+            tasks,
+            tora_alloc::resources::WorkerSpec::paper_default(),
+        )
+        .with_dependencies(vec![vec![], vec![0], vec![1]]);
+        let config = SimConfig {
+            churn: ChurnConfig {
+                initial: 2,
+                min: 2,
+                max: 2,
+                mean_interval_s: Some(5.0),
+            },
+            worker_mix: Some(WorkerMix {
+                large_fraction: 1.0,
+                scale: 0.25,
+            }),
+            faults: FaultPlan {
+                max_unplaceable_rounds: 1,
+                ..FaultPlan::none()
+            },
+            record_log: true,
+            ..SimConfig::default()
+        };
+        let res = simulate(&wf, AlgorithmKind::WholeMachine, config);
+        assert_conserved(&res, 3);
+        assert_eq!(res.stats.faults.dead_lettered, 3);
+        let causes: Vec<DeadLetterCause> =
+            res.metrics.dead_letters().iter().map(|l| l.cause).collect();
+        assert_eq!(
+            causes
+                .iter()
+                .filter(|c| **c == DeadLetterCause::Unplaceable)
+                .count(),
+            1
+        );
+        assert_eq!(
+            causes
+                .iter()
+                .filter(|c| **c == DeadLetterCause::DependencyDeadLettered)
+                .count(),
+            2
+        );
+        res.log.unwrap().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn heavy_chaos_is_deterministic_given_seed() {
+        let wf = small(SyntheticKind::Bimodal);
+        let config = SimConfig {
+            churn: ChurnConfig {
+                initial: 5,
+                min: 2,
+                max: 9,
+                mean_interval_s: Some(12.0),
+            },
+            faults: FaultPlan::named("heavy").unwrap(),
+            seed: 77,
+            ..SimConfig::default()
+        };
+        let a = simulate(&wf, AlgorithmKind::GreedyBucketing, config);
+        let b = simulate(&wf, AlgorithmKind::GreedyBucketing, config);
+        assert_conserved(&a, wf.len());
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(
+            serde_json::to_string(&a.metrics).unwrap(),
+            serde_json::to_string(&b.metrics).unwrap()
+        );
+        let ra = crate::faults::FaultReport::from_result(&a, &config, "greedy-bucketing");
+        let rb = crate::faults::FaultReport::from_result(&b, &config, "greedy-bucketing");
+        assert_eq!(ra.to_json(), rb.to_json());
+        assert!(ra.conservation_ok);
     }
 }

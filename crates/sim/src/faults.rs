@@ -1,0 +1,421 @@
+//! Deterministic fault injection: crashes, stragglers, lost records,
+//! flaky dispatch — and the dead-letter safety net that bounds them.
+//!
+//! Opportunistic pools do not merely *preempt* politely (§II-B): workers
+//! crash and take the attempt's record with them, tasks hang, completion
+//! records get lost in flight, and dispatch RPCs fail transiently. A
+//! [`FaultPlan`] describes such an environment as a set of seeded rates;
+//! the engine draws every fault from a dedicated RNG stream so a plan of
+//! all-zero rates reproduces the fault-free run byte for byte.
+//!
+//! The plan also carries the *resilience* knobs that keep a faulty run
+//! terminating: a per-task attempt budget, a dispatch-retry budget, and an
+//! unplaceable-rounds budget. Exceeding any of them routes the task to the
+//! dead-letter channel (a terminal, accounted state) instead of spinning
+//! forever. [`FaultReport`] summarizes a run under a plan: per-cause fault
+//! counts, the dead-letter breakdown, degraded efficiency, and the
+//! conservation identity `submitted = completed + dead-lettered`.
+
+use serde::{Deserialize, Serialize};
+use tora_alloc::resources::ResourceKind;
+use tora_metrics::{pct, Table};
+
+use crate::engine::{SimConfig, SimResult};
+use crate::stats::FaultCounts;
+
+/// A seeded description of the fault environment plus the resilience
+/// budgets that bound its damage. `FaultPlan::none()` (also the `Default`)
+/// disables everything and reproduces the legacy fault-free engine
+/// behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Mean seconds between worker crashes (exponential), `None` = never.
+    /// A crash is an abrupt departure: running attempts are charged and
+    /// counted as failed, unlike a graceful preemption.
+    pub crash_mean_interval_s: Option<f64>,
+    /// Probability that a dispatched attempt straggles.
+    pub straggler_rate: f64,
+    /// Runtime stretch factor applied to straggling attempts (≥ 1).
+    pub straggler_multiplier: f64,
+    /// Wall-clock cap after which a straggling attempt is killed.
+    pub straggler_timeout_s: f64,
+    /// Probability that a completion's resource record is lost before it
+    /// reaches the allocator.
+    pub record_dropout_rate: f64,
+    /// Probability that a dispatch attempt fails transiently.
+    pub dispatch_failure_rate: f64,
+    /// Base backoff before a failed dispatch is retried (doubles per
+    /// consecutive failure, capped at 2¹⁰×).
+    pub dispatch_backoff_s: f64,
+    /// Consecutive dispatch failures tolerated per task before it is
+    /// dead-lettered. `0` = unbounded.
+    pub max_dispatch_retries: usize,
+    /// Total attempts (kills, crashes, timeouts) tolerated per task before
+    /// it is dead-lettered. `0` = unbounded (legacy behaviour).
+    pub max_attempts: usize,
+    /// Consecutive engine rounds a ready task may be unplaceable on *every*
+    /// live worker before it is dead-lettered. `0` = disabled.
+    pub max_unplaceable_rounds: usize,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// No faults, no budgets: byte-identical to the pre-fault engine.
+    pub fn none() -> Self {
+        FaultPlan {
+            crash_mean_interval_s: None,
+            straggler_rate: 0.0,
+            straggler_multiplier: 1.0,
+            straggler_timeout_s: 0.0,
+            record_dropout_rate: 0.0,
+            dispatch_failure_rate: 0.0,
+            dispatch_backoff_s: 0.0,
+            max_dispatch_retries: 0,
+            max_attempts: 0,
+            max_unplaceable_rounds: 0,
+        }
+    }
+
+    /// Whether any fault source or resilience budget is enabled.
+    pub fn is_active(&self) -> bool {
+        *self != FaultPlan::none()
+    }
+
+    /// Validate rates and the cross-field requirements (a straggler rate
+    /// needs a multiplier and a timeout; a dispatch-failure rate needs a
+    /// backoff; a crash interval must be positive and finite).
+    pub fn validate(&self) -> Result<(), String> {
+        let unit = |label: &str, v: f64| -> Result<(), String> {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{label} must be in [0, 1], got {v}"));
+            }
+            Ok(())
+        };
+        unit("straggler_rate", self.straggler_rate)?;
+        unit("record_dropout_rate", self.record_dropout_rate)?;
+        unit("dispatch_failure_rate", self.dispatch_failure_rate)?;
+        if let Some(mean) = self.crash_mean_interval_s {
+            if !(mean.is_finite() && mean > 0.0) {
+                return Err(format!(
+                    "crash_mean_interval_s must be finite and positive, got {mean}"
+                ));
+            }
+        }
+        if self.straggler_rate > 0.0 {
+            if !(self.straggler_multiplier.is_finite() && self.straggler_multiplier >= 1.0) {
+                return Err(format!(
+                    "straggler_multiplier must be >= 1, got {}",
+                    self.straggler_multiplier
+                ));
+            }
+            if !(self.straggler_timeout_s.is_finite() && self.straggler_timeout_s > 0.0) {
+                return Err(format!(
+                    "straggler_timeout_s must be positive, got {}",
+                    self.straggler_timeout_s
+                ));
+            }
+        }
+        if self.dispatch_failure_rate > 0.0
+            && !(self.dispatch_backoff_s.is_finite() && self.dispatch_backoff_s > 0.0)
+        {
+            return Err(format!(
+                "dispatch_backoff_s must be positive, got {}",
+                self.dispatch_backoff_s
+            ));
+        }
+        Ok(())
+    }
+
+    /// A named preset, for the CLI. `None` for an unknown name; see
+    /// [`FaultPlan::PRESETS`] for the catalogue.
+    pub fn named(name: &str) -> Option<Self> {
+        let base = FaultPlan {
+            max_dispatch_retries: 5,
+            max_attempts: 10,
+            max_unplaceable_rounds: 3,
+            dispatch_backoff_s: 2.0,
+            straggler_multiplier: 4.0,
+            straggler_timeout_s: 600.0,
+            ..FaultPlan::none()
+        };
+        let plan = match name {
+            "none" => FaultPlan::none(),
+            "light" => FaultPlan {
+                crash_mean_interval_s: Some(120.0),
+                straggler_rate: 0.02,
+                record_dropout_rate: 0.02,
+                dispatch_failure_rate: 0.02,
+                ..base
+            },
+            "heavy" => FaultPlan {
+                crash_mean_interval_s: Some(30.0),
+                straggler_rate: 0.10,
+                straggler_multiplier: 8.0,
+                straggler_timeout_s: 300.0,
+                record_dropout_rate: 0.10,
+                dispatch_failure_rate: 0.10,
+                dispatch_backoff_s: 1.0,
+                max_attempts: 6,
+                ..base
+            },
+            "crashes" => FaultPlan {
+                crash_mean_interval_s: Some(20.0),
+                ..base
+            },
+            "stragglers" => FaultPlan {
+                straggler_rate: 0.20,
+                straggler_multiplier: 6.0,
+                straggler_timeout_s: 240.0,
+                ..base
+            },
+            "flaky-dispatch" => FaultPlan {
+                dispatch_failure_rate: 0.25,
+                ..base
+            },
+            "lossy-records" => FaultPlan {
+                record_dropout_rate: 0.25,
+                ..base
+            },
+            _ => return None,
+        };
+        debug_assert!(plan.validate().is_ok());
+        Some(plan)
+    }
+
+    /// The names accepted by [`FaultPlan::named`].
+    pub const PRESETS: [&'static str; 7] = [
+        "none",
+        "light",
+        "heavy",
+        "crashes",
+        "stragglers",
+        "flaky-dispatch",
+        "lossy-records",
+    ];
+
+    /// A plan whose every fault source scales with one intensity knob in
+    /// `[0, 1]` — the x-axis of the `chaos_sweep` degradation curve.
+    pub fn with_intensity(rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "fault intensity must be in [0, 1], got {rate}"
+        );
+        FaultPlan {
+            crash_mean_interval_s: (rate > 0.0).then_some(30.0 / rate),
+            straggler_rate: rate,
+            straggler_multiplier: 4.0,
+            straggler_timeout_s: 600.0,
+            record_dropout_rate: rate,
+            dispatch_failure_rate: rate,
+            dispatch_backoff_s: 2.0,
+            max_dispatch_retries: 5,
+            max_attempts: 10,
+            max_unplaceable_rounds: 3,
+        }
+    }
+}
+
+/// Summary of one run under a [`FaultPlan`]: what was injected, what it
+/// cost, and whether the books balance. Serializes deterministically, so
+/// two same-seed runs must produce byte-identical JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// The plan the run executed under.
+    pub plan: FaultPlan,
+    /// The engine seed (faults draw from `seed ^ FAULT_STREAM`).
+    pub seed: u64,
+    /// Allocation algorithm label.
+    pub algorithm: String,
+    /// Tasks submitted to the engine.
+    pub submitted: u64,
+    /// Tasks that completed successfully.
+    pub completed: u64,
+    /// Tasks abandoned to the dead-letter channel.
+    pub dead_lettered: u64,
+    /// `submitted == completed + dead_lettered` — every submitted task
+    /// reached exactly one terminal state.
+    pub conservation_ok: bool,
+    /// Per-cause injected-fault tallies.
+    pub faults: FaultCounts,
+    /// Dead-letter tallies keyed by cause label, sorted by label.
+    pub dead_letter_causes: Vec<(String, u64)>,
+    /// Failed attempts of *completed* tasks (fault- and allocation-kills).
+    pub retries: u64,
+    /// Memory AWE over completed tasks only.
+    pub awe_memory: Option<f64>,
+    /// Memory AWE charging dead-lettered consumption too (degraded mode).
+    pub degraded_awe_memory: Option<f64>,
+    /// Simulated makespan, seconds.
+    pub makespan_s: f64,
+}
+
+impl FaultReport {
+    /// Build the report from a finished run.
+    pub fn from_result(result: &SimResult, config: &SimConfig, algorithm: &str) -> Self {
+        let stats = &result.stats;
+        let dead_lettered = stats.faults.dead_lettered;
+        let mut causes: Vec<(String, u64)> = Vec::new();
+        for letter in result.metrics.dead_letters() {
+            let label = letter.cause.label().to_string();
+            match causes.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => causes.push((label, 1)),
+            }
+        }
+        causes.sort();
+        FaultReport {
+            plan: config.faults,
+            seed: config.seed,
+            algorithm: algorithm.to_string(),
+            submitted: stats.submitted,
+            completed: stats.completions,
+            dead_lettered,
+            conservation_ok: stats.submitted == stats.completions + dead_lettered
+                && result.metrics.dead_lettered_count() as u64 == dead_lettered,
+            faults: stats.faults,
+            dead_letter_causes: causes,
+            retries: result.metrics.total_retries() as u64,
+            awe_memory: result.metrics.awe(ResourceKind::MemoryMb),
+            degraded_awe_memory: result.metrics.degraded_awe(ResourceKind::MemoryMb),
+            makespan_s: result.makespan_s,
+        }
+    }
+
+    /// Deterministic JSON rendering (field order fixed by the struct).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Aligned-text rendering for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut head = Table::new(
+            format!("fault report — {} (seed {})", self.algorithm, self.seed),
+            &["metric", "value"],
+        );
+        head.row(&["submitted".to_string(), self.submitted.to_string()]);
+        head.row(&["completed".to_string(), self.completed.to_string()]);
+        head.row(&["dead-lettered".to_string(), self.dead_lettered.to_string()]);
+        head.row(&[
+            "conservation".to_string(),
+            if self.conservation_ok {
+                "ok (submitted = completed + dead-lettered)".to_string()
+            } else {
+                "VIOLATED".to_string()
+            },
+        ]);
+        head.row(&[
+            "retries (completed tasks)".to_string(),
+            self.retries.to_string(),
+        ]);
+        let fmt_awe = |v: Option<f64>| v.map(pct).unwrap_or_else(|| "-".to_string());
+        head.row(&["memory AWE".to_string(), fmt_awe(self.awe_memory)]);
+        head.row(&[
+            "memory AWE (degraded)".to_string(),
+            fmt_awe(self.degraded_awe_memory),
+        ]);
+        head.row(&["makespan".to_string(), format!("{:.1} s", self.makespan_s)]);
+        out.push_str(&head.render());
+
+        let f = &self.faults;
+        let mut injected = Table::new("injected faults", &["cause", "count"]);
+        for (label, count) in [
+            ("worker crashes", f.worker_crashes),
+            ("crashed attempts", f.crashed_attempts),
+            ("straggler kills", f.straggler_kills),
+            ("stragglers (slow, completed)", f.stragglers_slow),
+            ("record drops", f.record_drops),
+            ("dispatch failures", f.dispatch_failures),
+            ("rejected records", f.rejected_records),
+            ("capped retries", f.capped_retries),
+        ] {
+            injected.row(&[label.to_string(), count.to_string()]);
+        }
+        out.push('\n');
+        out.push_str(&injected.render());
+
+        if !self.dead_letter_causes.is_empty() {
+            let mut dead = Table::new("dead letters by cause", &["cause", "count"]);
+            for (label, count) in &self.dead_letter_causes {
+                dead.row(&[label.clone(), count.to_string()]);
+            }
+            out.push('\n');
+            out.push_str(&dead.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        assert_eq!(plan, FaultPlan::default());
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn presets_are_valid_and_active() {
+        for name in FaultPlan::PRESETS {
+            let plan = FaultPlan::named(name).unwrap();
+            plan.validate().unwrap();
+            assert_eq!(plan.is_active(), name != "none", "{name}");
+        }
+        assert!(FaultPlan::named("nope").is_none());
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates() {
+        let mut plan = FaultPlan::none();
+        plan.straggler_rate = 1.5;
+        assert!(plan.validate().is_err());
+        let mut plan = FaultPlan::none();
+        plan.straggler_rate = 0.1; // needs multiplier/timeout
+        plan.straggler_multiplier = 0.5;
+        assert!(plan.validate().is_err());
+        plan.straggler_multiplier = 2.0;
+        assert!(plan.validate().is_err(), "timeout still missing");
+        plan.straggler_timeout_s = 60.0;
+        plan.validate().unwrap();
+        let mut plan = FaultPlan::none();
+        plan.dispatch_failure_rate = 0.1; // needs backoff
+        assert!(plan.validate().is_err());
+        plan.dispatch_backoff_s = 1.0;
+        plan.validate().unwrap();
+        let mut plan = FaultPlan::none();
+        plan.crash_mean_interval_s = Some(0.0);
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn intensity_scales_monotonically() {
+        FaultPlan::with_intensity(0.0).validate().unwrap();
+        let lo = FaultPlan::with_intensity(0.1);
+        let hi = FaultPlan::with_intensity(0.4);
+        lo.validate().unwrap();
+        hi.validate().unwrap();
+        assert!(lo.crash_mean_interval_s.unwrap() > hi.crash_mean_interval_s.unwrap());
+        assert!(lo.straggler_rate < hi.straggler_rate);
+        assert!(lo.record_dropout_rate < hi.record_dropout_rate);
+        assert!(FaultPlan::with_intensity(0.0)
+            .crash_mean_interval_s
+            .is_none());
+    }
+
+    #[test]
+    fn plan_serde_round_trip() {
+        let plan = FaultPlan::named("heavy").unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

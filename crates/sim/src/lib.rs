@@ -19,6 +19,7 @@
 
 pub mod enforcement;
 pub mod engine;
+pub mod faults;
 pub mod log;
 pub mod replay;
 pub mod scheduler;
@@ -30,9 +31,10 @@ pub use enforcement::{AttemptVerdict, EnforcementModel};
 pub use engine::{
     simulate, ArrivalModel, Driver, SimConfig, SimResult, Simulation, SubmitApi, WorkerMix,
 };
+pub use faults::{FaultPlan, FaultReport};
 pub use log::{EventLog, LogEntry, SimEvent};
 pub use replay::{replay, replay_with_config};
 pub use scheduler::QueuePolicy;
-pub use stats::{AllocCallCounts, SimStats, UtilizationSample, UtilizationSeries};
+pub use stats::{AllocCallCounts, FaultCounts, SimStats, UtilizationSample, UtilizationSeries};
 pub use time::SimTime;
 pub use workers::{ChurnConfig, Worker, WorkerId, WorkerPool};

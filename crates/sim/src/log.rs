@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use tora_alloc::resources::ResourceVector;
 use tora_alloc::task::TaskId;
+use tora_metrics::DeadLetterCause;
 
 /// One logged simulation event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,6 +63,44 @@ pub enum SimEvent {
     WorkerLeft {
         /// The worker.
         worker: WorkerId,
+    },
+    /// A worker crashed (abrupt departure; running attempts lost their
+    /// records).
+    WorkerCrashed {
+        /// The worker.
+        worker: WorkerId,
+    },
+    /// A task attempt was lost when its worker crashed.
+    TaskCrashed {
+        /// The task.
+        task: TaskId,
+        /// The crashed worker.
+        worker: WorkerId,
+    },
+    /// A task attempt straggled past the timeout and was killed.
+    TaskTimedOut {
+        /// The task.
+        task: TaskId,
+        /// The worker it ran on.
+        worker: WorkerId,
+    },
+    /// A dispatch attempt failed transiently; the task was re-queued with
+    /// backoff.
+    DispatchFailed {
+        /// The task.
+        task: TaskId,
+    },
+    /// A completion whose resource record never reached the allocator.
+    RecordDropped {
+        /// The task.
+        task: TaskId,
+    },
+    /// A task was abandoned: it will never complete.
+    TaskDeadLettered {
+        /// The task.
+        task: TaskId,
+        /// Why it was abandoned.
+        cause: DeadLetterCause,
     },
 }
 
@@ -139,15 +178,18 @@ impl EventLog {
 
     /// Verify the conservation laws of a completed run:
     ///
-    /// * every dispatch terminates exactly once (completed, killed, or
-    ///   preempted);
-    /// * every submitted task completes exactly once;
+    /// * every dispatch terminates exactly once (completed, killed,
+    ///   preempted, crashed, or timed out);
+    /// * every submitted task reaches exactly one terminal state: one
+    ///   completion XOR one dead-letter;
     /// * attempt numbers per task increase by one per *killed* attempt
     ///   (preemptions re-run the same attempt);
-    /// * a worker's events nest correctly (no dispatch after it left).
+    /// * a worker's events nest correctly (no dispatch after it left or
+    ///   crashed).
     pub fn check_consistency(&self) -> Result<(), String> {
         let mut open_dispatches: HashMap<TaskId, WorkerId> = HashMap::new();
         let mut completions: HashMap<TaskId, usize> = HashMap::new();
+        let mut dead_lettered: HashMap<TaskId, usize> = HashMap::new();
         let mut submitted: HashMap<TaskId, usize> = HashMap::new();
         let mut live_workers: HashMap<WorkerId, bool> = HashMap::new();
         for entry in &self.entries {
@@ -165,7 +207,9 @@ impl EventLog {
                 }
                 SimEvent::TaskCompleted { task, worker }
                 | SimEvent::TaskKilled { task, worker }
-                | SimEvent::TaskPreempted { task, worker } => {
+                | SimEvent::TaskPreempted { task, worker }
+                | SimEvent::TaskCrashed { task, worker }
+                | SimEvent::TaskTimedOut { task, worker } => {
                     match open_dispatches.remove(&task) {
                         Some(w) if w == worker => {}
                         Some(w) => {
@@ -177,10 +221,17 @@ impl EventLog {
                         *completions.entry(task).or_insert(0) += 1;
                     }
                 }
+                SimEvent::TaskDeadLettered { task, .. } => {
+                    if open_dispatches.contains_key(&task) {
+                        return Err(format!("{task} dead-lettered while running"));
+                    }
+                    *dead_lettered.entry(task).or_insert(0) += 1;
+                }
+                SimEvent::DispatchFailed { .. } | SimEvent::RecordDropped { .. } => {}
                 SimEvent::WorkerJoined { worker } => {
                     live_workers.insert(worker, true);
                 }
-                SimEvent::WorkerLeft { worker } => {
+                SimEvent::WorkerLeft { worker } | SimEvent::WorkerCrashed { worker } => {
                     live_workers.insert(worker, false);
                 }
             }
@@ -195,16 +246,29 @@ impl EventLog {
             if *count != 1 {
                 return Err(format!("{task} submitted {count} times"));
             }
-            if completions.get(task) != Some(&1) {
+            let done = completions.get(task).copied().unwrap_or(0);
+            let dead = dead_lettered.get(task).copied().unwrap_or(0);
+            if done + dead != 1 {
                 return Err(format!(
-                    "{task} completed {} times",
-                    completions.get(task).unwrap_or(&0)
+                    "{task} reached {done} completions and {dead} dead-letters \
+                     (want exactly one terminal state)"
                 ));
             }
         }
         for task in completions.keys() {
             if !submitted.contains_key(task) {
                 return Err(format!("{task} completed without submission"));
+            }
+        }
+        for (task, count) in &dead_lettered {
+            // A dependent dead-lettered by cascade may never have arrived
+            // (so never logged a submission), but it must still be
+            // dead-lettered at most once and never also complete.
+            if *count != 1 {
+                return Err(format!("{task} dead-lettered {count} times"));
+            }
+            if completions.contains_key(task) {
+                return Err(format!("{task} both completed and dead-lettered"));
             }
         }
         Ok(())

@@ -30,13 +30,50 @@ pub struct AllocCallCounts {
     pub escalations: u64,
 }
 
+/// Per-cause tallies of injected faults and their consequences. All zero
+/// for a run without a fault plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Worker crash events (abrupt departures).
+    pub worker_crashes: u64,
+    /// Running attempts lost to crashes.
+    pub crashed_attempts: u64,
+    /// Attempts killed at the straggler timeout.
+    pub straggler_kills: u64,
+    /// Attempts that straggled but still completed within the timeout.
+    pub stragglers_slow: u64,
+    /// Completions whose resource record never reached the allocator.
+    pub record_drops: u64,
+    /// Transient dispatch failures (attempt re-queued with backoff).
+    pub dispatch_failures: u64,
+    /// Records the allocator rejected at the observe validation boundary.
+    pub rejected_records: u64,
+    /// Tasks abandoned to the dead-letter path.
+    pub dead_lettered: u64,
+    /// Allocation kills that dead-lettered the task instead of predicting a
+    /// retry (attempt budget exhausted). Balances the `failures = retry
+    /// predictions` identity under a fault plan.
+    pub capped_retries: u64,
+}
+
+impl FaultCounts {
+    /// Whether any fault was recorded.
+    pub fn any(&self) -> bool {
+        *self != FaultCounts::default()
+    }
+}
+
 /// The engine's record of a run, counted at the call sites.
 ///
 /// `failures` counts resource-exhaustion kills only; preempted attempts are
 /// under `preemptions` (a departing worker is an infrastructure artifact,
-/// not an allocation failure).
+/// not an allocation failure), and fault-induced attempt losses (crashes,
+/// straggler timeouts) are under [`FaultCounts`].
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
+    /// Tasks submitted to the engine (the conservation check's left side).
+    #[serde(default)]
+    pub submitted: u64,
     /// Task attempts placed on workers.
     pub dispatches: u64,
     /// Attempts that ran to success.
@@ -45,6 +82,9 @@ pub struct SimStats {
     pub failures: u64,
     /// Attempts lost to departing workers.
     pub preemptions: u64,
+    /// Injected-fault tallies, per cause.
+    #[serde(default)]
+    pub faults: FaultCounts,
     /// Allocator calls, across all categories.
     pub calls: AllocCallCounts,
     /// Allocator calls per task category, keyed by raw category id.
@@ -130,16 +170,18 @@ impl SimStats {
             trace.overall.escalate,
         );
         // Structural identities of the engine loop: one retry prediction per
-        // kill, one observation per completion.
+        // kill — except kills that dead-lettered the task instead of
+        // retrying — and one observation per completion whose record was
+        // neither dropped in flight nor rejected at the observe boundary.
         check(
             "failures=retry events".into(),
             self.failures,
-            trace.overall.retry,
+            trace.overall.retry + self.faults.capped_retries,
         );
         check(
             "completions=observe events".into(),
             self.completions,
-            trace.overall.observe,
+            trace.overall.observe + self.faults.record_drops + self.faults.rejected_records,
         );
         // Per-category, over the union of both key sets.
         let mut categories: Vec<u32> = self

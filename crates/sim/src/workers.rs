@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tora_alloc::resources::{ResourceKind, ResourceVector, WorkerSpec};
 
 /// Zero out temporal axes: what a task actually occupies on a worker.
@@ -87,9 +87,13 @@ impl Worker {
 }
 
 /// The worker pool.
+///
+/// Workers live in a `BTreeMap` so first-fit placement and random victim
+/// selection iterate ids in order directly, instead of collecting and
+/// sorting every id on every call (formerly O(n log n) per placement).
 #[derive(Debug, Default)]
 pub struct WorkerPool {
-    workers: HashMap<WorkerId, Worker>,
+    workers: BTreeMap<WorkerId, Worker>,
     next_id: u64,
 }
 
@@ -131,10 +135,7 @@ impl WorkerPool {
     /// First-fit placement: reserve `alloc` on the lowest-id worker with
     /// room. Deterministic given the pool state.
     pub fn place(&mut self, alloc: &ResourceVector) -> Option<WorkerId> {
-        let mut ids: Vec<WorkerId> = self.workers.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            let w = self.workers.get_mut(&id).expect("id just listed");
+        for (&id, w) in self.workers.iter_mut() {
             if w.fits(alloc) {
                 w.reserve(alloc);
                 return Some(id);
@@ -159,14 +160,24 @@ impl WorkerPool {
         if self.workers.is_empty() {
             return None;
         }
-        let mut ids: Vec<WorkerId> = self.workers.keys().copied().collect();
-        ids.sort_unstable();
-        Some(ids[rng.gen_range(0..ids.len())])
+        let index = rng.gen_range(0..self.workers.len());
+        self.workers.keys().nth(index).copied()
     }
 
     /// Whether `alloc` would fit on some worker right now (no reservation).
     pub fn can_place(&self, alloc: &ResourceVector) -> bool {
         self.workers.values().any(|w| w.fits(alloc))
+    }
+
+    /// Whether `alloc` could fit on some live worker *even if idle* — i.e.
+    /// against total capacity rather than current availability. False for
+    /// an empty pool. A queued allocation failing this check can never be
+    /// dispatched until the pool changes shape.
+    pub fn could_ever_place(&self, alloc: &ResourceVector) -> bool {
+        let demand = spatial(alloc);
+        self.workers
+            .values()
+            .any(|w| w.spec.capacity.dominates(&demand))
     }
 
     /// Total available capacity across workers (diagnostics).
@@ -329,6 +340,73 @@ mod tests {
         pool.place(&alloc).unwrap();
         let after = pool.total_available();
         assert_eq!(before.sub(&after), alloc);
+    }
+
+    #[test]
+    fn placement_order_is_lowest_id_first_fit_under_churn() {
+        // Pins the placement contract: first fit by ascending worker id,
+        // including after departures and re-joins (ids are never reused).
+        let mut pool = WorkerPool::new();
+        let a = pool.join(spec());
+        let b = pool.join(spec());
+        let c = pool.join(spec());
+        let whole = spec().capacity;
+        assert_eq!(pool.place(&whole), Some(a));
+        // a is full → next lowest id wins.
+        assert_eq!(pool.place(&whole), Some(b));
+        // b departs mid-run; c is now the only worker with room.
+        pool.leave(b);
+        assert_eq!(pool.place(&whole), Some(c));
+        // A re-join gets a fresh id above every previous one.
+        let d = pool.join(spec());
+        assert!(d > c);
+        assert_eq!(pool.place(&whole), Some(d));
+        pool.release(a, &whole);
+        // Freed capacity on the lowest id is preferred again.
+        assert_eq!(pool.place(&whole), Some(a));
+    }
+
+    #[test]
+    fn random_worker_is_deterministic_given_seed() {
+        let build = || {
+            let mut pool = WorkerPool::new();
+            for _ in 0..7 {
+                pool.join(spec());
+            }
+            pool.leave(WorkerId(2));
+            pool.leave(WorkerId(5));
+            pool
+        };
+        let draw = |pool: &WorkerPool| {
+            let mut rng = StdRng::seed_from_u64(17);
+            (0..50)
+                .map(|_| pool.random_worker(&mut rng).unwrap())
+                .collect::<Vec<_>>()
+        };
+        let picks = draw(&build());
+        assert_eq!(picks, draw(&build()));
+        // Departed workers are never picked.
+        assert!(!picks.contains(&WorkerId(2)));
+        assert!(!picks.contains(&WorkerId(5)));
+    }
+
+    #[test]
+    fn could_ever_place_checks_total_capacity_not_availability() {
+        let mut pool = WorkerPool::new();
+        assert!(!pool.could_ever_place(&ResourceVector::new(1.0, 1.0, 1.0)));
+        pool.join(spec());
+        let whole = spec().capacity;
+        pool.place(&whole).unwrap();
+        // Nothing fits *now*, but an idle worker of this shape could take it.
+        assert!(!pool.can_place(&whole));
+        assert!(pool.could_ever_place(&whole));
+        // A demand exceeding every worker's total shape can never place.
+        let oversized = whole.scale(2.0);
+        assert!(!pool.could_ever_place(&oversized));
+        // Temporal axes are enforcement limits, not reservations: a huge
+        // time request does not make an allocation unplaceable.
+        let long = whole.with(ResourceKind::TimeS, 1e12);
+        assert!(pool.could_ever_place(&long));
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_run(&args[1..], Mode::Simulate),
         Some("replay") => cmd_run(&args[1..], Mode::Replay),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("matrix") => cmd_matrix(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -58,6 +59,10 @@ fn print_usage() {
            replay   <workflow|file> [opts] run the fast serial replay\n\
            trace    <workflow|file> [opts] traced engine run: allocation decisions as\n\
                                            JSONL plus an engine/allocator reconciliation\n\
+           chaos    <workflow|file> [opts] run under a fault-injection plan and print a\n\
+                                           fault report (--plan none|light|heavy|crashes|\n\
+                                           stragglers|flaky-dispatch|lossy-records;\n\
+                                           --quick runs the determinism smoke test)\n\
            matrix   [opts]                 AWE matrix across workflows × algorithms\n\
            bench    [--quick] [opts]       time the hot paths (prediction, rebucket fast\n\
                                            vs faithful, engine, parallel runner) and\n\
@@ -537,6 +542,82 @@ fn cmd_trace(raw: &[String]) -> Result<(), String> {
             ))
         }
     }
+}
+
+/// `tora chaos`: run a workload under a named fault-injection plan and
+/// print a [`FaultReport`] — per-cause fault counts, the dead-letter
+/// breakdown, degraded AWE, and the conservation identity `submitted =
+/// completed + dead-lettered`. The command fails if conservation is
+/// violated. `--quick` is the CI smoke mode: a small fixed workload is run
+/// twice under the same seed and the two reports must be byte-identical.
+fn cmd_chaos(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let plan_name = args.value_of("plan")?.unwrap_or("light");
+    let plan = FaultPlan::named(plan_name).ok_or_else(|| {
+        format!(
+            "unknown --plan `{plan_name}` (one of: {})",
+            FaultPlan::PRESETS.join(", ")
+        )
+    })?;
+    let algorithm = match args.value_of("algorithm")? {
+        None => AlgorithmKind::ExhaustiveBucketing,
+        Some(name) => parse_algorithm(name)?,
+    };
+
+    if args.has("quick") {
+        // Fixed seed, fixed workload: the report must be reproducible down
+        // to the byte, and the books must balance.
+        let wf = synthetic::generate(SyntheticKind::Bimodal, 120, 7);
+        let mut config = SimConfig::paper_like(7);
+        config.faults = if args.has("plan") {
+            plan
+        } else {
+            FaultPlan::named("heavy").expect("preset")
+        };
+        let run = || {
+            let result = simulate(&wf, algorithm, config);
+            FaultReport::from_result(&result, &config, algorithm.label())
+        };
+        let a = run();
+        let b = run();
+        if a.to_json() != b.to_json() {
+            return Err("chaos smoke: same-seed reports differ".into());
+        }
+        if !a.conservation_ok {
+            return Err(format!(
+                "chaos smoke: conservation violated ({} submitted, {} completed, {} dead-lettered)",
+                a.submitted, a.completed, a.dead_lettered
+            ));
+        }
+        print!("{}", a.render());
+        println!(
+            "chaos smoke OK: byte-identical report across two runs, {} submitted = {} completed + {} dead-lettered",
+            a.submitted, a.completed, a.dead_lettered
+        );
+        return Ok(());
+    }
+
+    let name = args
+        .positional
+        .first()
+        .ok_or("chaos requires a workflow name or trace file (or --quick)")?;
+    let wf = parse_workflow(name, &args)?;
+    let mut config = parse_sim_config(&args)?;
+    config.faults = plan;
+    let result = simulate(&wf, algorithm, config);
+    let report = FaultReport::from_result(&result, &config, algorithm.label());
+    print!("{}", report.render());
+    if let Some(path) = args.value_of("out")? {
+        std::fs::write(path, report.to_json()).map_err(|e| e.to_string())?;
+        eprintln!("wrote fault report to {path}");
+    }
+    if !report.conservation_ok {
+        return Err(format!(
+            "conservation violated: {} submitted, {} completed, {} dead-lettered",
+            report.submitted, report.completed, report.dead_lettered
+        ));
+    }
+    Ok(())
 }
 
 /// `tora bench`: measure the hot paths and write `BENCH.json`.

@@ -53,11 +53,14 @@ pub mod prelude {
         AllocEvent, AxisProvenance, EventSink, JsonlSink, MemorySink, NoopSink, PredictKind,
         TraceStats,
     };
-    pub use tora_metrics::{AttemptOutcome, TaskOutcome, WasteBreakdown, WorkflowMetrics};
+    pub use tora_metrics::{
+        AttemptCause, AttemptOutcome, DeadLetter, DeadLetterCause, TaskOutcome, WasteAttribution,
+        WasteBreakdown, WorkflowMetrics,
+    };
     pub use tora_sim::{
         replay, simulate, ArrivalModel, ChurnConfig, Driver, EnforcementModel, EventLog,
-        QueuePolicy, SimConfig, SimEvent, SimResult, SimStats, Simulation, SubmitApi,
-        UtilizationSeries, WorkerMix,
+        FaultCounts, FaultPlan, FaultReport, QueuePolicy, SimConfig, SimEvent, SimResult, SimStats,
+        Simulation, SubmitApi, UtilizationSeries, WorkerMix,
     };
     pub use tora_workloads::{PaperWorkflow, SyntheticKind, Workflow};
 }

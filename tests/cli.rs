@@ -176,6 +176,41 @@ fn trace_emits_jsonl_and_reconciles() {
 }
 
 #[test]
+fn chaos_smoke_is_deterministic_and_conserves() {
+    let (ok, out, err) = tora(&["chaos", "--quick"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("chaos smoke OK"), "{out}");
+    assert!(out.contains("dead-lettered"), "{out}");
+
+    // A full run with an explicit preset and JSON dump round-trips.
+    let dir = std::env::temp_dir().join("tora-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chaos.json");
+    let path_str = path.to_str().unwrap();
+    let (ok, out, err) = tora(&[
+        "chaos", "bimodal", "--tasks", "100", "--seed", "4", "--plan", "heavy", "--out", path_str,
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("fault report"), "{out}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let report: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let count = |key: &str| report.get(key).and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(
+        report.get("conservation_ok").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    assert_eq!(
+        count("submitted"),
+        count("completed") + count("dead_lettered")
+    );
+    std::fs::remove_file(&path).ok();
+
+    let (ok, _, err) = tora(&["chaos", "bimodal", "--plan", "nope"]);
+    assert!(!ok);
+    assert!(err.contains("unknown --plan"), "{err}");
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let (ok, _, err) = tora(&["simulate", "nonexistent-workflow"]);
     assert!(!ok);

@@ -30,6 +30,34 @@ fn arb_churn() -> impl Strategy<Value = ChurnConfig> {
         })
 }
 
+/// Aggressive but always-valid fault plans: frequent crashes, plenty of
+/// stragglers, lossy records, flaky dispatch — with the resilience budgets
+/// enabled so every run must still terminate.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        prop::option::of(10.0f64..120.0),
+        0.0f64..0.4,
+        0.0f64..0.4,
+        0.0f64..0.4,
+        1usize..8,
+        1usize..6,
+    )
+        .prop_map(
+            |(crash, straggler, dropout, dispatch, max_attempts, unplaceable)| FaultPlan {
+                crash_mean_interval_s: crash,
+                straggler_rate: straggler,
+                straggler_multiplier: 6.0,
+                straggler_timeout_s: 200.0,
+                record_dropout_rate: dropout,
+                dispatch_failure_rate: dispatch,
+                dispatch_backoff_s: 1.5,
+                max_dispatch_retries: 4,
+                max_attempts,
+                max_unplaceable_rounds: unplaceable,
+            },
+        )
+}
+
 fn arb_arrival() -> impl Strategy<Value = ArrivalModel> {
     prop_oneof![
         Just(ArrivalModel::Batch),
@@ -124,6 +152,59 @@ proptest! {
 
         // Makespan is positive and finite.
         prop_assert!(res.makespan_s.is_finite() && res.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn every_task_reaches_a_terminal_state_under_faults(
+        churn in arb_churn(),
+        algorithm in arb_algorithm(),
+        plan in arb_fault_plan(),
+        n in 20usize..60,
+        seed in 0u64..1000,
+    ) {
+        let wf = synthetic::generate(SyntheticKind::Bimodal, n, seed);
+        let config = SimConfig {
+            churn,
+            faults: plan,
+            record_log: true,
+            ..SimConfig::paper_like(seed)
+        };
+        let (res, (trace, _events)) = Simulation::new(&wf, algorithm, config)
+            .with_sink((TraceStats::new(), MemorySink::new()))
+            .run_traced();
+
+        // Conservation: every submitted task either completed or was
+        // dead-lettered — nothing is lost, duplicated, or stuck forever.
+        let dead = res.metrics.dead_lettered_count() as u64;
+        prop_assert_eq!(res.stats.submitted, n as u64);
+        prop_assert_eq!(res.stats.completions + dead, n as u64);
+        prop_assert_eq!(res.metrics.len() + dead as usize, n);
+
+        // Dead letters carry a cause and a consistent attempt history.
+        for dl in res.metrics.dead_letters() {
+            prop_assert!(dl.check().is_ok(), "{:?}", dl.check());
+        }
+
+        // Engine counters reconcile against the allocator's trace and the
+        // event log balances, faults included.
+        prop_assert!(
+            res.stats.reconcile(&trace).is_ok(),
+            "{:?}",
+            res.stats.reconcile(&trace)
+        );
+        let log = res.log.expect("log enabled");
+        prop_assert!(log.check_consistency().is_ok(), "{:?}", log.check_consistency());
+
+        // Attempt budgets are honoured: no task record exceeds max_attempts.
+        let cap = config.faults.max_attempts;
+        if cap > 0 {
+            for o in res.metrics.outcomes() {
+                prop_assert!(o.attempts.len() <= cap, "{} attempts", o.attempts.len());
+            }
+            for dl in res.metrics.dead_letters() {
+                prop_assert!(dl.attempts.len() <= cap, "{} attempts", dl.attempts.len());
+            }
+        }
     }
 
     #[test]
