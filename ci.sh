@@ -27,4 +27,20 @@ cargo run --release --bin tora -- bench --quick --out target/bench-smoke.json
 echo "== tora chaos --quick (fault-injection smoke) =="
 cargo run --release --bin tora -- chaos --quick
 
+echo "== differential: engine vs analytic replay (byte parity) =="
+cargo test -q --test differential
+
+echo "== golden chaos reports (byte-stable across runs) =="
+cargo test -q --test golden_chaos
+
+echo "== proptest regression seeds are checked in =="
+# A failing property test writes its seed to *.proptest-regressions; that
+# seed must be committed so the failure replays everywhere, not just here.
+dirty=$(git status --porcelain -- '*.proptest-regressions')
+if [ -n "$dirty" ]; then
+    echo "uncommitted proptest regression seeds:" >&2
+    echo "$dirty" >&2
+    exit 1
+fi
+
 echo "CI green."

@@ -1,10 +1,11 @@
 //! Chaos sweep: AWE degradation of GB and EB versus fault rate.
 //!
 //! Runs the bimodal workload under [`tora_sim::FaultPlan::with_intensity`]
-//! at increasing fault rates (crashes, stragglers, record dropout, flaky
-//! dispatch all scale together) and prints, per algorithm and rate, the
-//! completed/dead-lettered split, the headline and degraded-mode memory
-//! AWE, and the fault-vs-allocation waste attribution. Usage:
+//! at increasing fault rates (crashes, rack crashes, stragglers, record
+//! dropout, flaky dispatch all scale together, and dead-letter replay is
+//! armed) and prints, per algorithm and rate, the completed/dead-lettered/
+//! replayed split, the headline and degraded-mode memory AWE, and the
+//! fault-vs-allocation waste attribution. Usage:
 //!
 //! ```text
 //! chaos_sweep [seed]
@@ -30,6 +31,8 @@ fn main() {
             "rate",
             "completed",
             "dead-lettered",
+            "replayed",
+            "recovered",
             "AWE",
             "AWE (degraded)",
             "fault waste",
@@ -43,6 +46,8 @@ fn main() {
             format!("{:.2}", cell.fault_rate),
             cell.completed.to_string(),
             cell.dead_lettered.to_string(),
+            cell.replayed.to_string(),
+            cell.replay_successes.to_string(),
             pct(cell.awe_memory),
             pct(cell.degraded_awe_memory),
             format!("{:.3e}", cell.fault_waste_memory),
@@ -59,6 +64,15 @@ fn main() {
             cell.algorithm,
             cell.fault_rate
         );
+        assert!(
+            cell.replay_successes <= cell.replayed,
+            "replay accounting violated at {:?} rate {}",
+            cell.algorithm,
+            cell.fault_rate
+        );
     }
-    println!("conservation OK: submitted = completed + dead-lettered in every cell");
+    println!(
+        "conservation OK: submitted = completed + dead-lettered \
+         (and recovered <= replayed) in every cell"
+    );
 }

@@ -25,8 +25,14 @@ pub struct ChaosCell {
     pub submitted: u64,
     /// Completed tasks.
     pub completed: u64,
-    /// Dead-lettered tasks.
+    /// Dead-lettered tasks (final count, after any replays).
     pub dead_lettered: u64,
+    /// Dead letters re-admitted after the pool recovered.
+    #[serde(default)]
+    pub replayed: u64,
+    /// Replayed tasks that went on to complete.
+    #[serde(default)]
+    pub replay_successes: u64,
     /// Memory AWE over completed tasks.
     pub awe_memory: f64,
     /// Memory AWE charging dead-lettered consumption too.
@@ -74,6 +80,8 @@ pub fn run_chaos_cell(algorithm: AlgorithmKind, fault_rate: f64, seed: u64) -> C
         submitted: result.stats.submitted,
         completed: result.stats.completions,
         dead_lettered: result.stats.faults.dead_lettered,
+        replayed: result.stats.faults.replayed,
+        replay_successes: result.stats.faults.replay_successes,
         awe_memory: result.metrics.awe(kind).unwrap_or(0.0),
         degraded_awe_memory: result.metrics.degraded_awe(kind).unwrap_or(0.0),
         fault_waste_memory: attribution.fault_induced,
@@ -116,5 +124,18 @@ mod tests {
     fn faults_induce_fault_attributed_waste() {
         let cell = run_chaos_cell(AlgorithmKind::ExhaustiveBucketing, 0.3, 11);
         assert!(cell.fault_waste_memory > 0.0, "{cell:?}");
+    }
+
+    #[test]
+    fn heavy_chaos_replays_and_recovers_some_tasks() {
+        // `with_intensity` enables dead-letter replay at any nonzero rate;
+        // under heavy chaos the recovered pool must actually win back work.
+        let cell = run_chaos_cell(AlgorithmKind::GreedyBucketing, 0.3, 11);
+        assert!(cell.replayed > 0, "{cell:?}");
+        assert!(cell.replay_successes > 0, "{cell:?}");
+        assert!(cell.replay_successes <= cell.replayed);
+        // Conservation uses the *final* dead-letter count, so it is
+        // unchanged by replay bookkeeping.
+        assert_eq!(cell.submitted, cell.completed + cell.dead_lettered);
     }
 }

@@ -40,6 +40,7 @@
 use crate::baselines::{MaxSeen, QuantizedBucketing, Tovar, WholeMachine};
 use crate::estimator::{double_allocation, AllocSource, RebucketInfo, ValueEstimator};
 use crate::exhaustive::ExhaustiveBucketing;
+use crate::feedback::{AttemptFeedback, FaultPolicy, FeedbackWindow};
 use crate::greedy::GreedyBucketing;
 use crate::kmeans::KMeansBucketing;
 use crate::policy::BucketingEstimator;
@@ -321,6 +322,7 @@ pub struct AllocatorBuilder {
     algorithm: AlgorithmKind,
     config: AllocatorConfig,
     seed: u64,
+    fault_policy: Option<FaultPolicy>,
 }
 
 impl AllocatorBuilder {
@@ -366,9 +368,17 @@ impl AllocatorBuilder {
         self
     }
 
+    /// Enable the fault-feedback policy (absent by default).
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = Some(policy);
+        self
+    }
+
     /// Build an untraced allocator.
     pub fn build(self) -> Allocator {
-        Allocator::with_config(self.algorithm, self.config, self.seed)
+        let mut allocator = Allocator::with_config(self.algorithm, self.config, self.seed);
+        allocator.set_fault_policy(self.fault_policy);
+        allocator
     }
 
     /// Build a traced allocator emitting [`AllocEvent`]s into `sink`.
@@ -390,6 +400,8 @@ pub struct Allocator<S: EventSink = NoopSink> {
     categories: HashMap<CategoryId, CategoryState>,
     rng: StdRng,
     rejected: u64,
+    fault_policy: Option<FaultPolicy>,
+    feedback: FeedbackWindow,
     sink: S,
 }
 
@@ -400,6 +412,7 @@ impl Allocator {
             algorithm,
             config: AllocatorConfig::default(),
             seed: 0,
+            fault_policy: None,
         }
     }
 
@@ -428,6 +441,8 @@ impl Allocator {
             categories: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
             rejected: 0,
+            fault_policy: None,
+            feedback: FeedbackWindow::new(FaultPolicy::default().window),
             sink: NoopSink,
         }
     }
@@ -454,6 +469,8 @@ impl Allocator {
             categories: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
             rejected: 0,
+            fault_policy: None,
+            feedback: FeedbackWindow::new(FaultPolicy::default().window),
             sink: NoopSink,
         }
     }
@@ -470,6 +487,8 @@ impl Allocator {
             categories: self.categories,
             rng: self.rng,
             rejected: self.rejected,
+            fault_policy: self.fault_policy,
+            feedback: self.feedback,
             sink,
         }
     }
@@ -500,6 +519,60 @@ impl<S: EventSink> Allocator<S> {
     /// Records observed for `category`.
     pub fn records_for(&self, category: CategoryId) -> usize {
         self.categories.get(&category).map_or(0, |s| s.records)
+    }
+
+    /// The active fault-feedback policy, if one is set.
+    pub fn fault_policy(&self) -> Option<FaultPolicy> {
+        self.fault_policy
+    }
+
+    /// Install (or remove, with `None`) the fault-feedback policy. Resets
+    /// the outcome window to the policy's capacity, so call before the run
+    /// starts.
+    pub fn set_fault_policy(&mut self, policy: Option<FaultPolicy>) {
+        if let Some(p) = policy {
+            debug_assert!(p.validate().is_ok(), "invalid fault policy");
+            self.feedback = FeedbackWindow::new(p.window);
+        }
+        self.fault_policy = policy;
+    }
+
+    /// Report one attempt outcome through the fault-feedback channel
+    /// (§II-A adversarial-robustness extension). Pure telemetry when no
+    /// [`FaultPolicy`] is installed; with one, the windowed crash/timeout
+    /// rate starts padding first predictions and biasing retry escalations.
+    /// Consumes no randomness either way.
+    pub fn observe_outcome(&mut self, category: CategoryId, outcome: AttemptFeedback) {
+        self.feedback.push(outcome);
+        if S::ENABLED {
+            let rate = self.windowed_fault_rate();
+            let padding = self.fault_policy.map_or(1.0, |p| p.padding(rate));
+            self.sink
+                .emit(AllocEvent::feedback(category, outcome, rate, padding));
+        }
+    }
+
+    /// The windowed fault rate feeding the policy factors (`0.0` while the
+    /// window holds fewer than `min_samples` outcomes).
+    pub fn windowed_fault_rate(&self) -> f64 {
+        let min = self
+            .fault_policy
+            .map_or(FaultPolicy::default().min_samples, |p| p.min_samples);
+        self.feedback.fault_rate(min)
+    }
+
+    /// Padding factor on first predictions; exactly `1.0` without a policy
+    /// or without observed faults.
+    fn feedback_padding(&self) -> f64 {
+        self.fault_policy
+            .map_or(1.0, |p| p.padding(self.windowed_fault_rate()))
+    }
+
+    /// Escalation factor on retry predictions; exactly `1.0` without a
+    /// policy or without observed faults.
+    fn feedback_escalation(&self) -> f64 {
+        self.fault_policy
+            .map_or(1.0, |p| p.escalation(self.windowed_fault_rate()))
     }
 
     /// The attached event sink.
@@ -581,6 +654,9 @@ impl<S: EventSink> Allocator<S> {
         for _ in 0..n {
             draws.push(self.rng.gen::<f64>());
         }
+        // Fault-feedback padding: ×1.0 (an exact no-op) without a policy or
+        // without observed faults.
+        let pad = self.feedback_padding();
         let exploratory_alloc = self.exploratory_allocation();
         let state =
             Self::category_entry(&mut self.categories, &self.config, &self.factory, category);
@@ -606,6 +682,7 @@ impl<S: EventSink> Allocator<S> {
                     self.sink.emit(AllocEvent::rebucket(category, *kind, &info));
                 }
             }
+            let value = value * pad;
             alloc[*kind] = value;
             provenance.push(AxisProvenance {
                 resource: *kind,
@@ -650,6 +727,9 @@ impl<S: EventSink> Allocator<S> {
         for _ in 0..n {
             draws.push(self.rng.gen::<f64>());
         }
+        // Fault-feedback escalation bias: ×1.0 (an exact no-op) without a
+        // policy or without observed faults.
+        let esc = self.feedback_escalation();
         let state =
             Self::category_entry(&mut self.categories, &self.config, &self.factory, category);
         let mut alloc = *prev;
@@ -677,7 +757,7 @@ impl<S: EventSink> Allocator<S> {
                     self.sink.emit(AllocEvent::rebucket(category, *kind, &info));
                 }
             }
-            let raised = value.max(prev[*kind]);
+            let raised = (value * esc).max(prev[*kind]);
             alloc[*kind] = raised;
             provenance.push(AxisProvenance {
                 resource: *kind,
@@ -1151,6 +1231,99 @@ mod tests {
         // A later valid record still lands.
         assert!(a.observe(&record(103, 0, ResourceVector::new(1.0, 220.0, 50.0))));
         assert_eq!(a.records_for(CategoryId(0)), 13);
+    }
+
+    #[test]
+    fn fault_feedback_without_observed_faults_changes_nothing() {
+        // Same seed, one allocator with the policy installed and fed
+        // success-only outcomes: every prediction must match the plain one.
+        let mut plain = Allocator::new(AlgorithmKind::ExhaustiveBucketing, 9);
+        let mut fed = Allocator::builder(AlgorithmKind::ExhaustiveBucketing)
+            .seed(9)
+            .fault_policy(FaultPolicy::default())
+            .build();
+        assert!(fed.fault_policy().is_some());
+        for i in 0..20 {
+            let r = record(i, 0, ResourceVector::new(1.0, 100.0 + i as f64, 10.0));
+            plain.observe(&r);
+            fed.observe(&r);
+            fed.observe_outcome(CategoryId(0), AttemptFeedback::Success);
+        }
+        assert_eq!(fed.windowed_fault_rate(), 0.0);
+        for _ in 0..5 {
+            let a = plain.predict_first(CategoryId(0)).into_alloc();
+            let b = fed.predict_first(CategoryId(0)).into_alloc();
+            assert_eq!(a, b);
+            let mask = ResourceMask::only(ResourceKind::MemoryMb);
+            let ra = plain.predict_retry(CategoryId(0), &a, &mask).into_alloc();
+            let rb = fed.predict_retry(CategoryId(0), &b, &mask).into_alloc();
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn fault_feedback_pads_and_escalates_under_observed_faults() {
+        // Max Seen is deterministic, so any drift is the policy's doing.
+        let mut a = Allocator::builder(AlgorithmKind::MaxSeen)
+            .seed(1)
+            .fault_policy(FaultPolicy::default())
+            .build();
+        for i in 0..10 {
+            a.observe(&record(i, 0, ResourceVector::new(1.0, 300.0, 300.0)));
+        }
+        let baseline = a.predict_first(CategoryId(0)).into_alloc();
+        for _ in 0..16 {
+            a.observe_outcome(CategoryId(0), AttemptFeedback::Crash);
+        }
+        assert_eq!(a.windowed_fault_rate(), 1.0);
+        let padded = a.predict_first(CategoryId(0)).into_alloc();
+        assert!(
+            padded.memory_mb() > baseline.memory_mb(),
+            "padding must grow first predictions ({} vs {})",
+            padded.memory_mb(),
+            baseline.memory_mb()
+        );
+        // Escalation bias: a hostile window raises exhausted axes at least
+        // as far as a calm one, from the same estimator state and seed.
+        let retry_after = |outcome: AttemptFeedback| {
+            let mut a = Allocator::builder(AlgorithmKind::GreedyBucketing)
+                .seed(3)
+                .fault_policy(FaultPolicy::default())
+                .build();
+            for i in 0..10 {
+                a.observe(&record(
+                    i,
+                    0,
+                    ResourceVector::new(1.0, 100.0 + 20.0 * i as f64, 50.0),
+                ));
+            }
+            for _ in 0..16 {
+                a.observe_outcome(CategoryId(0), outcome);
+            }
+            let prev = ResourceVector::new(1.0, 150.0, 50.0);
+            a.predict_retry(
+                CategoryId(0),
+                &prev,
+                &ResourceMask::only(ResourceKind::MemoryMb),
+            )
+            .into_alloc()
+        };
+        let calm = retry_after(AttemptFeedback::Success);
+        let hostile = retry_after(AttemptFeedback::Crash);
+        assert!(hostile.memory_mb() >= calm.memory_mb());
+        assert!(hostile.memory_mb() > 150.0, "retry must still escalate");
+    }
+
+    #[test]
+    fn observe_outcome_emits_feedback_events() {
+        let mut a = Allocator::builder(AlgorithmKind::MaxSeen)
+            .seed(2)
+            .sink(TraceStats::new());
+        a.observe_outcome(CategoryId(4), AttemptFeedback::Crash);
+        a.observe_outcome(CategoryId(4), AttemptFeedback::Success);
+        let stats = a.into_sink();
+        assert_eq!(stats.overall.feedback, 2);
+        assert_eq!(stats.category(CategoryId(4)).unwrap().feedback, 2);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Fault-aware allocation feedback (off by default).
+//!
+//! The paper's estimators learn from *observed consumption* only (§III–IV):
+//! a crashed or timed-out attempt never completes, so it teaches the
+//! allocator nothing — on a flaky pool the predictions stay exactly as
+//! tight as on a healthy one, and every lost attempt repeats the same
+//! too-optimistic bet. This module closes that loop. The execution engine
+//! reports every attempt outcome back through
+//! [`Allocator::observe_outcome`](crate::allocator::Allocator::observe_outcome);
+//! a [`FaultPolicy`] turns the windowed crash/timeout rate into two
+//! multiplicative adjustments:
+//!
+//! * a **padding factor** on steady-state first predictions, growing from
+//!   `1` (no observed faults) towards [`FaultPolicy::max_padding`] as the
+//!   fault rate approaches `1` — pay a little waste up front to lose fewer
+//!   attempts;
+//! * an **escalation bias** on retry predictions, raising exhausted axes
+//!   more aggressively when the pool is hostile — fewer kill/retry rounds
+//!   per task.
+//!
+//! Both factors are exactly `1.0` when the policy is absent, the window has
+//! too few samples, or no faults were observed, so a fault-free run is
+//! byte-identical with the feedback loop compiled in but idle. The policy
+//! consumes no randomness.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The outcome of one task attempt, as reported by the execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttemptFeedback {
+    /// The attempt completed.
+    Success,
+    /// The attempt died with its worker (abrupt departure, rack outage).
+    Crash,
+    /// The attempt was killed at the straggler timeout.
+    Straggler,
+    /// The attempt was killed for exceeding its allocation.
+    Exhaustion,
+}
+
+impl AttemptFeedback {
+    /// Whether the outcome is an *infrastructure* fault (crash or timeout).
+    /// Exhaustion is an allocation mistake, not a fault: it already has its
+    /// own feedback path (`predict_retry`), so it does not move the
+    /// windowed fault rate.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, AttemptFeedback::Crash | AttemptFeedback::Straggler)
+    }
+
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttemptFeedback::Success => "success",
+            AttemptFeedback::Crash => "crash",
+            AttemptFeedback::Straggler => "straggler",
+            AttemptFeedback::Exhaustion => "exhaustion",
+        }
+    }
+}
+
+impl fmt::Display for AttemptFeedback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Tuning knobs of the fault-feedback loop. Absent by default: an
+/// allocator without a policy treats [`observe_outcome`] reports as pure
+/// telemetry and never changes a prediction.
+///
+/// [`observe_outcome`]: crate::allocator::Allocator::observe_outcome
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPolicy {
+    /// Number of most-recent attempt outcomes the fault rate is computed
+    /// over.
+    pub window: usize,
+    /// Padding factor applied to first predictions at fault rate `1`
+    /// (linear in between; `1.0` disables padding).
+    pub max_padding: f64,
+    /// Extra escalation applied to retry predictions: exhausted axes are
+    /// raised by `1 + escalation_bias × rate` (`0.0` disables).
+    pub escalation_bias: f64,
+    /// Outcomes required in the window before the rate is trusted; below
+    /// this the rate reads as `0` and both factors stay at `1`.
+    pub min_samples: usize,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            window: 64,
+            max_padding: 1.5,
+            escalation_bias: 1.0,
+            min_samples: 8,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// Validate the knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("fault policy window must be >= 1".to_string());
+        }
+        if self.min_samples == 0 {
+            return Err("fault policy min_samples must be >= 1".to_string());
+        }
+        if !(self.max_padding.is_finite() && self.max_padding >= 1.0) {
+            return Err(format!(
+                "fault policy max_padding must be >= 1, got {}",
+                self.max_padding
+            ));
+        }
+        if !(self.escalation_bias.is_finite() && self.escalation_bias >= 0.0) {
+            return Err(format!(
+                "fault policy escalation_bias must be >= 0, got {}",
+                self.escalation_bias
+            ));
+        }
+        Ok(())
+    }
+
+    /// Padding factor on first predictions at the given fault rate.
+    pub fn padding(&self, rate: f64) -> f64 {
+        1.0 + (self.max_padding - 1.0) * rate
+    }
+
+    /// Escalation factor on retry predictions at the given fault rate.
+    pub fn escalation(&self, rate: f64) -> f64 {
+        1.0 + self.escalation_bias * rate
+    }
+}
+
+/// A bounded FIFO of recent attempt outcomes, from which the fault rate
+/// is computed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeedbackWindow {
+    capacity: usize,
+    outcomes: VecDeque<AttemptFeedback>,
+    faults: usize,
+}
+
+impl FeedbackWindow {
+    /// An empty window holding at most `capacity` outcomes.
+    pub fn new(capacity: usize) -> Self {
+        FeedbackWindow {
+            capacity: capacity.max(1),
+            outcomes: VecDeque::new(),
+            faults: 0,
+        }
+    }
+
+    /// Record one outcome, evicting the oldest beyond capacity.
+    pub fn push(&mut self, outcome: AttemptFeedback) {
+        if self.outcomes.len() == self.capacity {
+            if let Some(old) = self.outcomes.pop_front() {
+                if old.is_fault() {
+                    self.faults -= 1;
+                }
+            }
+        }
+        if outcome.is_fault() {
+            self.faults += 1;
+        }
+        self.outcomes.push_back(outcome);
+    }
+
+    /// Outcomes currently held.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether no outcome was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Fraction of held outcomes that were faults (crash/straggler), or
+    /// `0.0` while fewer than `min_samples` outcomes are held.
+    pub fn fault_rate(&self, min_samples: usize) -> f64 {
+        if self.outcomes.len() < min_samples.max(1) {
+            return 0.0;
+        }
+        self.faults as f64 / self.outcomes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_are_identity_at_zero_rate() {
+        let policy = FaultPolicy::default();
+        policy.validate().unwrap();
+        assert_eq!(policy.padding(0.0), 1.0);
+        assert_eq!(policy.escalation(0.0), 1.0);
+        assert_eq!(policy.padding(1.0), policy.max_padding);
+        assert!(policy.escalation(0.5) > 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let p = FaultPolicy {
+            window: 0,
+            ..FaultPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = FaultPolicy {
+            max_padding: 0.5,
+            ..FaultPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = FaultPolicy {
+            escalation_bias: -1.0,
+            ..FaultPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = FaultPolicy {
+            min_samples: 0,
+            ..FaultPolicy::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn window_rate_respects_min_samples_and_eviction() {
+        let mut w = FeedbackWindow::new(4);
+        assert!(w.is_empty());
+        w.push(AttemptFeedback::Crash);
+        w.push(AttemptFeedback::Straggler);
+        // Two samples, min 3: rate not yet trusted.
+        assert_eq!(w.fault_rate(3), 0.0);
+        w.push(AttemptFeedback::Success);
+        assert!((w.fault_rate(3) - 2.0 / 3.0).abs() < 1e-12);
+        w.push(AttemptFeedback::Success);
+        w.push(AttemptFeedback::Success); // evicts the first crash
+        assert_eq!(w.len(), 4);
+        assert!((w.fault_rate(1) - 0.25).abs() < 1e-12);
+        // Exhaustion is not a fault.
+        let mut w = FeedbackWindow::new(8);
+        for _ in 0..8 {
+            w.push(AttemptFeedback::Exhaustion);
+        }
+        assert_eq!(w.fault_rate(1), 0.0);
+    }
+
+    #[test]
+    fn feedback_serde_and_labels() {
+        for (outcome, label) in [
+            (AttemptFeedback::Success, "success"),
+            (AttemptFeedback::Crash, "crash"),
+            (AttemptFeedback::Straggler, "straggler"),
+            (AttemptFeedback::Exhaustion, "exhaustion"),
+        ] {
+            assert_eq!(outcome.label(), label);
+            assert_eq!(format!("{outcome}"), label);
+            let json = serde_json::to_string(&outcome).unwrap();
+            let back: AttemptFeedback = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, outcome);
+        }
+        let policy = FaultPolicy::default();
+        let json = serde_json::to_string(&policy).unwrap();
+        let back: FaultPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, policy);
+    }
+}

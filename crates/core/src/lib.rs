@@ -55,6 +55,7 @@ pub mod bucket;
 pub mod cost;
 pub mod estimator;
 pub mod exhaustive;
+pub mod feedback;
 pub mod greedy;
 pub mod kmeans;
 pub mod partition;
@@ -71,6 +72,7 @@ pub use allocator::{
 pub use bucket::{Bucket, BucketSet};
 pub use estimator::{AllocSource, Prediction, RebucketInfo, ValueEstimator};
 pub use exhaustive::ExhaustiveBucketing;
+pub use feedback::{AttemptFeedback, FaultPolicy, FeedbackWindow};
 pub use greedy::GreedyBucketing;
 pub use kmeans::KMeansBucketing;
 pub use partition::Partitioner;

@@ -329,6 +329,11 @@ impl fmt::Display for ResourceVector {
 pub struct WorkerSpec {
     /// Total capacity of the worker.
     pub capacity: ResourceVector,
+    /// Failure-domain group the worker belongs to (e.g. a rack or a spot
+    /// block). Correlated faults take out every worker sharing a rack at
+    /// once; `0` is the default, single shared domain.
+    #[serde(default)]
+    pub rack: u32,
 }
 
 impl WorkerSpec {
@@ -341,12 +346,19 @@ impl WorkerSpec {
         WorkerSpec {
             capacity: ResourceVector::new(16.0, 64.0 * 1024.0, 64.0 * 1024.0)
                 .with(ResourceKind::TimeS, Self::UNLIMITED_TIME_S),
+            rack: 0,
         }
     }
 
-    /// A worker with the given capacity.
+    /// A worker with the given capacity, in the default rack `0`.
     pub fn new(capacity: ResourceVector) -> Self {
-        WorkerSpec { capacity }
+        WorkerSpec { capacity, rack: 0 }
+    }
+
+    /// The same worker assigned to failure-domain group `rack`.
+    pub fn with_rack(mut self, rack: u32) -> Self {
+        self.rack = rack;
+        self
     }
 }
 
@@ -369,6 +381,25 @@ mod tests {
         assert_eq!(v.gpus(), 0.0);
         v[ResourceKind::Gpus] = 1.0;
         assert_eq!(v.gpus(), 1.0);
+    }
+
+    #[test]
+    fn worker_spec_rack_defaults_and_round_trips() {
+        let spec = WorkerSpec::paper_default();
+        assert_eq!(spec.rack, 0);
+        let racked = spec.with_rack(3);
+        assert_eq!(racked.rack, 3);
+        assert_eq!(racked.capacity, spec.capacity);
+        // Old JSON without the field still loads, defaulting to rack 0.
+        let legacy: WorkerSpec = serde_json::from_str(&format!(
+            "{{\"capacity\":{}}}",
+            serde_json::to_string(&spec.capacity).unwrap()
+        ))
+        .unwrap();
+        assert_eq!(legacy, spec);
+        let json = serde_json::to_string(&racked).unwrap();
+        let back: WorkerSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, racked);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! ```
 
 use crate::estimator::{AllocSource, RebucketInfo};
+use crate::feedback::AttemptFeedback;
 use crate::resources::{ResourceKind, ResourceVector};
 use crate::task::CategoryId;
 use serde::{Deserialize, Serialize};
@@ -137,6 +138,21 @@ pub enum AllocEvent {
         /// The raised allocation for the retry.
         to: f64,
     },
+    /// The engine reported an attempt outcome through the fault-feedback
+    /// channel ([`observe_outcome`]).
+    ///
+    /// [`observe_outcome`]: crate::allocator::Allocator::observe_outcome
+    Feedback {
+        /// Task category of the reported attempt.
+        category: u32,
+        /// The reported outcome.
+        outcome: AttemptFeedback,
+        /// Windowed fault rate after folding the outcome in.
+        fault_rate: f64,
+        /// Padding factor the active policy derives from the rate (`1.0`
+        /// when no policy is set).
+        padding: f64,
+    },
 }
 
 impl AllocEvent {
@@ -190,13 +206,30 @@ impl AllocEvent {
         }
     }
 
+    /// Build an [`AllocEvent::Feedback`].
+    pub fn feedback(
+        category: CategoryId,
+        outcome: AttemptFeedback,
+        fault_rate: f64,
+        padding: f64,
+    ) -> Self {
+        EVENTS_CONSTRUCTED.fetch_add(1, Ordering::Relaxed);
+        AllocEvent::Feedback {
+            category: category.0,
+            outcome,
+            fault_rate,
+            padding,
+        }
+    }
+
     /// The category the event concerns.
     pub fn category(&self) -> CategoryId {
         match self {
             AllocEvent::Observe { category, .. }
             | AllocEvent::Rebucket { category, .. }
             | AllocEvent::Predict { category, .. }
-            | AllocEvent::Escalate { category, .. } => CategoryId(*category),
+            | AllocEvent::Escalate { category, .. }
+            | AllocEvent::Feedback { category, .. } => CategoryId(*category),
         }
     }
 }
@@ -243,12 +276,21 @@ pub struct Tally {
     pub escalate: u64,
     /// Bucketing rebuilds.
     pub rebucket: u64,
+    /// Attempt-outcome feedback reports.
+    #[serde(default)]
+    pub feedback: u64,
 }
 
 impl Tally {
     /// Total events in this tally.
     pub fn total(&self) -> u64 {
-        self.first + self.retry + self.explore + self.observe + self.escalate + self.rebucket
+        self.first
+            + self.retry
+            + self.explore
+            + self.observe
+            + self.escalate
+            + self.rebucket
+            + self.feedback
     }
 
     /// First predictions of either flavor (exploratory or steady-state).
@@ -309,6 +351,7 @@ impl EventSink for TraceStats {
                     PredictKind::Explore => tally.explore += 1,
                 },
                 AllocEvent::Escalate { .. } => tally.escalate += 1,
+                AllocEvent::Feedback { .. } => tally.feedback += 1,
             }
         }
         let category = event.category().0;
@@ -500,6 +543,7 @@ mod tests {
                 ResourceVector::new(1.0, 700.0, 200.0),
                 Vec::new(),
             ),
+            AllocEvent::feedback(CategoryId(1), AttemptFeedback::Crash, 0.25, 1.125),
         ]
     }
 
@@ -522,13 +566,15 @@ mod tests {
         assert_eq!(stats.overall.observe, 1);
         assert_eq!(stats.overall.escalate, 1);
         assert_eq!(stats.overall.rebucket, 1);
-        assert_eq!(stats.overall.total(), 6);
+        assert_eq!(stats.overall.feedback, 1);
+        assert_eq!(stats.overall.total(), 7);
         assert_eq!(stats.overall.predictions_first(), 2);
         let c0 = stats.category(CategoryId(0)).unwrap();
         assert_eq!(c0.total(), 5);
         let c1 = stats.category(CategoryId(1)).unwrap();
         assert_eq!(c1.retry, 1);
-        assert_eq!(c1.total(), 1);
+        assert_eq!(c1.feedback, 1);
+        assert_eq!(c1.total(), 2);
         assert!(stats.category(CategoryId(7)).is_none());
     }
 
@@ -540,7 +586,7 @@ mod tests {
             sink.emit(e);
         }
         assert_eq!(sink.events, events);
-        assert_eq!(sink.len(), 6);
+        assert_eq!(sink.len(), 7);
     }
 
     #[test]
@@ -550,7 +596,7 @@ mod tests {
         for e in events.clone() {
             sink.emit(e);
         }
-        assert_eq!(sink.written(), 6);
+        assert_eq!(sink.written(), 7);
         assert_eq!(sink.errors(), 0);
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let parsed: Vec<AllocEvent> = text
@@ -567,9 +613,9 @@ mod tests {
         for e in sample_events() {
             handle.emit(e);
         }
-        assert_eq!(shared.with(|s| s.len()), 6);
+        assert_eq!(shared.with(|s| s.len()), 7);
         drop(handle);
-        assert_eq!(shared.into_inner().len(), 6);
+        assert_eq!(shared.into_inner().len(), 7);
     }
 
     #[test]
@@ -578,8 +624,8 @@ mod tests {
         for e in sample_events() {
             pair.emit(e);
         }
-        assert_eq!(pair.0.overall.total(), 6);
-        assert_eq!(pair.1.len(), 6);
+        assert_eq!(pair.0.overall.total(), 7);
+        assert_eq!(pair.1.len(), 7);
         const { assert!(<(TraceStats, MemorySink) as EventSink>::ENABLED) };
         const { assert!(!NoopSink::ENABLED) };
         const { assert!(!<SharedSink<NoopSink> as EventSink>::ENABLED) };

@@ -11,7 +11,7 @@
 use crate::outcome::{DeadLetter, TaskOutcome};
 use serde::{Deserialize, Serialize};
 use tora_alloc::resources::ResourceKind;
-use tora_alloc::task::CategoryId;
+use tora_alloc::task::{CategoryId, TaskId};
 
 /// The §II-C waste split of one resource dimension.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -135,6 +135,14 @@ impl WorkflowMetrics {
     pub fn push_dead_letter(&mut self, letter: DeadLetter) {
         debug_assert!(letter.check().is_ok(), "{:?}", letter.check());
         self.dead_letters.push(letter);
+    }
+
+    /// Withdraw a task's dead letter — the engine is about to replay it —
+    /// returning the letter so the caller can restore its attempt history.
+    /// `None` when the task has no recorded dead letter.
+    pub fn remove_dead_letter(&mut self, task: TaskId) -> Option<DeadLetter> {
+        let idx = self.dead_letters.iter().position(|d| d.task == task)?;
+        Some(self.dead_letters.remove(idx))
     }
 
     /// All dead-lettered tasks.
@@ -350,6 +358,27 @@ mod tests {
         assert_eq!(m.awe(k), Some(1.0));
         assert_eq!(m.degraded_awe(k), Some(0.5));
         assert_eq!(m.dead_letter_allocation(k), 1000.0);
+    }
+
+    #[test]
+    fn remove_dead_letter_withdraws_exactly_one() {
+        use crate::outcome::{DeadLetter, DeadLetterCause};
+        let mut m = WorkflowMetrics::new();
+        let attempts = vec![AttemptOutcome::failure(
+            ResourceVector::new(1.0, 100.0, 10.0),
+            2.0,
+        )];
+        m.push_dead_letter(DeadLetter {
+            task: TaskId(7),
+            category: CategoryId(0),
+            cause: DeadLetterCause::Unplaceable,
+            attempts: attempts.clone(),
+        });
+        assert!(m.remove_dead_letter(TaskId(8)).is_none());
+        let letter = m.remove_dead_letter(TaskId(7)).expect("recorded letter");
+        assert_eq!(letter.attempts, attempts);
+        assert_eq!(m.dead_lettered_count(), 0);
+        assert!(m.remove_dead_letter(TaskId(7)).is_none());
     }
 
     #[test]

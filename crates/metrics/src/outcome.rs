@@ -264,6 +264,19 @@ pub enum DeadLetterCause {
 }
 
 impl DeadLetterCause {
+    /// Whether a recovered pool can sensibly retry the task: the
+    /// abandonment was an environment *shortage* (no worker big enough, a
+    /// flaky dispatch path), not a structural impossibility. Attempt-budget
+    /// and infeasibility causes stay terminal — re-running would reproduce
+    /// the same failure — and a cascaded dependency dead-letter stays dead
+    /// with its missing input.
+    pub fn replayable(self) -> bool {
+        matches!(
+            self,
+            DeadLetterCause::Unplaceable | DeadLetterCause::DispatchRetriesExhausted
+        )
+    }
+
     /// Stable report label.
     pub fn label(self) -> &'static str {
         match self {
@@ -381,6 +394,21 @@ mod tests {
         for kind in ResourceKind::STANDARD {
             assert_eq!(o.waste(kind), 0.0, "{kind}");
             assert_eq!(o.total_allocation(kind), o.consumption(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn replayable_covers_exactly_the_shortage_causes() {
+        use DeadLetterCause::*;
+        for (cause, want) in [
+            (AttemptsExhausted, false),
+            (DispatchRetriesExhausted, true),
+            (Unplaceable, true),
+            (Infeasible, false),
+            (DependencyDeadLettered, false),
+            (Stalled, false),
+        ] {
+            assert_eq!(cause.replayable(), want, "{}", cause.label());
         }
     }
 

@@ -23,7 +23,9 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use tora_alloc::allocator::{AlgorithmKind, Allocator, AllocatorConfig};
+use tora_alloc::feedback::{AttemptFeedback, FaultPolicy};
 use tora_alloc::resources::{ResourceMask, ResourceVector, WorkerSpec};
+use tora_alloc::task::CategoryId;
 use tora_alloc::task::ResourceRecord;
 use tora_alloc::task::TaskSpec;
 use tora_alloc::trace::{EventSink, NoopSink};
@@ -103,6 +105,12 @@ pub struct SimConfig {
     /// [`FaultPlan::none`] reproduces fault-free behaviour exactly.
     #[serde(default)]
     pub faults: FaultPlan,
+    /// Fault-feedback policy for the embedded allocator: when set, attempt
+    /// outcomes are reported back and the allocator pads/escalates its
+    /// predictions from the windowed fault rate. `None` (the default)
+    /// compiles the channel out of the decision path entirely.
+    #[serde(default)]
+    pub fault_policy: Option<FaultPolicy>,
 }
 
 impl Default for SimConfig {
@@ -117,6 +125,7 @@ impl Default for SimConfig {
             track_utilization: false,
             seed: 0,
             faults: FaultPlan::none(),
+            fault_policy: None,
         }
     }
 }
@@ -137,6 +146,7 @@ impl SimConfig {
             track_utilization: false,
             seed,
             faults: FaultPlan::none(),
+            fault_policy: None,
         }
     }
 }
@@ -178,6 +188,8 @@ enum Event {
     Churn,
     /// A worker crashes abruptly (fault plan), losing its running attempts.
     Crash,
+    /// A correlated failure takes out a whole rack of workers at once.
+    RackCrash,
     /// A task whose dispatch failed transiently re-enters the ready queue
     /// after its backoff.
     Requeue {
@@ -241,6 +253,12 @@ struct TaskState {
     /// Consecutive scheduling rounds spent ready but unplaceable on every
     /// live worker (reset whenever some worker could ever host it).
     unplaceable_strikes: usize,
+    /// How many times the task was pulled back from the dead-letter channel
+    /// (bounded by the plan's `max_replay_rounds`).
+    replays: usize,
+    /// Why the task is currently dead-lettered (`None` while live); decides
+    /// replay eligibility without searching the metrics.
+    dead_cause: Option<DeadLetterCause>,
 }
 
 impl TaskState {
@@ -255,6 +273,8 @@ impl TaskState {
             dead: false,
             dispatch_failures: 0,
             unplaceable_strikes: 0,
+            replays: 0,
+            dead_cause: None,
         }
     }
 }
@@ -348,6 +368,12 @@ pub struct Simulation<S: EventSink = NoopSink> {
     stats: SimStats,
     /// Bumped on every observation; invalidates unpinned cached predictions.
     alloc_epoch: u64,
+    /// Lifetime count of workers that ever joined (including the initial
+    /// pool); drives the deterministic round-robin rack assignment.
+    joined_workers: u64,
+    /// Largest pool size ever observed; the reference point for the
+    /// dead-letter replay capacity threshold.
+    peak_workers: usize,
     log: Option<EventLog>,
     utilization: Option<UtilizationSeries>,
 }
@@ -416,6 +442,8 @@ impl Simulation {
             worker_range: self.worker_range,
             stats: self.stats,
             alloc_epoch: self.alloc_epoch,
+            joined_workers: self.joined_workers,
+            peak_workers: self.peak_workers,
             log: self.log,
             utilization: self.utilization,
         }
@@ -431,11 +459,18 @@ impl Simulation {
         if let Some(mix) = config.worker_mix {
             mix.validate().expect("invalid worker mix");
         }
-        let allocator = Allocator::with_config(algorithm, alloc_config, config.seed);
+        if let Some(policy) = config.fault_policy {
+            policy.validate().expect("invalid fault policy");
+        }
+        let mut allocator = Allocator::with_config(algorithm, alloc_config, config.seed);
+        allocator.set_fault_policy(config.fault_policy);
         let mut churn_rng = StdRng::seed_from_u64(config.seed ^ 0xC4_0A17);
         let mut pool = WorkerPool::new();
+        let mut joined_workers = 0u64;
         for _ in 0..config.churn.initial {
             let spec = Self::sample_worker_spec(worker, &config, &mut churn_rng);
+            let spec = Self::assign_rack(spec, config.faults.rack_count, joined_workers);
+            joined_workers += 1;
             pool.join(spec);
         }
         let initial_workers = config.churn.initial;
@@ -475,6 +510,8 @@ impl Simulation {
             worker_range: (initial_workers, initial_workers),
             stats: SimStats::new(),
             alloc_epoch: 0,
+            joined_workers,
+            peak_workers: initial_workers,
             log,
             utilization: config.track_utilization.then(UtilizationSeries::new),
         }
@@ -517,6 +554,30 @@ impl<S: EventSink> Simulation<S> {
             }
         }
         WorkerSpec::new(capacity)
+    }
+
+    /// Tag a joining worker with its rack. Racks are assigned round-robin
+    /// over the lifetime join counter — deterministic and RNG-free, so a
+    /// plan with `rack_count == 0` (rack crashes disabled) leaves the run
+    /// byte-identical to one that never heard of racks.
+    fn assign_rack(spec: WorkerSpec, rack_count: u32, joined: u64) -> WorkerSpec {
+        if rack_count == 0 {
+            spec
+        } else {
+            spec.with_rack((joined % rack_count as u64) as u32)
+        }
+    }
+
+    /// Report an attempt outcome on the allocator's fault-feedback channel.
+    /// Only wired while the fault plan is active: a fault-free run must stay
+    /// byte-identical to the pre-feedback engine (no window pushes, no
+    /// feedback trace events, no stats).
+    fn report_outcome(&mut self, category: CategoryId, outcome: AttemptFeedback) {
+        if !self.config.faults.is_active() {
+            return;
+        }
+        self.allocator.observe_outcome(category, outcome);
+        self.stats.record_feedback(category.0);
     }
 
     fn push_event(&mut self, time: SimTime, event: Event) {
@@ -757,15 +818,21 @@ impl<S: EventSink> Simulation<S> {
             } else {
                 self.stats.faults.rejected_records += 1;
             }
+            self.report_outcome(task.category, AttemptFeedback::Success);
             self.stats.completions += 1;
             self.completed += 1;
             self.completed_flags[run.task_idx] = true;
+            if self.tasks[run.task_idx].replays > 0 {
+                self.stats.faults.replay_successes += 1;
+            }
             // Dependency resolution: completed inputs release dependents.
             let dependents = std::mem::take(&mut self.dependents[run.task_idx]);
             for d in &dependents {
                 let dep_state = &mut self.tasks[*d];
                 dep_state.deps_remaining -= 1;
-                if dep_state.deps_remaining == 0 && dep_state.arrived {
+                // A cascade-doomed dependent stays dead even if its
+                // predecessor later completes via replay.
+                if dep_state.deps_remaining == 0 && dep_state.arrived && !dep_state.dead {
                     self.ready.push_back(*d);
                 }
             }
@@ -786,6 +853,7 @@ impl<S: EventSink> Simulation<S> {
                 worker: run.worker,
             });
             self.stats.faults.straggler_kills += 1;
+            self.report_outcome(task.category, AttemptFeedback::Straggler);
             let state = &mut self.tasks[run.task_idx];
             state.attempts.push(AttemptOutcome::failure_with_cause(
                 run.alloc,
@@ -812,6 +880,7 @@ impl<S: EventSink> Simulation<S> {
                 run.verdict.charged_time_s,
             ));
             self.stats.failures += 1;
+            self.report_outcome(task.category, AttemptFeedback::Exhaustion);
             let cap = self.config.faults.max_attempts;
             if cap > 0 && self.tasks[run.task_idx].attempts.len() >= cap {
                 // Attempt budget spent: dead-letter without asking the
@@ -867,8 +936,12 @@ impl<S: EventSink> Simulation<S> {
         };
         if join {
             let spec = Self::sample_worker_spec(self.worker, &self.config, &mut self.churn_rng);
+            let spec = Self::assign_rack(spec, self.config.faults.rack_count, self.joined_workers);
+            self.joined_workers += 1;
             let id = self.pool.join(spec);
             self.log_event(SimEvent::WorkerJoined { worker: id });
+            self.peak_workers = self.peak_workers.max(self.pool.len());
+            self.maybe_replay_dead_letters();
         } else if let Some(id) = self.pool.random_worker(&mut self.churn_rng) {
             // Preempt everything running on the departing worker.
             let mut victims: Vec<u64> = self
@@ -913,57 +986,97 @@ impl<S: EventSink> Simulation<S> {
         }
     }
 
-    /// A worker crashes abruptly. Unlike a graceful churn departure, every
+    /// Crash one worker abruptly. Unlike a graceful churn departure, every
     /// running attempt is *lost*: it is charged for its elapsed time, counts
     /// against the task's attempt budget, and teaches the allocator nothing
     /// (the record died with the worker). Crashes ignore the churn band's
     /// minimum — an opportunistic pool offers no such guarantee.
+    fn crash_worker(&mut self, id: WorkerId) {
+        self.stats.faults.worker_crashes += 1;
+        let mut victims: Vec<u64> = self
+            .running
+            .iter()
+            .filter(|(_, r)| r.worker == id)
+            .map(|(&d, _)| d)
+            .collect();
+        victims.sort_unstable();
+        for d in victims {
+            let run = self.running.remove(&d).expect("victim listed");
+            let elapsed = self.now - run.start;
+            self.stats.faults.crashed_attempts += 1;
+            self.log_event(SimEvent::TaskCrashed {
+                task: self.specs[run.task_idx].id,
+                worker: id,
+            });
+            self.report_outcome(self.specs[run.task_idx].category, AttemptFeedback::Crash);
+            let state = &mut self.tasks[run.task_idx];
+            state.attempts.push(AttemptOutcome::failure_with_cause(
+                run.alloc,
+                elapsed,
+                AttemptCause::WorkerCrash,
+            ));
+            let cap = self.config.faults.max_attempts;
+            if cap > 0 && self.tasks[run.task_idx].attempts.len() >= cap {
+                self.dead_letter(run.task_idx, DeadLetterCause::AttemptsExhausted);
+            } else {
+                // The crash says nothing about the allocation: resubmit
+                // with the same (pinned) one.
+                let state = &mut self.tasks[run.task_idx];
+                state.next_alloc = Some(run.alloc);
+                state.pinned = true;
+                self.ready.push_back(run.task_idx);
+            }
+        }
+        self.pool.leave(id);
+        self.log_event(SimEvent::WorkerCrashed { worker: id });
+        let n = self.pool.len();
+        self.worker_range = (self.worker_range.0.min(n), self.worker_range.1.max(n));
+    }
+
+    /// An independent single-worker crash event.
     fn on_crash(&mut self) {
         if let Some(id) = self.pool.random_worker(&mut self.fault_rng) {
-            self.stats.faults.worker_crashes += 1;
-            let mut victims: Vec<u64> = self
-                .running
-                .iter()
-                .filter(|(_, r)| r.worker == id)
-                .map(|(&d, _)| d)
-                .collect();
-            victims.sort_unstable();
-            for d in victims {
-                let run = self.running.remove(&d).expect("victim listed");
-                let elapsed = self.now - run.start;
-                self.stats.faults.crashed_attempts += 1;
-                self.log_event(SimEvent::TaskCrashed {
-                    task: self.specs[run.task_idx].id,
-                    worker: id,
-                });
-                let state = &mut self.tasks[run.task_idx];
-                state.attempts.push(AttemptOutcome::failure_with_cause(
-                    run.alloc,
-                    elapsed,
-                    AttemptCause::WorkerCrash,
-                ));
-                let cap = self.config.faults.max_attempts;
-                if cap > 0 && self.tasks[run.task_idx].attempts.len() >= cap {
-                    self.dead_letter(run.task_idx, DeadLetterCause::AttemptsExhausted);
-                } else {
-                    // The crash says nothing about the allocation: resubmit
-                    // with the same (pinned) one.
-                    let state = &mut self.tasks[run.task_idx];
-                    state.next_alloc = Some(run.alloc);
-                    state.pinned = true;
-                    self.ready.push_back(run.task_idx);
-                }
-            }
-            self.pool.leave(id);
-            self.log_event(SimEvent::WorkerCrashed { worker: id });
-            let n = self.pool.len();
-            self.worker_range = (self.worker_range.0.min(n), self.worker_range.1.max(n));
+            self.crash_worker(id);
         }
         // Keep the crash process alive only while it can ever strike again:
         // an empty pool with churn disabled never repopulates, and an
         // eternal self-rescheduling event would keep the run alive forever.
         if !(self.pool.is_empty() && self.config.churn.mean_interval_s.is_none()) {
             self.schedule_crash();
+        }
+    }
+
+    /// Schedule the next correlated rack crash, when the fault plan has
+    /// them enabled.
+    fn schedule_rack_crash(&mut self) {
+        if let Some(mean) = self.config.faults.rack_crash_mean_interval_s {
+            let u: f64 = 1.0 - self.fault_rng.gen::<f64>();
+            let dt = -mean * u.ln();
+            self.push_event(self.now + dt.max(1e-9), Event::RackCrash);
+        }
+    }
+
+    /// A correlated failure: one random live worker is struck, and every
+    /// other live worker in its rack goes down with it (shared switch,
+    /// shared PDU). Each victim is a full abrupt crash — attempts lost,
+    /// records lost, attempt budgets charged.
+    fn on_rack_crash(&mut self) {
+        if let Some(struck) = self.pool.random_worker(&mut self.fault_rng) {
+            self.stats.faults.rack_crashes += 1;
+            let rack = self.pool.get(struck).expect("live worker").spec.rack;
+            let victims: Vec<WorkerId> = self
+                .pool
+                .workers()
+                .filter(|(_, w)| w.spec.rack == rack)
+                .map(|(id, _)| id)
+                .collect();
+            for id in victims {
+                self.crash_worker(id);
+            }
+        }
+        // Same liveness guard as the single-crash process.
+        if !(self.pool.is_empty() && self.config.churn.mean_interval_s.is_none()) {
+            self.schedule_rack_crash();
         }
     }
 
@@ -984,6 +1097,7 @@ impl<S: EventSink> Simulation<S> {
         }
         let state = &mut self.tasks[task_idx];
         state.dead = true;
+        state.dead_cause = Some(cause);
         if !state.arrived {
             // Doomed before the arrival model released it: account the
             // submission here so conservation (submitted = completed +
@@ -1013,6 +1127,66 @@ impl<S: EventSink> Simulation<S> {
             self.dead_letter(d, DeadLetterCause::DependencyDeadLettered);
         }
         self.dependents[task_idx] = dependents;
+    }
+
+    /// Re-admit replayable dead letters once the pool has recovered.
+    ///
+    /// Called on every worker join. Replay is enabled by the plan's
+    /// `replay_capacity_fraction` / `max_replay_rounds` pair: when the live
+    /// pool reaches the configured fraction of the largest pool ever seen, a
+    /// dead letter whose cause was an environment shortage
+    /// ([`DeadLetterCause::replayable`]) and which has replay rounds left is
+    /// pulled back out of the channel and re-queued. The restored task keeps
+    /// its attempt history (the attempt budget still applies across the
+    /// replay) but its transient-failure counters start over.
+    ///
+    /// Conservation: `dead_lettered` counts *currently* abandoned tasks, so
+    /// a replay decrements it (and a re-dead-letter increments it again) —
+    /// `submitted = completed + dead_lettered` holds at every quiescent
+    /// point, and cumulatively `replay_successes ≤ replayed`. Dependents
+    /// cascaded from a replayed task stay dead: their own cause
+    /// (`DependencyDeadLettered`) is not replayable.
+    fn maybe_replay_dead_letters(&mut self) {
+        let plan = self.config.faults;
+        if plan.max_replay_rounds == 0 || plan.replay_capacity_fraction <= 0.0 {
+            return;
+        }
+        let needed = (plan.replay_capacity_fraction * self.peak_workers as f64).ceil() as usize;
+        if self.pool.len() < needed.max(1) {
+            return;
+        }
+        let candidates: Vec<usize> = (0..self.tasks.len())
+            .filter(|&i| {
+                let t = &self.tasks[i];
+                t.dead
+                    && t.replays < plan.max_replay_rounds
+                    && t.dead_cause.is_some_and(|c| c.replayable())
+            })
+            .collect();
+        for task_idx in candidates {
+            let task_id = self.specs[task_idx].id;
+            let letter = self
+                .result_metrics
+                .remove_dead_letter(task_id)
+                .expect("dead task has a recorded dead letter");
+            let state = &mut self.tasks[task_idx];
+            state.dead = false;
+            state.dead_cause = None;
+            state.replays += 1;
+            // Restore the attempt history: the budget spans the replay.
+            state.attempts = letter.attempts;
+            state.dispatch_failures = 0;
+            state.unplaceable_strikes = 0;
+            state.pinned = false;
+            state.next_alloc = None;
+            self.dead_lettered -= 1;
+            self.stats.faults.dead_lettered -= 1;
+            self.stats.faults.replayed += 1;
+            self.log_event(SimEvent::TaskReplayed { task: task_id });
+            // Replayable causes only ever strike ready (dependency-free,
+            // arrived) tasks, so the task can re-enter the queue directly.
+            self.ready.push_back(task_idx);
+        }
     }
 
     /// Dead-letter ready tasks that no live worker could host even when
@@ -1119,6 +1293,7 @@ impl<S: EventSink> Simulation<S> {
     pub fn run_traced(mut self) -> (SimResult, S) {
         self.schedule_churn();
         self.schedule_crash();
+        self.schedule_rack_crash();
         self.schedule_arrivals();
         if let Some(mut driver) = self.driver.take() {
             let mut api = self.submit_api();
@@ -1155,6 +1330,7 @@ impl<S: EventSink> Simulation<S> {
                 Event::Arrive { task_idx } => self.on_arrive(task_idx),
                 Event::Churn => self.on_churn(),
                 Event::Crash => self.on_crash(),
+                Event::RackCrash => self.on_rack_crash(),
                 Event::Requeue { task_idx } => self.on_requeue(task_idx),
             }
             self.dispatch();
@@ -1952,5 +2128,127 @@ mod tests {
         let rb = crate::faults::FaultReport::from_result(&b, &config, "greedy-bucketing");
         assert_eq!(ra.to_json(), rb.to_json());
         assert!(ra.conservation_ok);
+    }
+
+    #[test]
+    fn rack_crashes_down_correlated_workers_and_conserve() {
+        // Fixed 8-worker pool over 4 racks: round-robin puts exactly two
+        // workers in every rack, so the first rack crash (nothing else
+        // removes workers here) must take out two workers at once.
+        let wf = small(SyntheticKind::Bimodal);
+        let config = SimConfig {
+            churn: ChurnConfig::fixed(8),
+            faults: FaultPlan {
+                rack_crash_mean_interval_s: Some(20.0),
+                rack_count: 4,
+                max_attempts: 10,
+                ..FaultPlan::none()
+            },
+            record_log: true,
+            seed: 11,
+            ..SimConfig::default()
+        };
+        let res = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config);
+        assert_conserved(&res, wf.len());
+        let f = &res.stats.faults;
+        assert!(f.rack_crashes > 0, "no rack crash fired: {f:?}");
+        assert!(
+            f.worker_crashes > f.rack_crashes,
+            "rack crashes were not correlated: {f:?}"
+        );
+        let log = res.log.unwrap();
+        log.check_consistency().unwrap();
+        let crashed = log.count(|e| matches!(e, crate::log::SimEvent::WorkerCrashed { .. }));
+        assert_eq!(crashed as u64, f.worker_crashes);
+    }
+
+    #[test]
+    fn replay_readmits_dead_letters_after_pool_recovery() {
+        // Flaky dispatch with a one-retry budget produces
+        // DispatchRetriesExhausted dead letters; every churn join above the
+        // capacity threshold pulls them back for another round.
+        let wf = small(SyntheticKind::Bimodal);
+        let config = SimConfig {
+            churn: ChurnConfig {
+                initial: 5,
+                min: 2,
+                max: 10,
+                mean_interval_s: Some(8.0),
+            },
+            faults: FaultPlan {
+                dispatch_failure_rate: 0.35,
+                dispatch_backoff_s: 1.0,
+                max_dispatch_retries: 1,
+                replay_capacity_fraction: 0.5,
+                max_replay_rounds: 3,
+                ..FaultPlan::none()
+            },
+            record_log: true,
+            seed: 17,
+            ..SimConfig::default()
+        };
+        let res = simulate(&wf, AlgorithmKind::MaxSeen, config);
+        assert_conserved(&res, wf.len());
+        let f = &res.stats.faults;
+        assert!(f.replayed > 0, "no dead letter was replayed: {f:?}");
+        assert!(f.replay_successes > 0, "replay recovered nothing: {f:?}");
+        assert!(f.replay_successes <= f.replayed);
+        let log = res.log.unwrap();
+        log.check_consistency().unwrap();
+        let replay_events = log.count(|e| matches!(e, crate::log::SimEvent::TaskReplayed { .. }));
+        assert_eq!(replay_events as u64, f.replayed);
+    }
+
+    #[test]
+    fn fault_policy_reports_every_terminal_attempt_outcome() {
+        let wf = small(SyntheticKind::Bimodal);
+        let config = SimConfig {
+            faults: FaultPlan {
+                straggler_rate: 0.2,
+                straggler_multiplier: 8.0,
+                straggler_timeout_s: 100.0,
+                max_attempts: 8,
+                ..FaultPlan::none()
+            },
+            fault_policy: Some(FaultPolicy::default()),
+            seed: 3,
+            ..SimConfig::default()
+        };
+        let res = simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config);
+        assert_conserved(&res, wf.len());
+        assert!(res.stats.calls.feedback > 0);
+        // Success per completion, Exhaustion per resource kill, Straggler
+        // per watchdog kill, Crash per crashed attempt — nothing else.
+        assert_eq!(
+            res.stats.calls.feedback,
+            res.stats.completions
+                + res.stats.failures
+                + res.stats.faults.straggler_kills
+                + res.stats.faults.crashed_attempts
+        );
+    }
+
+    #[test]
+    fn fault_policy_without_faults_is_a_strict_no_op() {
+        // The fault-feedback channel must be invisible while the plan is
+        // inactive: identical metrics, identical makespan, zero feedback.
+        let wf = small(SyntheticKind::Exponential);
+        let base = SimConfig {
+            churn: ChurnConfig::paper_like(),
+            seed: 21,
+            ..SimConfig::default()
+        };
+        let with_policy = SimConfig {
+            fault_policy: Some(FaultPolicy::default()),
+            ..base
+        };
+        let a = simulate(&wf, AlgorithmKind::GreedyBucketing, base);
+        let b = simulate(&wf, AlgorithmKind::GreedyBucketing, with_policy);
+        assert_eq!(
+            serde_json::to_string(&a.metrics).unwrap(),
+            serde_json::to_string(&b.metrics).unwrap()
+        );
+        assert_eq!(a.makespan_s, b.makespan_s);
+        assert_eq!(b.stats.calls.feedback, 0);
     }
 }

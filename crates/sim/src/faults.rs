@@ -56,6 +56,27 @@ pub struct FaultPlan {
     /// Consecutive engine rounds a ready task may be unplaceable on *every*
     /// live worker before it is dead-lettered. `0` = disabled.
     pub max_unplaceable_rounds: usize,
+    /// Mean seconds between *correlated* crash events (exponential),
+    /// `None` = never. One event picks a victim worker and takes out every
+    /// live worker sharing its rack at once — burst loss, not attrition.
+    #[serde(default)]
+    pub rack_crash_mean_interval_s: Option<f64>,
+    /// Number of failure-domain groups (racks) workers are spread over,
+    /// round-robin by join order. `0` = racks disabled (every worker in the
+    /// default rack `0`). Required ≥ 2 when rack crashes are enabled, so a
+    /// correlated crash never trivially empties the pool.
+    #[serde(default)]
+    pub rack_count: u32,
+    /// Pool-recovery threshold for dead-letter replay, as a fraction of the
+    /// largest pool seen so far. When a worker joins and the live pool is at
+    /// least `fraction × peak`, replayable dead letters (unplaceable or
+    /// dispatch-retries-exhausted) are re-admitted. `0` = replay disabled.
+    #[serde(default)]
+    pub replay_capacity_fraction: f64,
+    /// Times one task may be re-admitted from the dead-letter channel
+    /// before it stays dead for good. `0` = replay disabled.
+    #[serde(default)]
+    pub max_replay_rounds: usize,
 }
 
 impl Default for FaultPlan {
@@ -78,6 +99,10 @@ impl FaultPlan {
             max_dispatch_retries: 0,
             max_attempts: 0,
             max_unplaceable_rounds: 0,
+            rack_crash_mean_interval_s: None,
+            rack_count: 0,
+            replay_capacity_fraction: 0.0,
+            max_replay_rounds: 0,
         }
     }
 
@@ -127,6 +152,35 @@ impl FaultPlan {
                 "dispatch_backoff_s must be positive, got {}",
                 self.dispatch_backoff_s
             ));
+        }
+        if let Some(mean) = self.rack_crash_mean_interval_s {
+            if !(mean.is_finite() && mean > 0.0) {
+                return Err(format!(
+                    "rack_crash_mean_interval_s must be finite and positive, got {mean}"
+                ));
+            }
+            if self.rack_count < 2 {
+                return Err(format!(
+                    "rack crashes need rack_count >= 2 (one crash must not \
+                     trivially empty the pool), got {}",
+                    self.rack_count
+                ));
+            }
+        }
+        let replay_on = self.max_replay_rounds > 0 || self.replay_capacity_fraction > 0.0;
+        if replay_on {
+            if self.max_replay_rounds == 0 {
+                return Err("replay needs max_replay_rounds >= 1".to_string());
+            }
+            if !(self.replay_capacity_fraction > 0.0
+                && self.replay_capacity_fraction <= 1.0
+                && self.replay_capacity_fraction.is_finite())
+            {
+                return Err(format!(
+                    "replay_capacity_fraction must be in (0, 1], got {}",
+                    self.replay_capacity_fraction
+                ));
+            }
         }
         Ok(())
     }
@@ -181,6 +235,13 @@ impl FaultPlan {
                 record_dropout_rate: 0.25,
                 ..base
             },
+            "rack-outages" => FaultPlan {
+                rack_crash_mean_interval_s: Some(90.0),
+                rack_count: 4,
+                replay_capacity_fraction: 0.75,
+                max_replay_rounds: 2,
+                ..base
+            },
             _ => return None,
         };
         debug_assert!(plan.validate().is_ok());
@@ -188,7 +249,7 @@ impl FaultPlan {
     }
 
     /// The names accepted by [`FaultPlan::named`].
-    pub const PRESETS: [&'static str; 7] = [
+    pub const PRESETS: [&'static str; 8] = [
         "none",
         "light",
         "heavy",
@@ -196,6 +257,7 @@ impl FaultPlan {
         "stragglers",
         "flaky-dispatch",
         "lossy-records",
+        "rack-outages",
     ];
 
     /// A plan whose every fault source scales with one intensity knob in
@@ -213,9 +275,16 @@ impl FaultPlan {
             record_dropout_rate: rate,
             dispatch_failure_rate: rate,
             dispatch_backoff_s: 2.0,
-            max_dispatch_retries: 5,
+            // A tighter dispatch budget than the presets: at high intensity
+            // it produces enough dispatch-retries-exhausted dead letters for
+            // the replay path to have something to recover.
+            max_dispatch_retries: 3,
             max_attempts: 10,
             max_unplaceable_rounds: 3,
+            rack_crash_mean_interval_s: (rate > 0.0).then_some(240.0 / rate),
+            rack_count: if rate > 0.0 { 4 } else { 0 },
+            replay_capacity_fraction: if rate > 0.0 { 0.6 } else { 0.0 },
+            max_replay_rounds: if rate > 0.0 { 2 } else { 0 },
         }
     }
 }
@@ -235,10 +304,21 @@ pub struct FaultReport {
     pub submitted: u64,
     /// Tasks that completed successfully.
     pub completed: u64,
-    /// Tasks abandoned to the dead-letter channel.
+    /// Tasks abandoned to the dead-letter channel (final count, after any
+    /// replays: a replayed-then-completed task is not counted here).
     pub dead_lettered: u64,
+    /// Dead-letter re-admissions performed by the replay path (a task
+    /// replayed twice counts twice).
+    #[serde(default)]
+    pub replayed: u64,
+    /// Replayed tasks that went on to complete.
+    #[serde(default)]
+    pub replay_successes: u64,
     /// `submitted == completed + dead_lettered` — every submitted task
-    /// reached exactly one terminal state.
+    /// reached exactly one terminal state. With replay, the cumulative form
+    /// `submitted = completed + (dead_lettered + replayed) − replayed`
+    /// reduces to the same identity because `dead_lettered` is the *final*
+    /// count; `replay_successes <= replayed` is checked alongside.
     pub conservation_ok: bool,
     /// Per-cause injected-fault tallies.
     pub faults: FaultCounts,
@@ -275,8 +355,11 @@ impl FaultReport {
             submitted: stats.submitted,
             completed: stats.completions,
             dead_lettered,
+            replayed: stats.faults.replayed,
+            replay_successes: stats.faults.replay_successes,
             conservation_ok: stats.submitted == stats.completions + dead_lettered
-                && result.metrics.dead_lettered_count() as u64 == dead_lettered,
+                && result.metrics.dead_lettered_count() as u64 == dead_lettered
+                && stats.faults.replay_successes <= stats.faults.replayed,
             faults: stats.faults,
             dead_letter_causes: causes,
             retries: result.metrics.total_retries() as u64,
@@ -301,6 +384,11 @@ impl FaultReport {
         head.row(&["submitted".to_string(), self.submitted.to_string()]);
         head.row(&["completed".to_string(), self.completed.to_string()]);
         head.row(&["dead-lettered".to_string(), self.dead_lettered.to_string()]);
+        head.row(&["replayed".to_string(), self.replayed.to_string()]);
+        head.row(&[
+            "replay successes".to_string(),
+            self.replay_successes.to_string(),
+        ]);
         head.row(&[
             "conservation".to_string(),
             if self.conservation_ok {
@@ -326,6 +414,7 @@ impl FaultReport {
         let mut injected = Table::new("injected faults", &["cause", "count"]);
         for (label, count) in [
             ("worker crashes", f.worker_crashes),
+            ("rack crashes", f.rack_crashes),
             ("crashed attempts", f.crashed_attempts),
             ("straggler kills", f.straggler_kills),
             ("stragglers (slow, completed)", f.stragglers_slow),
@@ -394,6 +483,43 @@ mod tests {
         let mut plan = FaultPlan::none();
         plan.crash_mean_interval_s = Some(0.0);
         assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_rack_and_replay_config() {
+        let mut plan = FaultPlan::none();
+        plan.rack_crash_mean_interval_s = Some(60.0); // needs rack_count >= 2
+        assert!(plan.validate().is_err());
+        plan.rack_count = 1;
+        assert!(plan.validate().is_err());
+        plan.rack_count = 2;
+        plan.validate().unwrap();
+        plan.rack_crash_mean_interval_s = Some(f64::INFINITY);
+        assert!(plan.validate().is_err());
+
+        let mut plan = FaultPlan::none();
+        plan.max_replay_rounds = 1; // needs a capacity fraction
+        assert!(plan.validate().is_err());
+        plan.replay_capacity_fraction = 1.5;
+        assert!(plan.validate().is_err());
+        plan.replay_capacity_fraction = 0.5;
+        plan.validate().unwrap();
+        plan.max_replay_rounds = 0; // fraction without rounds
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn intensity_enables_rack_crashes_and_replay_only_when_nonzero() {
+        let off = FaultPlan::with_intensity(0.0);
+        assert!(off.rack_crash_mean_interval_s.is_none());
+        assert_eq!(off.rack_count, 0);
+        assert_eq!(off.max_replay_rounds, 0);
+        let on = FaultPlan::with_intensity(0.2);
+        on.validate().unwrap();
+        assert!(on.rack_crash_mean_interval_s.unwrap() > on.crash_mean_interval_s.unwrap());
+        assert!(on.rack_count >= 2);
+        assert!(on.max_replay_rounds > 0);
+        assert!(on.replay_capacity_fraction > 0.0);
     }
 
     #[test]

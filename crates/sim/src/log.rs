@@ -95,12 +95,17 @@ pub enum SimEvent {
         /// The task.
         task: TaskId,
     },
-    /// A task was abandoned: it will never complete.
+    /// A task was abandoned: it will never complete (unless replayed).
     TaskDeadLettered {
         /// The task.
         task: TaskId,
         /// Why it was abandoned.
         cause: DeadLetterCause,
+    },
+    /// A dead-lettered task was re-admitted after the pool recovered.
+    TaskReplayed {
+        /// The task.
+        task: TaskId,
     },
 }
 
@@ -181,15 +186,19 @@ impl EventLog {
     /// * every dispatch terminates exactly once (completed, killed,
     ///   preempted, crashed, or timed out);
     /// * every submitted task reaches exactly one terminal state: one
-    ///   completion XOR one dead-letter;
-    /// * attempt numbers per task increase by one per *killed* attempt
-    ///   (preemptions re-run the same attempt);
+    ///   completion XOR ending dead-lettered — where a dead-letter may be
+    ///   withdrawn by a replay (and only then), so the dead-letter /
+    ///   replay events of a task strictly alternate;
+    /// * nothing dispatches, completes, or replays while *not* in the state
+    ///   that permits it (no dispatch of a currently-dead task, no replay
+    ///   of a live one);
     /// * a worker's events nest correctly (no dispatch after it left or
     ///   crashed).
     pub fn check_consistency(&self) -> Result<(), String> {
         let mut open_dispatches: HashMap<TaskId, WorkerId> = HashMap::new();
         let mut completions: HashMap<TaskId, usize> = HashMap::new();
-        let mut dead_lettered: HashMap<TaskId, usize> = HashMap::new();
+        let mut currently_dead: std::collections::HashSet<TaskId> = Default::default();
+        let mut ever_dead: std::collections::HashSet<TaskId> = Default::default();
         let mut submitted: HashMap<TaskId, usize> = HashMap::new();
         let mut live_workers: HashMap<WorkerId, bool> = HashMap::new();
         for entry in &self.entries {
@@ -200,6 +209,9 @@ impl EventLog {
                 SimEvent::TaskDispatched { task, worker, .. } => {
                     if !live_workers.get(&worker).copied().unwrap_or(false) {
                         return Err(format!("{task} dispatched to dead {worker:?}"));
+                    }
+                    if currently_dead.contains(&task) {
+                        return Err(format!("{task} dispatched while dead-lettered"));
                     }
                     if open_dispatches.insert(task, worker).is_some() {
                         return Err(format!("{task} dispatched while already running"));
@@ -218,6 +230,9 @@ impl EventLog {
                         None => return Err(format!("{task} finished without dispatch")),
                     }
                     if matches!(entry.event, SimEvent::TaskCompleted { .. }) {
+                        if currently_dead.contains(&task) {
+                            return Err(format!("{task} completed while dead-lettered"));
+                        }
                         *completions.entry(task).or_insert(0) += 1;
                     }
                 }
@@ -225,7 +240,15 @@ impl EventLog {
                     if open_dispatches.contains_key(&task) {
                         return Err(format!("{task} dead-lettered while running"));
                     }
-                    *dead_lettered.entry(task).or_insert(0) += 1;
+                    if !currently_dead.insert(task) {
+                        return Err(format!("{task} dead-lettered twice without a replay"));
+                    }
+                    ever_dead.insert(task);
+                }
+                SimEvent::TaskReplayed { task } => {
+                    if !currently_dead.remove(&task) {
+                        return Err(format!("{task} replayed while not dead-lettered"));
+                    }
                 }
                 SimEvent::DispatchFailed { .. } | SimEvent::RecordDropped { .. } => {}
                 SimEvent::WorkerJoined { worker } => {
@@ -247,11 +270,12 @@ impl EventLog {
                 return Err(format!("{task} submitted {count} times"));
             }
             let done = completions.get(task).copied().unwrap_or(0);
-            let dead = dead_lettered.get(task).copied().unwrap_or(0);
+            let dead = usize::from(currently_dead.contains(task));
             if done + dead != 1 {
                 return Err(format!(
-                    "{task} reached {done} completions and {dead} dead-letters \
-                     (want exactly one terminal state)"
+                    "{task} reached {done} completions and ended \
+                     {}dead-lettered (want exactly one terminal state)",
+                    if dead == 1 { "" } else { "not " }
                 ));
             }
         }
@@ -260,15 +284,14 @@ impl EventLog {
                 return Err(format!("{task} completed without submission"));
             }
         }
-        for (task, count) in &dead_lettered {
+        for task in &ever_dead {
             // A dependent dead-lettered by cascade may never have arrived
-            // (so never logged a submission), but it must still be
-            // dead-lettered at most once and never also complete.
-            if *count != 1 {
-                return Err(format!("{task} dead-lettered {count} times"));
-            }
-            if completions.contains_key(task) {
-                return Err(format!("{task} both completed and dead-lettered"));
+            // (so never logged a submission), but it must still end in
+            // exactly one terminal state like everything else.
+            if !submitted.contains_key(task) && !currently_dead.contains(task) {
+                return Err(format!(
+                    "unsubmitted {task} was dead-lettered but did not stay dead"
+                ));
             }
         }
         Ok(())
@@ -402,6 +425,103 @@ mod tests {
         log.push(0.0, SimEvent::TaskSubmitted { task: TaskId(0) });
         log.push(
             0.0,
+            SimEvent::TaskDispatched {
+                task: TaskId(0),
+                worker: WorkerId(0),
+                attempt: 1,
+                allocation: alloc(),
+            },
+        );
+        assert!(log.check_consistency().is_err());
+    }
+
+    #[test]
+    fn replay_cycle_is_consistent() {
+        use tora_metrics::DeadLetterCause;
+        let mut log = EventLog::new();
+        let (t0, w0) = (TaskId(0), WorkerId(0));
+        log.push(0.0, SimEvent::WorkerJoined { worker: w0 });
+        log.push(0.0, SimEvent::TaskSubmitted { task: t0 });
+        log.push(
+            1.0,
+            SimEvent::TaskDeadLettered {
+                task: t0,
+                cause: DeadLetterCause::Unplaceable,
+            },
+        );
+        log.push(2.0, SimEvent::TaskReplayed { task: t0 });
+        log.push(
+            3.0,
+            SimEvent::TaskDispatched {
+                task: t0,
+                worker: w0,
+                attempt: 1,
+                allocation: alloc(),
+            },
+        );
+        log.push(
+            4.0,
+            SimEvent::TaskCompleted {
+                task: t0,
+                worker: w0,
+            },
+        );
+        log.check_consistency().unwrap();
+        // Ending dead after a replayed round is also a valid terminal state.
+        let mut redead = log.clone();
+        redead.entries.truncate(3);
+        redead.push(2.0, SimEvent::TaskReplayed { task: t0 });
+        redead.push(
+            3.0,
+            SimEvent::TaskDeadLettered {
+                task: t0,
+                cause: DeadLetterCause::Unplaceable,
+            },
+        );
+        redead.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn detects_replay_and_dead_letter_misuse() {
+        use tora_metrics::DeadLetterCause;
+        let base = || {
+            let mut log = EventLog::new();
+            log.push(
+                0.0,
+                SimEvent::WorkerJoined {
+                    worker: WorkerId(0),
+                },
+            );
+            log.push(0.0, SimEvent::TaskSubmitted { task: TaskId(0) });
+            log
+        };
+        // Replaying a live task.
+        let mut log = base();
+        log.push(1.0, SimEvent::TaskReplayed { task: TaskId(0) });
+        assert!(log.check_consistency().is_err());
+        // Double dead-letter without a replay between.
+        let mut log = base();
+        for t in [1.0, 2.0] {
+            log.push(
+                t,
+                SimEvent::TaskDeadLettered {
+                    task: TaskId(0),
+                    cause: DeadLetterCause::Unplaceable,
+                },
+            );
+        }
+        assert!(log.check_consistency().is_err());
+        // Dispatching a task that is currently dead-lettered.
+        let mut log = base();
+        log.push(
+            1.0,
+            SimEvent::TaskDeadLettered {
+                task: TaskId(0),
+                cause: DeadLetterCause::Unplaceable,
+            },
+        );
+        log.push(
+            2.0,
             SimEvent::TaskDispatched {
                 task: TaskId(0),
                 worker: WorkerId(0),

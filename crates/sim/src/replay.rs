@@ -175,6 +175,32 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "allocation never converged")]
+    fn bails_out_when_a_task_can_never_fit() {
+        // A task bigger than the machine violates §II-B assumption 4: every
+        // retry escalates to the full worker and still dies, so the replay
+        // must fail loudly at MAX_ATTEMPTS instead of spinning forever.
+        // `Workflow::new` would reject the task, so build the struct raw.
+        use tora_alloc::resources::{ResourceVector, WorkerSpec};
+        use tora_alloc::task::TaskSpec;
+        let worker = WorkerSpec::paper_default();
+        let over = ResourceVector::new(1.0, 2.0 * worker.capacity.memory_mb(), 10.0);
+        let wf = Workflow {
+            name: "impossible".into(),
+            categories: vec!["main".into()],
+            tasks: vec![TaskSpec::new(0, 0, over, 30.0)],
+            worker,
+            dependencies: Vec::new(),
+        };
+        let _ = replay(
+            &wf,
+            AlgorithmKind::ExhaustiveBucketing,
+            EnforcementModel::LinearRamp,
+            1,
+        );
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let wf = synthetic::generate(SyntheticKind::Uniform, 200, 6);
         let a = replay(

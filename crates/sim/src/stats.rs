@@ -28,6 +28,10 @@ pub struct AllocCallCounts {
     /// Exhausted *managed* axes summed over all kills — the number of
     /// per-axis escalations the retries asked for.
     pub escalations: u64,
+    /// `observe_outcome` calls (one per attempt outcome reported through
+    /// the fault-feedback channel; zero without an active fault plan).
+    #[serde(default)]
+    pub feedback: u64,
 }
 
 /// Per-cause tallies of injected faults and their consequences. All zero
@@ -54,6 +58,15 @@ pub struct FaultCounts {
     /// retry (attempt budget exhausted). Balances the `failures = retry
     /// predictions` identity under a fault plan.
     pub capped_retries: u64,
+    /// Correlated crash events (each takes out one whole rack).
+    #[serde(default)]
+    pub rack_crashes: u64,
+    /// Dead-letter re-admissions performed by the replay path.
+    #[serde(default)]
+    pub replayed: u64,
+    /// Replayed tasks that went on to complete.
+    #[serde(default)]
+    pub replay_successes: u64,
 }
 
 impl FaultCounts {
@@ -138,6 +151,12 @@ impl SimStats {
         self.category_mut(category).observations += 1;
     }
 
+    /// Record one `observe_outcome` call (fault-feedback channel).
+    pub fn record_feedback(&mut self, category: u32) {
+        self.calls.feedback += 1;
+        self.category_mut(category).feedback += 1;
+    }
+
     /// Cross-check this engine-side tally against the allocator's own
     /// [`TraceStats`]. Every mismatch produces one human-readable line;
     /// `Ok(())` means the two bookkeepers agree exactly, overall and per
@@ -168,6 +187,11 @@ impl SimStats {
             "escalations".into(),
             self.calls.escalations,
             trace.overall.escalate,
+        );
+        check(
+            "feedback".into(),
+            self.calls.feedback,
+            trace.overall.feedback,
         );
         // Structural identities of the engine loop: one retry prediction per
         // kill — except kills that dead-lettered the task instead of
@@ -214,6 +238,11 @@ impl SimStats {
                 format!("category {id} escalations"),
                 engine.escalations,
                 traced.escalate,
+            );
+            check(
+                format!("category {id} feedback"),
+                engine.feedback,
+                traced.feedback,
             );
         }
         if mismatches.is_empty() {
@@ -446,6 +475,14 @@ mod sim_stats_tests {
         stats.completions += 1;
         stats.record_observation(0);
         trace.emit(AllocEvent::observe(CategoryId(0), alloc, 1.0));
+        // One fault-feedback report on the completion.
+        stats.record_feedback(0);
+        trace.emit(AllocEvent::feedback(
+            CategoryId(0),
+            tora_alloc::feedback::AttemptFeedback::Success,
+            0.0,
+            1.0,
+        ));
         // Category 3: a lone exploratory prediction.
         stats.record_predict_first(3);
         trace.emit(AllocEvent::predict(

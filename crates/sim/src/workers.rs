@@ -132,6 +132,12 @@ impl WorkerPool {
         self.workers.get(&id)
     }
 
+    /// Iterate live workers in ascending id order (the same order every
+    /// other pool operation uses, so callers stay deterministic).
+    pub fn workers(&self) -> impl Iterator<Item = (WorkerId, &Worker)> {
+        self.workers.iter().map(|(&id, w)| (id, w))
+    }
+
     /// First-fit placement: reserve `alloc` on the lowest-id worker with
     /// room. Deterministic given the pool state.
     pub fn place(&mut self, alloc: &ResourceVector) -> Option<WorkerId> {
@@ -304,6 +310,20 @@ mod tests {
         assert!(pool.leave(b).is_some());
         assert!(pool.leave(b).is_none());
         assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn workers_iterates_in_id_order() {
+        let mut pool = WorkerPool::new();
+        for rack in 0..4u32 {
+            pool.join(spec().with_rack(rack));
+        }
+        pool.leave(WorkerId(1));
+        let seen: Vec<(WorkerId, u32)> = pool.workers().map(|(id, w)| (id, w.spec.rack)).collect();
+        assert_eq!(
+            seen,
+            vec![(WorkerId(0), 0), (WorkerId(2), 2), (WorkerId(3), 3)]
+        );
     }
 
     #[test]

@@ -61,8 +61,10 @@ fn print_usage() {
                                            JSONL plus an engine/allocator reconciliation\n\
            chaos    <workflow|file> [opts] run under a fault-injection plan and print a\n\
                                            fault report (--plan none|light|heavy|crashes|\n\
-                                           stragglers|flaky-dispatch|lossy-records;\n\
-                                           --quick runs the determinism smoke test)\n\
+                                           stragglers|flaky-dispatch|lossy-records|\n\
+                                           rack-outages; --feedback arms the allocator's\n\
+                                           fault-feedback policy; --quick runs the\n\
+                                           determinism smoke test)\n\
            matrix   [opts]                 AWE matrix across workflows × algorithms\n\
            bench    [--quick] [opts]       time the hot paths (prediction, rebucket fast\n\
                                            vs faithful, engine, parallel runner) and\n\
@@ -546,10 +548,13 @@ fn cmd_trace(raw: &[String]) -> Result<(), String> {
 
 /// `tora chaos`: run a workload under a named fault-injection plan and
 /// print a [`FaultReport`] — per-cause fault counts, the dead-letter
-/// breakdown, degraded AWE, and the conservation identity `submitted =
-/// completed + dead-lettered`. The command fails if conservation is
-/// violated. `--quick` is the CI smoke mode: a small fixed workload is run
-/// twice under the same seed and the two reports must be byte-identical.
+/// breakdown (including replays), degraded AWE, and the conservation
+/// identity `submitted = completed + dead-lettered`. The command fails if
+/// conservation is violated. `--feedback` arms the allocator's
+/// fault-feedback policy so predictions pad/escalate with the observed
+/// fault rate. `--quick` is the CI smoke mode: a small fixed workload is
+/// run twice under the same seed and the two reports must be
+/// byte-identical.
 fn cmd_chaos(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let plan_name = args.value_of("plan")?.unwrap_or("light");
@@ -563,12 +568,14 @@ fn cmd_chaos(raw: &[String]) -> Result<(), String> {
         None => AlgorithmKind::ExhaustiveBucketing,
         Some(name) => parse_algorithm(name)?,
     };
+    let fault_policy = args.has("feedback").then(FaultPolicy::default);
 
     if args.has("quick") {
         // Fixed seed, fixed workload: the report must be reproducible down
         // to the byte, and the books must balance.
         let wf = synthetic::generate(SyntheticKind::Bimodal, 120, 7);
         let mut config = SimConfig::paper_like(7);
+        config.fault_policy = fault_policy;
         config.faults = if args.has("plan") {
             plan
         } else {
@@ -604,6 +611,7 @@ fn cmd_chaos(raw: &[String]) -> Result<(), String> {
     let wf = parse_workflow(name, &args)?;
     let mut config = parse_sim_config(&args)?;
     config.faults = plan;
+    config.fault_policy = fault_policy;
     let result = simulate(&wf, algorithm, config);
     let report = FaultReport::from_result(&result, &config, algorithm.label());
     print!("{}", report.render());

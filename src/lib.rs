@@ -47,6 +47,7 @@ pub mod prelude {
         AlgorithmKind, AllocationDecision, Allocator, AllocatorBuilder, AllocatorConfig,
         ExploratoryPolicy,
     };
+    pub use tora_alloc::feedback::{AttemptFeedback, FaultPolicy, FeedbackWindow};
     pub use tora_alloc::resources::{ResourceKind, ResourceMask, ResourceVector, WorkerSpec};
     pub use tora_alloc::task::{CategoryId, ResourceRecord, TaskId, TaskSpec};
     pub use tora_alloc::trace::{

@@ -1,0 +1,130 @@
+//! Differential suite: the event engine against the analytic replay.
+//!
+//! `replay` processes tasks strictly serially — predict, enforce, retry
+//! until success, observe. The engine reproduces exactly that schedule when
+//! an application driver feeds it one task at a time over a fixed
+//! single-worker pool: every allocator call then happens in the same order
+//! with the same inputs, so the resulting [`WorkflowMetrics`] must be
+//! byte-identical, for every algorithm. This pins the two execution paths
+//! together far more tightly than the aggregate-identity checks in
+//! `accounting.rs` — any divergence in retry logic, charging, or RNG
+//! consumption shows up as a JSON diff.
+
+use tora::prelude::*;
+use tora::workloads::synthetic;
+
+/// Every allocator the workspace ships, paper set and extensions alike.
+const ALL_ALGORITHMS: [AlgorithmKind; 9] = [
+    AlgorithmKind::WholeMachine,
+    AlgorithmKind::MaxSeen,
+    AlgorithmKind::MinWaste,
+    AlgorithmKind::MaxThroughput,
+    AlgorithmKind::QuantizedBucketing,
+    AlgorithmKind::GreedyBucketing,
+    AlgorithmKind::ExhaustiveBucketing,
+    AlgorithmKind::GreedyBucketingIncremental,
+    AlgorithmKind::KMeansBucketing,
+];
+
+const SEEDS: [u64; 3] = [1, 7, 23];
+
+/// Feeds the engine one task per completion: task 0 at start, task k+1 when
+/// task k completes. With a single worker this makes the engine's allocator
+/// call sequence identical to the serial replay's.
+struct SerialDriver {
+    tasks: Vec<TaskSpec>,
+    next: usize,
+}
+
+impl Driver for SerialDriver {
+    fn on_start(&mut self, api: &mut SubmitApi) {
+        if let Some(t) = self.tasks.first() {
+            api.submit(t.category.0, t.peak, t.duration_s);
+        }
+        self.next = 1;
+    }
+
+    fn on_task_complete(&mut self, _task: &TaskSpec, api: &mut SubmitApi) {
+        if let Some(t) = self.tasks.get(self.next) {
+            api.submit(t.category.0, t.peak, t.duration_s);
+        }
+        self.next += 1;
+    }
+}
+
+/// Run `wf` through the engine serially and return the metrics as JSON.
+fn engine_serial_json(
+    wf: &Workflow,
+    algorithm: AlgorithmKind,
+    seed: u64,
+    fault_policy: Option<FaultPolicy>,
+) -> String {
+    let driver = Box::new(SerialDriver {
+        tasks: wf.tasks.clone(),
+        next: 0,
+    });
+    let config = SimConfig {
+        churn: ChurnConfig::fixed(1),
+        faults: FaultPlan::none(),
+        fault_policy,
+        seed,
+        ..SimConfig::default()
+    };
+    let result = Simulation::with_driver(driver, wf.worker, algorithm, config).run();
+    assert_eq!(result.metrics.len(), wf.len(), "{algorithm} seed {seed}");
+    serde_json::to_string(&result.metrics).expect("metrics serialize")
+}
+
+#[test]
+fn engine_matches_replay_for_every_algorithm_and_seed() {
+    let wf = synthetic::generate(SyntheticKind::Bimodal, 120, 3);
+    for algorithm in ALL_ALGORITHMS {
+        for seed in SEEDS {
+            let replayed = tora::sim::replay(&wf, algorithm, EnforcementModel::default(), seed);
+            let want = serde_json::to_string(&replayed).expect("metrics serialize");
+            let got = engine_serial_json(&wf, algorithm, seed, None);
+            assert_eq!(got, want, "{algorithm} seed {seed}: engine vs replay");
+        }
+    }
+}
+
+#[test]
+fn fault_policy_with_zero_observed_faults_changes_nothing() {
+    // The feedback channel compiled in (policy set) but never fed — the
+    // fault plan is all-zero, so `observe_outcome` is never called and the
+    // padding/escalation factors stay exactly 1.0. Metrics must remain
+    // byte-identical to both the bare engine and the replay.
+    let wf = synthetic::generate(SyntheticKind::Exponential, 120, 9);
+    for algorithm in ALL_ALGORITHMS {
+        for seed in SEEDS {
+            let bare = engine_serial_json(&wf, algorithm, seed, None);
+            let with_policy =
+                engine_serial_json(&wf, algorithm, seed, Some(FaultPolicy::default()));
+            assert_eq!(bare, with_policy, "{algorithm} seed {seed}: policy no-op");
+            let replayed = tora::sim::replay(&wf, algorithm, EnforcementModel::default(), seed);
+            let want = serde_json::to_string(&replayed).expect("metrics serialize");
+            assert_eq!(
+                with_policy, want,
+                "{algorithm} seed {seed}: policy vs replay"
+            );
+        }
+    }
+}
+
+#[test]
+fn differential_parity_extends_to_production_shaped_traces() {
+    // The synthetic distributions exercise the bucketing math; the
+    // production-shaped traces exercise multi-category learning. Same
+    // parity requirement, smaller algorithm set to keep the suite quick.
+    let wf = PaperWorkflow::ColmenaXtb.build(11);
+    for algorithm in [
+        AlgorithmKind::GreedyBucketing,
+        AlgorithmKind::ExhaustiveBucketing,
+        AlgorithmKind::MaxSeen,
+    ] {
+        let replayed = tora::sim::replay(&wf, algorithm, EnforcementModel::default(), 11);
+        let want = serde_json::to_string(&replayed).expect("metrics serialize");
+        let got = engine_serial_json(&wf, algorithm, 11, Some(FaultPolicy::default()));
+        assert_eq!(got, want, "{algorithm}: production trace parity");
+    }
+}

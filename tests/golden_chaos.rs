@@ -1,0 +1,78 @@
+//! Golden-output tests for `tora chaos`: at a fixed seed the rendered
+//! `FaultReport` must be byte-identical from run to run. Fault injection
+//! draws from a dedicated seeded stream, so any nondeterminism (hash-order
+//! iteration, time-dependent formatting, an RNG draw leaking between
+//! streams) shows up here as a diff before it can poison an experiment.
+
+use std::process::Command;
+
+fn tora_stdout(args: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_tora"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "tora {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// Run the same chaos invocation twice and return the (identical) report.
+fn golden_report(plan: &str) -> String {
+    let args = [
+        "chaos", "bimodal", "--tasks", "120", "--seed", "7", "--plan", plan,
+    ];
+    let first = tora_stdout(&args);
+    let second = tora_stdout(&args);
+    assert_eq!(
+        first, second,
+        "chaos --plan {plan}: report differs between identical runs"
+    );
+    first
+}
+
+#[test]
+fn heavy_preset_report_is_byte_stable() {
+    let report = golden_report("heavy");
+    assert!(report.contains("fault report"), "{report}");
+    // The report must carry the full terminal-state ledger.
+    for row in ["submitted", "completed", "dead-lettered", "conservation"] {
+        assert!(report.contains(row), "missing row {row:?}: {report}");
+    }
+}
+
+#[test]
+fn rack_outages_preset_report_is_byte_stable() {
+    let report = golden_report("rack-outages");
+    // Correlated crashes must surface both granularities: the rack-level
+    // event count and the per-worker casualties.
+    assert!(report.contains("rack crashes"), "{report}");
+    assert!(report.contains("worker crashes"), "{report}");
+    // Replay is armed in this preset, so the replay ledger rows render.
+    assert!(report.contains("replayed"), "{report}");
+    assert!(report.contains("replay successes"), "{report}");
+}
+
+#[test]
+fn feedback_flag_keeps_the_report_deterministic() {
+    // The fault-feedback policy adjusts allocations from observed outcomes
+    // but consumes no randomness of its own: with --feedback the report
+    // must still be byte-stable at a fixed seed.
+    let args = [
+        "chaos",
+        "bimodal",
+        "--tasks",
+        "120",
+        "--seed",
+        "7",
+        "--plan",
+        "rack-outages",
+        "--feedback",
+    ];
+    let first = tora_stdout(&args);
+    let second = tora_stdout(&args);
+    assert_eq!(first, second, "--feedback broke report determinism");
+    assert!(first.contains("fault report"), "{first}");
+}

@@ -30,20 +30,28 @@ fn arb_churn() -> impl Strategy<Value = ChurnConfig> {
         })
 }
 
-/// Aggressive but always-valid fault plans: frequent crashes, plenty of
-/// stragglers, lossy records, flaky dispatch — with the resilience budgets
-/// enabled so every run must still terminate.
+/// Aggressive but always-valid fault plans: frequent crashes (correlated
+/// ones included), plenty of stragglers, lossy records, flaky dispatch —
+/// with the resilience budgets enabled so every run must still terminate,
+/// and dead-letter replay sometimes armed.
 fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
-    (
+    let base = (
         prop::option::of(10.0f64..120.0),
         0.0f64..0.4,
         0.0f64..0.4,
         0.0f64..0.4,
         1usize..8,
         1usize..6,
-    )
-        .prop_map(
-            |(crash, straggler, dropout, dispatch, max_attempts, unplaceable)| FaultPlan {
+    );
+    // Correlated-crash and replay knobs are each both-or-neither pairs
+    // (enforced by `FaultPlan::validate`), so generate them as options.
+    let extras = (
+        prop::option::of((20.0f64..200.0, 2u32..6)),
+        prop::option::of((0.1f64..=1.0, 1usize..4)),
+    );
+    (base, extras).prop_map(
+        |((crash, straggler, dropout, dispatch, max_attempts, unplaceable), (rack, replay))| {
+            FaultPlan {
                 crash_mean_interval_s: crash,
                 straggler_rate: straggler,
                 straggler_multiplier: 6.0,
@@ -54,8 +62,13 @@ fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
                 max_dispatch_retries: 4,
                 max_attempts,
                 max_unplaceable_rounds: unplaceable,
-            },
-        )
+                rack_crash_mean_interval_s: rack.map(|(interval, _)| interval),
+                rack_count: rack.map_or(0, |(_, count)| count),
+                replay_capacity_fraction: replay.map_or(0.0, |(fraction, _)| fraction),
+                max_replay_rounds: replay.map_or(0, |(_, rounds)| rounds),
+            }
+        },
+    )
 }
 
 fn arb_arrival() -> impl Strategy<Value = ArrivalModel> {
@@ -205,6 +218,103 @@ proptest! {
                 prop_assert!(dl.attempts.len() <= cap, "{} attempts", dl.attempts.len());
             }
         }
+    }
+
+    #[test]
+    fn correlated_crashes_conserve_tasks(
+        churn in arb_churn(),
+        algorithm in arb_algorithm(),
+        rack_interval in 15.0f64..90.0,
+        rack_count in 2u32..6,
+        n in 20usize..50,
+        seed in 0u64..1000,
+    ) {
+        // A whole rack goes down at once: the blast radius is larger than a
+        // single crash, but conservation and log integrity must not care.
+        let plan = FaultPlan {
+            rack_crash_mean_interval_s: Some(rack_interval),
+            rack_count,
+            max_attempts: 8,
+            max_unplaceable_rounds: 4,
+            ..FaultPlan::none()
+        };
+        plan.validate().expect("plan valid by construction");
+        let wf = synthetic::generate(SyntheticKind::Bimodal, n, seed);
+        let config = SimConfig {
+            churn,
+            faults: plan,
+            record_log: true,
+            ..SimConfig::paper_like(seed)
+        };
+        let res = simulate(&wf, algorithm, config);
+
+        let dead = res.stats.faults.dead_lettered;
+        prop_assert_eq!(res.stats.submitted, n as u64);
+        prop_assert_eq!(res.stats.completions + dead, n as u64);
+        prop_assert_eq!(res.metrics.len() as u64 + dead, n as u64);
+
+        // Every rack crash takes out at least the struck worker, so the
+        // per-worker casualty count dominates the event count.
+        let faults = &res.stats.faults;
+        prop_assert!(faults.worker_crashes >= faults.rack_crashes);
+
+        let log = res.log.expect("log enabled");
+        prop_assert!(log.check_consistency().is_ok(), "{:?}", log.check_consistency());
+        let crashed = log.count(|e| matches!(e, SimEvent::WorkerCrashed { .. }));
+        prop_assert_eq!(crashed as u64, faults.worker_crashes);
+    }
+
+    #[test]
+    fn replayed_tasks_still_reach_terminal_states(
+        algorithm in arb_algorithm(),
+        fraction in 0.2f64..0.8,
+        rounds in 1usize..4,
+        n in 20usize..50,
+        seed in 0u64..1000,
+    ) {
+        // Flaky dispatch with a tiny retry budget dead-letters tasks early;
+        // churn then recovers the pool and replay re-admits them. However
+        // many replay cycles a task goes through, it must still end in
+        // exactly one terminal state and the books must balance.
+        let plan = FaultPlan {
+            dispatch_failure_rate: 0.35,
+            dispatch_backoff_s: 1.0,
+            max_dispatch_retries: 1,
+            max_attempts: 8,
+            max_unplaceable_rounds: 2,
+            replay_capacity_fraction: fraction,
+            max_replay_rounds: rounds,
+            ..FaultPlan::none()
+        };
+        plan.validate().expect("plan valid by construction");
+        let wf = synthetic::generate(SyntheticKind::Bimodal, n, seed);
+        let config = SimConfig {
+            churn: ChurnConfig {
+                initial: 5,
+                min: 2,
+                max: 10,
+                mean_interval_s: Some(8.0),
+            },
+            faults: plan,
+            record_log: true,
+            ..SimConfig::paper_like(seed)
+        };
+        let res = simulate(&wf, algorithm, config);
+
+        // Conservation holds on the *final* dead-letter count: a replayed
+        // task that completes leaves the dead-letter channel for good.
+        let dead = res.stats.faults.dead_lettered;
+        prop_assert_eq!(res.stats.completions + dead, n as u64);
+        prop_assert_eq!(res.metrics.len() as u64 + dead, n as u64);
+        prop_assert!(res.stats.faults.replay_successes <= res.stats.faults.replayed);
+
+        // The log validates the full dead-letter/replay lifecycle: no task
+        // is dispatched while dead, replayed without being dead, or left
+        // without a terminal state.
+        let log = res.log.expect("log enabled");
+        prop_assert!(log.check_consistency().is_ok(), "{:?}", log.check_consistency());
+        let replayed = log.count(|e| matches!(e, SimEvent::TaskReplayed { .. }));
+        prop_assert_eq!(replayed as u64, res.stats.faults.replayed);
     }
 
     #[test]
