@@ -8,6 +8,14 @@
 
 set -eu
 
+echo "== module size guard (no .rs file under crates/ over 900 lines) =="
+oversized=$(find crates -name '*.rs' -exec wc -l {} \; | awk '$1 > 900 { print }')
+if [ -n "$oversized" ]; then
+    echo "modules over the 900-line ceiling (split them, see DESIGN.md §5f):" >&2
+    echo "$oversized" >&2
+    exit 1
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -26,6 +34,10 @@ cargo run --release --bin tora -- bench --quick --out target/bench-smoke.json
 
 echo "== tora chaos --quick (fault-injection smoke) =="
 cargo run --release --bin tora -- chaos --quick
+
+echo "== tora chaos --quick --salvage 0.5 (checkpoint/restart smoke) =="
+cargo run --release --bin tora -- chaos --quick --salvage 0.5 > target/chaos-salvage.txt
+grep -q "salvaged work" target/chaos-salvage.txt
 
 echo "== differential: engine vs analytic replay (byte parity) =="
 cargo test -q --test differential

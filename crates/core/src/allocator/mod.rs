@@ -1,0 +1,656 @@
+//! The adaptive resource allocator (§IV-D).
+//!
+//! An [`Allocator`] owns one estimator per *(task category, resource kind)*
+//! pair — "an allocator treats each category of tasks independently and uses
+//! a separate instance of a bucketing manager per category. Within each
+//! category, the bucketing manager maintains a separate instance of a
+//! resource state" — and implements the exploratory mode of §V-A:
+//!
+//! * the bucketing algorithms allocate a conservative (1 core, 1 GB memory,
+//!   1 GB disk) probe until 10 records exist, doubling exhausted dimensions
+//!   on failure;
+//! * the comparator algorithms "allocate a whole machine instead, trading an
+//!   expensive exploratory cost with a guarantee of successful task
+//!   execution" (§V-C).
+//!
+//! All allocations are clamped to the worker capacity: nothing larger could
+//! be scheduled.
+//!
+//! ## Construction
+//!
+//! [`Allocator::builder`] is the primary construction path:
+//!
+//! ```
+//! use tora_alloc::allocator::{AlgorithmKind, Allocator};
+//!
+//! let allocator = Allocator::builder(AlgorithmKind::GreedyBucketing)
+//!     .seed(42)
+//!     .exploratory_records(5)
+//!     .build();
+//! assert_eq!(allocator.label(), "greedy-bucketing");
+//! ```
+//!
+//! ## Decision tracing
+//!
+//! The allocator is generic over an [`EventSink`]; the default [`NoopSink`]
+//! compiles tracing out entirely. Every prediction also returns an
+//! [`AllocationDecision`] carrying per-axis provenance, so callers can see
+//! *why* an allocation has the shape it has without installing a sink.
+
+use crate::estimator::{double_allocation, AllocSource, RebucketInfo, ValueEstimator};
+use crate::feedback::{AttemptFeedback, FaultPolicy, FeedbackWindow};
+use crate::resources::{ResourceKind, ResourceMask, ResourceVector, WorkerSpec};
+use crate::task::{CategoryId, ResourceRecord};
+use crate::trace::{AllocEvent, AxisProvenance, EventSink, NoopSink, PredictKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+
+mod types;
+
+pub use types::{
+    AlgorithmKind, AllocationDecision, AllocatorConfig, EstimatorFactory, ExploratoryPolicy,
+};
+
+#[cfg(test)]
+mod tests;
+
+/// Per-category estimator bank.
+struct CategoryState {
+    estimators: Vec<(ResourceKind, Box<dyn ValueEstimator>)>,
+    records: usize,
+}
+
+/// Staged construction of an [`Allocator`].
+///
+/// Obtained from [`Allocator::builder`]; finish with [`build`] for an
+/// untraced allocator or [`sink`] to attach an [`EventSink`].
+///
+/// [`build`]: AllocatorBuilder::build
+/// [`sink`]: AllocatorBuilder::sink
+#[derive(Debug, Clone)]
+pub struct AllocatorBuilder {
+    algorithm: AlgorithmKind,
+    config: AllocatorConfig,
+    seed: u64,
+    fault_policy: Option<FaultPolicy>,
+}
+
+impl AllocatorBuilder {
+    /// RNG seed for bucket sampling (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker shape allocations are clamped to.
+    pub fn machine(mut self, machine: WorkerSpec) -> Self {
+        self.config.machine = machine;
+        self
+    }
+
+    /// Resource kinds under management.
+    pub fn managed(mut self, managed: impl Into<Vec<ResourceKind>>) -> Self {
+        self.config.managed = managed.into();
+        self
+    }
+
+    /// Records required per category before leaving exploratory mode.
+    pub fn exploratory_records(mut self, n: usize) -> Self {
+        self.config.exploratory_records = n;
+        self
+    }
+
+    /// Exploratory policy override (the default follows the algorithm).
+    pub fn exploratory(mut self, policy: ExploratoryPolicy) -> Self {
+        self.config.exploratory = Some(policy);
+        self
+    }
+
+    /// Disable the §IV-A recency weighting (ablation).
+    pub fn uniform_significance(mut self, on: bool) -> Self {
+        self.config.uniform_significance = on;
+        self
+    }
+
+    /// Replace the whole configuration at once.
+    pub fn config(mut self, config: AllocatorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Enable the fault-feedback policy (absent by default).
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = Some(policy);
+        self
+    }
+
+    /// Build an untraced allocator.
+    pub fn build(self) -> Allocator {
+        let mut allocator = Allocator::with_config(self.algorithm, self.config, self.seed);
+        allocator.set_fault_policy(self.fault_policy);
+        allocator
+    }
+
+    /// Build a traced allocator emitting [`AllocEvent`]s into `sink`.
+    pub fn sink<S: EventSink>(self, sink: S) -> Allocator<S> {
+        self.build().with_sink(sink)
+    }
+}
+
+/// The adaptive allocator: the §IV-D `Allocator` pseudocode, concretely.
+///
+/// Generic over an [`EventSink`]; the default [`NoopSink`] disables decision
+/// tracing at compile time.
+pub struct Allocator<S: EventSink = NoopSink> {
+    label: String,
+    algorithm: Option<AlgorithmKind>,
+    factory: EstimatorFactory,
+    config: AllocatorConfig,
+    exploratory: ExploratoryPolicy,
+    categories: HashMap<CategoryId, CategoryState>,
+    rng: StdRng,
+    rejected: u64,
+    fault_policy: Option<FaultPolicy>,
+    feedback: FeedbackWindow,
+    sink: S,
+}
+
+impl Allocator {
+    /// Start building an allocator for `algorithm`.
+    pub fn builder(algorithm: AlgorithmKind) -> AllocatorBuilder {
+        AllocatorBuilder {
+            algorithm,
+            config: AllocatorConfig::default(),
+            seed: 0,
+            fault_policy: None,
+        }
+    }
+
+    /// Build an allocator for `algorithm` with the paper's defaults and a
+    /// deterministic seed. Shorthand for
+    /// `Allocator::builder(algorithm).seed(seed).build()`.
+    pub fn new(algorithm: AlgorithmKind, seed: u64) -> Self {
+        Self::with_config(algorithm, AllocatorConfig::default(), seed)
+    }
+
+    /// Build with an explicit configuration.
+    pub fn with_config(algorithm: AlgorithmKind, config: AllocatorConfig, seed: u64) -> Self {
+        let exploratory = config
+            .exploratory
+            .unwrap_or(if algorithm.is_novel_bucketing() {
+                ExploratoryPolicy::paper_conservative()
+            } else {
+                ExploratoryPolicy::WholeMachine
+            });
+        Allocator {
+            label: algorithm.label().to_string(),
+            algorithm: Some(algorithm),
+            factory: Box::new(move |kind, machine| algorithm.build_estimator(kind, machine)),
+            config,
+            exploratory,
+            categories: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            rejected: 0,
+            fault_policy: None,
+            feedback: FeedbackWindow::new(FaultPolicy::default().window),
+            sink: NoopSink,
+        }
+    }
+
+    /// Build around a custom estimator factory — the escape hatch for
+    /// algorithm variants without an [`AlgorithmKind`] (ablations).
+    /// `config.exploratory` must be set (there is no per-algorithm default
+    /// to fall back to).
+    pub fn with_factory(
+        label: impl Into<String>,
+        factory: EstimatorFactory,
+        config: AllocatorConfig,
+        seed: u64,
+    ) -> Self {
+        let exploratory = config
+            .exploratory
+            .expect("with_factory requires an explicit exploratory policy");
+        Allocator {
+            label: label.into(),
+            algorithm: None,
+            factory,
+            config,
+            exploratory,
+            categories: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            rejected: 0,
+            fault_policy: None,
+            feedback: FeedbackWindow::new(FaultPolicy::default().window),
+            sink: NoopSink,
+        }
+    }
+
+    /// Attach an [`EventSink`], turning this untraced allocator into a
+    /// traced one. All estimator state and the RNG position carry over.
+    pub fn with_sink<S: EventSink>(self, sink: S) -> Allocator<S> {
+        Allocator {
+            label: self.label,
+            algorithm: self.algorithm,
+            factory: self.factory,
+            config: self.config,
+            exploratory: self.exploratory,
+            categories: self.categories,
+            rng: self.rng,
+            rejected: self.rejected,
+            fault_policy: self.fault_policy,
+            feedback: self.feedback,
+            sink,
+        }
+    }
+}
+
+impl<S: EventSink> Allocator<S> {
+    /// The algorithm driving this allocator (`None` for factory-built
+    /// variants).
+    pub fn algorithm(&self) -> Option<AlgorithmKind> {
+        self.algorithm
+    }
+
+    /// Report label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AllocatorConfig {
+        &self.config
+    }
+
+    /// The exploratory policy in effect.
+    pub fn exploratory_policy(&self) -> ExploratoryPolicy {
+        self.exploratory
+    }
+
+    /// Records observed for `category`.
+    pub fn records_for(&self, category: CategoryId) -> usize {
+        self.categories.get(&category).map_or(0, |s| s.records)
+    }
+
+    /// The active fault-feedback policy, if one is set.
+    pub fn fault_policy(&self) -> Option<FaultPolicy> {
+        self.fault_policy
+    }
+
+    /// Install (or remove, with `None`) the fault-feedback policy. Resets
+    /// the outcome window to the policy's capacity, so call before the run
+    /// starts.
+    pub fn set_fault_policy(&mut self, policy: Option<FaultPolicy>) {
+        if let Some(p) = policy {
+            debug_assert!(p.validate().is_ok(), "invalid fault policy");
+            self.feedback = FeedbackWindow::new(p.window);
+        }
+        self.fault_policy = policy;
+    }
+
+    /// Report one attempt outcome through the fault-feedback channel
+    /// (§II-A adversarial-robustness extension). Pure telemetry when no
+    /// [`FaultPolicy`] is installed; with one, the windowed crash/timeout
+    /// rate starts padding first predictions and biasing retry escalations.
+    /// Consumes no randomness either way.
+    pub fn observe_outcome(&mut self, category: CategoryId, outcome: AttemptFeedback) {
+        self.feedback.push(outcome);
+        if S::ENABLED {
+            let rate = self.windowed_fault_rate();
+            let padding = self.fault_policy.map_or(1.0, |p| p.padding(rate));
+            self.sink
+                .emit(AllocEvent::feedback(category, outcome, rate, padding));
+        }
+    }
+
+    /// The windowed fault rate feeding the policy factors (`0.0` while the
+    /// window holds fewer than `min_samples` outcomes).
+    pub fn windowed_fault_rate(&self) -> f64 {
+        let min = self
+            .fault_policy
+            .map_or(FaultPolicy::default().min_samples, |p| p.min_samples);
+        self.feedback.fault_rate(min)
+    }
+
+    /// Padding factor on first predictions; exactly `1.0` without a policy
+    /// or without observed faults.
+    fn feedback_padding(&self) -> f64 {
+        self.fault_policy
+            .map_or(1.0, |p| p.padding(self.windowed_fault_rate()))
+    }
+
+    /// Escalation factor on retry predictions; exactly `1.0` without a
+    /// policy or without observed faults.
+    fn feedback_escalation(&self) -> f64 {
+        self.fault_policy
+            .map_or(1.0, |p| p.escalation(self.windowed_fault_rate()))
+    }
+
+    /// The attached event sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// The attached event sink, mutably.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consume the allocator and return its sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Entry point taking the fields it needs, so callers can keep borrows
+    /// of the sink and RNG alive alongside the category state.
+    fn category_entry<'a>(
+        categories: &'a mut HashMap<CategoryId, CategoryState>,
+        config: &AllocatorConfig,
+        factory: &EstimatorFactory,
+        category: CategoryId,
+    ) -> &'a mut CategoryState {
+        let machine = config.machine;
+        categories.entry(category).or_insert_with(|| CategoryState {
+            estimators: config
+                .managed
+                .iter()
+                .map(|&k| (k, factory(k, &machine)))
+                .collect(),
+            records: 0,
+        })
+    }
+
+    /// The exploratory allocation vector. Unmanaged dimensions get the full
+    /// machine so they never spuriously fail; so does a managed dimension
+    /// whose probe is unset (zero) — e.g. managing the wall-time axis with
+    /// the paper's (1 core, 1 GB, 1 GB) probe, which says nothing about
+    /// time.
+    fn exploratory_allocation(&self) -> ResourceVector {
+        let mut alloc = self.config.machine.capacity;
+        if let ExploratoryPolicy::Conservative { probe } = self.exploratory {
+            for &k in &self.config.managed {
+                if probe[k] > 0.0 {
+                    alloc[k] = probe[k];
+                }
+            }
+        }
+        alloc.clamp_to(&self.config.machine.capacity)
+    }
+
+    /// Predict the allocation for a task's first attempt (§IV-A steps 2–3).
+    pub fn predict_first(&mut self, category: CategoryId) -> AllocationDecision {
+        let exploratory_records = self.config.exploratory_records;
+        let machine_cap = self.config.machine.capacity;
+        let in_exploration =
+            self.categories.get(&category).map_or(0, |s| s.records) < exploratory_records;
+        if in_exploration {
+            let alloc = self.exploratory_allocation();
+            if S::ENABLED {
+                self.sink.emit(AllocEvent::predict(
+                    category,
+                    PredictKind::Explore,
+                    alloc,
+                    Vec::new(),
+                ));
+            }
+            return AllocationDecision {
+                alloc,
+                kind: PredictKind::Explore,
+                provenance: Vec::new(),
+                infeasible: false,
+            };
+        }
+        let n = self.config.managed.len();
+        let mut draws: Vec<f64> = Vec::with_capacity(n);
+        for _ in 0..n {
+            draws.push(self.rng.gen::<f64>());
+        }
+        // Fault-feedback padding: ×1.0 (an exact no-op) without a policy or
+        // without observed faults.
+        let pad = self.feedback_padding();
+        let exploratory_alloc = self.exploratory_allocation();
+        let state =
+            Self::category_entry(&mut self.categories, &self.config, &self.factory, category);
+        let mut alloc = machine_cap;
+        let mut provenance = Vec::with_capacity(n);
+        for (i, (kind, est)) in state.estimators.iter_mut().enumerate() {
+            let (value, source) = match est.predict_first(draws[i]) {
+                Some(p) => (p.value, p.source),
+                None => {
+                    // No records for this axis: fall back to the exploratory
+                    // allocation (probe or capacity, per policy).
+                    let v = exploratory_alloc[*kind];
+                    let source = if v >= machine_cap[*kind] {
+                        AllocSource::Capacity
+                    } else {
+                        AllocSource::Probe
+                    };
+                    (v, source)
+                }
+            };
+            if S::ENABLED {
+                if let Some(info) = est.take_rebucket() {
+                    self.sink.emit(AllocEvent::rebucket(category, *kind, &info));
+                }
+            }
+            let value = value * pad;
+            alloc[*kind] = value;
+            provenance.push(AxisProvenance {
+                resource: *kind,
+                source,
+                draw: Some(draws[i]),
+                clamped: value > machine_cap[*kind],
+            });
+        }
+        let alloc = alloc.clamp_to(&machine_cap);
+        if S::ENABLED {
+            self.sink.emit(AllocEvent::predict(
+                category,
+                PredictKind::First,
+                alloc,
+                provenance.clone(),
+            ));
+        }
+        AllocationDecision {
+            alloc,
+            kind: PredictKind::First,
+            provenance,
+            infeasible: false,
+        }
+    }
+
+    /// Predict the allocation for a retry after `prev` was killed having
+    /// exhausted the `exhausted` dimensions. Non-exhausted dimensions keep
+    /// their previous allocation (§IV-A: each resource escalates
+    /// independently).
+    pub fn predict_retry(
+        &mut self,
+        category: CategoryId,
+        prev: &ResourceVector,
+        exhausted: &ResourceMask,
+    ) -> AllocationDecision {
+        let exploratory_records = self.config.exploratory_records;
+        let machine_cap = self.config.machine.capacity;
+        let in_exploration =
+            self.categories.get(&category).map_or(0, |s| s.records) < exploratory_records;
+        let n = self.config.managed.len();
+        let mut draws: Vec<f64> = Vec::with_capacity(n);
+        for _ in 0..n {
+            draws.push(self.rng.gen::<f64>());
+        }
+        // Fault-feedback escalation bias: ×1.0 (an exact no-op) without a
+        // policy or without observed faults.
+        let esc = self.feedback_escalation();
+        let state =
+            Self::category_entry(&mut self.categories, &self.config, &self.factory, category);
+        let mut alloc = *prev;
+        let mut provenance = Vec::with_capacity(n);
+        for (i, (kind, est)) in state.estimators.iter_mut().enumerate() {
+            if !exhausted.contains(*kind) {
+                provenance.push(AxisProvenance {
+                    resource: *kind,
+                    source: AllocSource::Held,
+                    draw: None,
+                    clamped: false,
+                });
+                continue;
+            }
+            let (value, source, consumed) = if in_exploration {
+                (double_allocation(prev[*kind]), AllocSource::Doubling, false)
+            } else {
+                match est.predict_retry(prev[*kind], draws[i]) {
+                    Some(p) => (p.value, p.source, true),
+                    None => (double_allocation(prev[*kind]), AllocSource::Doubling, true),
+                }
+            };
+            if S::ENABLED {
+                if let Some(info) = est.take_rebucket() {
+                    self.sink.emit(AllocEvent::rebucket(category, *kind, &info));
+                }
+            }
+            let raised = (value * esc).max(prev[*kind]);
+            alloc[*kind] = raised;
+            provenance.push(AxisProvenance {
+                resource: *kind,
+                source,
+                draw: if consumed { Some(draws[i]) } else { None },
+                clamped: raised > machine_cap[*kind],
+            });
+        }
+        // An exhausted axis outside the managed set has no estimator to
+        // escalate it; left alone the retry would return the same allocation
+        // and the engine would re-kill the task forever. Raise such axes
+        // straight to machine capacity — the most any retry could grant.
+        for kind in exhausted.iter() {
+            if self.config.managed.contains(&kind) {
+                continue;
+            }
+            let raised = machine_cap[kind].max(alloc[kind]);
+            provenance.push(AxisProvenance {
+                resource: kind,
+                source: AllocSource::Capacity,
+                draw: None,
+                clamped: raised > machine_cap[kind],
+            });
+            alloc[kind] = raised;
+        }
+        let alloc = alloc.clamp_to(&machine_cap);
+        // If no exhausted axis actually grew, the retry is a guaranteed
+        // repeat kill (everything exhausted already sat at capacity).
+        let infeasible = exhausted.any() && !exhausted.iter().any(|k| alloc[k] > prev[k]);
+        if S::ENABLED {
+            for &kind in &self.config.managed {
+                if exhausted.contains(kind) {
+                    self.sink.emit(AllocEvent::escalate(
+                        category,
+                        kind,
+                        prev[kind],
+                        alloc[kind],
+                    ));
+                }
+            }
+            self.sink.emit(AllocEvent::predict(
+                category,
+                PredictKind::Retry,
+                alloc,
+                provenance.clone(),
+            ));
+        }
+        AllocationDecision {
+            alloc,
+            kind: PredictKind::Retry,
+            provenance,
+            infeasible,
+        }
+    }
+
+    /// A read-only snapshot of the bucketing state of one (category,
+    /// resource kind) pair. Never recomputes — the view may lag behind
+    /// unprocessed observations; call [`rebucket`](Self::rebucket) first
+    /// for a fresh one. `None` when the category is unknown, the kind is
+    /// unmanaged, or the algorithm keeps no bucket structure.
+    pub fn snapshot(
+        &self,
+        category: CategoryId,
+        kind: ResourceKind,
+    ) -> Option<crate::bucket::BucketSet> {
+        let state = self.categories.get(&category)?;
+        state
+            .estimators
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .and_then(|(_, est)| est.snapshot())
+    }
+
+    /// Force the estimator of one (category, resource kind) pair to fold
+    /// pending observations into a fresh bucketing configuration, and
+    /// describe the result. `None` when there is nothing to rebucket.
+    pub fn rebucket(&mut self, category: CategoryId, kind: ResourceKind) -> Option<RebucketInfo> {
+        let state = self.categories.get_mut(&category)?;
+        let (_, est) = state.estimators.iter_mut().find(|(k, _)| *k == kind)?;
+        let info = est.rebucket()?;
+        if S::ENABLED {
+            self.sink.emit(AllocEvent::rebucket(category, kind, &info));
+        }
+        Some(info)
+    }
+
+    /// Ingest a completed task's resource record (§IV-A step 6).
+    ///
+    /// The record is validated first: a non-finite or negative peak on any
+    /// managed axis, or a non-finite/non-positive significance, would
+    /// silently poison the estimators' weighted sums (`debug_assert`s inside
+    /// the estimators vanish in release builds). Invalid records are
+    /// rejected, counted (see [`rejected_records`](Self::rejected_records)),
+    /// and leave every estimator untouched. Returns whether the record was
+    /// ingested.
+    pub fn observe(&mut self, record: &ResourceRecord) -> bool {
+        let sig = if self.config.uniform_significance {
+            1.0
+        } else {
+            record.significance
+        };
+        let valid = sig.is_finite()
+            && sig > 0.0
+            && self.config.managed.iter().all(|&k| {
+                let peak = record.peak[k];
+                peak.is_finite() && peak >= 0.0
+            });
+        if !valid {
+            self.rejected += 1;
+            return false;
+        }
+        if S::ENABLED {
+            self.sink
+                .emit(AllocEvent::observe(record.category, record.peak, sig));
+        }
+        let state = Self::category_entry(
+            &mut self.categories,
+            &self.config,
+            &self.factory,
+            record.category,
+        );
+        for (kind, est) in state.estimators.iter_mut() {
+            est.observe(record.peak[*kind], sig);
+        }
+        state.records += 1;
+        true
+    }
+
+    /// Number of records rejected at the [`observe`](Self::observe)
+    /// validation boundary.
+    pub fn rejected_records(&self) -> u64 {
+        self.rejected
+    }
+}
+
+impl<S: EventSink> fmt::Debug for Allocator<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Allocator")
+            .field("label", &self.label)
+            .field("categories", &self.categories.len())
+            .field("traced", &S::ENABLED)
+            .finish_non_exhaustive()
+    }
+}

@@ -70,6 +70,12 @@ pub struct AttemptOutcome {
     /// Why the attempt ended.
     #[serde(default)]
     pub cause: AttemptCause,
+    /// Nominal task-seconds of finished work this (failed) attempt banked
+    /// via checkpoint/restart and handed to the retry. Zero everywhere
+    /// unless the engine ran with `checkpointed_fraction > 0`; always zero
+    /// on a successful attempt.
+    #[serde(default)]
+    pub salvaged_s: f64,
 }
 
 impl AttemptOutcome {
@@ -80,6 +86,7 @@ impl AttemptOutcome {
             charged_time_s,
             success: true,
             cause: AttemptCause::Completed,
+            salvaged_s: 0.0,
         }
     }
 
@@ -92,6 +99,7 @@ impl AttemptOutcome {
             charged_time_s,
             success: true,
             cause: AttemptCause::StragglerCompleted,
+            salvaged_s: 0.0,
         }
     }
 
@@ -102,6 +110,7 @@ impl AttemptOutcome {
             charged_time_s,
             success: false,
             cause: AttemptCause::ResourceExhausted,
+            salvaged_s: 0.0,
         }
     }
 
@@ -120,6 +129,7 @@ impl AttemptOutcome {
             charged_time_s,
             success: false,
             cause,
+            salvaged_s: 0.0,
         }
     }
 }
@@ -176,8 +186,31 @@ impl TaskOutcome {
                     a.cause.label()
                 ));
             }
+            if a.salvaged_s < 0.0 {
+                return Err(format!("{}: negative salvaged work", self.task));
+            }
+            if a.success && a.salvaged_s != 0.0 {
+                return Err(format!(
+                    "{}: successful attempt claims salvaged work",
+                    self.task
+                ));
+            }
+        }
+        if self.salvaged_s() > self.duration_s + 1e-9 {
+            return Err(format!(
+                "{}: salvaged {} s exceeds duration {} s",
+                self.task,
+                self.salvaged_s(),
+                self.duration_s
+            ));
         }
         Ok(())
+    }
+
+    /// Total checkpoint-salvaged work over the failed attempts, nominal
+    /// task-seconds. Zero unless the run checkpointed.
+    pub fn salvaged_s(&self) -> f64 {
+        self.attempts.iter().map(|a| a.salvaged_s).sum()
     }
 
     /// The successful attempt.
@@ -203,18 +236,25 @@ impl TaskOutcome {
             .sum()
     }
 
-    /// Internal fragmentation `t · (a − c)` of one dimension.
+    /// Internal fragmentation `t · (a − c)` of one dimension. Under
+    /// checkpoint/restart the successful attempt only runs the *remaining*
+    /// duration (`t − Σ salvaged`), so the over-allocation is integrated
+    /// over that shorter span; with no salvage this is exactly the §II-C
+    /// definition.
     pub fn internal_fragmentation(&self, kind: ResourceKind) -> f64 {
         let last = self.final_attempt();
-        (last.allocation[kind] - self.peak[kind]) * self.duration_s
+        (last.allocation[kind] - self.peak[kind]) * (self.duration_s - self.salvaged_s())
     }
 
-    /// Failed-allocation waste `Σ aᵢ·tᵢ` of one dimension.
+    /// Failed-allocation waste `Σ aᵢ·tᵢ` of one dimension. A checkpointed
+    /// attempt's banked work was *not* wasted: the salvaged share, priced
+    /// at the task's true consumption rate, is credited back, so only the
+    /// genuinely lost remainder counts.
     pub fn failed_allocation_waste(&self, kind: ResourceKind) -> f64 {
         self.attempts
             .iter()
             .filter(|a| !a.success)
-            .map(|a| a.allocation[kind] * a.charged_time_s)
+            .map(|a| a.allocation[kind] * a.charged_time_s - self.peak[kind] * a.salvaged_s)
             .sum()
     }
 
@@ -230,17 +270,20 @@ impl TaskOutcome {
     /// split does not see.
     pub fn straggler_drag(&self, kind: ResourceKind) -> f64 {
         let last = self.final_attempt();
-        last.allocation[kind] * (last.charged_time_s - self.duration_s).max(0.0)
+        last.allocation[kind]
+            * (last.charged_time_s - (self.duration_s - self.salvaged_s())).max(0.0)
     }
 
     /// Failed-allocation waste of one dimension restricted to attempts the
     /// environment failed (crashes, straggler timeouts) — the retry waste
-    /// the allocator is *not* to blame for.
+    /// the allocator is *not* to blame for. Checkpoint salvage is credited
+    /// here the same way as in [`TaskOutcome::failed_allocation_waste`]
+    /// (every salvaged attempt is a crash, hence fault-caused).
     pub fn fault_failed_waste(&self, kind: ResourceKind) -> f64 {
         self.attempts
             .iter()
             .filter(|a| !a.success && a.cause.is_fault())
-            .map(|a| a.allocation[kind] * a.charged_time_s)
+            .map(|a| a.allocation[kind] * a.charged_time_s - self.peak[kind] * a.salvaged_s)
             .sum()
     }
 }
@@ -395,6 +438,68 @@ mod tests {
             assert_eq!(o.waste(kind), 0.0, "{kind}");
             assert_eq!(o.total_allocation(kind), o.consumption(kind), "{kind}");
         }
+    }
+
+    #[test]
+    fn salvage_identity_holds() {
+        // A crashed attempt banked 3 s of its work; the retry ran the
+        // remaining 7 s. A = C + IF + FA + drag still balances, with the
+        // salvaged share credited out of the failed-allocation waste.
+        let mut crashed = AttemptOutcome::failure_with_cause(
+            ResourceVector::new(1.0, 400.0, 1024.0),
+            3.0,
+            AttemptCause::WorkerCrash,
+        );
+        crashed.salvaged_s = 3.0;
+        let o = TaskOutcome {
+            task: TaskId(7),
+            category: CategoryId(0),
+            peak: ResourceVector::new(1.0, 300.0, 50.0),
+            duration_s: 10.0,
+            attempts: vec![
+                crashed,
+                AttemptOutcome::success(ResourceVector::new(1.0, 400.0, 1024.0), 7.0),
+            ],
+        };
+        o.check().unwrap();
+        assert_eq!(o.salvaged_s(), 3.0);
+        for kind in ResourceKind::STANDARD {
+            let lhs = o.total_allocation(kind);
+            let rhs = o.consumption(kind)
+                + o.internal_fragmentation(kind)
+                + o.failed_allocation_waste(kind)
+                + o.straggler_drag(kind);
+            assert!((lhs - rhs).abs() < 1e-9, "{kind}: {lhs} vs {rhs}");
+        }
+        // Memory by hand: FA = 400×3 − 300×3 = 300; IF = (400−300)×7 = 700.
+        let k = ResourceKind::MemoryMb;
+        assert_eq!(o.failed_allocation_waste(k), 300.0);
+        assert_eq!(o.internal_fragmentation(k), 700.0);
+        assert_eq!(o.straggler_drag(k), 0.0);
+        assert_eq!(o.fault_failed_waste(k), 300.0);
+    }
+
+    #[test]
+    fn check_rejects_bad_salvage() {
+        let peak = ResourceVector::new(1.0, 100.0, 10.0);
+        let alloc = ResourceVector::new(1.0, 128.0, 16.0);
+        let mut success_with_salvage = AttemptOutcome::success(alloc, 5.0);
+        success_with_salvage.salvaged_s = 1.0;
+        let o = TaskOutcome {
+            task: TaskId(8),
+            category: CategoryId(0),
+            peak,
+            duration_s: 5.0,
+            attempts: vec![success_with_salvage],
+        };
+        assert!(o.check().is_err(), "success must not claim salvage");
+        let mut over_salvaged = AttemptOutcome::failure(alloc, 2.0);
+        over_salvaged.salvaged_s = 50.0; // more than the whole task
+        let o = TaskOutcome {
+            attempts: vec![over_salvaged, AttemptOutcome::success(alloc, 5.0)],
+            ..o
+        };
+        assert!(o.check().is_err(), "salvage cannot exceed the duration");
     }
 
     #[test]

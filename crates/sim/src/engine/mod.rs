@@ -1,0 +1,642 @@
+//! The discrete-event workflow engine.
+//!
+//! Reproduces the execution loop of Figure 1: ready tasks are allocated at
+//! dispatch time (the moment the paper's contribution acts), placed
+//! first-fit on opportunistic workers, killed when they over-consume, and
+//! retried with a bigger allocation. Completed tasks report their resource
+//! records back to the allocator. Workers may join and leave mid-run; a
+//! departing worker preempts its tasks, which are resubmitted with their
+//! current allocation (preemption is an infrastructure artifact, not an
+//! allocation failure, so it does not enter the §II-C waste metric — the
+//! result reports it separately).
+//!
+//! # Architecture
+//!
+//! The engine is layered; each layer owns one concern and this module only
+//! orchestrates:
+//!
+//! | module      | owns |
+//! |-------------|------|
+//! | [`lifecycle`] | the typed per-task state machine ([`TaskPhase`]) and per-task bookkeeping |
+//! | `queue`     | the `(time, seq)`-ordered event queue with deterministic tie-breaking |
+//! | `dispatch`  | allocation at dispatch time, placement, flaky-dispatch backoff, attempt completion |
+//! | `faults`    | crash / rack-crash / straggler injection and checkpoint salvage |
+//! | `churn`     | pool evolution and preemption |
+//! | `replay`    | the dead-letter channel and its replay path |
+//!
+//! Every task transition is driven through [`lifecycle::TaskPhase`]'s legal-
+//! successor table; an illegal transition is an engine bug and fails fast.
+
+mod churn;
+mod dispatch;
+mod faults;
+pub mod lifecycle;
+mod queue;
+mod replay;
+
+#[cfg(test)]
+mod fault_tests;
+#[cfg(test)]
+mod tests;
+
+pub use lifecycle::{IllegalTransition, TaskPhase};
+
+use self::dispatch::Running;
+use self::lifecycle::TaskState;
+use self::queue::{Event, EventQueue};
+use crate::enforcement::EnforcementModel;
+use crate::faults::FaultPlan;
+use crate::log::{EventLog, SimEvent};
+use crate::sampling::exponential_interval_s;
+use crate::scheduler::QueuePolicy;
+use crate::stats::{SimStats, UtilizationSample, UtilizationSeries};
+use crate::time::SimTime;
+use crate::workers::{ChurnConfig, WorkerId, WorkerPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use tora_alloc::allocator::{AlgorithmKind, Allocator, AllocatorConfig};
+use tora_alloc::feedback::{AttemptFeedback, FaultPolicy};
+use tora_alloc::resources::{ResourceVector, WorkerSpec};
+use tora_alloc::task::CategoryId;
+use tora_alloc::task::TaskSpec;
+use tora_alloc::trace::{EventSink, NoopSink};
+use tora_metrics::{DeadLetterCause, WorkflowMetrics};
+use tora_workloads::Workflow;
+
+/// How the dynamic workflow generates (submits) its tasks over time.
+///
+/// Dynamic workflow systems generate tasks *at runtime* (§I) — the manager
+/// rarely sees the whole workload at once. The arrival model bounds how many
+/// tasks can pile up in exploratory mode before the first records return.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ArrivalModel {
+    /// Every task is ready at time zero (a static batch — the worst case for
+    /// the exploratory phase).
+    #[default]
+    Batch,
+    /// Tasks are generated with exponential inter-arrival times of the given
+    /// mean, in submission order.
+    Poisson {
+        /// Mean seconds between submissions.
+        mean_interval_s: f64,
+    },
+}
+
+/// Optional heterogeneous pool: a fraction of joining workers are scaled-up
+/// nodes (opportunistic pools frequently mix slot sizes). Spatial capacity is
+/// multiplied; the wall-time axis is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerMix {
+    /// Probability that a joining worker is a large one.
+    pub large_fraction: f64,
+    /// Spatial capacity multiplier of the mixed-in workers (> 0; values
+    /// below 1 model workers *smaller* than the workflow's base shape, which
+    /// is how a shrinking pool strands over-sized allocations).
+    pub scale: f64,
+}
+
+impl WorkerMix {
+    /// Validate the mix parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.large_fraction) {
+            return Err(format!("bad large_fraction {}", self.large_fraction));
+        }
+        if !(self.scale.is_finite() && self.scale > 0.0) {
+            return Err(format!("bad scale {}", self.scale));
+        }
+        Ok(())
+    }
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// How failed attempts are timed.
+    pub enforcement: EnforcementModel,
+    /// Worker pool evolution.
+    pub churn: ChurnConfig,
+    /// Heterogeneous pool mix (`None` = every worker matches the workflow's
+    /// base shape).
+    pub worker_mix: Option<WorkerMix>,
+    /// Task submission process.
+    pub arrival: ArrivalModel,
+    /// Ready-queue scheduling policy.
+    pub queue_policy: QueuePolicy,
+    /// Record a structured [`EventLog`] of the run.
+    pub record_log: bool,
+    /// Sample a pool [`UtilizationSeries`] at every event.
+    pub track_utilization: bool,
+    /// RNG seed (drives the allocator's bucket sampling, arrivals and the
+    /// churn).
+    pub seed: u64,
+    /// Fault-injection plan (crashes, stragglers, lost records, flaky
+    /// dispatch) plus the resilience budgets bounding them. The default
+    /// [`FaultPlan::none`] reproduces fault-free behaviour exactly.
+    #[serde(default)]
+    pub faults: FaultPlan,
+    /// Fault-feedback policy for the embedded allocator: when set, attempt
+    /// outcomes are reported back and the allocator pads/escalates its
+    /// predictions from the windowed fault rate. `None` (the default)
+    /// compiles the channel out of the decision path entirely.
+    #[serde(default)]
+    pub fault_policy: Option<FaultPolicy>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            enforcement: EnforcementModel::default(),
+            churn: ChurnConfig::fixed(20),
+            worker_mix: None,
+            arrival: ArrivalModel::Batch,
+            queue_policy: QueuePolicy::Fifo,
+            record_log: false,
+            track_utilization: false,
+            seed: 0,
+            faults: FaultPlan::none(),
+            fault_policy: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper-like setting: opportunistic 20–50 worker pool with ramp-up
+    /// and runtime task generation.
+    pub fn paper_like(seed: u64) -> Self {
+        SimConfig {
+            enforcement: EnforcementModel::default(),
+            churn: ChurnConfig::paper_like(),
+            worker_mix: None,
+            arrival: ArrivalModel::Poisson {
+                mean_interval_s: 1.5,
+            },
+            queue_policy: QueuePolicy::Fifo,
+            record_log: false,
+            track_utilization: false,
+            seed,
+            faults: FaultPlan::none(),
+            fault_policy: None,
+        }
+    }
+}
+
+/// Aggregate result of one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// §II-C metrics over every completed task.
+    pub metrics: WorkflowMetrics,
+    /// Wall-clock length of the run in simulated seconds.
+    pub makespan_s: f64,
+    /// Number of task preemptions caused by departing workers.
+    pub preemptions: usize,
+    /// Allocation·time lost to preempted attempts, per dimension (not part
+    /// of the paper's waste metric; reported for completeness).
+    pub preempted_alloc_time: ResourceVector,
+    /// Smallest and largest pool size observed.
+    pub worker_range: (usize, usize),
+    /// Total dispatches (successful + killed + preempted attempts).
+    pub dispatches: usize,
+    /// Engine-side tally of dispatches, completions, failures and allocator
+    /// calls — the reconciliation counterpart of the allocator's own
+    /// [`tora_alloc::trace::TraceStats`].
+    pub stats: SimStats,
+    /// The structured event log (when `record_log` was set).
+    pub log: Option<EventLog>,
+    /// The pool utilization series (when `track_utilization` was set).
+    pub utilization: Option<UtilizationSeries>,
+}
+
+/// A dynamic-workflow application driver (Fig. 1's application layer).
+///
+/// The defining property of the paper's workflow class is that "tasks'
+/// definitions and dependencies are generated and inferred at runtime" (§I).
+/// A driver is the application side of that loop: it submits an initial
+/// batch of tasks and reacts to every completion — possibly submitting more
+/// work based on the results (Colmena's steering, Coffea's
+/// partition-then-accumulate). Driver-submitted tasks become ready
+/// immediately (subject to their dependencies); the static [`Workflow`] path
+/// is the degenerate driver that submits everything up front.
+pub trait Driver: Send {
+    /// Called once at time zero.
+    fn on_start(&mut self, api: &mut SubmitApi);
+    /// Called after each task completes successfully.
+    fn on_task_complete(&mut self, task: &TaskSpec, api: &mut SubmitApi);
+}
+
+/// The submission handle a [`Driver`] writes new tasks through.
+pub struct SubmitApi {
+    submissions: Vec<(u32, ResourceVector, f64, Vec<u64>)>,
+    next_id: u64,
+}
+
+impl SubmitApi {
+    /// Submit an independent task; returns its id.
+    pub fn submit(&mut self, category: u32, peak: ResourceVector, duration_s: f64) -> u64 {
+        self.submit_with_deps(category, peak, duration_s, Vec::new())
+    }
+
+    /// Submit a task depending on earlier task ids; returns its id.
+    ///
+    /// # Panics
+    /// If a dependency id is not strictly smaller than the new task's id.
+    pub fn submit_with_deps(
+        &mut self,
+        category: u32,
+        peak: ResourceVector,
+        duration_s: f64,
+        deps: Vec<u64>,
+    ) -> u64 {
+        let id = self.next_id;
+        assert!(
+            deps.iter().all(|&d| d < id),
+            "dependencies must reference earlier tasks"
+        );
+        self.next_id += 1;
+        self.submissions.push((category, peak, duration_s, deps));
+        id
+    }
+}
+
+/// The engine.
+///
+/// Generic over an [`EventSink`] so a run can be traced end to end: with a
+/// non-default sink (see [`Simulation::with_sink`]) the embedded allocator
+/// emits an [`tora_alloc::trace::AllocEvent`] for every decision it makes,
+/// while the engine independently tallies its calls in [`SimStats`]. The
+/// default [`NoopSink`] compiles all of that out.
+pub struct Simulation<S: EventSink = NoopSink> {
+    worker: WorkerSpec,
+    specs: Vec<TaskSpec>,
+    driver: Option<Box<dyn Driver>>,
+    allocator: Allocator<S>,
+    config: SimConfig,
+    pool: WorkerPool,
+    churn_rng: StdRng,
+    /// Dedicated fault stream: a plan of all-zero rates draws nothing, so
+    /// the churn/arrival/allocator streams are never perturbed.
+    fault_rng: StdRng,
+    events: EventQueue,
+    dispatch_ids: u64,
+    running: HashMap<u64, Running>,
+    ready: VecDeque<usize>,
+    tasks: Vec<TaskState>,
+    dependents: Vec<Vec<usize>>,
+    completed: usize,
+    /// Tasks abandoned to the dead-letter channel (terminal, like
+    /// completion: the run ends when `completed + dead_lettered` covers
+    /// every task).
+    dead_lettered: usize,
+    now: SimTime,
+    result_metrics: WorkflowMetrics,
+    preempted_alloc_time: ResourceVector,
+    worker_range: (usize, usize),
+    stats: SimStats,
+    /// Bumped on every observation; invalidates unpinned cached predictions.
+    alloc_epoch: u64,
+    /// Lifetime count of workers that ever joined (including the initial
+    /// pool); drives the deterministic round-robin rack assignment.
+    joined_workers: u64,
+    /// Largest pool size ever observed; the reference point for the
+    /// dead-letter replay capacity threshold.
+    peak_workers: usize,
+    log: Option<EventLog>,
+    utilization: Option<UtilizationSeries>,
+}
+
+impl Simulation {
+    /// Build an engine for one (static) workflow and algorithm.
+    pub fn new(workflow: &Workflow, algorithm: AlgorithmKind, config: SimConfig) -> Self {
+        let mut sim = Self::bare(workflow.worker, algorithm, config);
+        sim.specs = workflow.tasks.clone();
+        sim.tasks = workflow
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, _)| TaskState::fresh(workflow.deps_of(i).len(), false))
+            .collect();
+        // Reverse adjacency for dependency resolution.
+        sim.dependents = vec![Vec::new(); workflow.len()];
+        for i in 0..workflow.len() {
+            for &d in workflow.deps_of(i) {
+                sim.dependents[d as usize].push(i);
+            }
+        }
+        sim
+    }
+
+    /// Build an engine whose tasks are generated at runtime by `driver`
+    /// (no static workload).
+    pub fn with_driver(
+        driver: Box<dyn Driver>,
+        worker: WorkerSpec,
+        algorithm: AlgorithmKind,
+        config: SimConfig,
+    ) -> Self {
+        let mut sim = Self::bare(worker, algorithm, config);
+        sim.driver = Some(driver);
+        sim
+    }
+
+    /// Attach an [`EventSink`] to the embedded allocator, turning this
+    /// engine into a traced one. Retrieve the sink afterwards with
+    /// [`Simulation::run_traced`].
+    pub fn with_sink<S: EventSink>(self, sink: S) -> Simulation<S> {
+        Simulation {
+            worker: self.worker,
+            specs: self.specs,
+            driver: self.driver,
+            allocator: self.allocator.with_sink(sink),
+            config: self.config,
+            pool: self.pool,
+            churn_rng: self.churn_rng,
+            fault_rng: self.fault_rng,
+            events: self.events,
+            dispatch_ids: self.dispatch_ids,
+            running: self.running,
+            ready: self.ready,
+            tasks: self.tasks,
+            dependents: self.dependents,
+            completed: self.completed,
+            dead_lettered: self.dead_lettered,
+            now: self.now,
+            result_metrics: self.result_metrics,
+            preempted_alloc_time: self.preempted_alloc_time,
+            worker_range: self.worker_range,
+            stats: self.stats,
+            alloc_epoch: self.alloc_epoch,
+            joined_workers: self.joined_workers,
+            peak_workers: self.peak_workers,
+            log: self.log,
+            utilization: self.utilization,
+        }
+    }
+
+    fn bare(worker: WorkerSpec, algorithm: AlgorithmKind, config: SimConfig) -> Self {
+        config.churn.validate().expect("invalid churn config");
+        config.faults.validate().expect("invalid fault plan");
+        let alloc_config = AllocatorConfig {
+            machine: worker,
+            ..AllocatorConfig::default()
+        };
+        if let Some(mix) = config.worker_mix {
+            mix.validate().expect("invalid worker mix");
+        }
+        if let Some(policy) = config.fault_policy {
+            policy.validate().expect("invalid fault policy");
+        }
+        let mut allocator = Allocator::with_config(algorithm, alloc_config, config.seed);
+        allocator.set_fault_policy(config.fault_policy);
+        let mut churn_rng = StdRng::seed_from_u64(config.seed ^ 0xC4_0A17);
+        let mut pool = WorkerPool::new();
+        let mut joined_workers = 0u64;
+        for _ in 0..config.churn.initial {
+            let spec = Self::sample_worker_spec(worker, &config, &mut churn_rng);
+            let spec = Self::assign_rack(spec, config.faults.rack_count, joined_workers);
+            joined_workers += 1;
+            pool.join(spec);
+        }
+        let initial_workers = config.churn.initial;
+        let mut log = config.record_log.then(EventLog::new);
+        if let Some(log) = log.as_mut() {
+            for id in 0..initial_workers as u64 {
+                log.push(
+                    0.0,
+                    SimEvent::WorkerJoined {
+                        worker: WorkerId(id),
+                    },
+                );
+            }
+        }
+        Simulation {
+            worker,
+            specs: Vec::new(),
+            driver: None,
+            allocator,
+            config,
+            pool,
+            churn_rng,
+            fault_rng: StdRng::seed_from_u64(config.seed ^ 0x00FA_0175),
+            events: EventQueue::new(),
+            dispatch_ids: 0,
+            running: HashMap::new(),
+            ready: VecDeque::new(),
+            tasks: Vec::new(),
+            dependents: Vec::new(),
+            completed: 0,
+            dead_lettered: 0,
+            now: SimTime::ZERO,
+            result_metrics: WorkflowMetrics::new(),
+            preempted_alloc_time: ResourceVector::ZERO,
+            worker_range: (initial_workers, initial_workers),
+            stats: SimStats::new(),
+            alloc_epoch: 0,
+            joined_workers,
+            peak_workers: initial_workers,
+            log,
+            utilization: config.track_utilization.then(UtilizationSeries::new),
+        }
+    }
+}
+
+impl<S: EventSink> Simulation<S> {
+    fn log_event(&mut self, event: SimEvent) {
+        if let Some(log) = self.log.as_mut() {
+            log.push(self.now.seconds(), event);
+        }
+    }
+
+    fn sample_utilization(&mut self) {
+        if let Some(series) = self.utilization.as_mut() {
+            let capacity = self.pool.total_capacity();
+            let reserved = capacity.sub(&self.pool.total_available());
+            series.push(UtilizationSample {
+                time_s: self.now.seconds(),
+                workers: self.pool.len(),
+                running: self.pool.total_running(),
+                capacity,
+                reserved,
+            });
+        }
+    }
+
+    /// Report an attempt outcome on the allocator's fault-feedback channel.
+    /// Only wired while the fault plan is active: a fault-free run must stay
+    /// byte-identical to the pre-feedback engine (no window pushes, no
+    /// feedback trace events, no stats).
+    fn report_outcome(&mut self, category: CategoryId, outcome: AttemptFeedback) {
+        if !self.config.faults.is_active() {
+            return;
+        }
+        self.allocator.observe_outcome(category, outcome);
+        self.stats.record_feedback(category.0);
+    }
+
+    /// The arrival model released a task: it becomes ready once its
+    /// predecessors (if any) have completed.
+    fn on_arrive(&mut self, task_idx: usize) {
+        if self.tasks[task_idx].is_dead() {
+            // Dead-lettered (dependency cascade) before it ever arrived; its
+            // submission was already accounted at dead-letter time.
+            return;
+        }
+        self.log_event(SimEvent::TaskSubmitted {
+            task: self.specs[task_idx].id,
+        });
+        self.stats.submitted += 1;
+        let state = &mut self.tasks[task_idx];
+        debug_assert!(!state.arrived, "duplicate arrival");
+        state.arrived = true;
+        if state.deps_remaining == 0 {
+            state
+                .advance(TaskPhase::Ready)
+                .expect("arrived task was pending");
+            self.ready.push_back(task_idx);
+        }
+    }
+
+    /// Schedule every task's arrival according to the arrival model.
+    fn schedule_arrivals(&mut self) {
+        match self.config.arrival {
+            ArrivalModel::Batch => {
+                for task_idx in 0..self.specs.len() {
+                    self.on_arrive(task_idx);
+                }
+            }
+            ArrivalModel::Poisson { mean_interval_s } => {
+                assert!(
+                    mean_interval_s.is_finite() && mean_interval_s > 0.0,
+                    "bad arrival interval"
+                );
+                let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x0A88_17E5);
+                let mut t = SimTime::ZERO;
+                for task_idx in 0..self.specs.len() {
+                    t = t + exponential_interval_s(&mut rng, mean_interval_s).max(0.0);
+                    self.events.schedule(t, Event::Arrive { task_idx });
+                }
+            }
+        }
+    }
+
+    /// A fresh submission handle continuing the id sequence.
+    fn submit_api(&self) -> SubmitApi {
+        SubmitApi {
+            submissions: Vec::new(),
+            next_id: self.specs.len() as u64,
+        }
+    }
+
+    /// Fold driver submissions into the live run: new tasks arrive
+    /// immediately, gated only by their dependencies.
+    fn integrate_submissions(&mut self, api: SubmitApi) {
+        for (category, peak, duration_s, deps) in api.submissions {
+            let id = self.specs.len() as u64;
+            let spec = TaskSpec::new(id, category, peak, duration_s);
+            assert!(
+                self.worker.capacity.dominates(&spec.peak),
+                "{}: peak {} exceeds worker capacity {}",
+                spec.id,
+                spec.peak,
+                self.worker.capacity
+            );
+            let deps_remaining = deps
+                .iter()
+                .filter(|&&d| !self.tasks[d as usize].is_completed())
+                .count();
+            for &d in &deps {
+                if !self.tasks[d as usize].is_completed() {
+                    self.dependents[d as usize].push(id as usize);
+                }
+            }
+            self.specs.push(spec);
+            let mut state = TaskState::fresh(deps_remaining, true);
+            if deps_remaining == 0 {
+                state
+                    .advance(TaskPhase::Ready)
+                    .expect("fresh submission was pending");
+            }
+            self.tasks.push(state);
+            self.dependents.push(Vec::new());
+            self.log_event(SimEvent::TaskSubmitted { task: spec.id });
+            self.stats.submitted += 1;
+            if deps_remaining == 0 {
+                self.ready.push_back(id as usize);
+            }
+        }
+    }
+
+    /// Run to completion and return the result.
+    pub fn run(self) -> SimResult {
+        self.run_traced().0
+    }
+
+    /// Run to completion, returning the result *and* the event sink the
+    /// allocator emitted into — the traced variant of [`Simulation::run`].
+    pub fn run_traced(mut self) -> (SimResult, S) {
+        self.schedule_churn();
+        self.schedule_crash();
+        self.schedule_rack_crash();
+        self.schedule_arrivals();
+        if let Some(mut driver) = self.driver.take() {
+            let mut api = self.submit_api();
+            driver.on_start(&mut api);
+            self.integrate_submissions(api);
+            self.driver = Some(driver);
+        }
+        self.dispatch();
+        self.enforce_unplaceable_strikes();
+        self.sample_utilization();
+        while self.completed + self.dead_lettered < self.specs.len() {
+            let Some(ev) = self.events.pop() else {
+                // Without faults this is unreachable: every non-terminal
+                // task has a Finish or Arrive event in flight. Under a fault
+                // plan the event stream can legitimately dry up (e.g. every
+                // worker crashed away); dead-letter the stranded remainder
+                // so the run still terminates with conserved accounting.
+                assert!(
+                    self.config.faults.is_active(),
+                    "tasks pending but no events scheduled"
+                );
+                let stranded: Vec<usize> = (0..self.tasks.len())
+                    .filter(|&i| !self.tasks[i].phase.is_terminal())
+                    .collect();
+                for task_idx in stranded {
+                    self.dead_letter(task_idx, DeadLetterCause::Stalled);
+                }
+                break;
+            };
+            debug_assert!(ev.time >= self.now);
+            self.now = ev.time;
+            match ev.event {
+                Event::Finish { dispatch } => self.on_finish(dispatch),
+                Event::Arrive { task_idx } => self.on_arrive(task_idx),
+                Event::Churn => self.on_churn(),
+                Event::Crash => self.on_crash(),
+                Event::RackCrash => self.on_rack_crash(),
+                Event::Requeue { task_idx } => self.on_requeue(task_idx),
+            }
+            self.dispatch();
+            self.enforce_unplaceable_strikes();
+            self.sample_utilization();
+        }
+        let stats = self.stats;
+        let result = SimResult {
+            metrics: self.result_metrics,
+            makespan_s: self.now.seconds(),
+            preemptions: stats.preemptions as usize,
+            preempted_alloc_time: self.preempted_alloc_time,
+            worker_range: self.worker_range,
+            dispatches: stats.dispatches as usize,
+            stats,
+            log: self.log,
+            utilization: self.utilization,
+        };
+        (result, self.allocator.into_sink())
+    }
+}
+
+/// Convenience: simulate `workflow` under `algorithm` with `config`.
+pub fn simulate(workflow: &Workflow, algorithm: AlgorithmKind, config: SimConfig) -> SimResult {
+    Simulation::new(workflow, algorithm, config).run()
+}

@@ -1,0 +1,122 @@
+//! The dead-letter channel and its replay path.
+//!
+//! Terminal abandonment is the engine's pressure-relief valve: a task whose
+//! budgets are spent (attempts, dispatch retries, unplaceable rounds) or
+//! whose inputs will never exist leaves the live run with an explicit
+//! cause. Replay is the inverse valve — when the pool recovers, tasks whose
+//! abandonment was an *environment* shortage are re-admitted, keeping the
+//! conservation identity `submitted = completed + dead-lettered` intact at
+//! every quiescent point.
+
+use super::lifecycle::TaskPhase;
+use super::Simulation;
+use crate::log::SimEvent;
+use tora_alloc::trace::EventSink;
+use tora_metrics::{DeadLetter, DeadLetterCause};
+
+impl<S: EventSink> Simulation<S> {
+    /// Terminally abandon a task: it leaves the ready queue, is recorded as
+    /// a [`DeadLetter`] in the metrics, and recursively dooms every
+    /// dependent (their input will never exist). Idempotent.
+    pub(super) fn dead_letter(&mut self, task_idx: usize, cause: DeadLetterCause) {
+        if self.tasks[task_idx].is_dead() || self.tasks[task_idx].is_completed() {
+            return;
+        }
+        let state = &mut self.tasks[task_idx];
+        state
+            .advance(TaskPhase::DeadLettered)
+            .expect("live task enters the dead-letter channel");
+        state.dead_cause = Some(cause);
+        if !state.arrived {
+            // Doomed before the arrival model released it: account the
+            // submission here so conservation (submitted = completed +
+            // dead-lettered) holds even if the run ends before its arrival.
+            state.arrived = true;
+            self.stats.submitted += 1;
+        }
+        let attempts = std::mem::take(&mut self.tasks[task_idx].attempts);
+        self.ready.retain(|&t| t != task_idx);
+        let spec = self.specs[task_idx];
+        let letter = DeadLetter {
+            task: spec.id,
+            category: spec.category,
+            cause,
+            attempts,
+        };
+        debug_assert!(letter.check().is_ok(), "{:?}", letter.check());
+        self.result_metrics.push_dead_letter(letter);
+        self.stats.faults.dead_lettered += 1;
+        self.dead_lettered += 1;
+        self.log_event(SimEvent::TaskDeadLettered {
+            task: spec.id,
+            cause,
+        });
+        let dependents = std::mem::take(&mut self.dependents[task_idx]);
+        for &d in &dependents {
+            self.dead_letter(d, DeadLetterCause::DependencyDeadLettered);
+        }
+        self.dependents[task_idx] = dependents;
+    }
+
+    /// Re-admit replayable dead letters once the pool has recovered.
+    ///
+    /// Called on every worker join. Replay is enabled by the plan's
+    /// `replay_capacity_fraction` / `max_replay_rounds` pair: when the live
+    /// pool reaches the configured fraction of the largest pool ever seen, a
+    /// dead letter whose cause was an environment shortage
+    /// ([`DeadLetterCause::replayable`]) and which has replay rounds left is
+    /// pulled back out of the channel and re-queued. The restored task keeps
+    /// its attempt history (the attempt budget still applies across the
+    /// replay) but its transient-failure counters start over.
+    ///
+    /// Conservation: `dead_lettered` counts *currently* abandoned tasks, so
+    /// a replay decrements it (and a re-dead-letter increments it again) —
+    /// `submitted = completed + dead_lettered` holds at every quiescent
+    /// point, and cumulatively `replay_successes ≤ replayed`. Dependents
+    /// cascaded from a replayed task stay dead: their own cause
+    /// (`DependencyDeadLettered`) is not replayable.
+    pub(super) fn maybe_replay_dead_letters(&mut self) {
+        let plan = self.config.faults;
+        if plan.max_replay_rounds == 0 || plan.replay_capacity_fraction <= 0.0 {
+            return;
+        }
+        let needed = (plan.replay_capacity_fraction * self.peak_workers as f64).ceil() as usize;
+        if self.pool.len() < needed.max(1) {
+            return;
+        }
+        let candidates: Vec<usize> = (0..self.tasks.len())
+            .filter(|&i| {
+                let t = &self.tasks[i];
+                t.is_dead()
+                    && t.replays < plan.max_replay_rounds
+                    && t.dead_cause.is_some_and(|c| c.replayable())
+            })
+            .collect();
+        for task_idx in candidates {
+            let task_id = self.specs[task_idx].id;
+            let letter = self
+                .result_metrics
+                .remove_dead_letter(task_id)
+                .expect("dead task has a recorded dead letter");
+            let state = &mut self.tasks[task_idx];
+            state
+                .advance(TaskPhase::Ready)
+                .expect("replay re-admits a dead-lettered task");
+            state.dead_cause = None;
+            state.replays += 1;
+            // Restore the attempt history: the budget spans the replay.
+            state.attempts = letter.attempts;
+            state.dispatch_failures = 0;
+            state.unplaceable_strikes = 0;
+            state.pinned = false;
+            state.next_alloc = None;
+            self.dead_lettered -= 1;
+            self.stats.faults.dead_lettered -= 1;
+            self.stats.faults.replayed += 1;
+            self.log_event(SimEvent::TaskReplayed { task: task_id });
+            // Replayable causes only ever strike ready (dependency-free,
+            // arrived) tasks, so the task can re-enter the queue directly.
+            self.ready.push_back(task_idx);
+        }
+    }
+}

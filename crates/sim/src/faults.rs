@@ -77,6 +77,21 @@ pub struct FaultPlan {
     /// before it stays dead for good. `0` = replay disabled.
     #[serde(default)]
     pub max_replay_rounds: usize,
+    /// Checkpoint/restart: the fraction of a crashed attempt's *finished*
+    /// work that survives the crash and is banked toward the retry, in
+    /// `[0, 1]`. The retry then runs only the remaining duration, and the
+    /// salvaged share is subtracted from the attempt's fault waste. `0`
+    /// (the default) disables checkpointing and is byte-inert: a run with
+    /// the knob at zero is identical to one that never heard of it.
+    #[serde(default)]
+    pub checkpointed_fraction: f64,
+}
+
+/// Nominal task-seconds a checkpoint can salvage from a dying attempt:
+/// the wall-clock it ran, priced at its work rate, clamped to the work the
+/// attempt actually had left to do.
+pub fn checkpoint_progress_s(elapsed_s: f64, work_rate: f64, remaining_s: f64) -> f64 {
+    (elapsed_s * work_rate).min(remaining_s)
 }
 
 impl Default for FaultPlan {
@@ -103,6 +118,7 @@ impl FaultPlan {
             rack_count: 0,
             replay_capacity_fraction: 0.0,
             max_replay_rounds: 0,
+            checkpointed_fraction: 0.0,
         }
     }
 
@@ -166,6 +182,12 @@ impl FaultPlan {
                     self.rack_count
                 ));
             }
+        }
+        if !(0.0..=1.0).contains(&self.checkpointed_fraction) {
+            return Err(format!(
+                "checkpointed_fraction must be in [0, 1], got {}",
+                self.checkpointed_fraction
+            ));
         }
         let replay_on = self.max_replay_rounds > 0 || self.replay_capacity_fraction > 0.0;
         if replay_on {
@@ -285,6 +307,7 @@ impl FaultPlan {
             rack_count: if rate > 0.0 { 4 } else { 0 },
             replay_capacity_fraction: if rate > 0.0 { 0.6 } else { 0.0 },
             max_replay_rounds: if rate > 0.0 { 2 } else { 0 },
+            checkpointed_fraction: 0.0,
         }
     }
 }
@@ -332,6 +355,13 @@ pub struct FaultReport {
     pub degraded_awe_memory: Option<f64>,
     /// Simulated makespan, seconds.
     pub makespan_s: f64,
+    /// Crashed attempts that banked a checkpoint (zero unless the plan's
+    /// `checkpointed_fraction` is on).
+    #[serde(default)]
+    pub checkpointed_attempts: u64,
+    /// Total nominal task-seconds salvaged by checkpoint/restart.
+    #[serde(default)]
+    pub salvaged_work_s: f64,
 }
 
 impl FaultReport {
@@ -366,6 +396,8 @@ impl FaultReport {
             awe_memory: result.metrics.awe(ResourceKind::MemoryMb),
             degraded_awe_memory: result.metrics.degraded_awe(ResourceKind::MemoryMb),
             makespan_s: result.makespan_s,
+            checkpointed_attempts: stats.faults.checkpointed_attempts,
+            salvaged_work_s: stats.salvaged_work_s,
         }
     }
 
@@ -408,6 +440,16 @@ impl FaultReport {
             fmt_awe(self.degraded_awe_memory),
         ]);
         head.row(&["makespan".to_string(), format!("{:.1} s", self.makespan_s)]);
+        if self.plan.checkpointed_fraction > 0.0 {
+            head.row(&[
+                "checkpointed attempts".to_string(),
+                self.checkpointed_attempts.to_string(),
+            ]);
+            head.row(&[
+                "salvaged work".to_string(),
+                format!("{:.1} task-s", self.salvaged_work_s),
+            ]);
+        }
         out.push_str(&head.render());
 
         let f = &self.faults;
@@ -543,5 +585,42 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn checkpoint_fraction_validates_and_defaults_off() {
+        // Absent from serialized plans written before the knob existed.
+        let legacy: FaultPlan = serde_json::from_str(
+            "{
+            \"crash_mean_interval_s\": null, \"straggler_rate\": 0.0,
+            \"straggler_multiplier\": 1.0, \"straggler_timeout_s\": 0.0,
+            \"record_dropout_rate\": 0.0, \"dispatch_failure_rate\": 0.0,
+            \"dispatch_backoff_s\": 0.0, \"max_dispatch_retries\": 0,
+            \"max_attempts\": 0, \"max_unplaceable_rounds\": 0
+        }",
+        )
+        .unwrap();
+        assert_eq!(legacy.checkpointed_fraction, 0.0);
+        assert!(!legacy.is_active());
+        let mut plan = FaultPlan::none();
+        plan.checkpointed_fraction = 0.5;
+        plan.validate().unwrap();
+        assert!(plan.is_active());
+        plan.checkpointed_fraction = 1.5;
+        assert!(plan.validate().is_err());
+        plan.checkpointed_fraction = f64::NAN;
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn checkpoint_progress_prices_and_clamps() {
+        // Full speed: salvage is the elapsed wall-clock, capped by what
+        // was left to do.
+        assert_eq!(checkpoint_progress_s(10.0, 1.0, 30.0), 10.0);
+        assert_eq!(checkpoint_progress_s(50.0, 1.0, 30.0), 30.0);
+        // A straggler at quarter speed finished a quarter of the time.
+        assert_eq!(checkpoint_progress_s(20.0, 0.25, 30.0), 5.0);
+        // A hung attempt salvages nothing.
+        assert_eq!(checkpoint_progress_s(100.0, 0.0, 30.0), 0.0);
     }
 }

@@ -22,6 +22,7 @@ pub mod engine;
 pub mod faults;
 pub mod log;
 pub mod replay;
+pub mod sampling;
 pub mod scheduler;
 pub mod stats;
 pub mod time;
@@ -29,7 +30,8 @@ pub mod workers;
 
 pub use enforcement::{AttemptVerdict, EnforcementModel};
 pub use engine::{
-    simulate, ArrivalModel, Driver, SimConfig, SimResult, Simulation, SubmitApi, WorkerMix,
+    simulate, ArrivalModel, Driver, IllegalTransition, SimConfig, SimResult, Simulation, SubmitApi,
+    TaskPhase, WorkerMix,
 };
 pub use faults::{FaultPlan, FaultReport};
 pub use log::{EventLog, LogEntry, SimEvent};

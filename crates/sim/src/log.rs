@@ -107,6 +107,14 @@ pub enum SimEvent {
         /// The task.
         task: TaskId,
     },
+    /// A crashed attempt banked a checkpoint: the salvaged share of its
+    /// finished work carries forward to the retry.
+    TaskCheckpointed {
+        /// The task.
+        task: TaskId,
+        /// Nominal task-seconds salvaged by this checkpoint.
+        salvaged_s: f64,
+    },
 }
 
 /// A timestamped event.
@@ -250,7 +258,9 @@ impl EventLog {
                         return Err(format!("{task} replayed while not dead-lettered"));
                     }
                 }
-                SimEvent::DispatchFailed { .. } | SimEvent::RecordDropped { .. } => {}
+                SimEvent::DispatchFailed { .. }
+                | SimEvent::RecordDropped { .. }
+                | SimEvent::TaskCheckpointed { .. } => {}
                 SimEvent::WorkerJoined { worker } => {
                     live_workers.insert(worker, true);
                 }

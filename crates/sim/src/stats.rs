@@ -67,6 +67,10 @@ pub struct FaultCounts {
     /// Replayed tasks that went on to complete.
     #[serde(default)]
     pub replay_successes: u64,
+    /// Crashed attempts that banked a checkpoint (zero unless the plan's
+    /// `checkpointed_fraction` is on).
+    #[serde(default)]
+    pub checkpointed_attempts: u64,
 }
 
 impl FaultCounts {
@@ -98,6 +102,10 @@ pub struct SimStats {
     /// Injected-fault tallies, per cause.
     #[serde(default)]
     pub faults: FaultCounts,
+    /// Total nominal task-seconds salvaged by checkpoint/restart across
+    /// every crashed attempt (zero with checkpointing off).
+    #[serde(default)]
+    pub salvaged_work_s: f64,
     /// Allocator calls, across all categories.
     pub calls: AllocCallCounts,
     /// Allocator calls per task category, keyed by raw category id.

@@ -16,6 +16,7 @@
 //! deterministic in `--seed`.
 
 use std::process::ExitCode;
+use tora::cli::{parse_algorithm, parse_sim_config, parse_workflow, Args};
 use tora::metrics::{attempts_histogram, pct, rolling_awe, steady_state_onset, Table};
 use tora::prelude::*;
 use tora::workloads::{io as trace_io, synthetic, PaperWorkflow};
@@ -63,8 +64,10 @@ fn print_usage() {
                                            fault report (--plan none|light|heavy|crashes|\n\
                                            stragglers|flaky-dispatch|lossy-records|\n\
                                            rack-outages; --feedback arms the allocator's\n\
-                                           fault-feedback policy; --quick runs the\n\
-                                           determinism smoke test)\n\
+                                           fault-feedback policy; --salvage <fraction>\n\
+                                           banks that fraction of a crashed attempt's\n\
+                                           finished work via checkpointing; --quick runs\n\
+                                           the determinism smoke test)\n\
            matrix   [opts]                 AWE matrix across workflows × algorithms\n\
            bench    [--quick] [opts]       time the hot paths (prediction, rebucket fast\n\
                                            vs faithful, engine, parallel runner) and\n\
@@ -83,165 +86,6 @@ fn print_usage() {
            --log <file>          (simulate) dump the event log as JSONL\n\
            --convergence         (simulate/replay) print the rolling-AWE trajectory"
     );
-}
-
-/// Simple `--flag value` / positional argument scanner.
-struct Args<'a> {
-    positional: Vec<&'a str>,
-    flags: Vec<(&'a str, Option<&'a str>)>,
-}
-
-impl<'a> Args<'a> {
-    fn parse(raw: &'a [String]) -> Result<Self, String> {
-        let mut positional = Vec::new();
-        let mut flags = Vec::new();
-        let mut iter = raw.iter().peekable();
-        while let Some(arg) = iter.next() {
-            if let Some(name) = arg.strip_prefix("--") {
-                let value = iter
-                    .peek()
-                    .filter(|v| !v.starts_with("--"))
-                    .map(|v| v.as_str());
-                if value.is_some() {
-                    iter.next();
-                }
-                flags.push((name, value));
-            } else {
-                positional.push(arg.as_str());
-            }
-        }
-        Ok(Args { positional, flags })
-    }
-
-    fn flag(&self, name: &str) -> Option<Option<&str>> {
-        self.flags.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
-    }
-
-    fn value_of(&self, name: &str) -> Result<Option<&str>, String> {
-        match self.flag(name) {
-            None => Ok(None),
-            Some(Some(v)) => Ok(Some(v)),
-            Some(None) => Err(format!("--{name} requires a value")),
-        }
-    }
-
-    fn seed(&self) -> Result<u64, String> {
-        match self.value_of("seed")? {
-            None => Ok(42),
-            Some(v) => v.parse().map_err(|_| format!("bad --seed `{v}`")),
-        }
-    }
-
-    fn has(&self, name: &str) -> bool {
-        self.flag(name).is_some()
-    }
-}
-
-fn parse_algorithm(name: &str) -> Result<AlgorithmKind, String> {
-    const EXTRAS: [AlgorithmKind; 2] = [
-        AlgorithmKind::GreedyBucketingIncremental,
-        AlgorithmKind::KMeansBucketing,
-    ];
-    AlgorithmKind::PAPER_SET
-        .into_iter()
-        .chain(EXTRAS)
-        .find(|a| a.label() == name)
-        .ok_or_else(|| format!("unknown algorithm `{name}` (see `tora algorithms`)"))
-}
-
-fn parse_workflow(name_or_path: &str, args: &Args<'_>) -> Result<Workflow, String> {
-    let seed = args.seed()?;
-    if name_or_path.ends_with(".json") {
-        return trace_io::load(std::path::Path::new(name_or_path));
-    }
-    let tasks: Option<usize> = match args.value_of("tasks")? {
-        None => None,
-        Some(v) => Some(v.parse().map_err(|_| format!("bad --tasks `{v}`"))?),
-    };
-    let by_name = PaperWorkflow::ALL
-        .into_iter()
-        .find(|w| w.name() == name_or_path)
-        .ok_or_else(|| format!("unknown workflow `{name_or_path}` (see `tora workflows`)"))?;
-    if args.has("dag") {
-        if by_name != PaperWorkflow::TopEft {
-            return Err("--dag is only defined for the topeft workflow".into());
-        }
-        return Ok(tora::workloads::topeft::paper_workflow_dag(seed));
-    }
-    match (by_name, tasks) {
-        (_, None) => Ok(by_name.build(seed)),
-        (PaperWorkflow::ColmenaXtb | PaperWorkflow::TopEft, Some(_)) => {
-            Err("--tasks applies only to synthetic workflows".into())
-        }
-        (wf, Some(n)) => {
-            let kind = tora::workloads::SyntheticKind::ALL
-                .into_iter()
-                .find(|k| k.name() == wf.name())
-                .expect("synthetic name");
-            Ok(synthetic::generate(kind, n, seed))
-        }
-    }
-}
-
-fn parse_sim_config(args: &Args<'_>) -> Result<SimConfig, String> {
-    let mut config = SimConfig::paper_like(args.seed()?);
-    match args.value_of("workers")? {
-        None | Some("paper") => {}
-        Some(spec) => {
-            let n: usize = spec
-                .strip_prefix("fixed:")
-                .and_then(|n| n.parse().ok())
-                .ok_or_else(|| format!("bad --workers `{spec}` (fixed:<n> | paper)"))?;
-            if n == 0 {
-                return Err("--workers fixed:<n> requires n ≥ 1".into());
-            }
-            config.churn = ChurnConfig::fixed(n);
-        }
-    }
-    match args.value_of("arrival")? {
-        None => {}
-        Some("batch") => config.arrival = ArrivalModel::Batch,
-        Some(spec) => {
-            let mean: f64 = spec
-                .strip_prefix("poisson:")
-                .and_then(|m| m.parse().ok())
-                .filter(|m: &f64| m.is_finite() && *m > 0.0)
-                .ok_or_else(|| format!("bad --arrival `{spec}` (batch | poisson:<mean-s>)"))?;
-            config.arrival = ArrivalModel::Poisson {
-                mean_interval_s: mean,
-            };
-        }
-    }
-    match args.value_of("policy")? {
-        None => {}
-        Some(name) => {
-            config.queue_policy = QueuePolicy::ALL
-                .into_iter()
-                .find(|p| p.label() == name)
-                .ok_or_else(|| format!("unknown --policy `{name}`"))?;
-        }
-    }
-    match args.value_of("enforcement")? {
-        None | Some("ramp") => {}
-        Some("instant") => config.enforcement = EnforcementModel::InstantPeak,
-        Some(other) => return Err(format!("unknown --enforcement `{other}` (ramp | instant)")),
-    }
-    if let Some(spec) = args.value_of("mix")? {
-        let (frac, scale) = spec
-            .split_once(':')
-            .and_then(|(f, s)| Some((f.parse().ok()?, s.parse().ok()?)))
-            .ok_or_else(|| format!("bad --mix `{spec}` (use <fraction>:<scale>)"))?;
-        let mix = tora::sim::WorkerMix {
-            large_fraction: frac,
-            scale,
-        };
-        mix.validate()?;
-        config.worker_mix = Some(mix);
-    }
-    if args.has("log") {
-        config.record_log = true;
-    }
-    Ok(config)
 }
 
 fn cmd_algorithms() -> Result<(), String> {
@@ -552,9 +396,11 @@ fn cmd_trace(raw: &[String]) -> Result<(), String> {
 /// identity `submitted = completed + dead-lettered`. The command fails if
 /// conservation is violated. `--feedback` arms the allocator's
 /// fault-feedback policy so predictions pad/escalate with the observed
-/// fault rate. `--quick` is the CI smoke mode: a small fixed workload is
-/// run twice under the same seed and the two reports must be
-/// byte-identical.
+/// fault rate. `--salvage <fraction>` enables checkpoint/restart: a crashed
+/// attempt banks that fraction of its finished work and the retry runs only
+/// the remainder, with the salvage totals shown in the report. `--quick` is
+/// the CI smoke mode: a small fixed workload is run twice under the same
+/// seed and the two reports must be byte-identical.
 fn cmd_chaos(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let plan_name = args.value_of("plan")?.unwrap_or("light");
@@ -569,6 +415,7 @@ fn cmd_chaos(raw: &[String]) -> Result<(), String> {
         Some(name) => parse_algorithm(name)?,
     };
     let fault_policy = args.has("feedback").then(FaultPolicy::default);
+    let salvage = args.salvage()?;
 
     if args.has("quick") {
         // Fixed seed, fixed workload: the report must be reproducible down
@@ -581,6 +428,9 @@ fn cmd_chaos(raw: &[String]) -> Result<(), String> {
         } else {
             FaultPlan::named("heavy").expect("preset")
         };
+        if let Some(fraction) = salvage {
+            config.faults.checkpointed_fraction = fraction;
+        }
         let run = || {
             let result = simulate(&wf, algorithm, config);
             FaultReport::from_result(&result, &config, algorithm.label())
@@ -611,6 +461,9 @@ fn cmd_chaos(raw: &[String]) -> Result<(), String> {
     let wf = parse_workflow(name, &args)?;
     let mut config = parse_sim_config(&args)?;
     config.faults = plan;
+    if let Some(fraction) = salvage {
+        config.faults.checkpointed_fraction = fraction;
+    }
     config.fault_policy = fault_policy;
     let result = simulate(&wf, algorithm, config);
     let report = FaultReport::from_result(&result, &config, algorithm.label());

@@ -36,6 +36,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cli;
+
 pub use tora_alloc as alloc;
 pub use tora_metrics as metrics;
 pub use tora_sim as sim;
@@ -60,8 +62,8 @@ pub mod prelude {
     };
     pub use tora_sim::{
         replay, simulate, ArrivalModel, ChurnConfig, Driver, EnforcementModel, EventLog,
-        FaultCounts, FaultPlan, FaultReport, QueuePolicy, SimConfig, SimEvent, SimResult, SimStats,
-        Simulation, SubmitApi, UtilizationSeries, WorkerMix,
+        FaultCounts, FaultPlan, FaultReport, IllegalTransition, QueuePolicy, SimConfig, SimEvent,
+        SimResult, SimStats, Simulation, SubmitApi, TaskPhase, UtilizationSeries, WorkerMix,
     };
     pub use tora_workloads::{PaperWorkflow, SyntheticKind, Workflow};
 }

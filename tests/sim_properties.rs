@@ -48,9 +48,13 @@ fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
     let extras = (
         prop::option::of((20.0f64..200.0, 2u32..6)),
         prop::option::of((0.1f64..=1.0, 1usize..4)),
+        0.0f64..=1.0,
     );
     (base, extras).prop_map(
-        |((crash, straggler, dropout, dispatch, max_attempts, unplaceable), (rack, replay))| {
+        |(
+            (crash, straggler, dropout, dispatch, max_attempts, unplaceable),
+            (rack, replay, checkpoint),
+        )| {
             FaultPlan {
                 crash_mean_interval_s: crash,
                 straggler_rate: straggler,
@@ -66,6 +70,7 @@ fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
                 rack_count: rack.map_or(0, |(_, count)| count),
                 replay_capacity_fraction: replay.map_or(0.0, |(fraction, _)| fraction),
                 max_replay_rounds: replay.map_or(0, |(_, rounds)| rounds),
+                checkpointed_fraction: checkpoint,
             }
         },
     )
