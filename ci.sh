@@ -32,6 +32,28 @@ cargo build --benches --workspace
 echo "== tora bench --quick (hot-path smoke) =="
 cargo run --release --bin tora -- bench --quick --out target/bench-smoke.json
 
+echo "== scaling smoke: 100k streamed tasks above the throughput floor =="
+# The quick bench streams 10k and 100k tasks through the engine
+# (crates/bench/src/perf.rs::scaling_curve). A superlinear regression in the
+# event queue or the arena shows up here as a collapsed tasks/sec figure long
+# before the million-task run would. Floor is ~10× below the measured
+# release-mode rate to absorb machine noise.
+python3 - <<'EOF'
+import json
+report = json.load(open("target/bench-smoke.json"))
+rows = {r["tasks"]: r["tasks_per_sec"] for r in report["scaling"]}
+assert 100_000 in rows, f"scaling curve missing the 100k point: {sorted(rows)}"
+floor = 20_000.0
+if rows[100_000] < floor:
+    raise SystemExit(
+        f"100k-task streaming throughput {rows[100_000]:.0f} tasks/sec "
+        f"is under the {floor:.0f} floor -- engine scaling regressed"
+    )
+assert report["threads_detected"] >= 1
+print(f"scaling ok: 100k tasks at {rows[100_000]:.0f} tasks/sec "
+      f"({report['threads_detected']} thread(s) detected)")
+EOF
+
 echo "== tora chaos --quick (fault-injection smoke) =="
 cargo run --release --bin tora -- chaos --quick
 

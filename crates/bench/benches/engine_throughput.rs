@@ -8,10 +8,15 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use tora_alloc::allocator::AlgorithmKind;
 use tora_sim::{simulate, ChurnConfig, SimConfig};
-use tora_workloads::synthetic::{generate, SyntheticKind};
+use tora_workloads::SyntheticKind;
 
 fn bench_engine(c: &mut Criterion) {
-    let wf = generate(SyntheticKind::Bimodal, 500, 9);
+    let wf = SyntheticKind::Bimodal
+        .catalog_workflow()
+        .spec(9)
+        .tasks(500)
+        .materialize()
+        .unwrap();
     let mut group = c.benchmark_group("engine_end_to_end");
     group.sample_size(10);
 

@@ -27,7 +27,7 @@ use tora_sim::replay::replay_with_config;
 use tora_sim::{
     replay, simulate, ArrivalModel, ChurnConfig, EnforcementModel, QueuePolicy, SimConfig,
 };
-use tora_workloads::synthetic::{generate, SyntheticKind};
+use tora_workloads::SyntheticKind;
 use tora_workloads::{perturb, Workflow};
 
 const SEED: u64 = 42;
@@ -39,9 +39,24 @@ fn awe(m: &WorkflowMetrics) -> String {
 
 fn base_workflows() -> Vec<Workflow> {
     vec![
-        generate(SyntheticKind::Normal, 600, SEED),
-        generate(SyntheticKind::Bimodal, 600, SEED),
-        generate(SyntheticKind::PhasingTrimodal, 600, SEED),
+        SyntheticKind::Normal
+            .catalog_workflow()
+            .spec(SEED)
+            .tasks(600)
+            .materialize()
+            .unwrap(),
+        SyntheticKind::Bimodal
+            .catalog_workflow()
+            .spec(SEED)
+            .tasks(600)
+            .materialize()
+            .unwrap(),
+        SyntheticKind::PhasingTrimodal
+            .catalog_workflow()
+            .spec(SEED)
+            .tasks(600)
+            .materialize()
+            .unwrap(),
     ]
 }
 
@@ -271,7 +286,12 @@ fn enforcement_ablation(workflows: &[Workflow]) {
 }
 
 fn robustness_ablation() {
-    let base = generate(SyntheticKind::Bimodal, 800, SEED);
+    let base = SyntheticKind::Bimodal
+        .catalog_workflow()
+        .spec(SEED)
+        .tasks(800)
+        .materialize()
+        .unwrap();
     let variants: Vec<(&str, Workflow)> = vec![
         ("base", base.clone()),
         ("shuffled", perturb::shuffle(&base, SEED)),
@@ -312,7 +332,12 @@ fn robustness_ablation() {
 }
 
 fn system_ablation() {
-    let wf = generate(SyntheticKind::Bimodal, 600, SEED);
+    let wf = SyntheticKind::Bimodal
+        .catalog_workflow()
+        .spec(SEED)
+        .tasks(600)
+        .materialize()
+        .unwrap();
     let mut table = Table::new(
         "8. engine-level choices (bimodal, Exhaustive Bucketing)",
         &["configuration", "memory AWE", "makespan", "retries"],

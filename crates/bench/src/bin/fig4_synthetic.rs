@@ -5,7 +5,7 @@
 //! `TORA_RESULTS_DIR` is set.
 
 use tora_metrics::Table;
-use tora_workloads::synthetic::{paper_workflow, SyntheticKind};
+use tora_workloads::SyntheticKind;
 use tora_workloads::Workflow;
 
 fn histogram(wf: &Workflow, buckets: usize) {
@@ -78,7 +78,7 @@ fn main() {
         .unwrap_or(42u64);
     // Generate the five workflows in parallel; render in deterministic order.
     let workflows = tora_bench::pool::run_parallel(&SyntheticKind::ALL, |&kind| {
-        (kind, paper_workflow(kind, seed))
+        (kind, kind.catalog_workflow().build(seed))
     });
     for (kind, wf) in &workflows {
         histogram(wf, 16);

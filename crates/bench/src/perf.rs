@@ -25,8 +25,8 @@ use tora_alloc::partition::Partitioner;
 use tora_alloc::policy::BucketingEstimator;
 use tora_alloc::record::{RecordList, ScalarRecord};
 use tora_alloc::ValueEstimator;
-use tora_sim::{simulate, SimConfig};
-use tora_workloads::synthetic::{generate, SyntheticKind};
+use tora_sim::{simulate, SimConfig, Simulation};
+use tora_workloads::SyntheticKind;
 
 use crate::experiments::{run_matrix_for, MatrixConfig};
 use crate::timing::sample_values;
@@ -72,6 +72,18 @@ pub struct EndToEndRow {
     pub tasks_per_sec: f64,
 }
 
+/// One point on the engine scaling curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingRow {
+    /// Task count of the streamed workload.
+    pub tasks: usize,
+    /// Wall-clock seconds for one engine run (generation included — the
+    /// source streams into the engine on demand).
+    pub wall_s: f64,
+    /// Simulated tasks per wall-clock second.
+    pub tasks_per_sec: f64,
+}
+
 /// Parallel experiment-runner speedup over a forced-sequential run.
 #[derive(Debug, Clone, Serialize)]
 pub struct MatrixSpeedup {
@@ -102,6 +114,12 @@ pub struct BenchReport {
     pub rebucket: Vec<RebucketRow>,
     /// Engine throughput.
     pub end_to_end: EndToEndRow,
+    /// Engine scaling curve over the streaming workload path
+    /// (quick: 10k/100k; full adds the million-task point).
+    pub scaling: Vec<ScalingRow>,
+    /// Worker threads detected on this machine (`TORA_THREADS` override,
+    /// else the available parallelism).
+    pub threads_detected: usize,
     /// Parallel-runner speedup with the byte-identical cross-check.
     pub matrix: MatrixSpeedup,
 }
@@ -203,7 +221,12 @@ fn rebucket_rows(quick: bool, seed: u64) -> Vec<RebucketRow> {
 
 fn end_to_end(quick: bool, seed: u64) -> EndToEndRow {
     let tasks = if quick { 600 } else { 2000 };
-    let wf = generate(SyntheticKind::Bimodal, tasks, seed);
+    let wf = SyntheticKind::Bimodal
+        .catalog_workflow()
+        .spec(seed)
+        .tasks(tasks)
+        .materialize()
+        .unwrap();
     let config = SimConfig::paper_like(seed);
     // Warm-up run so the report measures steady-state engine throughput.
     std::hint::black_box(simulate(&wf, AlgorithmKind::ExhaustiveBucketing, config));
@@ -217,6 +240,43 @@ fn end_to_end(quick: bool, seed: u64) -> EndToEndRow {
         wall_s,
         tasks_per_sec: tasks as f64 / wall_s.max(f64::MIN_POSITIVE),
     }
+}
+
+/// The scaling curve: stream a bimodal workload through the engine at
+/// growing task counts. Streaming means generation overlaps simulation and
+/// the curve measures the whole pipeline, not just the event loop.
+fn scaling_curve(quick: bool, seed: u64) -> Vec<ScalingRow> {
+    let sizes: &[usize] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    sizes
+        .iter()
+        .map(|&tasks| {
+            let source = SyntheticKind::Bimodal
+                .catalog_workflow()
+                .spec(seed)
+                .tasks(tasks)
+                .stream()
+                .expect("synthetic workloads stream");
+            let config = SimConfig::paper_like(seed);
+            let start = Instant::now();
+            let result = Simulation::from_source(
+                Box::new(source),
+                AlgorithmKind::ExhaustiveBucketing,
+                config,
+            )
+            .run();
+            let wall_s = start.elapsed().as_secs_f64();
+            std::hint::black_box(result.makespan_s);
+            ScalingRow {
+                tasks,
+                wall_s,
+                tasks_per_sec: tasks as f64 / wall_s.max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect()
 }
 
 fn matrix_speedup(quick: bool, seed: u64) -> MatrixSpeedup {
@@ -285,6 +345,8 @@ pub fn run_bench(quick: bool, seed: u64) -> BenchReport {
         prediction,
         rebucket: rebucket_rows(quick, seed),
         end_to_end: end_to_end(quick, seed),
+        scaling: scaling_curve(quick, seed),
+        threads_detected: crate::pool::thread_count(usize::MAX),
         matrix: matrix_speedup(quick, seed),
     }
 }
@@ -333,6 +395,20 @@ impl BenchReport {
             "end-to-end engine: {} × {} tasks in {:.2} s = {:.0} simulated tasks/sec\n",
             e.workflow, e.tasks, e.wall_s, e.tasks_per_sec
         ));
+        let mut t = Table::new(
+            "engine scaling (streamed bimodal workload)",
+            &["tasks", "wall (s)", "tasks/sec"],
+        );
+        for r in &self.scaling {
+            t.row(&[
+                r.tasks.to_string(),
+                format!("{:.2}", r.wall_s),
+                format!("{:.0}", r.tasks_per_sec),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        out.push_str(&format!("threads detected: {}\n", self.threads_detected));
         let m = &self.matrix;
         out.push_str(&format!(
             "parallel runner: {} cells on {} threads — {:.2} s sequential vs {:.2} s \
@@ -376,6 +452,16 @@ mod tests {
             assert!(r.speedup.is_finite());
         }
         assert!(report.end_to_end.tasks_per_sec > 0.0);
+        // quick: 10k and 100k scaling points, streamed.
+        assert_eq!(
+            report.scaling.iter().map(|r| r.tasks).collect::<Vec<_>>(),
+            vec![10_000, 100_000]
+        );
+        assert!(report
+            .scaling
+            .iter()
+            .all(|r| r.tasks_per_sec > 0.0 && r.wall_s > 0.0));
+        assert!(report.threads_detected >= 1);
         assert_eq!(report.matrix.cells, 6);
         assert!(
             report.matrix.identical,

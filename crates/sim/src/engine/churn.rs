@@ -80,16 +80,12 @@ impl<S: EventSink> Simulation<S> {
             self.peak_workers = self.peak_workers.max(self.pool.len());
             self.maybe_replay_dead_letters();
         } else if let Some(id) = self.pool.random_worker(&mut self.churn_rng) {
-            // Preempt everything running on the departing worker.
-            let mut victims: Vec<u64> = self
-                .running
-                .iter()
-                .filter(|(_, r)| r.worker == id)
-                .map(|(&d, _)| d)
-                .collect();
-            victims.sort_unstable();
-            for d in victims {
-                let run = self.running.remove(&d).expect("victim listed");
+            // Preempt everything running on the departing worker, in
+            // dispatch order (the index is unordered after swap-removals).
+            let mut victims = self.running_by_worker.remove(&id).unwrap_or_default();
+            victims.sort_unstable_by_key(|&(dispatch, _)| dispatch);
+            for (_, victim) in victims {
+                let run = self.running.remove(victim).expect("victim listed");
                 let elapsed = self.now - run.start;
                 self.preempted_alloc_time =
                     self.preempted_alloc_time.add(&run.alloc.scale(elapsed));
@@ -102,7 +98,7 @@ impl<S: EventSink> Simulation<S> {
                 state
                     .advance(TaskPhase::Ready)
                     .expect("preempted attempt was running");
-                self.ready.push_back(run.task_idx);
+                self.push_ready(run.task_idx);
                 self.log_event(SimEvent::TaskPreempted {
                     task: self.specs[run.task_idx].id,
                     worker: id,

@@ -7,6 +7,7 @@
 //! a task whose earlier attempts banked salvaged progress is judged on its
 //! *remaining* duration, so the retry only pays for the work still owed.
 
+use super::arena::RunId;
 use super::lifecycle::TaskPhase;
 use super::queue::Event;
 use super::Simulation;
@@ -69,10 +70,33 @@ impl<S: EventSink> Simulation<S> {
         a
     }
 
+    /// Drop stale ready-queue entries (their task's queue token moved on,
+    /// i.e. it was dead-lettered after enqueueing). FIFO only ever looks at
+    /// the head, so popping stale heads suffices; the scanning policies see
+    /// the whole queue and need it compacted.
+    fn drop_stale_ready(&mut self) {
+        match self.config.queue_policy {
+            QueuePolicy::Fifo => {
+                while let Some(&entry) = self.ready.front() {
+                    if self.ready_entry_live(entry) {
+                        break;
+                    }
+                    self.ready.pop_front();
+                }
+            }
+            _ => {
+                let tasks = &self.tasks;
+                self.ready
+                    .retain(|&(t, token)| tasks[t].queue_token == token);
+            }
+        }
+    }
+
     /// Dispatch ready tasks under the configured queue policy until nothing
     /// more fits.
     pub(super) fn dispatch(&mut self) {
         loop {
+            self.drop_stale_ready();
             if self.ready.is_empty() {
                 break;
             }
@@ -85,7 +109,7 @@ impl<S: EventSink> Simulation<S> {
             };
             let mut queue = Vec::with_capacity(visible);
             for qi in 0..visible {
-                let task_idx = self.ready[qi];
+                let (task_idx, _) = self.ready[qi];
                 let alloc = self.ensure_alloc(task_idx);
                 queue.push((qi, alloc));
             }
@@ -97,7 +121,7 @@ impl<S: EventSink> Simulation<S> {
             else {
                 break; // nothing dispatchable right now
             };
-            let task_idx = self.ready.remove(qi).expect("selected index in queue");
+            let (task_idx, _) = self.ready.remove(qi).expect("selected index in queue");
             // Transient dispatch failure: the placement RPC is lost before
             // the attempt starts. The task backs off (exponentially) and
             // re-enters the queue via a `Requeue` event — or is dead-lettered
@@ -145,19 +169,20 @@ impl<S: EventSink> Simulation<S> {
             let (verdict, cause, work_rate) = self.inject_straggler(verdict);
             self.dispatch_ids += 1;
             let dispatch = self.dispatch_ids;
-            self.running.insert(
-                dispatch,
-                Running {
-                    task_idx,
-                    worker,
-                    alloc,
-                    start: self.now,
-                    verdict,
-                    cause,
-                    work_rate,
-                    remaining_s: effective.duration_s,
-                },
-            );
+            let run = self.running.insert(Running {
+                task_idx,
+                worker,
+                alloc,
+                start: self.now,
+                verdict,
+                cause,
+                work_rate,
+                remaining_s: effective.duration_s,
+            });
+            self.running_by_worker
+                .entry(worker)
+                .or_default()
+                .push((dispatch, run));
             self.stats.dispatches += 1;
             self.tasks[task_idx]
                 .advance(TaskPhase::Running)
@@ -168,17 +193,29 @@ impl<S: EventSink> Simulation<S> {
                 attempt: self.tasks[task_idx].attempts.len() + 1,
                 allocation: alloc,
             });
-            self.events.schedule(
-                self.now + verdict.charged_time_s,
-                Event::Finish { dispatch },
-            );
+            self.events
+                .schedule(self.now + verdict.charged_time_s, Event::Finish { run });
         }
     }
 
-    pub(super) fn on_finish(&mut self, dispatch: u64) {
-        let Some(run) = self.running.remove(&dispatch) else {
+    /// Drop an attempt from its worker's victim index (it ended in place,
+    /// rather than with the worker).
+    pub(super) fn forget_worker_run(&mut self, worker: WorkerId, run: RunId) {
+        if let Some(list) = self.running_by_worker.get_mut(&worker) {
+            if let Some(pos) = list.iter().position(|&(_, r)| r == run) {
+                list.swap_remove(pos);
+            }
+            if list.is_empty() {
+                self.running_by_worker.remove(&worker);
+            }
+        }
+    }
+
+    pub(super) fn on_finish(&mut self, run_id: RunId) {
+        let Some(run) = self.running.remove(run_id) else {
             return; // stale event: the attempt was preempted or crashed
         };
+        self.forget_worker_run(run.worker, run_id);
         self.pool.release(run.worker, &run.alloc);
         let task = self.specs[run.task_idx];
         if run.verdict.success {
@@ -193,13 +230,13 @@ impl<S: EventSink> Simulation<S> {
                 AttemptOutcome::success(run.alloc, run.verdict.charged_time_s)
             };
             let state = &mut self.tasks[run.task_idx];
-            state.attempts.push(attempt);
+            self.attempt_arena.push(&mut state.attempts, attempt);
             let outcome = TaskOutcome {
                 task: task.id,
                 category: task.category,
                 peak: task.peak,
                 duration_s: task.duration_s,
-                attempts: std::mem::take(&mut state.attempts),
+                attempts: self.attempt_arena.take(&mut state.attempts),
             };
             debug_assert!(outcome.check().is_ok(), "{:?}", outcome.check());
             self.result_metrics.push(outcome);
@@ -239,7 +276,7 @@ impl<S: EventSink> Simulation<S> {
                     dep_state
                         .advance(TaskPhase::Ready)
                         .expect("released dependent was pending");
-                    self.ready.push_back(*d);
+                    self.push_ready(*d);
                 }
             }
             self.dependents[run.task_idx] = dependents;
@@ -261,11 +298,14 @@ impl<S: EventSink> Simulation<S> {
             self.stats.faults.straggler_kills += 1;
             self.report_outcome(task.category, AttemptFeedback::Straggler);
             let state = &mut self.tasks[run.task_idx];
-            state.attempts.push(AttemptOutcome::failure_with_cause(
-                run.alloc,
-                run.verdict.charged_time_s,
-                AttemptCause::StragglerTimeout,
-            ));
+            self.attempt_arena.push(
+                &mut state.attempts,
+                AttemptOutcome::failure_with_cause(
+                    run.alloc,
+                    run.verdict.charged_time_s,
+                    AttemptCause::StragglerTimeout,
+                ),
+            );
             let cap = self.config.faults.max_attempts;
             if cap > 0 && self.tasks[run.task_idx].attempts.len() >= cap {
                 self.dead_letter(run.task_idx, DeadLetterCause::AttemptsExhausted);
@@ -276,7 +316,7 @@ impl<S: EventSink> Simulation<S> {
                 state
                     .advance(TaskPhase::Ready)
                     .expect("timed-out attempt was running");
-                self.ready.push_back(run.task_idx);
+                self.push_ready(run.task_idx);
             }
         } else {
             self.log_event(SimEvent::TaskKilled {
@@ -284,10 +324,10 @@ impl<S: EventSink> Simulation<S> {
                 worker: run.worker,
             });
             let state = &mut self.tasks[run.task_idx];
-            state.attempts.push(AttemptOutcome::failure(
-                run.alloc,
-                run.verdict.charged_time_s,
-            ));
+            self.attempt_arena.push(
+                &mut state.attempts,
+                AttemptOutcome::failure(run.alloc, run.verdict.charged_time_s),
+            );
             self.stats.failures += 1;
             self.report_outcome(task.category, AttemptFeedback::Exhaustion);
             let cap = self.config.faults.max_attempts;
@@ -327,7 +367,7 @@ impl<S: EventSink> Simulation<S> {
             state
                 .advance(TaskPhase::Ready)
                 .expect("killed attempt was running");
-            self.ready.push_back(run.task_idx);
+            self.push_ready(run.task_idx);
         }
     }
 
@@ -338,7 +378,7 @@ impl<S: EventSink> Simulation<S> {
             state
                 .advance(TaskPhase::Ready)
                 .expect("requeued task re-enters the queue");
-            self.ready.push_back(task_idx);
+            self.push_ready(task_idx);
         }
     }
 
@@ -351,7 +391,12 @@ impl<S: EventSink> Simulation<S> {
         if max == 0 || self.ready.is_empty() {
             return;
         }
-        let ready: Vec<usize> = self.ready.iter().copied().collect();
+        let ready: Vec<usize> = self
+            .ready
+            .iter()
+            .filter(|&&e| self.ready_entry_live(e))
+            .map(|&(t, _)| t)
+            .collect();
         let mut doomed = Vec::new();
         for task_idx in ready {
             let alloc = self.ensure_alloc(task_idx);

@@ -2,10 +2,14 @@
 //! replay, rack correlation and checkpoint/restart.
 
 use super::*;
-use tora_workloads::synthetic::{self, SyntheticKind};
+use tora_workloads::synthetic::SyntheticKind;
 
 fn small(kind: SyntheticKind) -> Workflow {
-    synthetic::generate(kind, 200, 42)
+    kind.catalog_workflow()
+        .spec(42)
+        .tasks(200)
+        .materialize()
+        .unwrap()
 }
 
 fn assert_conserved(res: &SimResult, total: usize) {

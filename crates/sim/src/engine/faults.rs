@@ -98,15 +98,10 @@ impl<S: EventSink> Simulation<S> {
     /// minimum — an opportunistic pool offers no such guarantee.
     pub(super) fn crash_worker(&mut self, id: WorkerId) {
         self.stats.faults.worker_crashes += 1;
-        let mut victims: Vec<u64> = self
-            .running
-            .iter()
-            .filter(|(_, r)| r.worker == id)
-            .map(|(&d, _)| d)
-            .collect();
-        victims.sort_unstable();
-        for d in victims {
-            let run = self.running.remove(&d).expect("victim listed");
+        let mut victims = self.running_by_worker.remove(&id).unwrap_or_default();
+        victims.sort_unstable_by_key(|&(dispatch, _)| dispatch);
+        for (_, victim) in victims {
+            let run = self.running.remove(victim).expect("victim listed");
             let elapsed = self.now - run.start;
             self.stats.faults.crashed_attempts += 1;
             self.log_event(SimEvent::TaskCrashed {
@@ -132,7 +127,7 @@ impl<S: EventSink> Simulation<S> {
                 }
             }
             let state = &mut self.tasks[run.task_idx];
-            state.attempts.push(attempt);
+            self.attempt_arena.push(&mut state.attempts, attempt);
             let cap = self.config.faults.max_attempts;
             if cap > 0 && self.tasks[run.task_idx].attempts.len() >= cap {
                 self.dead_letter(run.task_idx, DeadLetterCause::AttemptsExhausted);
@@ -145,7 +140,7 @@ impl<S: EventSink> Simulation<S> {
                 state
                     .advance(TaskPhase::Ready)
                     .expect("crashed attempt was running");
-                self.ready.push_back(run.task_idx);
+                self.push_ready(run.task_idx);
             }
         }
         self.pool.leave(id);

@@ -20,9 +20,10 @@
 //!             └────────── (replay)
 //! ```
 
+use super::arena::AttemptChain;
 use crate::faults::checkpoint_progress_s;
 use tora_alloc::resources::ResourceVector;
-use tora_metrics::{AttemptOutcome, DeadLetterCause};
+use tora_metrics::DeadLetterCause;
 
 /// Where a task currently is in its lifecycle.
 ///
@@ -134,7 +135,12 @@ impl std::error::Error for IllegalTransition {}
 pub(crate) struct TaskState {
     /// Where the task is in its lifecycle (see [`TaskPhase`]).
     pub(crate) phase: TaskPhase,
-    pub(crate) attempts: Vec<AttemptOutcome>,
+    /// Attempt history, chained through the engine's shared
+    /// [`super::arena::AttemptArena`] slab.
+    pub(crate) attempts: AttemptChain,
+    /// Bumped whenever the task's ready-queue membership is revoked
+    /// (dead-letter); entries carrying an older token are stale.
+    pub(crate) queue_token: u32,
     /// Allocation for the next dispatch; `None` until first predicted.
     pub(crate) next_alloc: Option<ResourceVector>,
     /// `next_alloc` must not be re-predicted: it was fixed by a retry
@@ -171,7 +177,8 @@ impl TaskState {
     pub(crate) fn fresh(deps_remaining: usize, arrived: bool) -> Self {
         TaskState {
             phase: TaskPhase::Pending,
-            attempts: Vec::new(),
+            attempts: AttemptChain::default(),
+            queue_token: 0,
             next_alloc: None,
             pinned: false,
             predicted_epoch: 0,

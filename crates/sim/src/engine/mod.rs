@@ -27,6 +27,7 @@
 //! Every task transition is driven through [`lifecycle::TaskPhase`]'s legal-
 //! successor table; an illegal transition is an engine bug and fails fast.
 
+mod arena;
 mod churn;
 mod dispatch;
 mod faults;
@@ -41,7 +42,7 @@ mod tests;
 
 pub use lifecycle::{IllegalTransition, TaskPhase};
 
-use self::dispatch::Running;
+use self::arena::{AttemptArena, RunArena, RunId};
 use self::lifecycle::TaskState;
 use self::queue::{Event, EventQueue};
 use crate::enforcement::EnforcementModel;
@@ -55,7 +56,7 @@ use crate::workers::{ChurnConfig, WorkerId, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use tora_alloc::allocator::{AlgorithmKind, Allocator, AllocatorConfig};
 use tora_alloc::feedback::{AttemptFeedback, FaultPolicy};
 use tora_alloc::resources::{ResourceVector, WorkerSpec};
@@ -63,7 +64,7 @@ use tora_alloc::task::CategoryId;
 use tora_alloc::task::TaskSpec;
 use tora_alloc::trace::{EventSink, NoopSink};
 use tora_metrics::{DeadLetterCause, WorkflowMetrics};
-use tora_workloads::Workflow;
+use tora_workloads::{TaskSource, Workflow};
 
 /// How the dynamic workflow generates (submits) its tasks over time.
 ///
@@ -269,6 +270,12 @@ impl SubmitApi {
 pub struct Simulation<S: EventSink = NoopSink> {
     worker: WorkerSpec,
     specs: Vec<TaskSpec>,
+    /// Streaming generator: specs are pulled on demand (just before each
+    /// arrival fires), so a million-task workload never sits fully
+    /// materialized ahead of the event horizon.
+    source: Option<Box<dyn TaskSource>>,
+    /// Total the source will yield; `specs` grows toward it lazily.
+    source_total: usize,
     driver: Option<Box<dyn Driver>>,
     allocator: Allocator<S>,
     config: SimConfig,
@@ -279,10 +286,23 @@ pub struct Simulation<S: EventSink = NoopSink> {
     fault_rng: StdRng,
     events: EventQueue,
     dispatch_ids: u64,
-    running: HashMap<u64, Running>,
-    ready: VecDeque<usize>,
+    /// In-flight attempts, slab-allocated with generational handles so a
+    /// stale `Finish` event (preemption, crash) is recognized in O(1).
+    running: RunArena,
+    /// Live attempts per worker — the departure/crash victim index. Victims
+    /// are still ordered by dispatch number, so slot reuse is invisible.
+    running_by_worker: HashMap<WorkerId, Vec<(u64, RunId)>>,
+    /// Attempt histories for every task, chained through one shared slab.
+    attempt_arena: AttemptArena,
+    /// Ready queue entries are `(task, queue_token)`; a dead-letter bumps
+    /// the task's token instead of scanning the queue, and stale entries
+    /// are dropped lazily at dispatch time.
+    ready: VecDeque<(usize, u32)>,
     tasks: Vec<TaskState>,
     dependents: Vec<Vec<usize>>,
+    /// Dead-lettered tasks with a replayable cause, kept in task order so
+    /// replay re-admission scans only genuine candidates.
+    replay_candidates: BTreeSet<usize>,
     completed: usize,
     /// Tasks abandoned to the dead-letter channel (terminal, like
     /// completion: the run ends when `completed + dead_lettered` covers
@@ -326,6 +346,24 @@ impl Simulation {
         sim
     }
 
+    /// Build an engine that pulls its tasks lazily from a streaming
+    /// [`TaskSource`] — the scaling path. Specs are generated on demand as
+    /// their arrivals fire, so generation overlaps simulation and the
+    /// engine's footprint stays bounded by what has actually arrived. The
+    /// run is byte-identical to `Simulation::new` over the materialized
+    /// form of the same source.
+    pub fn from_source(
+        source: Box<dyn TaskSource>,
+        algorithm: AlgorithmKind,
+        config: SimConfig,
+    ) -> Self {
+        let mut sim = Self::bare(source.worker(), algorithm, config);
+        sim.source_total = source.total_tasks();
+        sim.specs.reserve(sim.source_total.min(1 << 20));
+        sim.source = Some(source);
+        sim
+    }
+
     /// Build an engine whose tasks are generated at runtime by `driver`
     /// (no static workload).
     pub fn with_driver(
@@ -346,6 +384,8 @@ impl Simulation {
         Simulation {
             worker: self.worker,
             specs: self.specs,
+            source: self.source,
+            source_total: self.source_total,
             driver: self.driver,
             allocator: self.allocator.with_sink(sink),
             config: self.config,
@@ -355,9 +395,12 @@ impl Simulation {
             events: self.events,
             dispatch_ids: self.dispatch_ids,
             running: self.running,
+            running_by_worker: self.running_by_worker,
+            attempt_arena: self.attempt_arena,
             ready: self.ready,
             tasks: self.tasks,
             dependents: self.dependents,
+            replay_candidates: self.replay_candidates,
             completed: self.completed,
             dead_lettered: self.dead_lettered,
             now: self.now,
@@ -412,6 +455,8 @@ impl Simulation {
         Simulation {
             worker,
             specs: Vec::new(),
+            source: None,
+            source_total: 0,
             driver: None,
             allocator,
             config,
@@ -420,10 +465,13 @@ impl Simulation {
             fault_rng: StdRng::seed_from_u64(config.seed ^ 0x00FA_0175),
             events: EventQueue::new(),
             dispatch_ids: 0,
-            running: HashMap::new(),
+            running: RunArena::new(),
+            running_by_worker: HashMap::new(),
+            attempt_arena: AttemptArena::new(),
             ready: VecDeque::new(),
             tasks: Vec::new(),
             dependents: Vec::new(),
+            replay_candidates: BTreeSet::new(),
             completed: 0,
             dead_lettered: 0,
             now: SimTime::ZERO,
@@ -461,6 +509,20 @@ impl<S: EventSink> Simulation<S> {
         }
     }
 
+    /// Append a task to the ready queue, stamped with its current queue
+    /// token. A later dead-letter bumps the token, turning any entry still
+    /// in the queue into a stale one that dispatch drops on sight — the
+    /// lazy equivalent of eagerly scanning the queue to remove it.
+    fn push_ready(&mut self, task_idx: usize) {
+        self.ready
+            .push_back((task_idx, self.tasks[task_idx].queue_token));
+    }
+
+    /// Whether a ready-queue entry still refers to a live enqueueing.
+    fn ready_entry_live(&self, entry: (usize, u32)) -> bool {
+        self.tasks[entry.0].queue_token == entry.1
+    }
+
     /// Report an attempt outcome on the allocator's fault-feedback channel.
     /// Only wired while the fault plan is active: a fault-free run must stay
     /// byte-identical to the pre-feedback engine (no window pushes, no
@@ -473,9 +535,49 @@ impl<S: EventSink> Simulation<S> {
         self.stats.record_feedback(category.0);
     }
 
+    /// Total number of tasks this run must account for: everything
+    /// materialized so far, or the streaming source's declared total.
+    fn total_target(&self) -> usize {
+        self.specs.len().max(self.source_total)
+    }
+
+    /// Pull tasks from the streaming source until `task_idx` is
+    /// materialized. A no-op for materialized runs and already-pulled
+    /// indices; sources yield sequential, dependency-free tasks, so each
+    /// pull is a spec push plus a fresh lifecycle slot.
+    fn ensure_spec(&mut self, task_idx: usize) {
+        if self.specs.len() > task_idx || self.source.is_none() {
+            return;
+        }
+        while self.specs.len() <= task_idx {
+            let spec = self
+                .source
+                .as_mut()
+                .expect("checked above")
+                .next_task()
+                .expect("source ended before its declared total");
+            assert_eq!(
+                spec.id.0,
+                self.specs.len() as u64,
+                "streaming sources must yield sequential ids"
+            );
+            assert!(
+                self.worker.capacity.dominates(&spec.peak),
+                "{}: peak {} exceeds worker capacity {}",
+                spec.id,
+                spec.peak,
+                self.worker.capacity
+            );
+            self.specs.push(spec);
+            self.tasks.push(TaskState::fresh(0, false));
+            self.dependents.push(Vec::new());
+        }
+    }
+
     /// The arrival model released a task: it becomes ready once its
     /// predecessors (if any) have completed.
     fn on_arrive(&mut self, task_idx: usize) {
+        self.ensure_spec(task_idx);
         if self.tasks[task_idx].is_dead() {
             // Dead-lettered (dependency cascade) before it ever arrived; its
             // submission was already accounted at dead-letter time.
@@ -492,7 +594,7 @@ impl<S: EventSink> Simulation<S> {
             state
                 .advance(TaskPhase::Ready)
                 .expect("arrived task was pending");
-            self.ready.push_back(task_idx);
+            self.push_ready(task_idx);
         }
     }
 
@@ -500,7 +602,7 @@ impl<S: EventSink> Simulation<S> {
     fn schedule_arrivals(&mut self) {
         match self.config.arrival {
             ArrivalModel::Batch => {
-                for task_idx in 0..self.specs.len() {
+                for task_idx in 0..self.total_target() {
                     self.on_arrive(task_idx);
                 }
             }
@@ -511,7 +613,7 @@ impl<S: EventSink> Simulation<S> {
                 );
                 let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x0A88_17E5);
                 let mut t = SimTime::ZERO;
-                for task_idx in 0..self.specs.len() {
+                for task_idx in 0..self.total_target() {
                     t = t + exponential_interval_s(&mut rng, mean_interval_s).max(0.0);
                     self.events.schedule(t, Event::Arrive { task_idx });
                 }
@@ -530,6 +632,10 @@ impl<S: EventSink> Simulation<S> {
     /// Fold driver submissions into the live run: new tasks arrive
     /// immediately, gated only by their dependencies.
     fn integrate_submissions(&mut self, api: SubmitApi) {
+        assert!(
+            self.source.is_none(),
+            "driver submissions cannot mix with a streaming source"
+        );
         for (category, peak, duration_s, deps) in api.submissions {
             let id = self.specs.len() as u64;
             let spec = TaskSpec::new(id, category, peak, duration_s);
@@ -561,7 +667,7 @@ impl<S: EventSink> Simulation<S> {
             self.log_event(SimEvent::TaskSubmitted { task: spec.id });
             self.stats.submitted += 1;
             if deps_remaining == 0 {
-                self.ready.push_back(id as usize);
+                self.push_ready(id as usize);
             }
         }
     }
@@ -587,7 +693,7 @@ impl<S: EventSink> Simulation<S> {
         self.dispatch();
         self.enforce_unplaceable_strikes();
         self.sample_utilization();
-        while self.completed + self.dead_lettered < self.specs.len() {
+        while self.completed + self.dead_lettered < self.total_target() {
             let Some(ev) = self.events.pop() else {
                 // Without faults this is unreachable: every non-terminal
                 // task has a Finish or Arrive event in flight. Under a fault
@@ -598,6 +704,10 @@ impl<S: EventSink> Simulation<S> {
                     self.config.faults.is_active(),
                     "tasks pending but no events scheduled"
                 );
+                // Materialize any still-unpulled tail of a streaming source
+                // so the stranded sweep covers the full declared total.
+                let last = self.total_target().saturating_sub(1);
+                self.ensure_spec(last);
                 let stranded: Vec<usize> = (0..self.tasks.len())
                     .filter(|&i| !self.tasks[i].phase.is_terminal())
                     .collect();
@@ -609,7 +719,7 @@ impl<S: EventSink> Simulation<S> {
             debug_assert!(ev.time >= self.now);
             self.now = ev.time;
             match ev.event {
-                Event::Finish { dispatch } => self.on_finish(dispatch),
+                Event::Finish { run } => self.on_finish(run),
                 Event::Arrive { task_idx } => self.on_arrive(task_idx),
                 Event::Churn => self.on_churn(),
                 Event::Crash => self.on_crash(),

@@ -34,8 +34,14 @@ impl<S: EventSink> Simulation<S> {
             state.arrived = true;
             self.stats.submitted += 1;
         }
-        let attempts = std::mem::take(&mut self.tasks[task_idx].attempts);
-        self.ready.retain(|&t| t != task_idx);
+        let attempts = self.attempt_arena.take(&mut self.tasks[task_idx].attempts);
+        // Revoke any ready-queue membership lazily: bumping the token makes
+        // a still-queued entry stale, which dispatch drops on sight —
+        // exactly what the eager O(queue) scan-and-remove used to do.
+        self.tasks[task_idx].queue_token = self.tasks[task_idx].queue_token.wrapping_add(1);
+        if cause.replayable() {
+            self.replay_candidates.insert(task_idx);
+        }
         let spec = self.specs[task_idx];
         let letter = DeadLetter {
             task: spec.id,
@@ -84,15 +90,26 @@ impl<S: EventSink> Simulation<S> {
         if self.pool.len() < needed.max(1) {
             return;
         }
-        let candidates: Vec<usize> = (0..self.tasks.len())
-            .filter(|&i| {
-                let t = &self.tasks[i];
-                t.is_dead()
-                    && t.replays < plan.max_replay_rounds
-                    && t.dead_cause.is_some_and(|c| c.replayable())
-            })
-            .collect();
+        // The candidate set holds every dead task with a replayable cause,
+        // in task order — the same order the old full scan produced. Tasks
+        // whose replay budget is spent are pruned for good (replays never
+        // decrease), so repeated joins don't rescan them.
+        let mut candidates = Vec::new();
+        let mut exhausted = Vec::new();
+        for &i in &self.replay_candidates {
+            let t = &self.tasks[i];
+            debug_assert!(t.is_dead() && t.dead_cause.is_some_and(|c| c.replayable()));
+            if t.replays < plan.max_replay_rounds {
+                candidates.push(i);
+            } else {
+                exhausted.push(i);
+            }
+        }
+        for i in exhausted {
+            self.replay_candidates.remove(&i);
+        }
         for task_idx in candidates {
+            self.replay_candidates.remove(&task_idx);
             let task_id = self.specs[task_idx].id;
             let letter = self
                 .result_metrics
@@ -104,19 +121,19 @@ impl<S: EventSink> Simulation<S> {
                 .expect("replay re-admits a dead-lettered task");
             state.dead_cause = None;
             state.replays += 1;
-            // Restore the attempt history: the budget spans the replay.
-            state.attempts = letter.attempts;
             state.dispatch_failures = 0;
             state.unplaceable_strikes = 0;
             state.pinned = false;
             state.next_alloc = None;
+            // Restore the attempt history: the budget spans the replay.
+            self.tasks[task_idx].attempts = self.attempt_arena.restore(letter.attempts);
             self.dead_lettered -= 1;
             self.stats.faults.dead_lettered -= 1;
             self.stats.faults.replayed += 1;
             self.log_event(SimEvent::TaskReplayed { task: task_id });
             // Replayable causes only ever strike ready (dependency-free,
             // arrived) tasks, so the task can re-enter the queue directly.
-            self.ready.push_back(task_idx);
+            self.push_ready(task_idx);
         }
     }
 }

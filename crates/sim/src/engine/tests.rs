@@ -3,11 +3,15 @@
 
 use super::*;
 use tora_alloc::resources::ResourceKind;
-use tora_workloads::synthetic::{self, SyntheticKind};
+use tora_workloads::synthetic::SyntheticKind;
 use tora_workloads::PaperWorkflow;
 
 fn small(kind: SyntheticKind) -> Workflow {
-    synthetic::generate(kind, 200, 42)
+    kind.catalog_workflow()
+        .spec(42)
+        .tasks(200)
+        .materialize()
+        .unwrap()
 }
 
 #[test]
@@ -277,7 +281,12 @@ fn dependencies_gate_execution_order() {
 
 #[test]
 fn dag_workflow_completes_with_retries_and_churn() {
-    let wf = tora_workloads::topeft::generate_dag(20, 160, 12, 3);
+    let wf = PaperWorkflow::TopEft
+        .spec(3)
+        .category_tasks(vec![20, 160, 12])
+        .dag()
+        .materialize()
+        .unwrap();
     let config = SimConfig {
         churn: ChurnConfig {
             initial: 4,

@@ -78,12 +78,17 @@ pub fn replay_with_config(
 mod tests {
     use super::*;
     use tora_alloc::resources::ResourceKind;
-    use tora_workloads::synthetic::{self, SyntheticKind};
+    use tora_workloads::synthetic::SyntheticKind;
     use tora_workloads::PaperWorkflow;
 
     #[test]
     fn replay_completes_every_task_for_every_algorithm() {
-        let wf = synthetic::generate(SyntheticKind::Bimodal, 300, 5);
+        let wf = SyntheticKind::Bimodal
+            .catalog_workflow()
+            .spec(5)
+            .tasks(300)
+            .materialize()
+            .unwrap();
         for alg in AlgorithmKind::PAPER_SET {
             let m = replay(&wf, alg, EnforcementModel::LinearRamp, 1);
             assert_eq!(m.len(), wf.len(), "{alg}");
@@ -98,7 +103,12 @@ mod tests {
     fn oracle_style_bound_holds() {
         // No algorithm can beat AWE = 1; whole machine is the floor among
         // sensible ones on memory for these workloads.
-        let wf = synthetic::generate(SyntheticKind::Normal, 400, 8);
+        let wf = SyntheticKind::Normal
+            .catalog_workflow()
+            .spec(8)
+            .tasks(400)
+            .materialize()
+            .unwrap();
         let wm = replay(
             &wf,
             AlgorithmKind::WholeMachine,
@@ -117,7 +127,12 @@ mod tests {
 
     #[test]
     fn enforcement_model_changes_only_failure_charging() {
-        let wf = synthetic::generate(SyntheticKind::Exponential, 300, 2);
+        let wf = SyntheticKind::Exponential
+            .catalog_workflow()
+            .spec(2)
+            .tasks(300)
+            .materialize()
+            .unwrap();
         let ramp = replay(
             &wf,
             AlgorithmKind::QuantizedBucketing,
@@ -202,7 +217,12 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let wf = synthetic::generate(SyntheticKind::Uniform, 200, 6);
+        let wf = SyntheticKind::Uniform
+            .catalog_workflow()
+            .spec(6)
+            .tasks(200)
+            .materialize()
+            .unwrap();
         let a = replay(
             &wf,
             AlgorithmKind::GreedyBucketing,

@@ -1,6 +1,7 @@
 //! The catalog of the paper's seven evaluation workflows (Figures 5 and 6).
 
-use crate::synthetic::{self, SyntheticKind};
+use crate::spec::WorkloadSpec;
+use crate::synthetic::SyntheticKind;
 use crate::workflow::Workflow;
 use crate::{colmena, topeft};
 use serde::{Deserialize, Serialize};
@@ -49,20 +50,60 @@ impl PaperWorkflow {
         }
     }
 
-    /// Materialize the workflow trace for a seed.
+    /// A [`WorkloadSpec`] for this workflow — the entry point for scaling,
+    /// DAG structure and streaming generation.
+    pub fn spec(self, seed: u64) -> WorkloadSpec {
+        WorkloadSpec::new(self, seed)
+    }
+
+    /// Materialize the workflow trace for a seed at the paper's task counts.
     pub fn build(self, seed: u64) -> Workflow {
+        self.spec(seed)
+            .materialize()
+            .expect("paper spec is always valid")
+    }
+
+    /// The synthetic distribution behind this workflow, if it is one of the
+    /// five §V-B synthetics.
+    pub fn synthetic_kind(self) -> Option<SyntheticKind> {
         match self {
-            PaperWorkflow::Normal => synthetic::paper_workflow(SyntheticKind::Normal, seed),
-            PaperWorkflow::Uniform => synthetic::paper_workflow(SyntheticKind::Uniform, seed),
-            PaperWorkflow::Exponential => {
-                synthetic::paper_workflow(SyntheticKind::Exponential, seed)
+            PaperWorkflow::Normal => Some(SyntheticKind::Normal),
+            PaperWorkflow::Uniform => Some(SyntheticKind::Uniform),
+            PaperWorkflow::Exponential => Some(SyntheticKind::Exponential),
+            PaperWorkflow::Bimodal => Some(SyntheticKind::Bimodal),
+            PaperWorkflow::Trimodal => Some(SyntheticKind::PhasingTrimodal),
+            PaperWorkflow::ColmenaXtb | PaperWorkflow::TopEft => None,
+        }
+    }
+
+    /// Category display names, in category-id order.
+    pub fn category_names(self) -> Vec<String> {
+        match self {
+            PaperWorkflow::ColmenaXtb => vec![
+                "evaluate_mpnn".to_string(),
+                "compute_atomization_energy".to_string(),
+            ],
+            PaperWorkflow::TopEft => vec![
+                "preprocessing".to_string(),
+                "processing".to_string(),
+                "accumulating".to_string(),
+            ],
+            synth => vec![synth.name().to_string()],
+        }
+    }
+
+    /// The paper's per-category task counts, in category-id order.
+    pub fn paper_category_counts(self) -> Vec<usize> {
+        match self {
+            PaperWorkflow::ColmenaXtb => {
+                vec![colmena::EVALUATE_MPNN_TASKS, colmena::COMPUTE_ENERGY_TASKS]
             }
-            PaperWorkflow::Bimodal => synthetic::paper_workflow(SyntheticKind::Bimodal, seed),
-            PaperWorkflow::Trimodal => {
-                synthetic::paper_workflow(SyntheticKind::PhasingTrimodal, seed)
-            }
-            PaperWorkflow::ColmenaXtb => colmena::paper_workflow(seed),
-            PaperWorkflow::TopEft => topeft::paper_workflow(seed),
+            PaperWorkflow::TopEft => vec![
+                topeft::PREPROCESSING_TASKS,
+                topeft::PROCESSING_TASKS,
+                topeft::ACCUMULATING_TASKS,
+            ],
+            _ => vec![crate::synthetic::PAPER_TASK_COUNT],
         }
     }
 }

@@ -18,11 +18,12 @@
 //!   in ColmenaXTB (around 10 MBs)"), which drives the single-digit disk
 //!   efficiency every algorithm shows on this workflow.
 
+use crate::catalog::PaperWorkflow;
 use crate::dist::{lognormal, uniform, Dist};
 use crate::workflow::Workflow;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tora_alloc::resources::{ResourceVector, WorkerSpec};
+use tora_alloc::resources::ResourceVector;
 use tora_alloc::task::TaskSpec;
 
 /// `evaluate_mpnn` task count in the paper's trace.
@@ -35,71 +36,63 @@ pub const CAT_EVALUATE_MPNN: u32 = 0;
 /// Category id of `compute_atomization_energy`.
 pub const CAT_COMPUTE_ENERGY: u32 = 1;
 
+/// The dedicated ColmenaXTB-generation RNG stream for a seed.
+pub(crate) fn stream_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0xC01_3EA)
+}
+
+/// Sample task `index` given the phase split — the single canonical draw
+/// order shared by the materialized and streaming paths. Tasks before
+/// `n_evaluate` are `evaluate_mpnn`, the rest `compute_atomization_energy`.
+pub(crate) fn sample_task(index: usize, n_evaluate: usize, rng: &mut StdRng) -> TaskSpec {
+    if index < n_evaluate {
+        // Phase 1: evaluate_mpnn — memory 1.0–1.2 GB, ~1 core, ~10 MB disk.
+        let mpnn_mem = Dist::Uniform {
+            lo: 1024.0,
+            hi: 1228.0,
+        };
+        let mpnn_cores = Dist::Normal {
+            mean: 1.0,
+            std_dev: 0.05,
+            min: 0.5,
+        };
+        let peak = ResourceVector::new(mpnn_cores.sample(rng), mpnn_mem.sample(rng), disk_mb(rng));
+        // GPU-accelerated inference batches: a couple of minutes each.
+        let duration = lognormal(rng, 120.0f64.ln(), 0.3).clamp(30.0, 600.0);
+        TaskSpec::new(index as u64, CAT_EVALUATE_MPNN, peak, duration)
+    } else {
+        // Phase 2: compute_atomization_energy — ~200 MB memory, wildly
+        // varying core usage (0.9–3.6), ~10 MB disk.
+        let energy_mem = Dist::Normal {
+            mean: 200.0,
+            std_dev: 15.0,
+            min: 120.0,
+        };
+        let peak =
+            ResourceVector::new(uniform(rng, 0.9, 3.6), energy_mem.sample(rng), disk_mb(rng));
+        // Molecular-dynamics runs: broad duration spread.
+        let duration = lognormal(rng, 180.0f64.ln(), 0.6).clamp(20.0, 1800.0);
+        TaskSpec::new(index as u64, CAT_COMPUTE_ENERGY, peak, duration)
+    }
+}
+
 /// Generate the ColmenaXTB-shaped trace with the paper's task counts.
+#[deprecated(note = "use the WorkloadSpec entry point: \
+                     `PaperWorkflow::ColmenaXtb.spec(seed)`")]
 pub fn paper_workflow(seed: u64) -> Workflow {
-    generate(EVALUATE_MPNN_TASKS, COMPUTE_ENERGY_TASKS, seed)
+    PaperWorkflow::ColmenaXtb.build(seed)
 }
 
 /// Generate a ColmenaXTB-shaped trace with custom per-category task counts
 /// (used by the >10k-task future-work experiments).
+#[deprecated(note = "use the WorkloadSpec entry point: \
+                     `PaperWorkflow::ColmenaXtb.spec(seed).category_tasks(…)`")]
 pub fn generate(n_evaluate: usize, n_energy: usize, seed: u64) -> Workflow {
-    let worker = WorkerSpec::paper_default();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xC01_3EA);
-    let mut tasks = Vec::with_capacity(n_evaluate + n_energy);
-
-    // Phase 1: evaluate_mpnn — memory 1.0–1.2 GB, ~1 core, ~10 MB disk.
-    let mpnn_mem = Dist::Uniform {
-        lo: 1024.0,
-        hi: 1228.0,
-    };
-    let mpnn_cores = Dist::Normal {
-        mean: 1.0,
-        std_dev: 0.05,
-        min: 0.5,
-    };
-    for i in 0..n_evaluate {
-        let peak = ResourceVector::new(
-            mpnn_cores.sample(&mut rng),
-            mpnn_mem.sample(&mut rng),
-            disk_mb(&mut rng),
-        );
-        // GPU-accelerated inference batches: a couple of minutes each.
-        let duration = lognormal(&mut rng, 120.0f64.ln(), 0.3).clamp(30.0, 600.0);
-        tasks.push(TaskSpec::new(i as u64, CAT_EVALUATE_MPNN, peak, duration));
-    }
-
-    // Phase 2: compute_atomization_energy — ~200 MB memory, wildly varying
-    // core usage (0.9–3.6), ~10 MB disk.
-    let energy_mem = Dist::Normal {
-        mean: 200.0,
-        std_dev: 15.0,
-        min: 120.0,
-    };
-    for i in 0..n_energy {
-        let peak = ResourceVector::new(
-            uniform(&mut rng, 0.9, 3.6),
-            energy_mem.sample(&mut rng),
-            disk_mb(&mut rng),
-        );
-        // Molecular-dynamics runs: broad duration spread.
-        let duration = lognormal(&mut rng, 180.0f64.ln(), 0.6).clamp(20.0, 1800.0);
-        tasks.push(TaskSpec::new(
-            (n_evaluate + i) as u64,
-            CAT_COMPUTE_ENERGY,
-            peak,
-            duration,
-        ));
-    }
-
-    Workflow::new(
-        "colmena-xtb",
-        vec![
-            "evaluate_mpnn".to_string(),
-            "compute_atomization_energy".to_string(),
-        ],
-        tasks,
-        worker,
-    )
+    PaperWorkflow::ColmenaXtb
+        .spec(seed)
+        .category_tasks(vec![n_evaluate, n_energy])
+        .materialize()
+        .expect("colmena spec is always valid")
 }
 
 /// All ColmenaXTB tasks use roughly 10 MB of disk.
@@ -114,7 +107,7 @@ mod tests {
 
     #[test]
     fn paper_counts_and_structure() {
-        let wf = paper_workflow(1);
+        let wf = PaperWorkflow::ColmenaXtb.build(1);
         assert_eq!(wf.len(), 1228);
         assert_eq!(wf.category_counts(), vec![228, 1000]);
         wf.validate().unwrap();
@@ -138,7 +131,7 @@ mod tests {
 
     #[test]
     fn memory_specialization_between_categories() {
-        let wf = paper_workflow(2);
+        let wf = PaperWorkflow::ColmenaXtb.build(2);
         for t in wf.tasks_of(CategoryId(CAT_EVALUATE_MPNN)) {
             assert!(
                 (1024.0..1228.0).contains(&t.peak.memory_mb()),
@@ -157,7 +150,7 @@ mod tests {
 
     #[test]
     fn energy_cores_span_the_documented_range() {
-        let wf = paper_workflow(3);
+        let wf = PaperWorkflow::ColmenaXtb.build(3);
         let cores: Vec<f64> = wf
             .tasks_of(CategoryId(CAT_COMPUTE_ENERGY))
             .map(|t| t.peak.cores())
@@ -170,15 +163,22 @@ mod tests {
 
     #[test]
     fn disk_is_tiny_everywhere() {
-        let wf = paper_workflow(4);
+        let wf = PaperWorkflow::ColmenaXtb.build(4);
         assert!(wf.tasks.iter().all(|t| t.peak.disk_mb() < 12.5));
         assert!(wf.tasks.iter().all(|t| t.peak.disk_mb() >= 8.0));
     }
 
     #[test]
     fn determinism_and_custom_sizes() {
-        assert_eq!(paper_workflow(5).tasks, paper_workflow(5).tasks);
-        let big = generate(500, 10_000, 6);
+        assert_eq!(
+            PaperWorkflow::ColmenaXtb.build(5).tasks,
+            PaperWorkflow::ColmenaXtb.build(5).tasks
+        );
+        let big = PaperWorkflow::ColmenaXtb
+            .spec(6)
+            .category_tasks(vec![500, 10_000])
+            .materialize()
+            .unwrap();
         assert_eq!(big.len(), 10_500);
         big.validate().unwrap();
     }

@@ -41,11 +41,16 @@ pub fn load(path: &Path) -> Result<Workflow, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::synthetic::{generate, SyntheticKind};
+    use crate::synthetic::SyntheticKind;
 
     #[test]
     fn json_roundtrip_preserves_everything() {
-        let wf = generate(SyntheticKind::Bimodal, 50, 3);
+        let wf = SyntheticKind::Bimodal
+            .catalog_workflow()
+            .spec(3)
+            .tasks(50)
+            .materialize()
+            .unwrap();
         let json = to_json(&wf).unwrap();
         let back = from_json(&json).unwrap();
         assert_eq!(back.name, wf.name);
@@ -56,7 +61,12 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let wf = generate(SyntheticKind::Normal, 20, 9);
+        let wf = SyntheticKind::Normal
+            .catalog_workflow()
+            .spec(9)
+            .tasks(20)
+            .materialize()
+            .unwrap();
         let dir = std::env::temp_dir().join("tora-io-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.json");
@@ -70,7 +80,12 @@ mod tests {
     fn invalid_traces_are_rejected() {
         assert!(from_json("not json").is_err());
         // Structurally valid JSON but semantically broken (bad task id).
-        let wf = generate(SyntheticKind::Normal, 3, 1);
+        let wf = SyntheticKind::Normal
+            .catalog_workflow()
+            .spec(1)
+            .tasks(3)
+            .materialize()
+            .unwrap();
         let mut json = to_json(&wf).unwrap();
         json = json.replacen("\"id\": 0", "\"id\": 7", 1);
         assert!(from_json(&json).is_err());

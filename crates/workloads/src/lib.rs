@@ -21,6 +21,8 @@ pub mod colmena;
 pub mod dist;
 pub mod io;
 pub mod perturb;
+pub mod source;
+pub mod spec;
 pub mod synthetic;
 pub mod topeft;
 pub mod validate;
@@ -29,5 +31,7 @@ pub mod workflow;
 pub use builder::{CategorySpec, WorkflowBuilder};
 pub use catalog::PaperWorkflow;
 pub use dist::Dist;
+pub use source::{CatalogSource, TaskSource};
+pub use spec::WorkloadSpec;
 pub use synthetic::SyntheticKind;
 pub use workflow::Workflow;

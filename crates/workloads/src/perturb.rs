@@ -125,10 +125,15 @@ pub fn inject_outliers(base: &Workflow, fraction: f64, factor: f64, seed: u64) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::synthetic::{generate, SyntheticKind};
+    use crate::synthetic::SyntheticKind;
 
     fn base() -> Workflow {
-        generate(SyntheticKind::Normal, 100, 5)
+        SyntheticKind::Normal
+            .catalog_workflow()
+            .spec(5)
+            .tasks(100)
+            .materialize()
+            .unwrap()
     }
 
     #[test]
@@ -192,7 +197,12 @@ mod tests {
 
     #[test]
     fn phase_shift_swaps_halves() {
-        let wf = generate(SyntheticKind::PhasingTrimodal, 90, 2);
+        let wf = SyntheticKind::PhasingTrimodal
+            .catalog_workflow()
+            .spec(2)
+            .tasks(90)
+            .materialize()
+            .unwrap();
         let shifted = phase_shift(&wf);
         shifted.validate().unwrap();
         assert_eq!(shifted.tasks[0].peak, wf.tasks[45].peak);

@@ -1,0 +1,154 @@
+//! Streaming workload generation.
+//!
+//! A [`TaskSource`] yields a workflow one [`TaskSpec`] at a time instead of
+//! materializing the whole trace up front. The engine pulls specs on demand
+//! (each task is generated just before its arrival fires), so generation
+//! overlaps simulation and a million-task workload never exists as one
+//! giant allocation on the generator side.
+//!
+//! [`CatalogSource`] is the streaming form of every catalog workflow. It
+//! shares the per-task samplers (and the per-family RNG streams) with the
+//! materialized path, so draining a source yields *byte-identical* specs to
+//! [`crate::spec::WorkloadSpec::materialize`] — a property the simulation
+//! parity suite pins down to the event log.
+
+use crate::catalog::PaperWorkflow;
+use crate::{colmena, synthetic, topeft};
+use rand::rngs::StdRng;
+use tora_alloc::resources::WorkerSpec;
+use tora_alloc::task::TaskSpec;
+
+/// A workload produced one task at a time, in submission order.
+///
+/// Contract: [`TaskSource::next_task`] yields exactly
+/// [`TaskSource::total_tasks`] specs whose ids are `0..total` in order, each
+/// fitting [`TaskSource::worker`]. Sources are dependency-free — a DAG's
+/// dependency lists index into the full task range, so DAG-structured
+/// workflows go through the materialized path instead.
+pub trait TaskSource: Send {
+    /// Workflow name as used in reports.
+    fn name(&self) -> &str;
+    /// Category display names; index is the category id.
+    fn categories(&self) -> &[String];
+    /// Worker shape the tasks are meant to run on.
+    fn worker(&self) -> WorkerSpec;
+    /// Exact number of tasks this source will yield in total (not
+    /// remaining — the value is constant over the source's lifetime).
+    fn total_tasks(&self) -> usize;
+    /// The next task, or `None` once `total_tasks()` have been yielded.
+    fn next_task(&mut self) -> Option<TaskSpec>;
+}
+
+/// The streaming form of a catalog workflow (see
+/// [`crate::spec::WorkloadSpec::stream`]).
+pub struct CatalogSource {
+    workflow: PaperWorkflow,
+    categories: Vec<String>,
+    worker: WorkerSpec,
+    /// Resolved per-category task counts, in category-id order.
+    counts: Vec<usize>,
+    total: usize,
+    next: usize,
+    rng: StdRng,
+}
+
+impl CatalogSource {
+    pub(crate) fn new(workflow: PaperWorkflow, counts: Vec<usize>, seed: u64) -> Self {
+        let total = counts.iter().sum();
+        CatalogSource {
+            workflow,
+            categories: workflow.category_names(),
+            worker: WorkerSpec::paper_default(),
+            counts,
+            total,
+            next: 0,
+            rng: match workflow {
+                PaperWorkflow::ColmenaXtb => colmena::stream_rng(seed),
+                PaperWorkflow::TopEft => topeft::stream_rng(seed),
+                _ => synthetic::stream_rng(seed),
+            },
+        }
+    }
+}
+
+impl TaskSource for CatalogSource {
+    fn name(&self) -> &str {
+        self.workflow.name()
+    }
+
+    fn categories(&self) -> &[String] {
+        &self.categories
+    }
+
+    fn worker(&self) -> WorkerSpec {
+        self.worker
+    }
+
+    fn total_tasks(&self) -> usize {
+        self.total
+    }
+
+    fn next_task(&mut self) -> Option<TaskSpec> {
+        if self.next >= self.total {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        Some(match self.workflow {
+            PaperWorkflow::ColmenaXtb => colmena::sample_task(i, self.counts[0], &mut self.rng),
+            PaperWorkflow::TopEft => {
+                topeft::sample_task(i, self.counts[0], self.counts[1], &mut self.rng)
+            }
+            synth => {
+                let kind = synth.synthetic_kind().expect("catalog family");
+                synthetic::sample_task(kind, i, self.total, &self.worker, &mut self.rng)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+
+    #[test]
+    fn every_catalog_source_drains_to_its_materialized_trace() {
+        for wf in PaperWorkflow::ALL {
+            let spec = WorkloadSpec::new(wf, 11);
+            let built = spec.materialize().unwrap();
+            let mut source = spec.stream().unwrap();
+            assert_eq!(source.total_tasks(), built.len(), "{}", wf.name());
+            assert_eq!(source.name(), built.name);
+            assert_eq!(source.categories(), built.categories.as_slice());
+            assert_eq!(source.worker(), built.worker);
+            let drained: Vec<_> = std::iter::from_fn(|| source.next_task()).collect();
+            assert_eq!(drained, built.tasks, "{}", wf.name());
+            assert!(source.next_task().is_none(), "source is exhausted");
+        }
+    }
+
+    #[test]
+    fn sources_are_deterministic_per_seed() {
+        let drain = |seed| {
+            let mut s = WorkloadSpec::new(PaperWorkflow::TopEft, seed)
+                .stream()
+                .unwrap();
+            std::iter::from_fn(move || s.next_task()).collect::<Vec<_>>()
+        };
+        assert_eq!(drain(3), drain(3));
+        assert_ne!(drain(3), drain(4));
+    }
+
+    #[test]
+    fn scaled_sources_honor_the_category_split() {
+        let mut source = WorkloadSpec::new(PaperWorkflow::ColmenaXtb, 5)
+            .category_tasks(vec![10, 40])
+            .stream()
+            .unwrap();
+        assert_eq!(source.total_tasks(), 50);
+        let drained: Vec<_> = std::iter::from_fn(|| source.next_task()).collect();
+        assert_eq!(drained.iter().filter(|t| t.category.0 == 0).count(), 10);
+        assert_eq!(drained.iter().filter(|t| t.category.0 == 1).count(), 40);
+    }
+}

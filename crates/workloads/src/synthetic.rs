@@ -14,6 +14,7 @@
 //! Per §V-B, disk follows the same distribution as memory (sampled
 //! independently) and cores follow a slightly different (rescaled) one.
 
+use crate::catalog::PaperWorkflow;
 use crate::dist::{lognormal, Dist};
 use crate::workflow::Workflow;
 use rand::rngs::StdRng;
@@ -149,26 +150,61 @@ impl SyntheticKind {
     }
 }
 
-/// Generate one §V-B synthetic workflow with `n_tasks` tasks.
-pub fn generate(kind: SyntheticKind, n_tasks: usize, seed: u64) -> Workflow {
-    let worker = WorkerSpec::paper_default();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0000);
-    let mut tasks = Vec::with_capacity(n_tasks);
-    for i in 0..n_tasks {
-        let mem = kind.memory_dist(i, n_tasks).sample(&mut rng);
-        let disk = kind.memory_dist(i, n_tasks).sample(&mut rng);
-        let cores = kind.cores_dist(i, n_tasks).sample(&mut rng);
-        // Durations: log-normal around ~60 s, clamped to [5 s, 600 s].
-        let duration = lognormal(&mut rng, 60.0f64.ln(), 0.5).clamp(5.0, 600.0);
-        let peak = ResourceVector::new(cores, mem, disk).clamp_to(&worker.capacity);
-        tasks.push(TaskSpec::new(i as u64, 0, peak, duration));
+impl SyntheticKind {
+    /// The catalog entry this distribution backs.
+    pub fn catalog_workflow(self) -> PaperWorkflow {
+        match self {
+            SyntheticKind::Normal => PaperWorkflow::Normal,
+            SyntheticKind::Uniform => PaperWorkflow::Uniform,
+            SyntheticKind::Exponential => PaperWorkflow::Exponential,
+            SyntheticKind::Bimodal => PaperWorkflow::Bimodal,
+            SyntheticKind::PhasingTrimodal => PaperWorkflow::Trimodal,
+        }
     }
-    Workflow::new(kind.name(), vec![kind.name().to_string()], tasks, worker)
+}
+
+/// The dedicated synthetic-generation RNG stream for a seed.
+pub(crate) fn stream_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0x5EED_0000)
+}
+
+/// Sample task `index` of `n` — the single canonical draw order (memory,
+/// disk, cores, duration) shared by the materialized and streaming paths.
+pub(crate) fn sample_task(
+    kind: SyntheticKind,
+    index: usize,
+    n: usize,
+    worker: &WorkerSpec,
+    rng: &mut StdRng,
+) -> TaskSpec {
+    let mem = kind.memory_dist(index, n).sample(rng);
+    let disk = kind.memory_dist(index, n).sample(rng);
+    let cores = kind.cores_dist(index, n).sample(rng);
+    // Durations: log-normal around ~60 s, clamped to [5 s, 600 s].
+    let duration = lognormal(rng, 60.0f64.ln(), 0.5).clamp(5.0, 600.0);
+    let peak = ResourceVector::new(cores, mem, disk).clamp_to(&worker.capacity);
+    TaskSpec::new(index as u64, 0, peak, duration)
+}
+
+/// Generate one §V-B synthetic workflow with `n_tasks` tasks.
+#[deprecated(note = "use the WorkloadSpec entry point: \
+                     `kind.catalog_workflow().spec(seed).tasks(n)`")]
+pub fn generate(kind: SyntheticKind, n_tasks: usize, seed: u64) -> Workflow {
+    kind.catalog_workflow()
+        .spec(seed)
+        .tasks(n_tasks)
+        .materialize()
+        .expect("synthetic spec is always valid")
 }
 
 /// Generate the paper's 1000-task version.
+#[deprecated(note = "use the WorkloadSpec entry point: \
+                     `kind.catalog_workflow().spec(seed)`")]
 pub fn paper_workflow(kind: SyntheticKind, seed: u64) -> Workflow {
-    generate(kind, PAPER_TASK_COUNT, seed)
+    kind.catalog_workflow()
+        .spec(seed)
+        .materialize()
+        .expect("synthetic spec is always valid")
 }
 
 #[cfg(test)]
@@ -177,9 +213,24 @@ mod tests {
     use tora_alloc::resources::ResourceKind;
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_spec_path() {
+        let shim = generate(SyntheticKind::Uniform, 150, 8);
+        let spec = SyntheticKind::Uniform
+            .catalog_workflow()
+            .spec(8)
+            .tasks(150)
+            .materialize()
+            .unwrap();
+        assert_eq!(shim.tasks, spec.tasks);
+        let shim = paper_workflow(SyntheticKind::Normal, 8);
+        assert_eq!(shim.tasks, PaperWorkflow::Normal.build(8).tasks);
+    }
+
+    #[test]
     fn all_five_generate_valid_paper_workflows() {
         for kind in SyntheticKind::ALL {
-            let wf = paper_workflow(kind, 7);
+            let wf = kind.catalog_workflow().spec(7).materialize().unwrap();
             assert_eq!(wf.len(), PAPER_TASK_COUNT, "{}", wf.name);
             assert_eq!(wf.categories.len(), 1);
             wf.validate().unwrap();
@@ -188,23 +239,43 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = paper_workflow(SyntheticKind::Bimodal, 11);
-        let b = paper_workflow(SyntheticKind::Bimodal, 11);
-        let c = paper_workflow(SyntheticKind::Bimodal, 12);
+        let a = SyntheticKind::Bimodal
+            .catalog_workflow()
+            .spec(11)
+            .materialize()
+            .unwrap();
+        let b = SyntheticKind::Bimodal
+            .catalog_workflow()
+            .spec(11)
+            .materialize()
+            .unwrap();
+        let c = SyntheticKind::Bimodal
+            .catalog_workflow()
+            .spec(12)
+            .materialize()
+            .unwrap();
         assert_eq!(a.tasks, b.tasks);
         assert_ne!(a.tasks, c.tasks);
     }
 
     #[test]
     fn normal_memory_centers_on_its_mean() {
-        let wf = paper_workflow(SyntheticKind::Normal, 3);
+        let wf = SyntheticKind::Normal
+            .catalog_workflow()
+            .spec(3)
+            .materialize()
+            .unwrap();
         let mean = wf.tasks.iter().map(|t| t.peak.memory_mb()).sum::<f64>() / wf.len() as f64;
         assert!((mean - 4000.0).abs() < 150.0, "mean {mean}");
     }
 
     #[test]
     fn exponential_has_heavy_tail() {
-        let wf = paper_workflow(SyntheticKind::Exponential, 5);
+        let wf = SyntheticKind::Exponential
+            .catalog_workflow()
+            .spec(5)
+            .materialize()
+            .unwrap();
         let mems: Vec<f64> = wf.tasks.iter().map(|t| t.peak.memory_mb()).collect();
         let max = mems.iter().cloned().fold(0.0, f64::max);
         let mut sorted = mems.clone();
@@ -218,7 +289,11 @@ mod tests {
 
     #[test]
     fn bimodal_memory_has_two_clusters() {
-        let wf = paper_workflow(SyntheticKind::Bimodal, 9);
+        let wf = SyntheticKind::Bimodal
+            .catalog_workflow()
+            .spec(9)
+            .materialize()
+            .unwrap();
         let (low, high): (Vec<f64>, Vec<f64>) = wf
             .tasks
             .iter()
@@ -236,7 +311,11 @@ mod tests {
 
     #[test]
     fn trimodal_phases_increase_in_order() {
-        let wf = paper_workflow(SyntheticKind::PhasingTrimodal, 2);
+        let wf = SyntheticKind::PhasingTrimodal
+            .catalog_workflow()
+            .spec(2)
+            .materialize()
+            .unwrap();
         let phase_mean = |lo: usize, hi: usize| {
             wf.tasks[lo..hi]
                 .iter()
@@ -255,7 +334,7 @@ mod tests {
     #[test]
     fn every_task_fits_the_worker() {
         for kind in SyntheticKind::ALL {
-            let wf = paper_workflow(kind, 1);
+            let wf = kind.catalog_workflow().spec(1).materialize().unwrap();
             for t in &wf.tasks {
                 assert!(wf.worker.capacity.dominates(&t.peak), "{}", t.id);
                 assert!(t.peak[ResourceKind::Cores] > 0.0);
@@ -266,7 +345,12 @@ mod tests {
 
     #[test]
     fn custom_task_counts() {
-        let wf = generate(SyntheticKind::Uniform, 12_000, 4);
+        let wf = SyntheticKind::Uniform
+            .catalog_workflow()
+            .spec(4)
+            .tasks(12_000)
+            .materialize()
+            .unwrap();
         assert_eq!(wf.len(), 12_000);
         wf.validate().unwrap();
     }

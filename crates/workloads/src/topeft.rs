@@ -17,11 +17,12 @@
 //!   disk"), the detail behind the near-100% disk efficiency of the
 //!   bucketing algorithms and Max Seen's 500 MB rounding.
 
+use crate::catalog::PaperWorkflow;
 use crate::dist::{lognormal, uniform, Dist};
 use crate::workflow::Workflow;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tora_alloc::resources::{ResourceVector, WorkerSpec};
+use tora_alloc::resources::ResourceVector;
 use tora_alloc::task::TaskSpec;
 
 /// Preprocessing task count in the paper's trace.
@@ -41,69 +42,62 @@ pub const CAT_ACCUMULATING: u32 = 2;
 /// Every TopEFT task consumes exactly this much disk (MB).
 pub const DISK_MB: f64 = 306.0;
 
-/// Generate the TopEFT-shaped trace with the paper's task counts.
-pub fn paper_workflow(seed: u64) -> Workflow {
-    generate(
-        PREPROCESSING_TASKS,
-        PROCESSING_TASKS,
-        ACCUMULATING_TASKS,
-        seed,
-    )
+/// The dedicated TopEFT-generation RNG stream for a seed.
+pub(crate) fn stream_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0x70_9EF7)
 }
 
-/// Generate a TopEFT-shaped trace with custom per-category counts.
-pub fn generate(n_pre: usize, n_proc: usize, n_acc: usize, seed: u64) -> Workflow {
-    let worker = WorkerSpec::paper_default();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x70_9EF7);
-    let mut tasks = Vec::with_capacity(n_pre + n_proc + n_acc);
-    let mut id = 0u64;
-
+/// Sample task `index` given the phase splits — the single canonical draw
+/// order shared by the materialized and streaming paths. Indices run
+/// preprocessing, then processing, then accumulating.
+pub(crate) fn sample_task(index: usize, n_pre: usize, n_proc: usize, rng: &mut StdRng) -> TaskSpec {
     let light_mem = Dist::Normal {
         mean: 180.0,
         std_dev: 10.0,
         min: 120.0,
     };
-    let processing_mem = Dist::Bimodal {
-        p_low: 0.45,
-        low_mean: 450.0,
-        low_std: 18.0,
-        high_mean: 580.0,
-        high_std: 18.0,
-        min: 300.0,
-    };
+    if index < n_pre {
+        // Phase 1: preprocessing — metadata fetches, short.
+        let peak = ResourceVector::new(cores(rng), light_mem.sample(rng), DISK_MB);
+        let duration = lognormal(rng, 45.0f64.ln(), 0.4).clamp(10.0, 300.0);
+        TaskSpec::new(index as u64, CAT_PREPROCESSING, peak, duration)
+    } else if index < n_pre + n_proc {
+        // Phase 2: processing — the event-analysis bulk.
+        let processing_mem = Dist::Bimodal {
+            p_low: 0.45,
+            low_mean: 450.0,
+            low_std: 18.0,
+            high_mean: 580.0,
+            high_std: 18.0,
+            min: 300.0,
+        };
+        let peak = ResourceVector::new(cores(rng), processing_mem.sample(rng), DISK_MB);
+        let duration = lognormal(rng, 150.0f64.ln(), 0.5).clamp(20.0, 1200.0);
+        TaskSpec::new(index as u64, CAT_PROCESSING, peak, duration)
+    } else {
+        // Phase 3: accumulating — histogram merges.
+        let peak = ResourceVector::new(cores(rng), light_mem.sample(rng), DISK_MB);
+        let duration = lognormal(rng, 60.0f64.ln(), 0.4).clamp(10.0, 400.0);
+        TaskSpec::new(index as u64, CAT_ACCUMULATING, peak, duration)
+    }
+}
 
-    // Phase 1: preprocessing — metadata fetches, short.
-    for _ in 0..n_pre {
-        let peak = ResourceVector::new(cores(&mut rng), light_mem.sample(&mut rng), DISK_MB);
-        let duration = lognormal(&mut rng, 45.0f64.ln(), 0.4).clamp(10.0, 300.0);
-        tasks.push(TaskSpec::new(id, CAT_PREPROCESSING, peak, duration));
-        id += 1;
-    }
-    // Phase 2: processing — the event-analysis bulk.
-    for _ in 0..n_proc {
-        let peak = ResourceVector::new(cores(&mut rng), processing_mem.sample(&mut rng), DISK_MB);
-        let duration = lognormal(&mut rng, 150.0f64.ln(), 0.5).clamp(20.0, 1200.0);
-        tasks.push(TaskSpec::new(id, CAT_PROCESSING, peak, duration));
-        id += 1;
-    }
-    // Phase 3: accumulating — histogram merges.
-    for _ in 0..n_acc {
-        let peak = ResourceVector::new(cores(&mut rng), light_mem.sample(&mut rng), DISK_MB);
-        let duration = lognormal(&mut rng, 60.0f64.ln(), 0.4).clamp(10.0, 400.0);
-        tasks.push(TaskSpec::new(id, CAT_ACCUMULATING, peak, duration));
-        id += 1;
-    }
+/// Generate the TopEFT-shaped trace with the paper's task counts.
+#[deprecated(note = "use the WorkloadSpec entry point: \
+                     `PaperWorkflow::TopEft.spec(seed)`")]
+pub fn paper_workflow(seed: u64) -> Workflow {
+    PaperWorkflow::TopEft.build(seed)
+}
 
-    Workflow::new(
-        "topeft",
-        vec![
-            "preprocessing".to_string(),
-            "processing".to_string(),
-            "accumulating".to_string(),
-        ],
-        tasks,
-        worker,
-    )
+/// Generate a TopEFT-shaped trace with custom per-category counts.
+#[deprecated(note = "use the WorkloadSpec entry point: \
+                     `PaperWorkflow::TopEft.spec(seed).category_tasks(…)`")]
+pub fn generate(n_pre: usize, n_proc: usize, n_acc: usize, seed: u64) -> Workflow {
+    PaperWorkflow::TopEft
+        .spec(seed)
+        .category_tasks(vec![n_pre, n_proc, n_acc])
+        .materialize()
+        .expect("topeft spec is always valid")
 }
 
 /// Cores irrespective of category: "most tasks ... use one core or less
@@ -116,24 +110,12 @@ fn cores(rng: &mut StdRng) -> f64 {
     }
 }
 
-/// Generate the TopEFT trace *with its Coffea dependency structure*
-/// (Fig. 1's workflow manager view): each processing task reads the dataset
-/// located by one preprocessing task (round-robin), and each accumulating
-/// task merges the partial results of a contiguous block of processing
-/// tasks.
-pub fn paper_workflow_dag(seed: u64) -> Workflow {
-    generate_dag(
-        PREPROCESSING_TASKS,
-        PROCESSING_TASKS,
-        ACCUMULATING_TASKS,
-        seed,
-    )
-}
-
-/// DAG-structured TopEFT with custom category counts.
-pub fn generate_dag(n_pre: usize, n_proc: usize, n_acc: usize, seed: u64) -> Workflow {
-    let wf = generate(n_pre, n_proc, n_acc, seed);
-    let mut deps: Vec<Vec<u64>> = vec![Vec::new(); wf.len()];
+/// The Coffea dependency lists for the given category counts (Fig. 1's
+/// workflow manager view): each processing task reads the dataset located
+/// by one preprocessing task (round-robin), and each accumulating task
+/// merges the partial results of a contiguous block of processing tasks.
+pub(crate) fn dag_dependencies(n_pre: usize, n_proc: usize, n_acc: usize) -> Vec<Vec<u64>> {
+    let mut deps: Vec<Vec<u64>> = vec![Vec::new(); n_pre + n_proc + n_acc];
     // processing task j (global id n_pre + j) depends on preprocessing
     // j % n_pre.
     if n_pre > 0 {
@@ -154,7 +136,30 @@ pub fn generate_dag(n_pre: usize, n_proc: usize, n_acc: usize, seed: u64) -> Wor
             lo = hi;
         }
     }
-    wf.with_dependencies(deps)
+    deps
+}
+
+/// Generate the TopEFT trace *with its Coffea dependency structure*.
+#[deprecated(note = "use the WorkloadSpec entry point: \
+                     `PaperWorkflow::TopEft.spec(seed).dag()`")]
+pub fn paper_workflow_dag(seed: u64) -> Workflow {
+    PaperWorkflow::TopEft
+        .spec(seed)
+        .dag()
+        .materialize()
+        .expect("topeft spec is always valid")
+}
+
+/// DAG-structured TopEFT with custom category counts.
+#[deprecated(note = "use the WorkloadSpec entry point: \
+                     `PaperWorkflow::TopEft.spec(seed).category_tasks(…).dag()`")]
+pub fn generate_dag(n_pre: usize, n_proc: usize, n_acc: usize, seed: u64) -> Workflow {
+    PaperWorkflow::TopEft
+        .spec(seed)
+        .category_tasks(vec![n_pre, n_proc, n_acc])
+        .dag()
+        .materialize()
+        .expect("topeft spec is always valid")
 }
 
 #[cfg(test)]
@@ -164,7 +169,7 @@ mod tests {
 
     #[test]
     fn paper_counts_and_phases() {
-        let wf = paper_workflow(1);
+        let wf = PaperWorkflow::TopEft.build(1);
         assert_eq!(wf.len(), 363 + 3994 + 212);
         assert_eq!(wf.category_counts(), vec![363, 3994, 212]);
         wf.validate().unwrap();
@@ -177,13 +182,13 @@ mod tests {
 
     #[test]
     fn disk_is_exactly_306() {
-        let wf = paper_workflow(2);
+        let wf = PaperWorkflow::TopEft.build(2);
         assert!(wf.tasks.iter().all(|t| t.peak.disk_mb() == DISK_MB));
     }
 
     #[test]
     fn light_categories_share_memory_profile() {
-        let wf = paper_workflow(3);
+        let wf = PaperWorkflow::TopEft.build(3);
         let mean = |c: u32| {
             let v: Vec<f64> = wf
                 .tasks_of(CategoryId(c))
@@ -199,7 +204,7 @@ mod tests {
 
     #[test]
     fn processing_memory_is_bimodal() {
-        let wf = paper_workflow(4);
+        let wf = PaperWorkflow::TopEft.build(4);
         let (low, high): (Vec<f64>, Vec<f64>) = wf
             .tasks_of(CategoryId(CAT_PROCESSING))
             .map(|t| t.peak.memory_mb())
@@ -215,7 +220,7 @@ mod tests {
 
     #[test]
     fn cores_mostly_small_with_outliers() {
-        let wf = paper_workflow(5);
+        let wf = PaperWorkflow::TopEft.build(5);
         let total = wf.len();
         let small = wf.tasks.iter().filter(|t| t.peak.cores() <= 1.0).count();
         let outliers = wf.tasks.iter().filter(|t| t.peak.cores() > 1.5).count();
@@ -226,7 +231,7 @@ mod tests {
 
     #[test]
     fn dag_structure_is_valid_and_layered() {
-        let wf = paper_workflow_dag(1);
+        let wf = PaperWorkflow::TopEft.spec(1).dag().materialize().unwrap();
         wf.validate().unwrap();
         assert!(wf.has_dependencies());
         // Every processing task depends on exactly one preprocessing task.
@@ -255,8 +260,15 @@ mod tests {
 
     #[test]
     fn determinism_and_custom_sizes() {
-        assert_eq!(paper_workflow(6).tasks, paper_workflow(6).tasks);
-        let big = generate(100, 12_000, 50, 7);
+        assert_eq!(
+            PaperWorkflow::TopEft.build(6).tasks,
+            PaperWorkflow::TopEft.build(6).tasks
+        );
+        let big = PaperWorkflow::TopEft
+            .spec(7)
+            .category_tasks(vec![100, 12_000, 50])
+            .materialize()
+            .unwrap();
         assert_eq!(big.len(), 12_150);
         big.validate().unwrap();
     }

@@ -17,7 +17,7 @@ use tora::prelude::*;
 use tora::workloads::topeft;
 
 fn main() {
-    let workflow = topeft::paper_workflow(11);
+    let workflow = PaperWorkflow::TopEft.build(11);
     println!(
         "TopEFT-shaped analysis: {} preprocessing / {} processing / {} accumulating tasks\n",
         topeft::PREPROCESSING_TASKS,

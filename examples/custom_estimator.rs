@@ -61,7 +61,11 @@ impl ValueEstimator for P95Headroom {
 }
 
 fn main() {
-    let workflow = tora::workloads::synthetic::generate(SyntheticKind::Normal, 600, 5);
+    let workflow = PaperWorkflow::Normal
+        .spec(5)
+        .tasks(600)
+        .materialize()
+        .unwrap();
 
     let factory: EstimatorFactory = Box::new(|_kind, _machine| Box::new(P95Headroom::new()));
     let config = AllocatorConfig {

@@ -13,11 +13,19 @@
 
 use tora::metrics::{pct, Table};
 use tora::prelude::*;
-use tora::workloads::topeft;
 
 fn main() {
-    let flat = topeft::generate(60, 700, 40, 17);
-    let dag = topeft::generate_dag(60, 700, 40, 17);
+    let flat = PaperWorkflow::TopEft
+        .spec(17)
+        .category_tasks(vec![60, 700, 40])
+        .materialize()
+        .unwrap();
+    let dag = PaperWorkflow::TopEft
+        .spec(17)
+        .category_tasks(vec![60, 700, 40])
+        .dag()
+        .materialize()
+        .unwrap();
     assert!(!flat.has_dependencies());
     assert!(dag.has_dependencies());
 

@@ -12,11 +12,18 @@
 
 use tora::metrics::{pct, Table};
 use tora::prelude::*;
-use tora::workloads::topeft;
 
 fn main() {
-    let small = topeft::generate(80, 880, 40, 3); // ~1,000 tasks
-    let large = topeft::generate(800, 10_700, 500, 3); // ~12,000 tasks
+    let small = PaperWorkflow::TopEft
+        .spec(3)
+        .category_tasks(vec![80, 880, 40])
+        .materialize()
+        .unwrap(); // ~1,000 tasks
+    let large = PaperWorkflow::TopEft
+        .spec(3)
+        .category_tasks(vec![800, 10_700, 500])
+        .materialize()
+        .unwrap(); // ~12,000 tasks
 
     let mut table = Table::new(
         "Exhaustive Bucketing: small vs >10k-task workflow (§VII hypothesis)",

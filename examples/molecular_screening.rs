@@ -16,7 +16,7 @@ use tora::prelude::*;
 use tora::workloads::colmena;
 
 fn main() {
-    let workflow = colmena::paper_workflow(7);
+    let workflow = PaperWorkflow::ColmenaXtb.build(7);
     println!(
         "ColmenaXTB-shaped campaign: {} ranking + {} energy tasks\n",
         colmena::EVALUATE_MPNN_TASKS,

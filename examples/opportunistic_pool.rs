@@ -15,7 +15,11 @@ use tora::metrics::{pct, Table};
 use tora::prelude::*;
 
 fn main() {
-    let workflow = tora::workloads::synthetic::generate(SyntheticKind::Uniform, 800, 21);
+    let workflow = PaperWorkflow::Uniform
+        .spec(21)
+        .tasks(800)
+        .materialize()
+        .unwrap();
     let config = SimConfig {
         churn: ChurnConfig {
             initial: 6,

@@ -11,7 +11,11 @@ use tora::prelude::*;
 fn main() {
     // A 500-task workflow whose memory consumption is bimodal — the
     // "specialization of tasks" pattern of the paper's §III case study.
-    let workflow = tora::workloads::synthetic::generate(SyntheticKind::Bimodal, 500, 42);
+    let workflow = PaperWorkflow::Bimodal
+        .spec(42)
+        .tasks(500)
+        .materialize()
+        .unwrap();
     println!(
         "workflow `{}`: {} tasks on workers of {}\n",
         workflow.name,

@@ -19,7 +19,7 @@ use std::process::ExitCode;
 use tora::cli::{parse_algorithm, parse_sim_config, parse_workflow, Args};
 use tora::metrics::{attempts_histogram, pct, rolling_awe, steady_state_onset, Table};
 use tora::prelude::*;
-use tora::workloads::{io as trace_io, synthetic, PaperWorkflow};
+use tora::workloads::{io as trace_io, PaperWorkflow};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -420,7 +420,11 @@ fn cmd_chaos(raw: &[String]) -> Result<(), String> {
     if args.has("quick") {
         // Fixed seed, fixed workload: the report must be reproducible down
         // to the byte, and the books must balance.
-        let wf = synthetic::generate(SyntheticKind::Bimodal, 120, 7);
+        let wf = PaperWorkflow::Bimodal
+            .spec(7)
+            .tasks(120)
+            .materialize()
+            .unwrap();
         let mut config = SimConfig::paper_like(7);
         config.fault_policy = fault_policy;
         config.faults = if args.has("plan") {

@@ -8,7 +8,7 @@
 //! the binary.
 
 use crate::prelude::*;
-use crate::workloads::{io as trace_io, synthetic, PaperWorkflow};
+use crate::workloads::{io as trace_io, PaperWorkflow};
 
 /// Simple `--flag value` / positional argument scanner.
 ///
@@ -121,20 +121,14 @@ pub fn parse_workflow(name_or_path: &str, args: &Args<'_>) -> Result<Workflow, S
         if by_name != PaperWorkflow::TopEft {
             return Err("--dag is only defined for the topeft workflow".into());
         }
-        return Ok(crate::workloads::topeft::paper_workflow_dag(seed));
+        return PaperWorkflow::TopEft.spec(seed).dag().materialize();
     }
     match (by_name, tasks) {
         (_, None) => Ok(by_name.build(seed)),
         (PaperWorkflow::ColmenaXtb | PaperWorkflow::TopEft, Some(_)) => {
             Err("--tasks applies only to synthetic workflows".into())
         }
-        (wf, Some(n)) => {
-            let kind = crate::workloads::SyntheticKind::ALL
-                .into_iter()
-                .find(|k| k.name() == wf.name())
-                .expect("synthetic name");
-            Ok(synthetic::generate(kind, n, seed))
-        }
+        (wf, Some(n)) => wf.spec(seed).tasks(n).materialize(),
     }
 }
 

@@ -19,7 +19,7 @@
 //! use tora::prelude::*;
 //!
 //! // A 200-task workflow whose memory follows a bimodal distribution.
-//! let workflow = tora::workloads::synthetic::generate(SyntheticKind::Bimodal, 200, 7);
+//! let workflow = PaperWorkflow::Bimodal.spec(7).tasks(200).materialize().unwrap();
 //!
 //! // Execute it on an opportunistic pool, allocating with Exhaustive
 //! // Bucketing.
@@ -65,5 +65,5 @@ pub mod prelude {
         FaultCounts, FaultPlan, FaultReport, IllegalTransition, QueuePolicy, SimConfig, SimEvent,
         SimResult, SimStats, Simulation, SubmitApi, TaskPhase, UtilizationSeries, WorkerMix,
     };
-    pub use tora_workloads::{PaperWorkflow, SyntheticKind, Workflow};
+    pub use tora_workloads::{PaperWorkflow, SyntheticKind, TaskSource, Workflow, WorkloadSpec};
 }

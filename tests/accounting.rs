@@ -2,7 +2,6 @@
 //! every algorithm on every execution path (serial replay and the engine).
 
 use tora::prelude::*;
-use tora::workloads::synthetic;
 
 const KINDS: [ResourceKind; 3] = [
     ResourceKind::Cores,
@@ -33,7 +32,12 @@ fn check_identities(metrics: &WorkflowMetrics, label: &str) {
 
 #[test]
 fn replay_identities_hold_for_every_algorithm() {
-    let wf = synthetic::generate(SyntheticKind::Bimodal, 250, 31);
+    let wf = SyntheticKind::Bimodal
+        .catalog_workflow()
+        .spec(31)
+        .tasks(250)
+        .materialize()
+        .unwrap();
     for alg in AlgorithmKind::PAPER_SET {
         let m = replay(&wf, alg, EnforcementModel::LinearRamp, 31);
         assert_eq!(m.len(), wf.len());
@@ -43,7 +47,12 @@ fn replay_identities_hold_for_every_algorithm() {
 
 #[test]
 fn engine_identities_hold_with_churn_and_preemption() {
-    let wf = synthetic::generate(SyntheticKind::Uniform, 250, 17);
+    let wf = SyntheticKind::Uniform
+        .catalog_workflow()
+        .spec(17)
+        .tasks(250)
+        .materialize()
+        .unwrap();
     let config = SimConfig {
         churn: ChurnConfig {
             initial: 3,
@@ -82,7 +91,12 @@ fn engine_identities_hold_with_churn_and_preemption() {
 fn preemption_accounting_is_separate_from_waste() {
     // A preempted attempt must not enter the §II-C waste metric; it lands
     // in `preempted_alloc_time` instead.
-    let wf = synthetic::generate(SyntheticKind::Normal, 300, 23);
+    let wf = SyntheticKind::Normal
+        .catalog_workflow()
+        .spec(23)
+        .tasks(300)
+        .materialize()
+        .unwrap();
     let churny = SimConfig {
         churn: ChurnConfig {
             initial: 6,
@@ -113,7 +127,12 @@ fn preemption_accounting_is_separate_from_waste() {
 fn instant_peak_never_reports_higher_awe_than_linear_ramp() {
     // Identical verdicts, fuller charging of failures → AWE(instant) ≤
     // AWE(ramp) for every algorithm on every dimension.
-    let wf = synthetic::generate(SyntheticKind::Exponential, 250, 5);
+    let wf = SyntheticKind::Exponential
+        .catalog_workflow()
+        .spec(5)
+        .tasks(250)
+        .materialize()
+        .unwrap();
     for alg in [
         AlgorithmKind::ExhaustiveBucketing,
         AlgorithmKind::MinWaste,
@@ -136,7 +155,12 @@ fn awe_is_independent_of_fixed_pool_size_for_deterministic_allocators() {
     // any fixed pool agree exactly on the allocation totals when tasks are
     // batch-submitted and completions happen in the same order — weaker
     // version: whole machine is invariant under any pool size.
-    let wf = synthetic::generate(SyntheticKind::Bimodal, 200, 2);
+    let wf = SyntheticKind::Bimodal
+        .catalog_workflow()
+        .spec(2)
+        .tasks(200)
+        .materialize()
+        .unwrap();
     let awe_for = |n: usize| {
         let config = SimConfig {
             churn: ChurnConfig::fixed(n),

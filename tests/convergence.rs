@@ -2,13 +2,17 @@
 
 use tora::metrics::{rolling_awe, steady_state_onset};
 use tora::prelude::*;
-use tora::workloads::{synthetic, topeft};
 
 #[test]
 fn bucketing_converges_to_a_steady_state() {
     // §VII: the bucketing algorithms "quickly converge to a steady state on
     // workflows of around 4,500 tasks" — check onset on a 1,200-task run.
-    let wf = synthetic::generate(SyntheticKind::Normal, 1200, 4);
+    let wf = SyntheticKind::Normal
+        .catalog_workflow()
+        .spec(4)
+        .tasks(1200)
+        .materialize()
+        .unwrap();
     let res = simulate(
         &wf,
         AlgorithmKind::ExhaustiveBucketing,
@@ -28,7 +32,11 @@ fn bucketing_converges_to_a_steady_state() {
 fn steady_state_beats_the_exploration_phase() {
     // The rolling AWE of the last quarter should beat the first window,
     // which pays the exploratory probes.
-    let wf = topeft::generate(60, 900, 40, 9);
+    let wf = PaperWorkflow::TopEft
+        .spec(9)
+        .category_tasks(vec![60, 900, 40])
+        .materialize()
+        .unwrap();
     let res = simulate(
         &wf,
         AlgorithmKind::ExhaustiveBucketing,
@@ -54,7 +62,12 @@ fn phase_change_is_relearned() {
     // must not collapse after the phase changes (the significance weighting
     // re-learns). Compare against a frozen-oracle-free reference: the final
     // third's rolling AWE should be in the same band as the first third's.
-    let wf = synthetic::generate(SyntheticKind::PhasingTrimodal, 1200, 6);
+    let wf = SyntheticKind::PhasingTrimodal
+        .catalog_workflow()
+        .spec(6)
+        .tasks(1200)
+        .materialize()
+        .unwrap();
     let res = simulate(
         &wf,
         AlgorithmKind::ExhaustiveBucketing,

@@ -11,7 +11,6 @@
 //! consumption shows up as a JSON diff.
 
 use tora::prelude::*;
-use tora::workloads::synthetic;
 
 /// Every allocator the workspace ships, paper set and extensions alike.
 const ALL_ALGORITHMS: [AlgorithmKind; 9] = [
@@ -77,7 +76,12 @@ fn engine_serial_json(
 
 #[test]
 fn engine_matches_replay_for_every_algorithm_and_seed() {
-    let wf = synthetic::generate(SyntheticKind::Bimodal, 120, 3);
+    let wf = SyntheticKind::Bimodal
+        .catalog_workflow()
+        .spec(3)
+        .tasks(120)
+        .materialize()
+        .unwrap();
     for algorithm in ALL_ALGORITHMS {
         for seed in SEEDS {
             let replayed = tora::sim::replay(&wf, algorithm, EnforcementModel::default(), seed);
@@ -94,7 +98,12 @@ fn fault_policy_with_zero_observed_faults_changes_nothing() {
     // fault plan is all-zero, so `observe_outcome` is never called and the
     // padding/escalation factors stay exactly 1.0. Metrics must remain
     // byte-identical to both the bare engine and the replay.
-    let wf = synthetic::generate(SyntheticKind::Exponential, 120, 9);
+    let wf = SyntheticKind::Exponential
+        .catalog_workflow()
+        .spec(9)
+        .tasks(120)
+        .materialize()
+        .unwrap();
     for algorithm in ALL_ALGORITHMS {
         for seed in SEEDS {
             let bare = engine_serial_json(&wf, algorithm, seed, None);

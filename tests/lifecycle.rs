@@ -13,7 +13,6 @@
 
 use proptest::prelude::*;
 use tora::prelude::*;
-use tora::workloads::synthetic;
 
 /// The intended machine, pair by pair (deliberately redundant with
 /// `TaskPhase::successors`).
@@ -144,7 +143,7 @@ proptest! {
         poisson in any::<bool>(),
     ) {
         plan.validate().expect("plan valid by construction");
-        let wf = synthetic::generate(SyntheticKind::Bimodal, n, seed);
+        let wf = SyntheticKind::Bimodal.catalog_workflow().spec(seed).tasks(n).materialize().unwrap();
         let config = SimConfig {
             churn: ChurnConfig {
                 initial: 4,

@@ -2,7 +2,6 @@
 //! who wins where, and the §V-C talking points.
 
 use tora::prelude::*;
-use tora::workloads::{colmena, synthetic, topeft};
 
 fn small_sim(workflow: &Workflow, algorithm: AlgorithmKind, seed: u64) -> SimResult {
     // A scaled-down paper-like setting keeps debug-mode test time sane.
@@ -28,7 +27,12 @@ fn bucketing_beats_whole_machine_on_every_synthetic() {
         SyntheticKind::Bimodal,
         SyntheticKind::Uniform,
     ] {
-        let wf = synthetic::generate(kind, 300, 9);
+        let wf = kind
+            .catalog_workflow()
+            .spec(9)
+            .tasks(300)
+            .materialize()
+            .unwrap();
         let eb = small_sim(&wf, AlgorithmKind::ExhaustiveBucketing, 9);
         let wm = small_sim(&wf, AlgorithmKind::WholeMachine, 9);
         for res in [
@@ -48,7 +52,12 @@ fn bucketing_beats_whole_machine_on_every_synthetic() {
 
 #[test]
 fn whole_machine_never_fails_an_allocation() {
-    let wf = synthetic::generate(SyntheticKind::Exponential, 300, 4);
+    let wf = SyntheticKind::Exponential
+        .catalog_workflow()
+        .spec(4)
+        .tasks(300)
+        .materialize()
+        .unwrap();
     let res = small_sim(&wf, AlgorithmKind::WholeMachine, 4);
     assert_eq!(res.metrics.total_retries(), 0);
     for outcome in res.metrics.outcomes() {
@@ -60,7 +69,11 @@ fn whole_machine_never_fails_an_allocation() {
 fn topeft_disk_bucketing_beats_max_seen_rounding() {
     // §V-C: constant 306 MB disk → bucketing allocates exactly 306 in the
     // steady state; Max Seen's 250-MB histogram rounds to 500.
-    let wf = topeft::generate(50, 800, 30, 2);
+    let wf = PaperWorkflow::TopEft
+        .spec(2)
+        .category_tasks(vec![50, 800, 30])
+        .materialize()
+        .unwrap();
     let eb = small_sim(&wf, AlgorithmKind::ExhaustiveBucketing, 2);
     let ms = small_sim(&wf, AlgorithmKind::MaxSeen, 2);
     let eb_disk = eb.metrics.awe(ResourceKind::DiskMb).unwrap();
@@ -76,7 +89,11 @@ fn topeft_disk_bucketing_beats_max_seen_rounding() {
 fn colmena_disk_is_single_digit_for_all_algorithms() {
     // §V-C: ~10 MB disk usage against the exploratory floors makes every
     // algorithm's disk efficiency collapse on ColmenaXTB.
-    let wf = colmena::generate(80, 350, 6);
+    let wf = PaperWorkflow::ColmenaXtb
+        .spec(6)
+        .category_tasks(vec![80, 350])
+        .materialize()
+        .unwrap();
     for alg in AlgorithmKind::PAPER_SET {
         let res = small_sim(&wf, alg, 6);
         let disk = res.metrics.awe(ResourceKind::DiskMb).unwrap();
@@ -90,7 +107,12 @@ fn exponential_is_the_hardest_synthetic_for_bucketing() {
     let mean_awe = |kind: SyntheticKind| {
         (0..seeds)
             .map(|s| {
-                let wf = synthetic::generate(kind, 400, s);
+                let wf = kind
+                    .catalog_workflow()
+                    .spec(s)
+                    .tasks(400)
+                    .materialize()
+                    .unwrap();
                 small_sim(&wf, AlgorithmKind::ExhaustiveBucketing, s)
                     .metrics
                     .awe(ResourceKind::MemoryMb)
@@ -112,7 +134,12 @@ fn exponential_is_the_hardest_synthetic_for_bucketing() {
 fn quantized_bucketing_under_allocates_by_design() {
     // Fig. 6: Quantized Bucketing carries the largest failed-allocation
     // share — the median-first policy fails roughly half its first tries.
-    let wf = synthetic::generate(SyntheticKind::Normal, 300, 12);
+    let wf = SyntheticKind::Normal
+        .catalog_workflow()
+        .spec(12)
+        .tasks(300)
+        .materialize()
+        .unwrap();
     let qb = small_sim(&wf, AlgorithmKind::QuantizedBucketing, 12);
     let ms = small_sim(&wf, AlgorithmKind::MaxSeen, 12);
     let qb_share = qb.metrics.waste(ResourceKind::MemoryMb).failed_share();
@@ -128,8 +155,16 @@ fn quantized_bucketing_under_allocates_by_design() {
 fn larger_workflows_amortize_better() {
     // §VII hypothesis at integration-test scale: 4x more tasks, same
     // distribution → efficiency should not degrade (and typically improves).
-    let small = topeft::generate(30, 300, 20, 8);
-    let large = topeft::generate(120, 1200, 80, 8);
+    let small = PaperWorkflow::TopEft
+        .spec(8)
+        .category_tasks(vec![30, 300, 20])
+        .materialize()
+        .unwrap();
+    let large = PaperWorkflow::TopEft
+        .spec(8)
+        .category_tasks(vec![120, 1200, 80])
+        .materialize()
+        .unwrap();
     let s = small_sim(&small, AlgorithmKind::ExhaustiveBucketing, 8)
         .metrics
         .awe(ResourceKind::DiskMb)

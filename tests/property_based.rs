@@ -133,7 +133,7 @@ proptest! {
         n in 20usize..80,
         seed in 0u64..500,
     ) {
-        let wf = tora::workloads::synthetic::generate(SyntheticKind::Bimodal, n, seed);
+        let wf = SyntheticKind::Bimodal.catalog_workflow().spec(seed).tasks(n).materialize().unwrap();
         let m = replay(&wf, AlgorithmKind::GreedyBucketingIncremental,
                        EnforcementModel::LinearRamp, seed);
         prop_assert_eq!(m.len(), n);

@@ -3,7 +3,6 @@
 
 use proptest::prelude::*;
 use tora::prelude::*;
-use tora::workloads::synthetic;
 
 fn arb_churn() -> impl Strategy<Value = ChurnConfig> {
     (
@@ -113,7 +112,7 @@ proptest! {
         seed in 0u64..1000,
         instant in any::<bool>(),
     ) {
-        let wf = synthetic::generate(SyntheticKind::Bimodal, n, seed);
+        let wf = SyntheticKind::Bimodal.catalog_workflow().spec(seed).tasks(n).materialize().unwrap();
         let config = SimConfig {
             churn,
             arrival,
@@ -180,7 +179,7 @@ proptest! {
         n in 20usize..60,
         seed in 0u64..1000,
     ) {
-        let wf = synthetic::generate(SyntheticKind::Bimodal, n, seed);
+        let wf = SyntheticKind::Bimodal.catalog_workflow().spec(seed).tasks(n).materialize().unwrap();
         let config = SimConfig {
             churn,
             faults: plan,
@@ -244,7 +243,7 @@ proptest! {
             ..FaultPlan::none()
         };
         plan.validate().expect("plan valid by construction");
-        let wf = synthetic::generate(SyntheticKind::Bimodal, n, seed);
+        let wf = SyntheticKind::Bimodal.catalog_workflow().spec(seed).tasks(n).materialize().unwrap();
         let config = SimConfig {
             churn,
             faults: plan,
@@ -292,7 +291,7 @@ proptest! {
             ..FaultPlan::none()
         };
         plan.validate().expect("plan valid by construction");
-        let wf = synthetic::generate(SyntheticKind::Bimodal, n, seed);
+        let wf = SyntheticKind::Bimodal.catalog_workflow().spec(seed).tasks(n).materialize().unwrap();
         let config = SimConfig {
             churn: ChurnConfig {
                 initial: 5,
@@ -327,7 +326,7 @@ proptest! {
         seed in 0u64..500,
         n in 20usize..50,
     ) {
-        let wf = synthetic::generate(SyntheticKind::Uniform, n, seed);
+        let wf = SyntheticKind::Uniform.catalog_workflow().spec(seed).tasks(n).materialize().unwrap();
         let config = SimConfig {
             record_log: true,
             ..SimConfig::paper_like(seed)

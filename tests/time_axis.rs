@@ -5,7 +5,6 @@
 use tora::alloc::allocator::AllocatorConfig;
 use tora::prelude::*;
 use tora::sim::replay_with_config;
-use tora::workloads::synthetic;
 
 fn time_managed_config(workflow: &Workflow) -> AllocatorConfig {
     // The paper's probe plus a 1-hour default wall-time limit (what batch
@@ -26,7 +25,12 @@ fn time_managed_config(workflow: &Workflow) -> AllocatorConfig {
 
 #[test]
 fn time_axis_is_learned_and_enforced() {
-    let wf = synthetic::generate(SyntheticKind::Normal, 400, 11);
+    let wf = SyntheticKind::Normal
+        .catalog_workflow()
+        .spec(11)
+        .tasks(400)
+        .materialize()
+        .unwrap();
     let config = time_managed_config(&wf);
     let metrics = replay_with_config(
         &wf,
@@ -64,7 +68,12 @@ fn unmanaged_time_axis_never_fails_tasks() {
     // The default configuration leaves time unmanaged: the allocation gets
     // the machine's (huge) time capacity, so no task is ever killed for
     // time.
-    let wf = synthetic::generate(SyntheticKind::Normal, 200, 12);
+    let wf = SyntheticKind::Normal
+        .catalog_workflow()
+        .spec(12)
+        .tasks(200)
+        .materialize()
+        .unwrap();
     let metrics = replay(
         &wf,
         AlgorithmKind::WholeMachine,
@@ -81,7 +90,12 @@ fn unmanaged_time_axis_never_fails_tasks() {
 
 #[test]
 fn time_managed_beats_unmanaged_on_time_efficiency() {
-    let wf = synthetic::generate(SyntheticKind::Uniform, 400, 13);
+    let wf = SyntheticKind::Uniform
+        .catalog_workflow()
+        .spec(13)
+        .tasks(400)
+        .materialize()
+        .unwrap();
     let managed = replay_with_config(
         &wf,
         AlgorithmKind::ExhaustiveBucketing,
@@ -112,7 +126,12 @@ fn time_managed_beats_unmanaged_on_time_efficiency() {
 fn engine_supports_time_management_too() {
     // Through the full engine: time allocations are enforcement limits, not
     // reservations, so they must not serialize the pool.
-    let wf = synthetic::generate(SyntheticKind::Bimodal, 200, 14);
+    let wf = SyntheticKind::Bimodal
+        .catalog_workflow()
+        .spec(14)
+        .tasks(200)
+        .materialize()
+        .unwrap();
     // (The engine uses the default allocator config; this test verifies the
     // unmanaged path keeps time out of packing: with 10 workers and
     // machine-cap time allocations, tasks still run concurrently.)

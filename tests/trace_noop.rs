@@ -10,11 +10,16 @@
 
 use tora::alloc::trace::events_constructed;
 use tora::prelude::*;
-use tora::workloads::synthetic::{self, SyntheticKind};
+use tora::workloads::synthetic::SyntheticKind;
 
 #[test]
 fn noop_sink_constructs_no_events() {
-    let wf = synthetic::generate(SyntheticKind::Bimodal, 150, 4);
+    let wf = SyntheticKind::Bimodal
+        .catalog_workflow()
+        .spec(4)
+        .tasks(150)
+        .materialize()
+        .unwrap();
     let config = SimConfig {
         churn: ChurnConfig {
             initial: 4,

@@ -4,7 +4,7 @@
 //! correctness contract behind `tora trace`.
 
 use tora::prelude::*;
-use tora::workloads::synthetic::{self, SyntheticKind};
+use tora::workloads::synthetic::SyntheticKind;
 
 fn traced_run(
     wf: &Workflow,
@@ -20,7 +20,12 @@ fn traced_run(
 
 #[test]
 fn trace_reconciles_for_every_algorithm() {
-    let wf = synthetic::generate(SyntheticKind::Bimodal, 150, 11);
+    let wf = SyntheticKind::Bimodal
+        .catalog_workflow()
+        .spec(11)
+        .tasks(150)
+        .materialize()
+        .unwrap();
     for alg in AlgorithmKind::PAPER_SET {
         let (result, trace, _) = traced_run(&wf, alg, SimConfig::default());
         result
@@ -32,7 +37,12 @@ fn trace_reconciles_for_every_algorithm() {
 
 #[test]
 fn trace_reconciles_under_churn_and_preemption() {
-    let wf = synthetic::generate(SyntheticKind::Exponential, 200, 7);
+    let wf = SyntheticKind::Exponential
+        .catalog_workflow()
+        .spec(7)
+        .tasks(200)
+        .materialize()
+        .unwrap();
     let config = SimConfig {
         churn: ChurnConfig {
             initial: 4,
@@ -89,7 +99,12 @@ fn per_category_counts_are_exact() {
 
 #[test]
 fn reconcile_flags_a_tampered_tally() {
-    let wf = synthetic::generate(SyntheticKind::Normal, 100, 2);
+    let wf = SyntheticKind::Normal
+        .catalog_workflow()
+        .spec(2)
+        .tasks(100)
+        .materialize()
+        .unwrap();
     let (result, trace, _) = traced_run(&wf, AlgorithmKind::MaxSeen, SimConfig::default());
     let mut stats = result.stats.clone();
     stats.calls.observations += 1;
@@ -101,7 +116,12 @@ fn reconcile_flags_a_tampered_tally() {
 fn traced_and_untraced_runs_agree() {
     // Attaching a sink must not perturb the simulation itself: identical
     // seeds produce identical metrics with and without tracing.
-    let wf = synthetic::generate(SyntheticKind::Uniform, 120, 9);
+    let wf = SyntheticKind::Uniform
+        .catalog_workflow()
+        .spec(9)
+        .tasks(120)
+        .materialize()
+        .unwrap();
     let config = SimConfig {
         seed: 13,
         ..SimConfig::default()
