@@ -26,6 +26,20 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== tier-1 again with TORA_THREADS=4 (parallel paths, same results) =="
+# Thread count is a pure wall-clock knob (DESIGN.md §5h): the whole suite
+# must pass identically when the workspace-wide detection is overridden.
+TORA_THREADS=4 cargo test -q
+
+echo "== trace byte parity across thread counts =="
+# Backfill scheduling batches predictions through the sharded allocator;
+# the JSONL event stream must not change with the worker count.
+TORA_THREADS=1 cargo run --release --bin tora -- \
+    trace colmena-xtb --policy fifo-backfill --out target/trace-t1.jsonl
+TORA_THREADS=4 cargo run --release --bin tora -- \
+    trace colmena-xtb --policy fifo-backfill --out target/trace-t4.jsonl
+cmp target/trace-t1.jsonl target/trace-t4.jsonl
+
 echo "== bench harnesses compile =="
 cargo build --benches --workspace
 
@@ -50,8 +64,14 @@ if rows[100_000] < floor:
         f"is under the {floor:.0f} floor -- engine scaling regressed"
     )
 assert report["threads_detected"] >= 1
+assert report["threads_used"] >= 1
+assert report["matrix"]["identical"], "sequential vs parallel matrix runs differ"
+rp = report["rebucket_parallel"]
+assert rp, "rebucket_parallel section missing from the bench report"
+for row in rp:
+    assert row["identical"], f"serial vs sharded rebucket differ at {row['records']}"
 print(f"scaling ok: 100k tasks at {rows[100_000]:.0f} tasks/sec "
-      f"({report['threads_detected']} thread(s) detected)")
+      f"({report['threads_detected']} detected / {report['threads_used']} used)")
 EOF
 
 echo "== tora chaos --quick (fault-injection smoke) =="

@@ -116,17 +116,35 @@ pub fn run_matrix(config: &MatrixConfig) -> Vec<MatrixCell> {
     run_matrix_for(&PaperWorkflow::ALL, &AlgorithmKind::PAPER_SET, config)
 }
 
-/// Run an arbitrary sub-matrix.
+/// Run an arbitrary sub-matrix on the detected thread count.
 pub fn run_matrix_for(
     workflows: &[PaperWorkflow],
     algorithms: &[AlgorithmKind],
     config: &MatrixConfig,
 ) -> Vec<MatrixCell> {
+    let jobs = workflows.len() * algorithms.len();
+    run_matrix_on(
+        workflows,
+        algorithms,
+        config,
+        crate::pool::thread_count(jobs),
+    )
+}
+
+/// Run an arbitrary sub-matrix on an explicit worker-thread count
+/// (`threads = 1` is the sequential reference; output is identical at any
+/// value).
+pub fn run_matrix_on(
+    workflows: &[PaperWorkflow],
+    algorithms: &[AlgorithmKind],
+    config: &MatrixConfig,
+    threads: usize,
+) -> Vec<MatrixCell> {
     let pairs: Vec<(PaperWorkflow, AlgorithmKind)> = workflows
         .iter()
         .flat_map(|&w| algorithms.iter().map(move |&a| (w, a)))
         .collect();
-    crate::pool::run_parallel(&pairs, |&(w, a)| run_cell(w, a, config))
+    crate::pool::run_parallel_on(&pairs, threads, |&(w, a)| run_cell(w, a, config))
 }
 
 /// Write cells as JSON into `$TORA_RESULTS_DIR/<name>.json` when that

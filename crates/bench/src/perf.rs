@@ -28,9 +28,11 @@ use tora_alloc::ValueEstimator;
 use tora_sim::{simulate, SimConfig, Simulation};
 use tora_workloads::SyntheticKind;
 
-use crate::experiments::{run_matrix_for, MatrixConfig};
+use crate::experiments::{run_matrix_on, MatrixConfig};
 use crate::timing::sample_values;
-use tora_alloc::allocator::AlgorithmKind;
+use tora_alloc::allocator::{AlgorithmKind, Allocator};
+use tora_alloc::resources::ResourceVector;
+use tora_alloc::task::{ResourceRecord, TaskSpec};
 use tora_workloads::PaperWorkflow;
 
 /// Steady-state prediction throughput of one warm estimator.
@@ -84,20 +86,43 @@ pub struct ScalingRow {
     pub tasks_per_sec: f64,
 }
 
-/// Parallel experiment-runner speedup over a forced-sequential run.
+/// Parallel experiment-runner speedup over a sequential reference run
+/// (both with explicit thread counts — no environment mutation).
 #[derive(Debug, Clone, Serialize)]
 pub struct MatrixSpeedup {
     /// Cells in the measured matrix.
     pub cells: usize,
     /// Worker threads the parallel run used.
     pub threads: usize,
-    /// Sequential wall-clock seconds (`TORA_THREADS=1`).
+    /// Sequential wall-clock seconds (explicit `threads = 1`).
     pub sequential_s: f64,
     /// Parallel wall-clock seconds.
     pub parallel_s: f64,
     /// `sequential_s / parallel_s`.
     pub speedup: f64,
     /// Whether both runs serialized to byte-identical JSON.
+    pub identical: bool,
+}
+
+/// Serial vs category-sharded rebucket wall time at one record count: one
+/// allocator with its records spread over `categories` categories, forced
+/// through a full [`Allocator::rebucket_all`] sweep at `threads = 1` and
+/// at the detected thread count.
+#[derive(Debug, Clone, Serialize)]
+pub struct RebucketParallelRow {
+    /// Total records across all categories.
+    pub records: usize,
+    /// Category shards the records are spread over.
+    pub categories: usize,
+    /// Worker threads the sharded run used.
+    pub threads: usize,
+    /// Wall-clock milliseconds for the serial (`threads = 1`) sweep.
+    pub serial_ms: f64,
+    /// Wall-clock milliseconds for the sharded sweep.
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+    /// Whether both sweeps returned identical rebucket results.
     pub identical: bool,
 }
 
@@ -112,14 +137,21 @@ pub struct BenchReport {
     pub prediction: Vec<PredictionRate>,
     /// Rebucket latency, fast vs faithful, at Table I-like scales.
     pub rebucket: Vec<RebucketRow>,
+    /// Serial vs category-sharded rebucket sweep, with the identity
+    /// cross-check.
+    pub rebucket_parallel: Vec<RebucketParallelRow>,
     /// Engine throughput.
     pub end_to_end: EndToEndRow,
     /// Engine scaling curve over the streaming workload path
     /// (quick: 10k/100k; full adds the million-task point).
     pub scaling: Vec<ScalingRow>,
     /// Worker threads detected on this machine (`TORA_THREADS` override,
-    /// else the available parallelism).
+    /// else the available parallelism capped by the cgroup CPU quota).
     pub threads_detected: usize,
+    /// Worker threads the parallel measurements actually ran on (detected,
+    /// capped by the widest fan-out). On a 1-core box this honestly reads
+    /// `1` — the speedups alongside it are measured, not assumed.
+    pub threads_used: usize,
     /// Parallel-runner speedup with the byte-identical cross-check.
     pub matrix: MatrixSpeedup,
 }
@@ -279,6 +311,53 @@ fn scaling_curve(quick: bool, seed: u64) -> Vec<ScalingRow> {
         .collect()
 }
 
+/// An allocator with `n` records spread round-robin over `categories`
+/// category shards, estimators still holding everything as pending — the
+/// state a full rebucket sweep starts from.
+fn sharded_allocator(n: usize, categories: usize, seed: u64) -> Allocator {
+    let mut allocator = Allocator::new(AlgorithmKind::ExhaustiveBucketing, seed);
+    for (i, v) in sample_values(n, seed).into_iter().enumerate() {
+        let peak = ResourceVector::new(1.0 + (i % 4) as f64, v, v * 0.5);
+        let task = TaskSpec::new(i as u64, (i % categories) as u32, peak, 10.0);
+        allocator.observe(&ResourceRecord::from_task(&task));
+    }
+    allocator
+}
+
+/// Serial vs category-sharded full-rebucket sweep at growing record
+/// counts. Identically-fed allocators, identical results enforced; only
+/// the wall clock differs.
+fn rebucket_parallel_rows(quick: bool, seed: u64, threads: usize) -> Vec<RebucketParallelRow> {
+    let sizes: &[usize] = if quick {
+        &[1000, 5000]
+    } else {
+        &[1000, 5000, 10_000]
+    };
+    let categories = 8;
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut serial = sharded_allocator(n, categories, seed);
+            let start = Instant::now();
+            let serial_result = serial.rebucket_all(1);
+            let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+            let mut sharded = sharded_allocator(n, categories, seed);
+            let start = Instant::now();
+            let sharded_result = sharded.rebucket_all(threads);
+            let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+            RebucketParallelRow {
+                records: n,
+                categories,
+                threads,
+                serial_ms,
+                parallel_ms,
+                speedup: serial_ms / parallel_ms.max(f64::MIN_POSITIVE),
+                identical: serial_result == sharded_result,
+            }
+        })
+        .collect()
+}
+
 fn matrix_speedup(quick: bool, seed: u64) -> MatrixSpeedup {
     let (workflows, algorithms): (&[PaperWorkflow], &[AlgorithmKind]) = if quick {
         (
@@ -298,21 +377,16 @@ fn matrix_speedup(quick: bool, seed: u64) -> MatrixSpeedup {
     };
     let threads = crate::pool::thread_count(workflows.len() * algorithms.len());
 
-    // Forced-sequential reference run. `TORA_THREADS` is read per
-    // `run_parallel` call, so scoping the override around the call is safe
-    // here (the bench runs on one thread).
-    let saved = std::env::var_os("TORA_THREADS");
-    std::env::set_var("TORA_THREADS", "1");
+    // Sequential reference run and parallel run take their worker counts as
+    // explicit parameters — mutating `TORA_THREADS` around a call was a
+    // race waiting for a second thread (and unsound under Rust 2024 env
+    // semantics).
     let start = Instant::now();
-    let sequential = run_matrix_for(workflows, algorithms, &config);
+    let sequential = run_matrix_on(workflows, algorithms, &config, 1);
     let sequential_s = start.elapsed().as_secs_f64();
-    match &saved {
-        Some(v) => std::env::set_var("TORA_THREADS", v),
-        None => std::env::remove_var("TORA_THREADS"),
-    }
 
     let start = Instant::now();
-    let parallel = run_matrix_for(workflows, algorithms, &config);
+    let parallel = run_matrix_on(workflows, algorithms, &config, threads);
     let parallel_s = start.elapsed().as_secs_f64();
 
     let identical =
@@ -339,15 +413,22 @@ pub fn run_bench(quick: bool, seed: u64) -> BenchReport {
         prediction_rate(GreedyBucketing::new(), pred_n, pred_iters, seed),
         prediction_rate(ExhaustiveBucketing::new(), pred_n, pred_iters, seed),
     ];
+    let threads_detected = tora_alloc::par::detected_threads();
+    let matrix = matrix_speedup(quick, seed);
+    // What the parallel measurements actually got to run on: the detected
+    // count capped by the widest fan-out. `1` on a 1-core box — honest.
+    let threads_used = threads_detected.min(matrix.cells.max(1)).max(1);
     BenchReport {
         seed,
         quick,
         prediction,
         rebucket: rebucket_rows(quick, seed),
+        rebucket_parallel: rebucket_parallel_rows(quick, seed, threads_detected),
         end_to_end: end_to_end(quick, seed),
         scaling: scaling_curve(quick, seed),
-        threads_detected: crate::pool::thread_count(usize::MAX),
-        matrix: matrix_speedup(quick, seed),
+        threads_detected,
+        threads_used,
+        matrix,
     }
 }
 
@@ -408,7 +489,35 @@ impl BenchReport {
         }
         out.push_str(&t.render());
         out.push('\n');
-        out.push_str(&format!("threads detected: {}\n", self.threads_detected));
+        let mut t = Table::new(
+            "rebucket sweep: serial vs category-sharded",
+            &[
+                "records",
+                "categories",
+                "threads",
+                "serial (ms)",
+                "sharded (ms)",
+                "speedup",
+                "identical",
+            ],
+        );
+        for r in &self.rebucket_parallel {
+            t.row(&[
+                r.records.to_string(),
+                r.categories.to_string(),
+                r.threads.to_string(),
+                format!("{:.2}", r.serial_ms),
+                format!("{:.2}", r.parallel_ms),
+                format!("{:.1}×", r.speedup),
+                if r.identical { "yes" } else { "NO (bug!)" }.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        out.push_str(&format!(
+            "threads detected: {} / used: {}\n",
+            self.threads_detected, self.threads_used
+        ));
         let m = &self.matrix;
         out.push_str(&format!(
             "parallel runner: {} cells on {} threads — {:.2} s sequential vs {:.2} s \
@@ -462,6 +571,18 @@ mod tests {
             .iter()
             .all(|r| r.tasks_per_sec > 0.0 && r.wall_s > 0.0));
         assert!(report.threads_detected >= 1);
+        assert!(report.threads_used >= 1);
+        assert!(report.threads_used <= report.threads_detected);
+        // quick: 2 record counts, each with the serial-vs-sharded identity
+        // cross-check holding.
+        assert_eq!(report.rebucket_parallel.len(), 2);
+        for r in &report.rebucket_parallel {
+            assert!(r.serial_ms > 0.0 && r.parallel_ms > 0.0, "{r:?}");
+            assert!(
+                r.identical,
+                "serial and sharded rebucket sweeps must agree: {r:?}"
+            );
+        }
         assert_eq!(report.matrix.cells, 6);
         assert!(
             report.matrix.identical,

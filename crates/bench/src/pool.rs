@@ -8,35 +8,45 @@
 //! Work distribution is a chunked atomic queue: each worker claims a small
 //! contiguous chunk of indices at a time (amortizing the atomic traffic)
 //! and writes results into the slot matching the item's index, so the
-//! output order is deterministic and independent of scheduling. Setting
-//! `TORA_THREADS=1` forces a sequential run (used by the perf harness to
-//! verify byte-identical output); any other value caps the worker count.
+//! output order is deterministic and independent of scheduling.
+//!
+//! Thread-count *detection* lives in [`tora_alloc::par`] (one precedence
+//! for the whole workspace: `TORA_THREADS` override, then hardware
+//! parallelism capped by the cgroup CPU quota). Harnesses that need an
+//! explicit worker count — the perf harness comparing sequential vs
+//! parallel runs — pass it via [`run_parallel_on`] instead of mutating the
+//! environment mid-process.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of workers to use for `jobs` items: `TORA_THREADS` if set,
-/// otherwise the available parallelism, never more than the job count.
+/// Number of workers to use for `jobs` items: the workspace-wide detected
+/// thread count ([`tora_alloc::par::detected_threads`]), never more than
+/// the job count.
 pub fn thread_count(jobs: usize) -> usize {
-    let available = std::env::var("TORA_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        });
-    available.min(jobs.max(1))
+    tora_alloc::par::thread_count(jobs)
 }
 
-/// Map `f` over `items` on a scoped thread pool, returning results in item
-/// order regardless of which worker computed what.
+/// Map `f` over `items` on a scoped thread pool sized by
+/// [`thread_count`], returning results in item order regardless of which
+/// worker computed what.
+pub fn run_parallel<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_parallel_on(items, thread_count(items.len()), f)
+}
+
+/// [`run_parallel`] with an explicit worker count — the harness-facing
+/// entry point for sequential-vs-parallel comparisons (`threads = 1` is
+/// the reference run; no environment mutation involved).
 ///
 /// The chunk size grows with the queue so workers touch the shared counter
 /// O(threads) times, not O(items); with one worker (or one item) the loop
 /// degenerates to a plain sequential map over the same code path.
-pub fn run_parallel<T, R, F>(items: &[T], f: F) -> Vec<R>
+pub fn run_parallel_on<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -46,7 +56,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = thread_count(n);
+    let threads = threads.clamp(1, n);
     if threads == 1 {
         return items.iter().map(f).collect();
     }
@@ -120,5 +130,14 @@ mod tests {
         assert_eq!(thread_count(1), 1);
         assert!(thread_count(2) <= 2);
         assert!(thread_count(0) >= 1);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let items: Vec<usize> = (0..100).collect();
+        let want: Vec<usize> = items.iter().map(|i| i * 3).collect();
+        for threads in [1, 2, 4, 200] {
+            assert_eq!(run_parallel_on(&items, threads, |&i| i * 3), want);
+        }
     }
 }

@@ -37,17 +37,19 @@
 //! [`AllocationDecision`] carrying per-axis provenance, so callers can see
 //! *why* an allocation has the shape it has without installing a sink.
 
-use crate::estimator::{double_allocation, AllocSource, RebucketInfo, ValueEstimator};
+use crate::estimator::RebucketInfo;
 use crate::feedback::{AttemptFeedback, FaultPolicy, FeedbackWindow};
 use crate::resources::{ResourceKind, ResourceMask, ResourceVector, WorkerSpec};
 use crate::task::{CategoryId, ResourceRecord};
-use crate::trace::{AllocEvent, AxisProvenance, EventSink, NoopSink, PredictKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::trace::{AllocEvent, EventSink, NoopSink, PredictKind};
 use std::collections::HashMap;
 use std::fmt;
 
+mod parallel;
+mod shard;
 mod types;
+
+use shard::CategoryShard;
 
 pub use types::{
     AlgorithmKind, AllocationDecision, AllocatorConfig, EstimatorFactory, ExploratoryPolicy,
@@ -55,12 +57,6 @@ pub use types::{
 
 #[cfg(test)]
 mod tests;
-
-/// Per-category estimator bank.
-struct CategoryState {
-    estimators: Vec<(ResourceKind, Box<dyn ValueEstimator>)>,
-    records: usize,
-}
 
 /// Staged construction of an [`Allocator`].
 ///
@@ -143,14 +139,22 @@ impl AllocatorBuilder {
 ///
 /// Generic over an [`EventSink`]; the default [`NoopSink`] disables decision
 /// tracing at compile time.
+///
+/// State is sharded by category ([`shard::CategoryShard`]): each category
+/// owns its estimator bank *and its own RNG stream* (seeded
+/// `seed ^ category`), so predictions and rebucketing for distinct
+/// categories are independent and can run concurrently — see
+/// [`predict_first_batch`](Allocator::predict_first_batch) and
+/// [`rebucket_all`](Allocator::rebucket_all) — with output byte-identical
+/// to the serial calls at any thread count.
 pub struct Allocator<S: EventSink = NoopSink> {
     label: String,
     algorithm: Option<AlgorithmKind>,
     factory: EstimatorFactory,
     config: AllocatorConfig,
     exploratory: ExploratoryPolicy,
-    categories: HashMap<CategoryId, CategoryState>,
-    rng: StdRng,
+    categories: HashMap<CategoryId, CategoryShard>,
+    seed: u64,
     rejected: u64,
     fault_policy: Option<FaultPolicy>,
     feedback: FeedbackWindow,
@@ -191,7 +195,7 @@ impl Allocator {
             config,
             exploratory,
             categories: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            seed,
             rejected: 0,
             fault_policy: None,
             feedback: FeedbackWindow::new(FaultPolicy::default().window),
@@ -219,7 +223,7 @@ impl Allocator {
             config,
             exploratory,
             categories: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            seed,
             rejected: 0,
             fault_policy: None,
             feedback: FeedbackWindow::new(FaultPolicy::default().window),
@@ -228,7 +232,8 @@ impl Allocator {
     }
 
     /// Attach an [`EventSink`], turning this untraced allocator into a
-    /// traced one. All estimator state and the RNG position carry over.
+    /// traced one. All estimator state and the per-shard RNG positions
+    /// carry over.
     pub fn with_sink<S: EventSink>(self, sink: S) -> Allocator<S> {
         Allocator {
             label: self.label,
@@ -237,7 +242,7 @@ impl Allocator {
             config: self.config,
             exploratory: self.exploratory,
             categories: self.categories,
-            rng: self.rng,
+            seed: self.seed,
             rejected: self.rejected,
             fault_policy: self.fault_policy,
             feedback: self.feedback,
@@ -270,7 +275,7 @@ impl<S: EventSink> Allocator<S> {
 
     /// Records observed for `category`.
     pub fn records_for(&self, category: CategoryId) -> usize {
-        self.categories.get(&category).map_or(0, |s| s.records)
+        self.categories.get(&category).map_or(0, |s| s.records())
     }
 
     /// The active fault-feedback policy, if one is set.
@@ -315,6 +320,11 @@ impl<S: EventSink> Allocator<S> {
 
     /// Padding factor on first predictions; exactly `1.0` without a policy
     /// or without observed faults.
+    ///
+    /// The fault window is allocator-global and only updated from the
+    /// serial event loop ([`observe_outcome`](Self::observe_outcome)), so a
+    /// batched prediction computes this once up front and applies it
+    /// uniformly — a deterministic fold, identical to the serial sequence.
     fn feedback_padding(&self) -> f64 {
         self.fault_policy
             .map_or(1.0, |p| p.padding(self.windowed_fault_rate()))
@@ -343,22 +353,17 @@ impl<S: EventSink> Allocator<S> {
     }
 
     /// Entry point taking the fields it needs, so callers can keep borrows
-    /// of the sink and RNG alive alongside the category state.
-    fn category_entry<'a>(
-        categories: &'a mut HashMap<CategoryId, CategoryState>,
+    /// of the sink alive alongside the category state.
+    fn shard_entry<'a>(
+        categories: &'a mut HashMap<CategoryId, CategoryShard>,
         config: &AllocatorConfig,
         factory: &EstimatorFactory,
+        seed: u64,
         category: CategoryId,
-    ) -> &'a mut CategoryState {
-        let machine = config.machine;
-        categories.entry(category).or_insert_with(|| CategoryState {
-            estimators: config
-                .managed
-                .iter()
-                .map(|&k| (k, factory(k, &machine)))
-                .collect(),
-            records: 0,
-        })
+    ) -> &'a mut CategoryShard {
+        categories
+            .entry(category)
+            .or_insert_with(|| CategoryShard::new(category, config, factory, seed))
     }
 
     /// The exploratory allocation vector. Unmanaged dimensions get the full
@@ -380,11 +385,11 @@ impl<S: EventSink> Allocator<S> {
 
     /// Predict the allocation for a task's first attempt (§IV-A steps 2–3).
     pub fn predict_first(&mut self, category: CategoryId) -> AllocationDecision {
-        let exploratory_records = self.config.exploratory_records;
-        let machine_cap = self.config.machine.capacity;
-        let in_exploration =
-            self.categories.get(&category).map_or(0, |s| s.records) < exploratory_records;
+        let in_exploration = self.categories.get(&category).map_or(0, |s| s.records())
+            < self.config.exploratory_records;
         if in_exploration {
+            // An exploratory prediction touches no shard state and consumes
+            // no draws — the category may not even exist yet.
             let alloc = self.exploratory_allocation();
             if S::ENABLED {
                 self.sink.emit(AllocEvent::predict(
@@ -401,63 +406,28 @@ impl<S: EventSink> Allocator<S> {
                 infeasible: false,
             };
         }
-        let n = self.config.managed.len();
-        let mut draws: Vec<f64> = Vec::with_capacity(n);
-        for _ in 0..n {
-            draws.push(self.rng.gen::<f64>());
-        }
         // Fault-feedback padding: ×1.0 (an exact no-op) without a policy or
         // without observed faults.
         let pad = self.feedback_padding();
         let exploratory_alloc = self.exploratory_allocation();
-        let state =
-            Self::category_entry(&mut self.categories, &self.config, &self.factory, category);
-        let mut alloc = machine_cap;
-        let mut provenance = Vec::with_capacity(n);
-        for (i, (kind, est)) in state.estimators.iter_mut().enumerate() {
-            let (value, source) = match est.predict_first(draws[i]) {
-                Some(p) => (p.value, p.source),
-                None => {
-                    // No records for this axis: fall back to the exploratory
-                    // allocation (probe or capacity, per policy).
-                    let v = exploratory_alloc[*kind];
-                    let source = if v >= machine_cap[*kind] {
-                        AllocSource::Capacity
-                    } else {
-                        AllocSource::Probe
-                    };
-                    (v, source)
-                }
-            };
-            if S::ENABLED {
-                if let Some(info) = est.take_rebucket() {
-                    self.sink.emit(AllocEvent::rebucket(category, *kind, &info));
-                }
-            }
-            let value = value * pad;
-            alloc[*kind] = value;
-            provenance.push(AxisProvenance {
-                resource: *kind,
-                source,
-                draw: Some(draws[i]),
-                clamped: value > machine_cap[*kind],
-            });
+        let shard = Self::shard_entry(
+            &mut self.categories,
+            &self.config,
+            &self.factory,
+            self.seed,
+            category,
+        );
+        let mut events = Vec::new();
+        let decision = shard.predict_first_steady(
+            &self.config,
+            pad,
+            exploratory_alloc,
+            S::ENABLED.then_some(&mut events),
+        );
+        for event in events {
+            self.sink.emit(event);
         }
-        let alloc = alloc.clamp_to(&machine_cap);
-        if S::ENABLED {
-            self.sink.emit(AllocEvent::predict(
-                category,
-                PredictKind::First,
-                alloc,
-                provenance.clone(),
-            ));
-        }
-        AllocationDecision {
-            alloc,
-            kind: PredictKind::First,
-            provenance,
-            infeasible: false,
-        }
+        decision
     }
 
     /// Predict the allocation for a retry after `prev` was killed having
@@ -470,99 +440,28 @@ impl<S: EventSink> Allocator<S> {
         prev: &ResourceVector,
         exhausted: &ResourceMask,
     ) -> AllocationDecision {
-        let exploratory_records = self.config.exploratory_records;
-        let machine_cap = self.config.machine.capacity;
-        let in_exploration =
-            self.categories.get(&category).map_or(0, |s| s.records) < exploratory_records;
-        let n = self.config.managed.len();
-        let mut draws: Vec<f64> = Vec::with_capacity(n);
-        for _ in 0..n {
-            draws.push(self.rng.gen::<f64>());
-        }
         // Fault-feedback escalation bias: ×1.0 (an exact no-op) without a
         // policy or without observed faults.
         let esc = self.feedback_escalation();
-        let state =
-            Self::category_entry(&mut self.categories, &self.config, &self.factory, category);
-        let mut alloc = *prev;
-        let mut provenance = Vec::with_capacity(n);
-        for (i, (kind, est)) in state.estimators.iter_mut().enumerate() {
-            if !exhausted.contains(*kind) {
-                provenance.push(AxisProvenance {
-                    resource: *kind,
-                    source: AllocSource::Held,
-                    draw: None,
-                    clamped: false,
-                });
-                continue;
-            }
-            let (value, source, consumed) = if in_exploration {
-                (double_allocation(prev[*kind]), AllocSource::Doubling, false)
-            } else {
-                match est.predict_retry(prev[*kind], draws[i]) {
-                    Some(p) => (p.value, p.source, true),
-                    None => (double_allocation(prev[*kind]), AllocSource::Doubling, true),
-                }
-            };
-            if S::ENABLED {
-                if let Some(info) = est.take_rebucket() {
-                    self.sink.emit(AllocEvent::rebucket(category, *kind, &info));
-                }
-            }
-            let raised = (value * esc).max(prev[*kind]);
-            alloc[*kind] = raised;
-            provenance.push(AxisProvenance {
-                resource: *kind,
-                source,
-                draw: if consumed { Some(draws[i]) } else { None },
-                clamped: raised > machine_cap[*kind],
-            });
+        let shard = Self::shard_entry(
+            &mut self.categories,
+            &self.config,
+            &self.factory,
+            self.seed,
+            category,
+        );
+        let mut events = Vec::new();
+        let decision = shard.predict_retry_core(
+            &self.config,
+            prev,
+            exhausted,
+            esc,
+            S::ENABLED.then_some(&mut events),
+        );
+        for event in events {
+            self.sink.emit(event);
         }
-        // An exhausted axis outside the managed set has no estimator to
-        // escalate it; left alone the retry would return the same allocation
-        // and the engine would re-kill the task forever. Raise such axes
-        // straight to machine capacity — the most any retry could grant.
-        for kind in exhausted.iter() {
-            if self.config.managed.contains(&kind) {
-                continue;
-            }
-            let raised = machine_cap[kind].max(alloc[kind]);
-            provenance.push(AxisProvenance {
-                resource: kind,
-                source: AllocSource::Capacity,
-                draw: None,
-                clamped: raised > machine_cap[kind],
-            });
-            alloc[kind] = raised;
-        }
-        let alloc = alloc.clamp_to(&machine_cap);
-        // If no exhausted axis actually grew, the retry is a guaranteed
-        // repeat kill (everything exhausted already sat at capacity).
-        let infeasible = exhausted.any() && !exhausted.iter().any(|k| alloc[k] > prev[k]);
-        if S::ENABLED {
-            for &kind in &self.config.managed {
-                if exhausted.contains(kind) {
-                    self.sink.emit(AllocEvent::escalate(
-                        category,
-                        kind,
-                        prev[kind],
-                        alloc[kind],
-                    ));
-                }
-            }
-            self.sink.emit(AllocEvent::predict(
-                category,
-                PredictKind::Retry,
-                alloc,
-                provenance.clone(),
-            ));
-        }
-        AllocationDecision {
-            alloc,
-            kind: PredictKind::Retry,
-            provenance,
-            infeasible,
-        }
+        decision
     }
 
     /// A read-only snapshot of the bucketing state of one (category,
@@ -575,21 +474,14 @@ impl<S: EventSink> Allocator<S> {
         category: CategoryId,
         kind: ResourceKind,
     ) -> Option<crate::bucket::BucketSet> {
-        let state = self.categories.get(&category)?;
-        state
-            .estimators
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .and_then(|(_, est)| est.snapshot())
+        self.categories.get(&category)?.snapshot_axis(kind)
     }
 
     /// Force the estimator of one (category, resource kind) pair to fold
     /// pending observations into a fresh bucketing configuration, and
     /// describe the result. `None` when there is nothing to rebucket.
     pub fn rebucket(&mut self, category: CategoryId, kind: ResourceKind) -> Option<RebucketInfo> {
-        let state = self.categories.get_mut(&category)?;
-        let (_, est) = state.estimators.iter_mut().find(|(k, _)| *k == kind)?;
-        let info = est.rebucket()?;
+        let info = self.categories.get_mut(&category)?.rebucket_axis(kind)?;
         if S::ENABLED {
             self.sink.emit(AllocEvent::rebucket(category, kind, &info));
         }
@@ -625,16 +517,14 @@ impl<S: EventSink> Allocator<S> {
             self.sink
                 .emit(AllocEvent::observe(record.category, record.peak, sig));
         }
-        let state = Self::category_entry(
+        let shard = Self::shard_entry(
             &mut self.categories,
             &self.config,
             &self.factory,
+            self.seed,
             record.category,
         );
-        for (kind, est) in state.estimators.iter_mut() {
-            est.observe(record.peak[*kind], sig);
-        }
-        state.records += 1;
+        shard.observe(&record.peak, sig);
         true
     }
 

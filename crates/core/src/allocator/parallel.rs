@@ -1,0 +1,191 @@
+//! Batched, shard-parallel allocator entry points.
+//!
+//! The POP insight applied to §IV-D: because every category owns an
+//! independent shard (estimators + RNG stream, see [`super::shard`]), a
+//! batch of first-attempt predictions — and a full rebucket sweep — can be
+//! partitioned by category, solved concurrently on scoped threads, and
+//! stitched back together deterministically:
+//!
+//! * **Decisions** are written into slots indexed by request position, so
+//!   the returned vector is in request order regardless of which thread
+//!   finished first.
+//! * **Trace events** are buffered per request (per category, for
+//!   [`rebucket_all`](Allocator::rebucket_all)) and emitted by the caller
+//!   thread in request (category) order after the join.
+//! * **Draw sequences** per category depend only on that category's call
+//!   order, which each shard worker preserves.
+//!
+//! The result: byte-identical output to the equivalent sequence of serial
+//! [`predict_first`](Allocator::predict_first) calls, at any thread count.
+//! `tests/differential.rs` enforces this for all nine algorithms.
+
+use crate::estimator::RebucketInfo;
+use crate::par;
+use crate::resources::ResourceKind;
+use crate::task::CategoryId;
+use crate::trace::{AllocEvent, EventSink, PredictKind};
+use std::collections::HashMap;
+
+use super::shard::CategoryShard;
+use super::{AllocationDecision, Allocator};
+
+impl<S: EventSink> Allocator<S> {
+    /// Predict first-attempt allocations for a batch of tasks, sharded by
+    /// category across up to `threads` scoped worker threads.
+    ///
+    /// Semantically identical — byte-for-byte, including trace output and
+    /// RNG consumption — to calling
+    /// [`predict_first`](Allocator::predict_first) once per entry of
+    /// `requests` in order, as long as no observation lands mid-batch
+    /// (which is exactly the engine's dispatch pattern: a burst of
+    /// predictions, then placements). `threads` is used as given; pass
+    /// [`par::resolve`]`(0)` for auto-detection. With `threads <= 1` the
+    /// batch runs serially through the very same shard code.
+    pub fn predict_first_batch(
+        &mut self,
+        requests: &[CategoryId],
+        threads: usize,
+    ) -> Vec<AllocationDecision> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let trace = S::ENABLED;
+        let exploratory_records = self.config.exploratory_records;
+        // Fault-feedback padding is allocator-global and only moves on
+        // observe_outcome (serial event loop), so one up-front read applies
+        // to the whole batch — same value every serial call would see.
+        let pad = self.feedback_padding();
+        let exploratory_alloc = self.exploratory_allocation();
+
+        // Phase 1 (serial): answer exploratory requests immediately (they
+        // touch no shard and consume no draws) and group the steady-state
+        // ones by category, creating shards as needed. Within a category,
+        // request indices stay ascending, so each shard consumes its RNG
+        // stream in exactly the serial order.
+        let mut decisions: Vec<Option<AllocationDecision>> = vec![None; n];
+        let mut slot_events: Vec<Vec<AllocEvent>> = Vec::new();
+        if trace {
+            slot_events.resize_with(n, Vec::new);
+        }
+        let mut groups: Vec<(CategoryId, Vec<usize>)> = Vec::new();
+        let mut group_of: HashMap<CategoryId, usize> = HashMap::new();
+        for (i, &category) in requests.iter().enumerate() {
+            let in_exploration =
+                self.categories.get(&category).map_or(0, |s| s.records()) < exploratory_records;
+            if in_exploration {
+                if trace {
+                    slot_events[i].push(AllocEvent::predict(
+                        category,
+                        PredictKind::Explore,
+                        exploratory_alloc,
+                        Vec::new(),
+                    ));
+                }
+                decisions[i] = Some(AllocationDecision {
+                    alloc: exploratory_alloc,
+                    kind: PredictKind::Explore,
+                    provenance: Vec::new(),
+                    infeasible: false,
+                });
+            } else {
+                Self::shard_entry(
+                    &mut self.categories,
+                    &self.config,
+                    &self.factory,
+                    self.seed,
+                    category,
+                );
+                let g = *group_of.entry(category).or_insert_with(|| {
+                    groups.push((category, Vec::new()));
+                    groups.len() - 1
+                });
+                groups[g].1.push(i);
+            }
+        }
+
+        // Phase 2 (parallel): one work item per category, each processing
+        // its requests sequentially against its own shard.
+        if !groups.is_empty() {
+            let config = &self.config;
+            let mut shard_refs: HashMap<CategoryId, &mut CategoryShard> =
+                self.categories.iter_mut().map(|(&k, v)| (k, v)).collect();
+            let mut work: Vec<(Vec<usize>, &mut CategoryShard)> = groups
+                .into_iter()
+                .map(|(category, idxs)| {
+                    let shard = shard_refs
+                        .remove(&category)
+                        .expect("shard created in phase 1");
+                    (idxs, shard)
+                })
+                .collect();
+            drop(shard_refs);
+            let results = par::par_map_mut(&mut work, threads, |(idxs, shard)| {
+                idxs.iter()
+                    .map(|&i| {
+                        let mut events = Vec::new();
+                        let decision = shard.predict_first_steady(
+                            config,
+                            pad,
+                            exploratory_alloc,
+                            trace.then_some(&mut events),
+                        );
+                        (i, decision, events)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            // Phase 3 (serial): place results by request index.
+            for group in results {
+                for (i, decision, events) in group {
+                    decisions[i] = Some(decision);
+                    if trace {
+                        slot_events[i] = events;
+                    }
+                }
+            }
+        }
+        if trace {
+            for events in slot_events {
+                for event in events {
+                    self.sink.emit(event);
+                }
+            }
+        }
+        decisions
+            .into_iter()
+            .map(|d| d.expect("every batched request is decided"))
+            .collect()
+    }
+
+    /// Force every (category, resource kind) estimator to fold pending
+    /// observations into a fresh bucketing configuration, sharding the work
+    /// by category across up to `threads` scoped worker threads.
+    ///
+    /// Results — and any trace events — are merged in ascending category
+    /// order (managed-axis order within a category), so the output is
+    /// independent of the thread count. Pairs with nothing to rebucket are
+    /// omitted, exactly as [`rebucket`](Allocator::rebucket) returns `None`.
+    pub fn rebucket_all(
+        &mut self,
+        threads: usize,
+    ) -> Vec<(CategoryId, ResourceKind, RebucketInfo)> {
+        let mut shards: Vec<&mut CategoryShard> = self.categories.values_mut().collect();
+        shards.sort_by_key(|s| s.category());
+        let results = par::par_map_mut(&mut shards, threads, |shard| {
+            let category = shard.category();
+            shard
+                .rebucket_all_axes()
+                .into_iter()
+                .map(|(kind, info)| (category, kind, info))
+                .collect::<Vec<_>>()
+        });
+        let merged: Vec<(CategoryId, ResourceKind, RebucketInfo)> =
+            results.into_iter().flatten().collect();
+        if S::ENABLED {
+            for (category, kind, info) in &merged {
+                self.sink.emit(AllocEvent::rebucket(*category, *kind, info));
+            }
+        }
+        merged
+    }
+}

@@ -1,6 +1,7 @@
 //! Unit tests for the adaptive allocator.
 
 use super::*;
+use crate::estimator::AllocSource;
 use crate::task::TaskSpec;
 use crate::trace::{MemorySink, TraceStats};
 
@@ -508,4 +509,106 @@ fn decision_display_and_conversions() {
     assert!(s.starts_with("explore"));
     let v: ResourceVector = d.clone().into();
     assert_eq!(d, v);
+}
+
+/// Build a pair of identically-seeded allocators with categories 0..cats
+/// past exploration (and one extra category still exploring).
+fn seeded_pair(
+    algorithm: AlgorithmKind,
+    seed: u64,
+    cats: u32,
+) -> (Allocator<MemorySink>, Allocator<MemorySink>) {
+    let mut a = Allocator::new(algorithm, seed).with_sink(MemorySink::new());
+    let mut b = Allocator::new(algorithm, seed).with_sink(MemorySink::new());
+    for id in 0..u64::from(cats) * 12 {
+        let cat = (id % u64::from(cats)) as u32;
+        let peak = ResourceVector::new(
+            1.0 + (id % 4) as f64,
+            300.0 + (id * 37 % 500) as f64,
+            150.0 + (id * 13 % 200) as f64,
+        );
+        assert!(a.observe(&record(id, cat, peak)));
+        assert!(b.observe(&record(id, cat, peak)));
+    }
+    (a, b)
+}
+
+#[test]
+fn batched_predictions_match_serial_calls_byte_for_byte() {
+    for algorithm in [
+        AlgorithmKind::ExhaustiveBucketing,
+        AlgorithmKind::GreedyBucketing,
+        AlgorithmKind::MaxSeen,
+    ] {
+        for threads in [1, 2, 4, 9] {
+            let (mut serial, mut batched) = seeded_pair(algorithm, 9, 3);
+            // A mixed batch: three steady categories interleaved plus one
+            // category (3) that is still exploratory.
+            let requests: Vec<CategoryId> = (0..25).map(|i| CategoryId((i % 4) as u32)).collect();
+            let want: Vec<AllocationDecision> =
+                requests.iter().map(|&c| serial.predict_first(c)).collect();
+            let got = batched.predict_first_batch(&requests, threads);
+            assert_eq!(want, got, "{algorithm} decisions at threads={threads}");
+            assert_eq!(
+                serial.sink().events,
+                batched.sink().events,
+                "{algorithm} trace at threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_predictions_leave_rng_streams_where_serial_calls_do() {
+    // After a batch, further *serial* predictions must continue the same
+    // per-category streams: interleave batched and serial phases and compare
+    // against an all-serial reference.
+    let (mut reference, mut mixed) = seeded_pair(AlgorithmKind::ExhaustiveBucketing, 17, 2);
+    let phase1: Vec<CategoryId> = (0..10).map(|i| CategoryId((i % 2) as u32)).collect();
+    let mut want: Vec<AllocationDecision> =
+        phase1.iter().map(|&c| reference.predict_first(c)).collect();
+    let mut got = mixed.predict_first_batch(&phase1, 4);
+    want.push(reference.predict_first(CategoryId(1)));
+    got.push(mixed.predict_first(CategoryId(1)));
+    want.extend(phase1.iter().map(|&c| reference.predict_first(c)));
+    got.extend(mixed.predict_first_batch(&phase1, 4));
+    assert_eq!(want, got);
+    assert_eq!(reference.sink().events, mixed.sink().events);
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    let (mut serial, mut batched) = seeded_pair(AlgorithmKind::GreedyBucketing, 3, 2);
+    assert!(batched.predict_first_batch(&[], 4).is_empty());
+    let c = CategoryId(0);
+    assert_eq!(serial.predict_first(c), batched.predict_first(c));
+}
+
+#[test]
+fn rebucket_all_is_category_ordered_and_thread_count_invariant() {
+    let (mut one, mut four) = seeded_pair(AlgorithmKind::ExhaustiveBucketing, 5, 3);
+    let a = one.rebucket_all(1);
+    let b = four.rebucket_all(4);
+    assert_eq!(a, b);
+    assert_eq!(one.sink().events, four.sink().events);
+    // Three categories × three managed axes, in ascending category order.
+    assert_eq!(a.len(), 9);
+    let cats: Vec<u32> = a.iter().map(|(c, _, _)| c.0).collect();
+    let mut sorted = cats.clone();
+    sorted.sort_unstable();
+    assert_eq!(cats, sorted);
+    // A second sweep with no new observations has nothing new to fold, but
+    // forced rebuilds still report (version bumps); the two paths agree.
+    assert_eq!(one.rebucket_all(4), four.rebucket_all(1));
+}
+
+#[test]
+fn single_category_streams_match_the_legacy_global_rng() {
+    // seed ^ 0 == seed: a category-0-only run must reproduce the exact
+    // pre-sharding draw sequence (pinned indirectly by every golden test,
+    // directly here via the serial/batch cross-check at seed == shard seed).
+    let (mut serial, mut batched) = seeded_pair(AlgorithmKind::GreedyBucketing, 42, 1);
+    let requests = vec![CategoryId(0); 8];
+    let want: Vec<AllocationDecision> = requests.iter().map(|&c| serial.predict_first(c)).collect();
+    assert_eq!(batched.predict_first_batch(&requests, 4), want);
 }

@@ -58,6 +58,7 @@ pub mod exhaustive;
 pub mod feedback;
 pub mod greedy;
 pub mod kmeans;
+pub mod par;
 pub mod partition;
 pub mod policy;
 pub mod record;

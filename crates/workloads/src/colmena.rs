@@ -18,9 +18,7 @@
 //!   in ColmenaXTB (around 10 MBs)"), which drives the single-digit disk
 //!   efficiency every algorithm shows on this workflow.
 
-use crate::catalog::PaperWorkflow;
 use crate::dist::{lognormal, uniform, Dist};
-use crate::workflow::Workflow;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tora_alloc::resources::ResourceVector;
@@ -76,25 +74,6 @@ pub(crate) fn sample_task(index: usize, n_evaluate: usize, rng: &mut StdRng) -> 
     }
 }
 
-/// Generate the ColmenaXTB-shaped trace with the paper's task counts.
-#[deprecated(note = "use the WorkloadSpec entry point: \
-                     `PaperWorkflow::ColmenaXtb.spec(seed)`")]
-pub fn paper_workflow(seed: u64) -> Workflow {
-    PaperWorkflow::ColmenaXtb.build(seed)
-}
-
-/// Generate a ColmenaXTB-shaped trace with custom per-category task counts
-/// (used by the >10k-task future-work experiments).
-#[deprecated(note = "use the WorkloadSpec entry point: \
-                     `PaperWorkflow::ColmenaXtb.spec(seed).category_tasks(…)`")]
-pub fn generate(n_evaluate: usize, n_energy: usize, seed: u64) -> Workflow {
-    PaperWorkflow::ColmenaXtb
-        .spec(seed)
-        .category_tasks(vec![n_evaluate, n_energy])
-        .materialize()
-        .expect("colmena spec is always valid")
-}
-
 /// All ColmenaXTB tasks use roughly 10 MB of disk.
 fn disk_mb(rng: &mut StdRng) -> f64 {
     uniform(rng, 8.0, 12.0)
@@ -103,6 +82,7 @@ fn disk_mb(rng: &mut StdRng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::PaperWorkflow;
     use tora_alloc::task::CategoryId;
 
     #[test]

@@ -7,9 +7,9 @@
 //! per-task samplers and RNG streams, so for a given spec they produce the
 //! identical task sequence.
 //!
-//! This replaces the per-family free constructors
-//! (`synthetic::generate`, `colmena::generate`, `topeft::generate_dag`, …),
-//! which remain as deprecated shims for one release.
+//! This replaced the per-family free constructors
+//! (`synthetic::generate`, `colmena::generate`, `topeft::generate_dag`, …);
+//! their deprecated shims have since been removed.
 
 use crate::catalog::PaperWorkflow;
 use crate::source::{CatalogSource, TaskSource};

@@ -16,7 +16,6 @@
 
 use crate::catalog::PaperWorkflow;
 use crate::dist::{lognormal, Dist};
-use crate::workflow::Workflow;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -186,46 +185,10 @@ pub(crate) fn sample_task(
     TaskSpec::new(index as u64, 0, peak, duration)
 }
 
-/// Generate one §V-B synthetic workflow with `n_tasks` tasks.
-#[deprecated(note = "use the WorkloadSpec entry point: \
-                     `kind.catalog_workflow().spec(seed).tasks(n)`")]
-pub fn generate(kind: SyntheticKind, n_tasks: usize, seed: u64) -> Workflow {
-    kind.catalog_workflow()
-        .spec(seed)
-        .tasks(n_tasks)
-        .materialize()
-        .expect("synthetic spec is always valid")
-}
-
-/// Generate the paper's 1000-task version.
-#[deprecated(note = "use the WorkloadSpec entry point: \
-                     `kind.catalog_workflow().spec(seed)`")]
-pub fn paper_workflow(kind: SyntheticKind, seed: u64) -> Workflow {
-    kind.catalog_workflow()
-        .spec(seed)
-        .materialize()
-        .expect("synthetic spec is always valid")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use tora_alloc::resources::ResourceKind;
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_spec_path() {
-        let shim = generate(SyntheticKind::Uniform, 150, 8);
-        let spec = SyntheticKind::Uniform
-            .catalog_workflow()
-            .spec(8)
-            .tasks(150)
-            .materialize()
-            .unwrap();
-        assert_eq!(shim.tasks, spec.tasks);
-        let shim = paper_workflow(SyntheticKind::Normal, 8);
-        assert_eq!(shim.tasks, PaperWorkflow::Normal.build(8).tasks);
-    }
 
     #[test]
     fn all_five_generate_valid_paper_workflows() {

@@ -17,9 +17,7 @@
 //!   disk"), the detail behind the near-100% disk efficiency of the
 //!   bucketing algorithms and Max Seen's 500 MB rounding.
 
-use crate::catalog::PaperWorkflow;
 use crate::dist::{lognormal, uniform, Dist};
-use crate::workflow::Workflow;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tora_alloc::resources::ResourceVector;
@@ -82,24 +80,6 @@ pub(crate) fn sample_task(index: usize, n_pre: usize, n_proc: usize, rng: &mut S
     }
 }
 
-/// Generate the TopEFT-shaped trace with the paper's task counts.
-#[deprecated(note = "use the WorkloadSpec entry point: \
-                     `PaperWorkflow::TopEft.spec(seed)`")]
-pub fn paper_workflow(seed: u64) -> Workflow {
-    PaperWorkflow::TopEft.build(seed)
-}
-
-/// Generate a TopEFT-shaped trace with custom per-category counts.
-#[deprecated(note = "use the WorkloadSpec entry point: \
-                     `PaperWorkflow::TopEft.spec(seed).category_tasks(…)`")]
-pub fn generate(n_pre: usize, n_proc: usize, n_acc: usize, seed: u64) -> Workflow {
-    PaperWorkflow::TopEft
-        .spec(seed)
-        .category_tasks(vec![n_pre, n_proc, n_acc])
-        .materialize()
-        .expect("topeft spec is always valid")
-}
-
 /// Cores irrespective of category: "most tasks ... use one core or less
 /// during execution, some tasks go as high as three cores" (§III-B).
 fn cores(rng: &mut StdRng) -> f64 {
@@ -139,32 +119,10 @@ pub(crate) fn dag_dependencies(n_pre: usize, n_proc: usize, n_acc: usize) -> Vec
     deps
 }
 
-/// Generate the TopEFT trace *with its Coffea dependency structure*.
-#[deprecated(note = "use the WorkloadSpec entry point: \
-                     `PaperWorkflow::TopEft.spec(seed).dag()`")]
-pub fn paper_workflow_dag(seed: u64) -> Workflow {
-    PaperWorkflow::TopEft
-        .spec(seed)
-        .dag()
-        .materialize()
-        .expect("topeft spec is always valid")
-}
-
-/// DAG-structured TopEFT with custom category counts.
-#[deprecated(note = "use the WorkloadSpec entry point: \
-                     `PaperWorkflow::TopEft.spec(seed).category_tasks(…).dag()`")]
-pub fn generate_dag(n_pre: usize, n_proc: usize, n_acc: usize, seed: u64) -> Workflow {
-    PaperWorkflow::TopEft
-        .spec(seed)
-        .category_tasks(vec![n_pre, n_proc, n_acc])
-        .dag()
-        .materialize()
-        .expect("topeft spec is always valid")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::PaperWorkflow;
     use tora_alloc::task::CategoryId;
 
     #[test]

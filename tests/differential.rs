@@ -120,6 +120,61 @@ fn fault_policy_with_zero_observed_faults_changes_nothing() {
     }
 }
 
+/// Run a multi-category workflow through the engine at an explicit thread
+/// count with a tracing sink attached, and return every comparable output:
+/// the engine stats, the §II-C metrics, the allocator trace stream, and the
+/// fault report.
+fn traced_run_json(
+    wf: &Workflow,
+    algorithm: AlgorithmKind,
+    seed: u64,
+    threads: usize,
+) -> (String, String, Vec<AllocEvent>, String) {
+    let config = SimConfig {
+        churn: ChurnConfig::fixed(4),
+        queue_policy: QueuePolicy::FifoBackfill,
+        faults: FaultPlan::named("heavy").expect("preset exists"),
+        fault_policy: Some(FaultPolicy::default()),
+        seed,
+        threads,
+        ..SimConfig::default()
+    };
+    let (result, sink) = Simulation::new(wf, algorithm, config)
+        .with_sink(MemorySink::new())
+        .run_traced();
+    let stats = serde_json::to_string(&result.stats).expect("stats serialize");
+    let metrics = serde_json::to_string(&result.metrics).expect("metrics serialize");
+    let report = FaultReport::from_result(&result, &config, algorithm.label());
+    let report = serde_json::to_string(&report).expect("report serialize");
+    (stats, metrics, sink.events, report)
+}
+
+#[test]
+fn parallel_dispatch_is_byte_identical_to_serial() {
+    // The tentpole guarantee: category-sharded batched prediction and the
+    // per-category RNG streams make thread count a pure wall-clock knob.
+    // A multi-category workflow under backfill scheduling (so dispatch sees
+    // batches, not single tasks), heavy faults, and fault feedback must
+    // produce identical engine stats, metrics, trace streams, and fault
+    // reports at threads = 1 and threads = 4 — for every algorithm.
+    let wf = PaperWorkflow::ColmenaXtb
+        .spec(5)
+        .category_tasks(vec![60, 60])
+        .materialize()
+        .unwrap();
+    for algorithm in ALL_ALGORITHMS {
+        for seed in SEEDS {
+            let (stats_1, metrics_1, trace_1, report_1) = traced_run_json(&wf, algorithm, seed, 1);
+            let (stats_4, metrics_4, trace_4, report_4) = traced_run_json(&wf, algorithm, seed, 4);
+            assert!(!trace_1.is_empty(), "{algorithm} seed {seed}: trace empty");
+            assert_eq!(stats_1, stats_4, "{algorithm} seed {seed}: stats");
+            assert_eq!(metrics_1, metrics_4, "{algorithm} seed {seed}: metrics");
+            assert_eq!(trace_1, trace_4, "{algorithm} seed {seed}: trace");
+            assert_eq!(report_1, report_4, "{algorithm} seed {seed}: report");
+        }
+    }
+}
+
 #[test]
 fn differential_parity_extends_to_production_shaped_traces() {
     // The synthetic distributions exercise the bucketing math; the
