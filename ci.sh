@@ -70,9 +70,56 @@ rp = report["rebucket_parallel"]
 assert rp, "rebucket_parallel section missing from the bench report"
 for row in rp:
     assert row["identical"], f"serial vs sharded rebucket differ at {row['records']}"
+sl = report["serve_latency"]
+assert sl, "serve_latency section missing from the bench report"
+for row in sl:
+    assert row["records"] == 10_000, f"serve latency must be measured at 10k records: {row}"
+    if row["p99_us"] >= 1000.0:
+        raise SystemExit(
+            f"serve prediction p99 {row['p99_us']:.1f} us at batch {row['batch']} "
+            f"breaks the sub-millisecond budget -- the serve hot path regressed"
+        )
 print(f"scaling ok: 100k tasks at {rows[100_000]:.0f} tasks/sec "
-      f"({report['threads_detected']} detected / {report['threads_used']} used)")
+      f"({report['threads_detected']} detected / {report['threads_used']} used); "
+      f"serve p99 " + ", ".join(f"{r['p99_us']:.0f}us@batch{r['batch']}" for r in sl))
 EOF
+
+echo "== tora serve smoke (protocol + snapshot/restore byte parity) =="
+# A fixed conversation is answered twice (must be byte-identical), then
+# replayed across a kill: head of the conversation + Snapshot in one daemon
+# life, --restore + tail in a second. The second life's responses must be
+# byte-identical to the corresponding tail of the uninterrupted transcript.
+mkdir -p target/serve-smoke
+head_req=target/serve-smoke/head.jsonl
+tail_req=target/serve-smoke/tail.jsonl
+cat > "$head_req" <<'EOF'
+{"Open":{"tenant":"wf","algorithm":"greedy-bucketing","seed":7}}
+{"Workload":{"tenant":"wf","workflow":"bimodal","tasks":12,"seed":3}}
+{"Complete":{"tenant":"wf","task":0,"cores":0.9,"memory_mb":480.0,"disk_mb":120.0,"duration_s":6.0}}
+{"Complete":{"tenant":"wf","task":1,"cores":1.1,"memory_mb":512.0,"disk_mb":140.0,"duration_s":8.0}}
+EOF
+cat > "$tail_req" <<'EOF'
+{"Fault":{"tenant":"wf","task":2,"kind":"exhaustion","exhausted":["memory"]}}
+{"Predict":{"tenant":"wf","categories":[0,1]}}
+{"Stats":{}}
+{"Shutdown":{}}
+EOF
+cat "$head_req" "$tail_req" > target/serve-smoke/all.jsonl
+serve="cargo run --release --bin tora -- serve --workers 20 --threads 1"
+$serve < target/serve-smoke/all.jsonl > target/serve-smoke/ref-a.jsonl
+$serve < target/serve-smoke/all.jsonl > target/serve-smoke/ref-b.jsonl
+cmp target/serve-smoke/ref-a.jsonl target/serve-smoke/ref-b.jsonl
+snap=target/serve-smoke/daemon.json
+{ cat "$head_req"; printf '{"Snapshot":{"path":"%s"}}\n' "$snap"; } | $serve > /dev/null
+cargo run --release --bin tora -- serve --workers 20 --threads 1 --restore "$snap" \
+    < "$tail_req" > target/serve-smoke/resumed.jsonl
+tail -n "$(wc -l < "$tail_req")" target/serve-smoke/ref-a.jsonl \
+    > target/serve-smoke/ref-tail.jsonl
+cmp target/serve-smoke/ref-tail.jsonl target/serve-smoke/resumed.jsonl
+echo "serve smoke OK: byte-identical transcripts, kill/restore resumed exactly"
+
+echo "== serve protocol suite (golden transcripts, isolation, restore) =="
+cargo test -q --test serve_protocol
 
 echo "== tora chaos --quick (fault-injection smoke) =="
 cargo run --release --bin tora -- chaos --quick

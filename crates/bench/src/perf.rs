@@ -126,6 +126,30 @@ pub struct RebucketParallelRow {
     pub identical: bool,
 }
 
+/// Per-request prediction latency of a warm serve-style allocator: the
+/// quantiles a `tora serve` tenant sees when every answer comes from
+/// [`Allocator::predict_first_batch`] against a 10k-record estimator bank.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeLatencyRow {
+    /// Categories in the requested batch (1 = a single `Submit`, larger =
+    /// a `Workload` burst or `Predict` batch).
+    pub batch: usize,
+    /// Records loaded (and committed) before timing.
+    pub records: usize,
+    /// Category shards the records are spread over.
+    pub categories: usize,
+    /// Worker threads the batch call used.
+    pub threads: usize,
+    /// Timed request count.
+    pub samples: usize,
+    /// Median per-request latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-request latency, microseconds.
+    pub p99_us: f64,
+    /// Worst observed per-request latency, microseconds.
+    pub max_us: f64,
+}
+
 /// The full `tora bench` report, serialized to `BENCH.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -154,6 +178,9 @@ pub struct BenchReport {
     pub threads_used: usize,
     /// Parallel-runner speedup with the byte-identical cross-check.
     pub matrix: MatrixSpeedup,
+    /// Per-request prediction latency quantiles of a warm serve-style
+    /// allocator (the `tora serve` hot path).
+    pub serve_latency: Vec<ServeLatencyRow>,
 }
 
 fn sorted_records(n: usize, seed: u64) -> RecordList {
@@ -358,6 +385,53 @@ fn rebucket_parallel_rows(quick: bool, seed: u64, threads: usize) -> Vec<Rebucke
         .collect()
 }
 
+/// The `tora serve` hot path: per-request latency quantiles of
+/// `predict_first_batch` against a warm 10k-record, 8-category allocator.
+/// The bank is rebucketed before timing (a daemon's steady state — pending
+/// records committed, bucket tables built), then each timed request is one
+/// batch call, exactly what a `Submit`/`Predict` line costs the daemon.
+fn serve_latency_rows(quick: bool, seed: u64, threads: usize) -> Vec<ServeLatencyRow> {
+    use tora_alloc::task::CategoryId;
+    let records = 10_000;
+    let categories = 8;
+    let samples = if quick { 300 } else { 3000 };
+    let mut allocator = sharded_allocator(records, categories, seed);
+    // Commit the pending records and build every bucket table up front;
+    // the first prediction would otherwise pay the one-time rebucket cost.
+    std::hint::black_box(allocator.rebucket_all(threads));
+    [1usize, 64]
+        .into_iter()
+        .map(|batch| {
+            let requests: Vec<CategoryId> = (0..batch)
+                .map(|i| CategoryId((i % categories) as u32))
+                .collect();
+            // Warm-up outside the window.
+            for _ in 0..8 {
+                std::hint::black_box(allocator.predict_first_batch(&requests, threads));
+            }
+            let mut lat_us: Vec<f64> = (0..samples)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(allocator.predict_first_batch(&requests, threads));
+                    micros(start.elapsed())
+                })
+                .collect();
+            lat_us.sort_by(f64::total_cmp);
+            let at = |q: f64| lat_us[((lat_us.len() as f64 * q) as usize).min(lat_us.len() - 1)];
+            ServeLatencyRow {
+                batch,
+                records,
+                categories,
+                threads,
+                samples,
+                p50_us: at(0.50),
+                p99_us: at(0.99),
+                max_us: *lat_us.last().expect("samples > 0"),
+            }
+        })
+        .collect()
+}
+
 fn matrix_speedup(quick: bool, seed: u64) -> MatrixSpeedup {
     let (workflows, algorithms): (&[PaperWorkflow], &[AlgorithmKind]) = if quick {
         (
@@ -404,6 +478,12 @@ fn matrix_speedup(quick: bool, seed: u64) -> MatrixSpeedup {
 /// Run the full benchmark suite. `quick` shrinks iteration counts and the
 /// matrix so the whole thing finishes in a few seconds (the CI smoke mode).
 pub fn run_bench(quick: bool, seed: u64) -> BenchReport {
+    run_bench_on(quick, seed, 0)
+}
+
+/// [`run_bench`] with an explicit worker-thread count for the sharded
+/// measurements (`tora bench --threads`); `0` auto-detects.
+pub fn run_bench_on(quick: bool, seed: u64, threads: usize) -> BenchReport {
     let (pred_n, pred_iters) = if quick {
         (1000, 20_000)
     } else {
@@ -414,21 +494,27 @@ pub fn run_bench(quick: bool, seed: u64) -> BenchReport {
         prediction_rate(ExhaustiveBucketing::new(), pred_n, pred_iters, seed),
     ];
     let threads_detected = tora_alloc::par::detected_threads();
+    let threads = if threads == 0 {
+        threads_detected
+    } else {
+        threads
+    };
     let matrix = matrix_speedup(quick, seed);
-    // What the parallel measurements actually got to run on: the detected
+    // What the parallel measurements actually got to run on: the requested
     // count capped by the widest fan-out. `1` on a 1-core box — honest.
-    let threads_used = threads_detected.min(matrix.cells.max(1)).max(1);
+    let threads_used = threads.min(matrix.cells.max(1)).max(1);
     BenchReport {
         seed,
         quick,
         prediction,
         rebucket: rebucket_rows(quick, seed),
-        rebucket_parallel: rebucket_parallel_rows(quick, seed, threads_detected),
+        rebucket_parallel: rebucket_parallel_rows(quick, seed, threads),
         end_to_end: end_to_end(quick, seed),
         scaling: scaling_curve(quick, seed),
         threads_detected,
         threads_used,
         matrix,
+        serve_latency: serve_latency_rows(quick, seed, threads),
     }
 }
 
@@ -514,6 +600,21 @@ impl BenchReport {
         }
         out.push_str(&t.render());
         out.push('\n');
+        let mut t = Table::new(
+            "serve prediction latency (warm 10k-record bank)",
+            &["batch", "samples", "p50 (µs)", "p99 (µs)", "max (µs)"],
+        );
+        for r in &self.serve_latency {
+            t.row(&[
+                r.batch.to_string(),
+                r.samples.to_string(),
+                format!("{:.1}", r.p50_us),
+                format!("{:.1}", r.p99_us),
+                format!("{:.1}", r.max_us),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
         out.push_str(&format!(
             "threads detected: {} / used: {}\n",
             self.threads_detected, self.threads_used
@@ -588,6 +689,21 @@ mod tests {
             report.matrix.identical,
             "sequential and parallel matrix runs must agree byte-for-byte"
         );
+        // Serve latency: batch-of-1 and batch-of-64 rows over a warm
+        // 10k-record bank, quantiles ordered and positive.
+        assert_eq!(
+            report
+                .serve_latency
+                .iter()
+                .map(|r| r.batch)
+                .collect::<Vec<_>>(),
+            vec![1, 64]
+        );
+        for r in &report.serve_latency {
+            assert_eq!(r.records, 10_000);
+            assert!(r.p50_us > 0.0, "{r:?}");
+            assert!(r.p50_us <= r.p99_us && r.p99_us <= r.max_us, "{r:?}");
+        }
         let json = report.to_json().expect("serializes");
         assert!(json.contains("\"rebucket\""));
         assert!(!report.render().is_empty());

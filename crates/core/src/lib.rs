@@ -58,6 +58,7 @@ pub mod exhaustive;
 pub mod feedback;
 pub mod greedy;
 pub mod kmeans;
+pub mod oplog;
 pub mod par;
 pub mod partition;
 pub mod policy;
@@ -76,6 +77,7 @@ pub use exhaustive::ExhaustiveBucketing;
 pub use feedback::{AttemptFeedback, FaultPolicy, FeedbackWindow};
 pub use greedy::GreedyBucketing;
 pub use kmeans::KMeansBucketing;
+pub use oplog::{AllocLog, AllocOp};
 pub use partition::Partitioner;
 pub use policy::BucketingEstimator;
 pub use record::{RecordList, ScalarRecord};

@@ -561,7 +561,16 @@ fn checkpointing_reduces_fault_waste_under_crashes() {
     let wf = small(SyntheticKind::Uniform);
     let run = |fraction: f64| {
         let config = SimConfig {
-            churn: ChurnConfig::fixed(6),
+            // Churn must replace crashed workers: a churn-less fixed pool
+            // drains to zero under the crash process, every task strands,
+            // and both waste figures degenerate to 0 (no completed task to
+            // attribute waste to), making the comparison vacuous.
+            churn: ChurnConfig {
+                initial: 6,
+                min: 6,
+                max: 6,
+                mean_interval_s: Some(5.0),
+            },
             faults: crashy_plan(fraction),
             seed: 19,
             ..SimConfig::default()
@@ -571,6 +580,7 @@ fn checkpointing_reduces_fault_waste_under_crashes() {
     let off = run(0.0);
     let on = run(1.0);
     assert!(on.stats.salvaged_work_s > 0.0);
+    assert!(!off.metrics.is_empty(), "the scenario must complete tasks");
     let k = tora_alloc::resources::ResourceKind::MemoryMb;
     let waste_off = off.metrics.attributed_waste(k).fault_induced;
     let waste_on = on.metrics.attributed_waste(k).fault_induced;
@@ -578,4 +588,42 @@ fn checkpointing_reduces_fault_waste_under_crashes() {
         waste_on < waste_off,
         "salvage should cut crash waste: {waste_on} vs {waste_off}"
     );
+}
+
+#[test]
+fn unpulled_tail_sweep_matches_the_materializing_sweep() {
+    // The stranded sweep must produce the same dead-letter stream whether
+    // the streaming tail was materialized first (the old behavior) or
+    // dead-lettered directly by id range (the cheap path): same ids, same
+    // categories, same accounting, same log events.
+    use tora_workloads::PaperWorkflow;
+    let spec = PaperWorkflow::TopEft
+        .spec(11)
+        .category_tasks(vec![5, 30, 3]);
+    let config = SimConfig {
+        record_log: true,
+        faults: FaultPlan::named("light").unwrap(),
+        ..SimConfig::default()
+    };
+    let sweep_after_pulling = |pulled: usize| {
+        let source = spec.stream().unwrap();
+        let mut sim =
+            Simulation::from_source(Box::new(source), AlgorithmKind::ExhaustiveBucketing, config);
+        if pulled > 0 {
+            sim.ensure_spec(pulled - 1);
+        }
+        sim.sweep_stranded();
+        assert_eq!(sim.dead_lettered, 38);
+        assert_eq!(sim.stats.submitted, 38);
+        assert_eq!(sim.stats.faults.dead_lettered, 38);
+        (
+            serde_json::to_string(&sim.result_metrics).unwrap(),
+            serde_json::to_string(&sim.log).unwrap(),
+        )
+    };
+    let materialized_first = sweep_after_pulling(38);
+    let pulled_none = sweep_after_pulling(0);
+    let pulled_some = sweep_after_pulling(7);
+    assert_eq!(materialized_first, pulled_none);
+    assert_eq!(materialized_first, pulled_some);
 }

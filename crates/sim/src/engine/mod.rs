@@ -687,6 +687,27 @@ impl<S: EventSink> Simulation<S> {
         }
     }
 
+    /// Dead-letter every task the dried-up run can no longer finish, in id
+    /// order: first the materialized stranded tasks, then the
+    /// declared-but-unpulled tail of a streaming source — directly by id
+    /// range, without building `TaskSpec`s for tasks the run never touched
+    /// (the sweep used to materialize the whole tail just to abandon it,
+    /// which at 10M+ unpulled tasks dominated the fault-drained run).
+    /// Unpulled ids all exceed materialized ones, so the combined sweep
+    /// emits the same id-ordered dead-letter stream the materializing
+    /// version produced, byte for byte.
+    fn sweep_stranded(&mut self) {
+        let stranded: Vec<usize> = (0..self.tasks.len())
+            .filter(|&i| !self.tasks[i].phase.is_terminal())
+            .collect();
+        for task_idx in stranded {
+            self.dead_letter(task_idx, DeadLetterCause::Stalled);
+        }
+        for index in self.specs.len()..self.total_target() {
+            self.dead_letter_unpulled(index, DeadLetterCause::Stalled);
+        }
+    }
+
     /// Run to completion and return the result.
     pub fn run(self) -> SimResult {
         self.run_traced().0
@@ -719,16 +740,7 @@ impl<S: EventSink> Simulation<S> {
                     self.config.faults.is_active(),
                     "tasks pending but no events scheduled"
                 );
-                // Materialize any still-unpulled tail of a streaming source
-                // so the stranded sweep covers the full declared total.
-                let last = self.total_target().saturating_sub(1);
-                self.ensure_spec(last);
-                let stranded: Vec<usize> = (0..self.tasks.len())
-                    .filter(|&i| !self.tasks[i].phase.is_terminal())
-                    .collect();
-                for task_idx in stranded {
-                    self.dead_letter(task_idx, DeadLetterCause::Stalled);
-                }
+                self.sweep_stranded();
                 break;
             };
             debug_assert!(ev.time >= self.now);

@@ -11,6 +11,7 @@
 use super::lifecycle::TaskPhase;
 use super::Simulation;
 use crate::log::SimEvent;
+use tora_alloc::task::{CategoryId, TaskId};
 use tora_alloc::trace::EventSink;
 use tora_metrics::{DeadLetter, DeadLetterCause};
 
@@ -62,6 +63,39 @@ impl<S: EventSink> Simulation<S> {
             self.dead_letter(d, DeadLetterCause::DependencyDeadLettered);
         }
         self.dependents[task_idx] = dependents;
+    }
+
+    /// Terminally abandon a declared-but-unpulled streaming task without
+    /// materializing its spec.
+    ///
+    /// The byte-identical twin of [`Simulation::dead_letter`] for an index
+    /// past `specs.len()`: such a task was never arrived, never queued,
+    /// never attempted and has no dependents, so the only observable effects
+    /// are the submission accounting (conservation charges the submission at
+    /// abandonment time, exactly as `dead_letter` does for an unarrived
+    /// task), the [`DeadLetter`] record with an empty attempt history, and
+    /// the log event. The category comes from
+    /// [`tora_workloads::TaskSource::category_of`], which is RNG-free — the
+    /// whole point is that a >10M-task unpulled tail costs nothing to sweep.
+    pub(super) fn dead_letter_unpulled(&mut self, index: usize, cause: DeadLetterCause) {
+        let category = self
+            .source
+            .as_ref()
+            .expect("an unpulled tail only exists under a streaming source")
+            .category_of(index);
+        let task = TaskId(index as u64);
+        self.stats.submitted += 1;
+        let letter = DeadLetter {
+            task,
+            category: CategoryId(category),
+            cause,
+            attempts: Vec::new(),
+        };
+        debug_assert!(letter.check().is_ok(), "{:?}", letter.check());
+        self.result_metrics.push_dead_letter(letter);
+        self.stats.faults.dead_lettered += 1;
+        self.dead_lettered += 1;
+        self.log_event(SimEvent::TaskDeadLettered { task, cause });
     }
 
     /// Re-admit replayable dead letters once the pool has recovered.

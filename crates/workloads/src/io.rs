@@ -5,6 +5,7 @@
 //! (the footnote in §V links the original logs; ours regenerate from seeds
 //! but can also be exported and re-imported through this module).
 
+use crate::error::WorkloadError;
 use crate::workflow::Workflow;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -15,26 +16,38 @@ pub fn to_json(workflow: &Workflow) -> serde_json::Result<String> {
 }
 
 /// Parse a workflow from JSON and validate it.
-pub fn from_json(text: &str) -> Result<Workflow, String> {
-    let wf: Workflow = serde_json::from_str(text).map_err(|e| e.to_string())?;
+pub fn from_json(text: &str) -> Result<Workflow, WorkloadError> {
+    let wf: Workflow = serde_json::from_str(text).map_err(|e| WorkloadError::Parse {
+        reason: e.to_string(),
+    })?;
     wf.validate()?;
     Ok(wf)
 }
 
 /// Write a workflow to a file.
-pub fn save(workflow: &Workflow, path: &Path) -> Result<(), String> {
-    let json = to_json(workflow).map_err(|e| e.to_string())?;
-    let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
-    file.write_all(json.as_bytes()).map_err(|e| e.to_string())
+pub fn save(workflow: &Workflow, path: &Path) -> Result<(), WorkloadError> {
+    let io_err = |e: std::io::Error| WorkloadError::Io {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+    };
+    let json = to_json(workflow).map_err(|e| WorkloadError::Parse {
+        reason: e.to_string(),
+    })?;
+    let mut file = std::fs::File::create(path).map_err(io_err)?;
+    file.write_all(json.as_bytes()).map_err(io_err)
 }
 
 /// Read and validate a workflow from a file.
-pub fn load(path: &Path) -> Result<Workflow, String> {
+pub fn load(path: &Path) -> Result<Workflow, WorkloadError> {
+    let io_err = |e: std::io::Error| WorkloadError::Io {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+    };
     let mut text = String::new();
     std::fs::File::open(path)
-        .map_err(|e| e.to_string())?
+        .map_err(io_err)?
         .read_to_string(&mut text)
-        .map_err(|e| e.to_string())?;
+        .map_err(io_err)?;
     from_json(&text)
 }
 

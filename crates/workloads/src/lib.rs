@@ -19,6 +19,7 @@ pub mod builder;
 pub mod catalog;
 pub mod colmena;
 pub mod dist;
+pub mod error;
 pub mod io;
 pub mod perturb;
 pub mod source;
@@ -31,6 +32,7 @@ pub mod workflow;
 pub use builder::{CategorySpec, WorkflowBuilder};
 pub use catalog::PaperWorkflow;
 pub use dist::Dist;
+pub use error::WorkloadError;
 pub use source::{CatalogSource, TaskSource};
 pub use spec::WorkloadSpec;
 pub use synthetic::SyntheticKind;

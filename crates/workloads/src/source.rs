@@ -37,6 +37,14 @@ pub trait TaskSource: Send {
     fn total_tasks(&self) -> usize;
     /// The next task, or `None` once `total_tasks()` have been yielded.
     fn next_task(&mut self) -> Option<TaskSpec>;
+    /// The category the task at `index` belongs to, without generating it.
+    ///
+    /// Must equal `next_task()`'s category for that index, consume no RNG
+    /// state, and stay valid for indices not yet pulled — the engine uses it
+    /// to dead-letter a declared-but-unpulled tail without materializing
+    /// `TaskSpec`s. Catalog families satisfy this for free: their category
+    /// is a pure function of the index and the per-category counts.
+    fn category_of(&self, index: usize) -> u32;
 }
 
 /// The streaming form of a catalog workflow (see
@@ -105,6 +113,22 @@ impl TaskSource for CatalogSource {
             }
         })
     }
+
+    /// Every catalog family assigns categories by contiguous index range
+    /// (evaluate/compute for Colmena, pre/proc/acc for TopEFT, a single
+    /// category for the synthetics), so the category is the cumulative-count
+    /// bracket the index falls into.
+    fn category_of(&self, index: usize) -> u32 {
+        debug_assert!(index < self.total, "{index} out of range ({})", self.total);
+        let mut cumulative = 0usize;
+        for (category, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if index < cumulative {
+                return category as u32;
+            }
+        }
+        panic!("index {index} beyond the declared total {}", self.total)
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +149,23 @@ mod tests {
             let drained: Vec<_> = std::iter::from_fn(|| source.next_task()).collect();
             assert_eq!(drained, built.tasks, "{}", wf.name());
             assert!(source.next_task().is_none(), "source is exhausted");
+        }
+    }
+
+    #[test]
+    fn category_of_matches_the_generated_specs() {
+        for wf in PaperWorkflow::ALL {
+            let spec = WorkloadSpec::new(wf, 23);
+            let mut source = spec.stream().unwrap();
+            // Query before pulling anything: the answer must not depend on
+            // how much of the source has been consumed.
+            let upfront: Vec<u32> = (0..source.total_tasks())
+                .map(|i| source.category_of(i))
+                .collect();
+            let drained: Vec<u32> = std::iter::from_fn(|| source.next_task())
+                .map(|t| t.category.0)
+                .collect();
+            assert_eq!(upfront, drained, "{}", wf.name());
         }
     }
 

@@ -12,6 +12,7 @@
 //! their deprecated shims have since been removed.
 
 use crate::catalog::PaperWorkflow;
+use crate::error::WorkloadError;
 use crate::source::{CatalogSource, TaskSource};
 use crate::topeft;
 use crate::workflow::Workflow;
@@ -91,31 +92,29 @@ impl WorkloadSpec {
     }
 
     /// Check the spec without building it.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), WorkloadError> {
         if self.dag && self.workflow != PaperWorkflow::TopEft {
-            return Err(format!(
-                "{}: the DAG structure is only defined for topeft",
-                self.workflow.name()
-            ));
+            return Err(WorkloadError::DagUnsupported {
+                workflow: self.workflow.name().to_string(),
+            });
         }
         self.category_counts()?;
         Ok(())
     }
 
     /// Resolved per-category task counts, in category-id order.
-    pub fn category_counts(&self) -> Result<Vec<usize>, String> {
+    pub fn category_counts(&self) -> Result<Vec<usize>, WorkloadError> {
         let paper = self.workflow.paper_category_counts();
         match &self.scale {
             Scale::Paper => Ok(paper),
             Scale::Total(n) => Ok(split_proportionally(*n, &paper)),
             Scale::PerCategory(counts) => {
                 if counts.len() != paper.len() {
-                    return Err(format!(
-                        "{}: {} category counts given, the workflow has {}",
-                        self.workflow.name(),
-                        counts.len(),
-                        paper.len()
-                    ));
+                    return Err(WorkloadError::CategoryArity {
+                        workflow: self.workflow.name().to_string(),
+                        given: counts.len(),
+                        expected: paper.len(),
+                    });
                 }
                 Ok(counts.clone())
             }
@@ -124,10 +123,10 @@ impl WorkloadSpec {
 
     /// The workload as a streaming [`CatalogSource`]. DAG-structured specs
     /// must materialize instead (dependency lists index the full range).
-    pub fn stream(&self) -> Result<CatalogSource, String> {
+    pub fn stream(&self) -> Result<CatalogSource, WorkloadError> {
         self.validate()?;
         if self.dag {
-            return Err("a DAG-structured workload cannot stream; materialize it".into());
+            return Err(WorkloadError::DagCannotStream);
         }
         Ok(CatalogSource::new(
             self.workflow,
@@ -137,7 +136,7 @@ impl WorkloadSpec {
     }
 
     /// The workload as a fully materialized [`Workflow`] trace.
-    pub fn materialize(&self) -> Result<Workflow, String> {
+    pub fn materialize(&self) -> Result<Workflow, WorkloadError> {
         self.validate()?;
         let counts = self.category_counts()?;
         let mut source = CatalogSource::new(self.workflow, counts.clone(), self.seed);

@@ -1,6 +1,7 @@
 //! The workflow container: a named, ordered stream of tasks plus category
 //! metadata and the worker shape the workflow expects.
 
+use crate::error::WorkloadError;
 use serde::{Deserialize, Serialize};
 use tora_alloc::resources::WorkerSpec;
 use tora_alloc::task::{CategoryId, TaskSpec};
@@ -81,37 +82,43 @@ impl Workflow {
     }
 
     /// Check the structural invariants described on [`Workflow::new`].
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), WorkloadError> {
         for (i, t) in self.tasks.iter().enumerate() {
             if t.id.0 != i as u64 {
-                return Err(format!("task at position {i} has id {}", t.id));
+                return Err(WorkloadError::invalid(format!(
+                    "task at position {i} has id {}",
+                    t.id
+                )));
             }
             if t.category.0 as usize >= self.categories.len() {
-                return Err(format!("{}: category {} unknown", t.id, t.category));
+                return Err(WorkloadError::invalid(format!(
+                    "{}: category {} unknown",
+                    t.id, t.category
+                )));
             }
             if !self.worker.capacity.dominates(&t.peak) {
-                return Err(format!(
+                return Err(WorkloadError::invalid(format!(
                     "{}: peak {} exceeds worker capacity {}",
                     t.id, t.peak, self.worker.capacity
-                ));
+                )));
             }
         }
         if !self.dependencies.is_empty() {
             if self.dependencies.len() != self.tasks.len() {
-                return Err(format!(
+                return Err(WorkloadError::invalid(format!(
                     "dependency lists cover {} of {} tasks",
                     self.dependencies.len(),
                     self.tasks.len()
-                ));
+                )));
             }
             for (i, deps) in self.dependencies.iter().enumerate() {
                 for &d in deps {
                     if d >= i as u64 {
-                        return Err(format!(
+                        return Err(WorkloadError::invalid(format!(
                             "task {i} depends on {d}: predecessors must be \
                              earlier submissions (the submission order is the \
                              topological order)"
-                        ));
+                        )));
                     }
                 }
             }

@@ -10,6 +10,7 @@
 //! tora trace    <workflow|file> [opts]        traced run: allocation events as JSONL
 //! tora matrix   [opts]                        the 7×7 AWE matrix (Fig. 5)
 //! tora bench    [--quick]                     hot-path performance report → BENCH.json
+//! tora serve    [opts]                        long-running allocation daemon (JSONL)
 //! ```
 //!
 //! Run `tora <command> --help` for per-command options. Everything is
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("matrix") => cmd_matrix(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -70,8 +72,16 @@ fn print_usage() {
                                            the determinism smoke test)\n\
            matrix   [opts]                 AWE matrix across workflows × algorithms\n\
            bench    [--quick] [opts]       time the hot paths (prediction, rebucket fast\n\
-                                           vs faithful, engine, parallel runner) and\n\
-                                           write BENCH.json\n\n\
+                                           vs faithful, engine, parallel runner, serve\n\
+                                           prediction latency) and write BENCH.json\n\
+           serve    [opts]                 long-running allocation daemon speaking\n\
+                                           line-delimited JSON on stdin/stdout (default)\n\
+                                           or --socket <path> (Unix socket); multiplexes\n\
+                                           tenants with per-tenant allocators and DRF\n\
+                                           admission; --workers <n> sets the pool size\n\
+                                           (default 20 paper-shaped workers); --restore\n\
+                                           <snapshot.json> resumes a snapshotted daemon\n\
+                                           byte-identically\n\n\
          COMMON OPTIONS:\n\
            --seed <u64>          seed (default 42)\n\
            --algorithm <name>    see `tora algorithms` (default exhaustive-bucketing)\n\
@@ -80,6 +90,9 @@ fn print_usage() {
            --arrival <spec>      batch | poisson:<mean-s>  (default poisson:1.5)\n\
            --policy <name>       fifo | fifo-backfill | smallest-first | largest-first\n\
            --enforcement <name>  ramp | instant  (default ramp)\n\
+           --threads <n>         worker threads for the sharded allocator paths\n\
+                                 (0 = auto: TORA_THREADS, else the cgroup-aware\n\
+                                 core count; results never depend on this)\n\
            --dag                 (topeft) use the Coffea dependency structure\n\
            --mix <frac>:<scale>  heterogeneous pool: fraction of large workers\n\
            --out <file>          write JSON output to a file\n\
@@ -498,12 +511,64 @@ fn cmd_bench(raw: &[String]) -> Result<(), String> {
         "benchmarking hot paths (seed {seed}{})...",
         if quick { ", quick" } else { "" }
     );
-    let report = tora_bench::run_bench(quick, seed);
+    let report = tora_bench::run_bench_on(quick, seed, args.threads()?);
     print!("{}", report.render());
     let json = report.to_json().map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| e.to_string())?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// `tora serve`: the long-running allocation daemon. Speaks the
+/// line-delimited JSON protocol of `tora::serve::protocol` on stdin/stdout
+/// by default, or serves connections sequentially on a Unix socket with
+/// `--socket <path>`. `--workers <n>` sizes the shared pool in §V-A-shaped
+/// workers; `--restore <snapshot.json>` resumes a daemon snapshotted with
+/// the `Snapshot` request, byte-identically. `--threads` tunes the sharded
+/// prediction paths and never changes any answer.
+fn cmd_serve(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let workers = match args.value_of("workers")? {
+        None => 20,
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|n: &usize| *n >= 1)
+            .ok_or_else(|| format!("bad --workers `{v}` (a worker count ≥ 1)"))?,
+    };
+    let config = tora::serve::ServeConfig {
+        workers,
+        threads: args.threads()?,
+    };
+    let mut session = match args.value_of("restore")? {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading snapshot `{path}`: {e}"))?;
+            let session = tora::serve::Session::restore(&config, &json)?;
+            eprintln!("restored daemon state from {path}");
+            session
+        }
+        None => tora::serve::Session::new(&config),
+    };
+    match args.value_of("socket")? {
+        #[cfg(unix)]
+        Some(path) => {
+            eprintln!("serving on unix socket {path} ({workers} workers)");
+            session
+                .serve_unix(std::path::Path::new(path))
+                .map_err(|e| e.to_string())
+        }
+        #[cfg(not(unix))]
+        Some(_) => Err("--socket requires a Unix platform".into()),
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            session
+                .serve(stdin.lock(), stdout.lock())
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }
+    }
 }
 
 fn cmd_matrix(raw: &[String]) -> Result<(), String> {

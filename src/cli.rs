@@ -83,6 +83,18 @@ impl<'a> Args<'a> {
         }
     }
 
+    /// `--threads <n>`: worker threads for the sharded allocator paths.
+    /// `0` (the default when the flag is absent) means auto-detect — the
+    /// `TORA_THREADS` env var, else the cgroup-aware core count.
+    pub fn threads(&self) -> Result<usize, String> {
+        match self.value_of("threads")? {
+            None => Ok(0),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad --threads `{v}` (0 = auto)")),
+        }
+    }
+
     /// Whether the flag appeared (with or without a value).
     pub fn has(&self, name: &str) -> bool {
         self.flag(name).is_some()
@@ -107,7 +119,7 @@ pub fn parse_algorithm(name: &str) -> Result<AlgorithmKind, String> {
 pub fn parse_workflow(name_or_path: &str, args: &Args<'_>) -> Result<Workflow, String> {
     let seed = args.seed()?;
     if name_or_path.ends_with(".json") {
-        return trace_io::load(std::path::Path::new(name_or_path));
+        return trace_io::load(std::path::Path::new(name_or_path)).map_err(|e| e.to_string());
     }
     let tasks: Option<usize> = match args.value_of("tasks")? {
         None => None,
@@ -121,21 +133,31 @@ pub fn parse_workflow(name_or_path: &str, args: &Args<'_>) -> Result<Workflow, S
         if by_name != PaperWorkflow::TopEft {
             return Err("--dag is only defined for the topeft workflow".into());
         }
-        return PaperWorkflow::TopEft.spec(seed).dag().materialize();
+        return PaperWorkflow::TopEft
+            .spec(seed)
+            .dag()
+            .materialize()
+            .map_err(|e| e.to_string());
     }
     match (by_name, tasks) {
         (_, None) => Ok(by_name.build(seed)),
         (PaperWorkflow::ColmenaXtb | PaperWorkflow::TopEft, Some(_)) => {
             Err("--tasks applies only to synthetic workflows".into())
         }
-        (wf, Some(n)) => wf.spec(seed).tasks(n).materialize(),
+        (wf, Some(n)) => wf
+            .spec(seed)
+            .tasks(n)
+            .materialize()
+            .map_err(|e| e.to_string()),
     }
 }
 
 /// Build a [`SimConfig`] from the common simulation flags (`--seed`,
-/// `--workers`, `--arrival`, `--policy`, `--enforcement`, `--mix`, `--log`).
+/// `--workers`, `--arrival`, `--policy`, `--enforcement`, `--mix`, `--log`,
+/// `--threads`).
 pub fn parse_sim_config(args: &Args<'_>) -> Result<SimConfig, String> {
     let mut config = SimConfig::paper_like(args.seed()?);
+    config.threads = args.threads()?;
     match args.value_of("workers")? {
         None | Some("paper") => {}
         Some(spec) => {
@@ -255,13 +277,24 @@ mod tests {
             "batch",
             "--enforcement",
             "instant",
+            "--threads",
+            "4",
         ]);
         let args = Args::parse(&raw).unwrap();
         let config = parse_sim_config(&args).unwrap();
         assert_eq!(config.churn.initial, 12);
         assert!(matches!(config.arrival, ArrivalModel::Batch));
         assert!(matches!(config.enforcement, EnforcementModel::InstantPeak));
+        assert_eq!(config.threads, 4);
         let bad = vec!["--workers".to_string(), "fixed:0".to_string()];
         assert!(parse_sim_config(&Args::parse(&bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_defaults_to_auto() {
+        let absent = raw(&["--seed", "1"]);
+        assert_eq!(Args::parse(&absent).unwrap().threads().unwrap(), 0);
+        let bad = raw(&["--threads", "many"]);
+        assert!(Args::parse(&bad).unwrap().threads().is_err());
     }
 }

@@ -37,6 +37,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cli;
+pub mod serve;
 
 pub use tora_alloc as alloc;
 pub use tora_metrics as metrics;

@@ -1,0 +1,266 @@
+//! `tora serve` protocol tests: golden transcripts through the real
+//! binary, per-tenant allocator isolation, and kill-safe snapshot/restore.
+//!
+//! The daemon's contract is determinism at the byte level: the response
+//! stream is a pure function of the request stream, tenants cannot observe
+//! each other's allocator state, and a daemon restored from a snapshot
+//! answers the remaining requests exactly as the uninterrupted daemon would
+//! have.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+use tora::serve::{Response, ServeConfig, Session};
+
+/// Pipe `input` through `tora serve <args>` and return stdout.
+fn serve_stdout(args: &[&str], input: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tora"))
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("requests written");
+    let output = child.wait_with_output().expect("binary runs");
+    assert!(
+        output.status.success(),
+        "tora serve {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// Drive an in-process session, returning one serialized response per line.
+fn drive(session: &mut Session, requests: &[String]) -> Vec<String> {
+    requests
+        .iter()
+        .map(|line| {
+            let (response, _) = session.handle_line(line);
+            serde_json::to_string(&response).expect("responses serialize")
+        })
+        .collect()
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        workers: 20,
+        threads: 1,
+    }
+}
+
+/// A workload-manager conversation for one tenant: open, a workload burst,
+/// completions, a fault with escalation, advisory predictions, a rebucket.
+fn tenant_script(tenant: &str, seed: u64) -> Vec<String> {
+    let mut lines = vec![
+        format!(
+            r#"{{"Open":{{"tenant":"{tenant}","algorithm":"greedy-bucketing","seed":{seed}}}}}"#
+        ),
+        format!(
+            r#"{{"Workload":{{"tenant":"{tenant}","workflow":"bimodal","tasks":16,"seed":{seed}}}}}"#
+        ),
+    ];
+    for task in 0..12u64 {
+        lines.push(format!(
+            r#"{{"Complete":{{"tenant":"{tenant}","task":{task},"cores":0.9,"memory_mb":{mem}.0,"disk_mb":120.0,"duration_s":7.5}}}}"#,
+            mem = 400 + 50 * task
+        ));
+    }
+    lines.push(format!(
+        r#"{{"Fault":{{"tenant":"{tenant}","task":12,"kind":"exhaustion","exhausted":["memory"]}}}}"#
+    ));
+    lines.push(format!(
+        r#"{{"Predict":{{"tenant":"{tenant}","categories":[0,1,0]}}}}"#
+    ));
+    lines.push(format!(r#"{{"Rebucket":{{"tenant":"{tenant}"}}}}"#));
+    lines
+}
+
+#[test]
+fn golden_transcript_is_byte_stable_across_runs() {
+    let mut input = tenant_script("wf", 7).join("\n");
+    input.push_str("\n{\"Stats\":{}}\n{\"Shutdown\":{}}\n");
+    let args = ["--workers", "20", "--threads", "1"];
+    let first = serve_stdout(&args, &input);
+    let second = serve_stdout(&args, &input);
+    assert_eq!(first, second, "same requests, different responses");
+    // One response line per request line, ending with the shutdown ack.
+    let lines: Vec<&str> = first.lines().collect();
+    assert_eq!(lines.len(), input.lines().count());
+    assert_eq!(lines.last(), Some(&r#"{"Bye":{}}"#));
+    // The transcript carries the full conversation shape.
+    for tag in [
+        "Opened",
+        "Submitted",
+        "Completed",
+        "Retried",
+        "Predictions",
+        "Rebucketed",
+        "StatsReport",
+    ] {
+        assert!(
+            lines.iter().any(|l| l.contains(&format!("{{\"{tag}\""))),
+            "no {tag} response in transcript:\n{first}"
+        );
+    }
+    // Thread count must not change a single byte.
+    let threaded = serve_stdout(&["--workers", "20", "--threads", "4"], &input);
+    assert_eq!(first, threaded, "responses depend on --threads");
+}
+
+/// Two tenants on one daemon: tenant a's responses must be byte-identical
+/// whether or not tenant b is active — per-tenant allocators share nothing,
+/// and with capacity for both, admission never entangles their responses.
+#[test]
+fn a_tenant_is_isolated_from_its_neighbors() {
+    let a_script = tenant_script("a", 7);
+    let mut solo = Session::new(&config());
+    let solo_responses = drive(&mut solo, &a_script);
+
+    let mut shared = Session::new(&config());
+    let b_script = tenant_script("b", 99);
+    // Interleave: b's traffic lands between every one of a's requests.
+    let mut shared_responses = Vec::new();
+    for (i, a_line) in a_script.iter().enumerate() {
+        if let Some(b_line) = b_script.get(i) {
+            drive(&mut shared, std::slice::from_ref(b_line));
+        }
+        shared_responses.extend(drive(&mut shared, std::slice::from_ref(a_line)));
+    }
+    assert_eq!(
+        solo_responses, shared_responses,
+        "tenant a observed tenant b's presence"
+    );
+}
+
+/// Snapshot at an arbitrary cut point, "kill" the daemon (drop it), restore
+/// from the file, and replay the remaining requests: the tail responses and
+/// the final state must be byte-identical to the uninterrupted daemon's.
+#[test]
+fn snapshot_restore_resumes_byte_identically() {
+    let mut script = tenant_script("wf", 7);
+    script.extend(tenant_script("other", 13));
+    for cut in [3usize, 15, script.len() - 1] {
+        let mut uninterrupted = Session::new(&config());
+        let all_responses = drive(&mut uninterrupted, &script);
+
+        let mut doomed = Session::new(&config());
+        drive(&mut doomed, &script[..cut]);
+        let snapshot = doomed.snapshot_json().expect("snapshot serializes");
+        drop(doomed); // the kill
+
+        let mut restored = Session::restore(&config(), &snapshot).expect("snapshot restores");
+        // Restore must be loss-free: re-snapshotting before any new request
+        // reproduces the file exactly.
+        assert_eq!(
+            restored.snapshot_json().expect("snapshot serializes"),
+            snapshot,
+            "cut {cut}: snapshot → restore → snapshot is not the identity"
+        );
+        let tail_responses = drive(&mut restored, &script[cut..]);
+        assert_eq!(
+            tail_responses,
+            all_responses[cut..],
+            "cut {cut}: restored daemon diverged from the uninterrupted one"
+        );
+        assert_eq!(
+            restored.snapshot_json().expect("snapshot serializes"),
+            uninterrupted.snapshot_json().expect("snapshot serializes"),
+            "cut {cut}: final states diverged"
+        );
+    }
+}
+
+/// The same snapshot round trip through the real binary and the `--restore`
+/// flag: a daemon killed after `Snapshot` resumes and finishes the
+/// conversation exactly as an uninterrupted daemon does.
+#[test]
+fn the_binary_restores_from_a_snapshot_file() {
+    let dir = std::env::temp_dir().join(format!("tora_serve_restore_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("daemon.json");
+    let snap_path = snap.to_str().expect("utf-8 temp path");
+
+    let script = tenant_script("wf", 7);
+    let (head, tail) = script.split_at(5);
+    let args = ["--workers", "20", "--threads", "1"];
+
+    // Uninterrupted reference conversation.
+    let mut full_input = script.join("\n");
+    full_input.push_str("\n{\"Shutdown\":{}}\n");
+    let reference = serve_stdout(&args, &full_input);
+
+    // First life: head of the conversation, snapshot, die without Shutdown.
+    let mut first_input = head.join("\n");
+    first_input.push_str(&format!(
+        "\n{{\"Snapshot\":{{\"path\":\"{snap_path}\"}}}}\n"
+    ));
+    serve_stdout(&args, &first_input);
+
+    // Second life: restore and finish the conversation.
+    let mut second_input = tail.join("\n");
+    second_input.push_str("\n{\"Shutdown\":{}}\n");
+    let resumed = serve_stdout(
+        &["--restore", snap_path, "--workers", "20", "--threads", "1"],
+        &second_input,
+    );
+
+    let reference_tail: Vec<&str> = reference.lines().skip(head.len()).collect();
+    let resumed_lines: Vec<&str> = resumed.lines().collect();
+    assert_eq!(
+        resumed_lines, reference_tail,
+        "restored binary diverged from the uninterrupted conversation"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Protocol errors carry stable codes and leave the daemon able to continue.
+#[test]
+fn errors_are_typed_and_non_fatal() {
+    let mut session = Session::new(&config());
+    let cases = [
+        (
+            r#"{"Predict":{"tenant":"nope","categories":[0]}}"#,
+            "unknown-tenant",
+        ),
+        (
+            r#"{"Open":{"tenant":"wf2","algorithm":"not-an-algorithm"}}"#,
+            "unknown-algorithm",
+        ),
+        (r#"{"Open":{"tenant":"wf"}}"#, "duplicate-tenant"),
+        (
+            r#"{"Workload":{"tenant":"wf","workflow":"not-a-workflow"}}"#,
+            "unknown-workflow",
+        ),
+        (
+            r#"{"Complete":{"tenant":"wf","task":0,"cores":1.0,"memory_mb":1.0,"disk_mb":1.0,"duration_s":1.0}}"#,
+            "task-not-running",
+        ),
+        (
+            r#"{"Fault":{"tenant":"wf","task":0,"kind":"meteor"}}"#,
+            "bad-fault-kind",
+        ),
+        (r#"garbage"#, "bad-request"),
+    ];
+    session.handle_line(r#"{"Open":{"tenant":"wf"}}"#);
+    for (line, expected) in cases {
+        let (response, shutdown) = session.handle_line(line);
+        assert!(!shutdown);
+        match response {
+            Response::Error { code, .. } => assert_eq!(code, expected, "{line}"),
+            other => panic!("{line}: expected an error, got {other:?}"),
+        }
+    }
+    // Still alive and consistent after the error barrage.
+    let (response, _) = session.handle_line(r#"{"Submit":{"tenant":"wf","task":0,"category":0}}"#);
+    assert!(
+        matches!(response, Response::Submitted { accepted: 1, .. }),
+        "daemon wedged after errors: {response:?}"
+    );
+}
