@@ -79,9 +79,25 @@ for row in sl:
             f"serve prediction p99 {row['p99_us']:.1f} us at batch {row['batch']} "
             f"breaks the sub-millisecond budget -- the serve hot path regressed"
         )
+fig = report["fig_dag"]
+assert fig, "fig_dag section missing from the bench report"
+for row in fig:
+    assert row["longest_path_s"] > 0.0, f"empty critical path: {row}"
+by_algo = {}
+for row in fig:
+    by_algo.setdefault(row["algorithm"], {})[row["scenario"]] = row
+for algo, rows_ in by_algo.items():
+    on = rows_["on-path"]["makespan_vs_baseline"]
+    off = rows_["off-path"]["makespan_vs_baseline"]
+    if not on > off:
+        raise SystemExit(
+            f"fig_dag: {algo} on-path slowdown {on:.3f} must exceed off-path "
+            f"{off:.3f} -- critical-path sensitivity inverted"
+        )
 print(f"scaling ok: 100k tasks at {rows[100_000]:.0f} tasks/sec "
       f"({report['threads_detected']} detected / {report['threads_used']} used); "
-      f"serve p99 " + ", ".join(f"{r['p99_us']:.0f}us@batch{r['batch']}" for r in sl))
+      f"serve p99 " + ", ".join(f"{r['p99_us']:.0f}us@batch{r['batch']}" for r in sl) + "; "
+      f"fig_dag on>off-path holds for {len(by_algo)} algorithms")
 EOF
 
 echo "== tora serve smoke (protocol + snapshot/restore byte parity) =="
@@ -127,6 +143,28 @@ cargo run --release --bin tora -- chaos --quick
 echo "== tora chaos --quick --salvage 0.5 (checkpoint/restart smoke) =="
 cargo run --release --bin tora -- chaos --quick --salvage 0.5 > target/chaos-salvage.txt
 grep -q "salvaged work" target/chaos-salvage.txt
+
+echo "== chaos DAG smoke (depth-dominated pipeline, critical-path rows) =="
+# A generated 40-deep pipeline is pure critical path: the report must carry
+# the submit-time and realized critical-path rows with non-zero figures.
+cargo run --release --bin tora -- \
+    chaos bimodal --shape pipeline --depth 40 --seed 7 --plan light \
+    --out target/chaos-dag.json > target/chaos-dag.txt
+grep -q "critical path (submit)" target/chaos-dag.txt
+grep -q "critical path (realized)" target/chaos-dag.txt
+grep -q "waste on / off path" target/chaos-dag.txt
+python3 - <<'EOF'
+import json
+report = json.load(open("target/chaos-dag.json"))
+cp = report["critical_path"]
+assert cp, "critical_path section missing from the DAG chaos report"
+assert cp["longest_path_s"] > 0.0, cp
+assert cp["longest_path_tasks"] == 40, cp
+assert cp["realized_s"] >= cp["longest_path_s"], cp
+assert cp["inflation"] >= 1.0, cp
+print(f"chaos DAG ok: 40-task path, submit {cp['longest_path_s']:.0f}s, "
+      f"realized {cp['realized_s']:.0f}s ({cp['inflation']:.2f}x)")
+EOF
 
 echo "== differential: engine vs analytic replay (byte parity) =="
 cargo test -q --test differential

@@ -28,6 +28,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod figdag;
 pub mod perf;
 pub mod pool;
 pub mod timing;

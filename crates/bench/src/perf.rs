@@ -29,6 +29,7 @@ use tora_sim::{simulate, SimConfig, Simulation};
 use tora_workloads::SyntheticKind;
 
 use crate::experiments::{run_matrix_on, MatrixConfig};
+use crate::figdag::{fig_dag_rows, FigDagRow};
 use crate::timing::sample_values;
 use tora_alloc::allocator::{AlgorithmKind, Allocator};
 use tora_alloc::resources::ResourceVector;
@@ -181,6 +182,9 @@ pub struct BenchReport {
     /// Per-request prediction latency quantiles of a warm serve-style
     /// allocator (the `tora serve` hot path).
     pub serve_latency: Vec<ServeLatencyRow>,
+    /// Critical-path sensitivity on a diamond DAG: the same allocation
+    /// error on vs off the critical chain, per bucketing algorithm.
+    pub fig_dag: Vec<FigDagRow>,
 }
 
 fn sorted_records(n: usize, seed: u64) -> RecordList {
@@ -321,12 +325,8 @@ fn scaling_curve(quick: bool, seed: u64) -> Vec<ScalingRow> {
                 .expect("synthetic workloads stream");
             let config = SimConfig::paper_like(seed);
             let start = Instant::now();
-            let result = Simulation::from_source(
-                Box::new(source),
-                AlgorithmKind::ExhaustiveBucketing,
-                config,
-            )
-            .run();
+            let result =
+                Simulation::from_source(source, AlgorithmKind::ExhaustiveBucketing, config).run();
             let wall_s = start.elapsed().as_secs_f64();
             std::hint::black_box(result.makespan_s);
             ScalingRow {
@@ -515,6 +515,8 @@ pub fn run_bench_on(quick: bool, seed: u64, threads: usize) -> BenchReport {
         threads_used,
         matrix,
         serve_latency: serve_latency_rows(quick, seed, threads),
+        // Cheap either way (6 runs of a 34-task diamond) — quick keeps it.
+        fig_dag: fig_dag_rows(seed),
     }
 }
 
@@ -615,6 +617,29 @@ impl BenchReport {
         }
         out.push_str(&t.render());
         out.push('\n');
+        let mut t = Table::new(
+            "fig_dag: critical-path sensitivity (depth-dominated diamond)",
+            &[
+                "algorithm",
+                "scenario",
+                "makespan (s)",
+                "vs baseline",
+                "inflation",
+                "waste on/off path (MB·s)",
+            ],
+        );
+        for r in &self.fig_dag {
+            t.row(&[
+                r.algorithm.clone(),
+                r.scenario.clone(),
+                format!("{:.1}", r.makespan_s),
+                format!("{:.3}×", r.makespan_vs_baseline),
+                format!("{:.2}×", r.inflation),
+                format!("{:.0} / {:.0}", r.on_path_waste_mb_s, r.off_path_waste_mb_s),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
         out.push_str(&format!(
             "threads detected: {} / used: {}\n",
             self.threads_detected, self.threads_used
@@ -706,6 +731,7 @@ mod tests {
         }
         let json = report.to_json().expect("serializes");
         assert!(json.contains("\"rebucket\""));
+        assert!(json.contains("\"fig_dag\""));
         assert!(!report.render().is_empty());
     }
 }

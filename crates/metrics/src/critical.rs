@@ -1,0 +1,55 @@
+//! Critical-path accounting for structured (DAG) workloads.
+//!
+//! A flat bag of tasks has one performance axis: how much work there is.
+//! A DAG adds a second: how much of it is *serialized*. The longest
+//! dependency chain by summed nominal durations is the submit-time critical
+//! path — a lower bound on makespan no scheduler can beat — and the gap
+//! between it and the chain's realized completion time is the inflation the
+//! run actually paid (queueing, allocation errors, retries). Splitting
+//! memory waste by on-/off-path membership then shows *where* allocation
+//! error hurts: a retry on the critical path pushes the makespan directly,
+//! while the same retry off-path is absorbed by float.
+
+use serde::{Deserialize, Serialize};
+
+/// Critical-path summary of one structured run. Attached as an `Option` to
+/// `SimStats` and the fault report so flat-workload outputs stay
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPathStats {
+    /// Length of the longest dependency chain at submit time, in nominal
+    /// task-seconds (durations only — no queueing, no retries).
+    pub longest_path_s: f64,
+    /// Number of tasks on that chain.
+    pub longest_path_tasks: u32,
+    /// When the chain's sink task actually completed, in sim seconds
+    /// (falls back to the makespan if it never did).
+    pub realized_s: f64,
+    /// `realized_s / longest_path_s`: how much the run inflated its
+    /// structural lower bound (`0` if the bound is degenerate).
+    pub inflation: f64,
+    /// Memory waste (MB·s) of completed tasks on the critical path.
+    pub on_path_waste_mb_s: f64,
+    /// Memory waste (MB·s) of completed tasks off the critical path.
+    pub off_path_waste_mb_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_serialize_round_trip() {
+        let stats = CriticalPathStats {
+            longest_path_s: 120.5,
+            longest_path_tasks: 14,
+            realized_s: 241.0,
+            inflation: 2.0,
+            on_path_waste_mb_s: 512.0,
+            off_path_waste_mb_s: 64.0,
+        };
+        let json = serde_json::to_string(&stats).expect("serializes");
+        let back: CriticalPathStats = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, stats);
+    }
+}

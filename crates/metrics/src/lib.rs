@@ -14,12 +14,14 @@
 
 pub mod awe;
 pub mod cost;
+pub mod critical;
 pub mod outcome;
 pub mod report;
 pub mod summary;
 
 pub use awe::{WasteAttribution, WasteBreakdown, WorkflowMetrics};
 pub use cost::{Bill, CostModel};
+pub use critical::CriticalPathStats;
 pub use outcome::{AttemptCause, AttemptOutcome, DeadLetter, DeadLetterCause, TaskOutcome};
 pub use report::{grouped, pct, Table};
 pub use summary::{

@@ -316,6 +316,10 @@ impl<S: EventSink> Simulation<S> {
             self.tasks[run.task_idx]
                 .advance(TaskPhase::Completed)
                 .expect("completed attempt was running");
+            let now_s = self.now.seconds();
+            if let Some(cp) = self.cp.as_mut() {
+                cp.record_finish(run.task_idx, now_s);
+            }
             if self.tasks[run.task_idx].replays > 0 {
                 self.stats.faults.replay_successes += 1;
             }

@@ -607,8 +607,7 @@ fn unpulled_tail_sweep_matches_the_materializing_sweep() {
     };
     let sweep_after_pulling = |pulled: usize| {
         let source = spec.stream().unwrap();
-        let mut sim =
-            Simulation::from_source(Box::new(source), AlgorithmKind::ExhaustiveBucketing, config);
+        let mut sim = Simulation::from_source(source, AlgorithmKind::ExhaustiveBucketing, config);
         if pulled > 0 {
             sim.ensure_spec(pulled - 1);
         }

@@ -29,6 +29,7 @@
 
 mod arena;
 mod churn;
+mod critical;
 mod dispatch;
 mod faults;
 pub mod lifecycle;
@@ -43,6 +44,7 @@ mod tests;
 pub use lifecycle::{IllegalTransition, TaskPhase};
 
 use self::arena::{AttemptArena, RunArena, RunId};
+use self::critical::CriticalPath;
 use self::lifecycle::TaskState;
 use self::queue::{Event, EventQueue};
 use crate::enforcement::EnforcementModel;
@@ -285,6 +287,14 @@ pub struct Simulation<S: EventSink = NoopSink> {
     source: Option<Box<dyn TaskSource>>,
     /// Total the source will yield; `specs` grows toward it lazily.
     source_total: usize,
+    /// The source's bounded dependency lookahead (`0` = dependency-free).
+    /// A dead-letter first materializes this span past the dying task so
+    /// every potential dependent exists before the cascade — which keeps
+    /// cascade timing byte-identical to the materialized run.
+    source_window: usize,
+    /// Incremental critical-path tracker; present iff the workload carries
+    /// dependency structure.
+    cp: Option<CriticalPath>,
     driver: Option<Box<dyn Driver>>,
     allocator: Allocator<S>,
     config: SimConfig,
@@ -356,6 +366,13 @@ impl Simulation {
                 sim.dependents[d as usize].push(i);
             }
         }
+        if workflow.has_dependencies() {
+            let mut cp = CriticalPath::new();
+            for i in 0..workflow.len() {
+                cp.push(workflow.tasks[i].duration_s, workflow.deps_of(i));
+            }
+            sim.cp = Some(cp);
+        }
         sim
     }
 
@@ -372,6 +389,10 @@ impl Simulation {
     ) -> Self {
         let mut sim = Self::bare(source.worker(), algorithm, config);
         sim.source_total = source.total_tasks();
+        sim.source_window = source.dependency_window();
+        if sim.source_window > 0 {
+            sim.cp = Some(CriticalPath::new());
+        }
         sim.specs.reserve(sim.source_total.min(1 << 20));
         sim.source = Some(source);
         sim
@@ -399,6 +420,8 @@ impl Simulation {
             specs: self.specs,
             source: self.source,
             source_total: self.source_total,
+            source_window: self.source_window,
+            cp: self.cp,
             driver: self.driver,
             allocator: self.allocator.with_sink(sink),
             config: self.config,
@@ -471,6 +494,8 @@ impl Simulation {
             specs: Vec::new(),
             source: None,
             source_total: 0,
+            source_window: 0,
+            cp: None,
             driver: None,
             allocator,
             config,
@@ -558,22 +583,26 @@ impl<S: EventSink> Simulation<S> {
 
     /// Pull tasks from the streaming source until `task_idx` is
     /// materialized. A no-op for materialized runs and already-pulled
-    /// indices; sources yield sequential, dependency-free tasks, so each
-    /// pull is a spec push plus a fresh lifecycle slot.
+    /// indices. Sources yield sequential tasks whose dependencies (if any)
+    /// are confined to the declared lookahead window, so each pull is a
+    /// spec push, a lifecycle slot counting the still-incomplete
+    /// dependencies, and the reverse-adjacency wiring for them — exactly
+    /// the state a materialized run would hold for that task at this
+    /// moment (a completed dependency is already resolved; a dead one is
+    /// impossible, because its death would have materialized this task
+    /// first, see `dead_letter`).
     fn ensure_spec(&mut self, task_idx: usize) {
         if self.specs.len() > task_idx || self.source.is_none() {
             return;
         }
         while self.specs.len() <= task_idx {
-            let spec = self
-                .source
-                .as_mut()
-                .expect("checked above")
+            let idx = self.specs.len();
+            let source = self.source.as_mut().expect("checked above");
+            let spec = source
                 .next_task()
                 .expect("source ended before its declared total");
             assert_eq!(
-                spec.id.0,
-                self.specs.len() as u64,
+                spec.id.0, idx as u64,
                 "streaming sources must yield sequential ids"
             );
             assert!(
@@ -583,8 +612,29 @@ impl<S: EventSink> Simulation<S> {
                 spec.peak,
                 self.worker.capacity
             );
+            let deps = if self.source_window > 0 {
+                self.source.as_ref().expect("checked above").deps_of(idx)
+            } else {
+                Vec::new()
+            };
+            let deps_remaining = deps
+                .iter()
+                .filter(|&&d| !self.tasks[d as usize].is_completed())
+                .count();
+            for &d in &deps {
+                if !self.tasks[d as usize].is_completed() {
+                    debug_assert!(
+                        !self.tasks[d as usize].is_dead(),
+                        "a dead dependency must have materialized its window"
+                    );
+                    self.dependents[d as usize].push(idx);
+                }
+            }
+            if let Some(cp) = self.cp.as_mut() {
+                cp.push(spec.duration_s, &deps);
+            }
             self.specs.push(spec);
-            self.tasks.push(TaskState::fresh(0, false));
+            self.tasks.push(TaskState::fresh(deps_remaining, false));
             self.dependents.push(Vec::new());
         }
     }
@@ -697,11 +747,22 @@ impl<S: EventSink> Simulation<S> {
     /// emits the same id-ordered dead-letter stream the materializing
     /// version produced, byte for byte.
     fn sweep_stranded(&mut self) {
-        let stranded: Vec<usize> = (0..self.tasks.len())
-            .filter(|&i| !self.tasks[i].phase.is_terminal())
-            .collect();
-        for task_idx in stranded {
-            self.dead_letter(task_idx, DeadLetterCause::Stalled);
+        if self.source_window > 0 && self.total_target() > 0 {
+            // A structured source materializes its remainder before the
+            // sweep: the critical-path DP needs every task's duration, and
+            // stranded tasks must cascade through their (materialized)
+            // dependents — both exactly as the materialized run would.
+            // Structured workloads are shape-bounded, so this tail is small;
+            // the id-range fast path below stays for the flat million-task
+            // sweeps it was built for.
+            self.ensure_spec(self.total_target() - 1);
+        }
+        let mut task_idx = 0;
+        while task_idx < self.tasks.len() {
+            if !self.tasks[task_idx].phase.is_terminal() {
+                self.dead_letter(task_idx, DeadLetterCause::Stalled);
+            }
+            task_idx += 1;
         }
         for index in self.specs.len()..self.total_target() {
             self.dead_letter_unpulled(index, DeadLetterCause::Stalled);
@@ -756,6 +817,9 @@ impl<S: EventSink> Simulation<S> {
             self.dispatch();
             self.enforce_unplaceable_strikes();
             self.sample_utilization();
+        }
+        if let Some(cp) = self.cp.as_ref() {
+            self.stats.critical_path = Some(cp.summarize(&self.result_metrics, self.now.seconds()));
         }
         let stats = self.stats;
         let result = SimResult {

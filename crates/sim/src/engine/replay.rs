@@ -23,6 +23,14 @@ impl<S: EventSink> Simulation<S> {
         if self.tasks[task_idx].is_dead() || self.tasks[task_idx].is_completed() {
             return;
         }
+        if self.source_window > 0 {
+            // Bounded-lookahead cascade: every dependent of the dying task
+            // lies within the source's declared window, so materializing
+            // that span now lets the recursion doom them at this exact sim
+            // time — the same moment the fully materialized run dooms them.
+            let horizon = (task_idx + self.source_window).min(self.total_target() - 1);
+            self.ensure_spec(horizon);
+        }
         let state = &mut self.tasks[task_idx];
         state
             .advance(TaskPhase::DeadLettered)

@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 use tora_alloc::resources::ResourceKind;
-use tora_metrics::{pct, Table};
+use tora_metrics::{pct, CriticalPathStats, Table};
 
 use crate::engine::{SimConfig, SimResult};
 use crate::stats::FaultCounts;
@@ -362,6 +362,10 @@ pub struct FaultReport {
     /// Total nominal task-seconds salvaged by checkpoint/restart.
     #[serde(default)]
     pub salvaged_work_s: f64,
+    /// Critical-path accounting, present only for structured (DAG)
+    /// workloads so flat-workload reports stay byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub critical_path: Option<CriticalPathStats>,
 }
 
 impl FaultReport {
@@ -398,6 +402,7 @@ impl FaultReport {
             makespan_s: result.makespan_s,
             checkpointed_attempts: stats.faults.checkpointed_attempts,
             salvaged_work_s: stats.salvaged_work_s,
+            critical_path: stats.critical_path,
         }
     }
 
@@ -448,6 +453,26 @@ impl FaultReport {
             head.row(&[
                 "salvaged work".to_string(),
                 format!("{:.1} task-s", self.salvaged_work_s),
+            ]);
+        }
+        if let Some(cp) = &self.critical_path {
+            head.row(&[
+                "critical path (submit)".to_string(),
+                format!(
+                    "{:.1} s over {} tasks",
+                    cp.longest_path_s, cp.longest_path_tasks
+                ),
+            ]);
+            head.row(&[
+                "critical path (realized)".to_string(),
+                format!("{:.1} s ({:.2}x inflation)", cp.realized_s, cp.inflation),
+            ]);
+            head.row(&[
+                "waste on / off path".to_string(),
+                format!(
+                    "{:.1} / {:.1} MB*s",
+                    cp.on_path_waste_mb_s, cp.off_path_waste_mb_s
+                ),
             ]);
         }
         out.push_str(&head.render());

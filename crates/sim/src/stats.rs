@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use tora_alloc::resources::{ResourceKind, ResourceVector};
 use tora_alloc::task::CategoryId;
 use tora_alloc::trace::TraceStats;
+use tora_metrics::CriticalPathStats;
 
 /// Allocator-call counters, engine-side.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -110,6 +111,10 @@ pub struct SimStats {
     pub calls: AllocCallCounts,
     /// Allocator calls per task category, keyed by raw category id.
     pub by_category: Vec<(u32, AllocCallCounts)>,
+    /// Critical-path accounting, present only for structured (DAG)
+    /// workloads so flat-run stats stay byte-identical on the wire.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub critical_path: Option<CriticalPathStats>,
 }
 
 impl SimStats {

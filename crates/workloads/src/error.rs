@@ -14,14 +14,23 @@ use std::fmt;
 /// Why a workload could not be built, streamed, or loaded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkloadError {
-    /// A DAG-structured spec was asked to stream: dependency lists index
-    /// into the full task range, so DAG workloads must materialize.
+    /// The Coffea trace's DAG was asked to stream: its dependency lists
+    /// index into the full task range (no bounded lookahead window), so it
+    /// must materialize. Generated shapes ([`crate::DagShape`]) stream.
     DagCannotStream,
     /// The Coffea dependency structure was requested for a workflow that
-    /// does not define one (only TopEFT does).
+    /// does not define one (only TopEFT does). Generated structure via
+    /// `dag_shape(..)` works for every workflow.
     DagUnsupported {
         /// The offending workflow's catalog name.
         workflow: String,
+    },
+    /// A generated DAG shape was combined with an incompatible knob: the
+    /// Coffea `dag()` structure, or an explicit task-count scale (the shape
+    /// fixes the task count).
+    ShapeConflict {
+        /// What clashed.
+        reason: String,
     },
     /// Explicit per-category counts do not match the workflow's category
     /// count.
@@ -62,6 +71,7 @@ impl WorkloadError {
         match self {
             WorkloadError::DagCannotStream => "dag-cannot-stream",
             WorkloadError::DagUnsupported { .. } => "dag-unsupported",
+            WorkloadError::ShapeConflict { .. } => "shape-conflict",
             WorkloadError::CategoryArity { .. } => "category-arity",
             WorkloadError::InvalidTrace { .. } => "invalid-trace",
             WorkloadError::Io { .. } => "io",
@@ -81,13 +91,21 @@ impl fmt::Display for WorkloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WorkloadError::DagCannotStream => {
-                write!(f, "a DAG-structured workload cannot stream; materialize it")
+                write!(
+                    f,
+                    "the Coffea DAG trace cannot stream (its dependencies are \
+                     not window-bounded); materialize it"
+                )
             }
             WorkloadError::DagUnsupported { workflow } => {
                 write!(
                     f,
-                    "{workflow}: the DAG structure is only defined for topeft"
+                    "{workflow}: the Coffea dag() structure is only defined for \
+                     topeft; use dag_shape(..) for generated structure"
                 )
+            }
+            WorkloadError::ShapeConflict { reason } => {
+                write!(f, "conflicting DAG shape: {reason}")
             }
             WorkloadError::CategoryArity {
                 workflow,
@@ -117,6 +135,9 @@ mod tests {
             WorkloadError::DagUnsupported {
                 workflow: "bimodal".into(),
             },
+            WorkloadError::ShapeConflict {
+                reason: "shape and tasks(..) both fix the count".into(),
+            },
             WorkloadError::CategoryArity {
                 workflow: "colmena-xtb".into(),
                 given: 1,
@@ -137,6 +158,7 @@ mod tests {
             vec![
                 "dag-cannot-stream",
                 "dag-unsupported",
+                "shape-conflict",
                 "category-arity",
                 "invalid-trace",
                 "io",

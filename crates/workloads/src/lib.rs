@@ -18,6 +18,7 @@
 pub mod builder;
 pub mod catalog;
 pub mod colmena;
+pub mod dag;
 pub mod dist;
 pub mod error;
 pub mod io;
@@ -31,6 +32,7 @@ pub mod workflow;
 
 pub use builder::{CategorySpec, WorkflowBuilder};
 pub use catalog::PaperWorkflow;
+pub use dag::{DagShape, DagSource, DagStructure};
 pub use dist::Dist;
 pub use error::WorkloadError;
 pub use source::{CatalogSource, TaskSource};

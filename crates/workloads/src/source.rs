@@ -22,9 +22,13 @@ use tora_alloc::task::TaskSpec;
 ///
 /// Contract: [`TaskSource::next_task`] yields exactly
 /// [`TaskSource::total_tasks`] specs whose ids are `0..total` in order, each
-/// fitting [`TaskSource::worker`]. Sources are dependency-free — a DAG's
-/// dependency lists index into the full task range, so DAG-structured
-/// workflows go through the materialized path instead.
+/// fitting [`TaskSource::worker`]. Dependencies are *bounded-lookahead*: a
+/// source declares a window `W` via [`TaskSource::dependency_window`] and
+/// guarantees every id in [`TaskSource::deps_of`]`(i)` lies in `[i - W, i)`,
+/// so the engine can resolve dependency cascades while materializing at
+/// most `W` tasks ahead of a dying one. Flat sources keep the defaults
+/// (`W = 0`, no deps). Only the TopEFT Coffea trace, whose dependency lists
+/// index into the full task range, still has to materialize.
 pub trait TaskSource: Send {
     /// Workflow name as used in reports.
     fn name(&self) -> &str;
@@ -45,6 +49,21 @@ pub trait TaskSource: Send {
     /// `TaskSpec`s. Catalog families satisfy this for free: their category
     /// is a pure function of the index and the per-category counts.
     fn category_of(&self, index: usize) -> u32;
+    /// Dependency ids of the task at `index`, ascending.
+    ///
+    /// Like [`TaskSource::category_of`] this must be RNG-free and valid for
+    /// indices not yet pulled, and every returned id must lie in
+    /// `[index - W, index)` for `W =` [`TaskSource::dependency_window`].
+    /// Flat sources keep the default empty list.
+    fn deps_of(&self, index: usize) -> Vec<u64> {
+        let _ = index;
+        Vec::new()
+    }
+    /// The bounded dependency lookahead `W` (see [`TaskSource::deps_of`]);
+    /// `0` means the source is dependency-free.
+    fn dependency_window(&self) -> usize {
+        0
+    }
 }
 
 /// The streaming form of a catalog workflow (see

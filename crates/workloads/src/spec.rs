@@ -12,6 +12,7 @@
 //! their deprecated shims have since been removed.
 
 use crate::catalog::PaperWorkflow;
+use crate::dag::{DagShape, DagSource};
 use crate::error::WorkloadError;
 use crate::source::{CatalogSource, TaskSource};
 use crate::topeft;
@@ -32,11 +33,12 @@ enum Scale {
     PerCategory(Vec<usize>),
 }
 
-/// A catalog workflow plus the knobs that shape it: seed, scale and (for
-/// TopEFT) the Coffea dependency structure.
+/// A catalog workflow plus the knobs that shape it: seed, scale and
+/// structure — a generated [`DagShape`] for any workflow, or (TopEFT only)
+/// the Coffea dependency structure.
 ///
 /// ```
-/// use tora_workloads::{PaperWorkflow, WorkloadSpec};
+/// use tora_workloads::{DagShape, PaperWorkflow, WorkloadSpec};
 ///
 /// // The paper's 1000-task bimodal workflow, materialized.
 /// let wf = PaperWorkflow::Bimodal.spec(42).materialize().unwrap();
@@ -44,6 +46,10 @@ enum Scale {
 ///
 /// // The same distribution scaled to 10k tasks, streamed.
 /// let mut source = PaperWorkflow::Bimodal.spec(42).tasks(10_000).stream().unwrap();
+///
+/// // A diamond-shaped bimodal workload; generated shapes stream too.
+/// let shaped = PaperWorkflow::Bimodal.spec(42).dag_shape(DagShape::diamond(4, 8));
+/// assert!(shaped.stream().is_ok());
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
@@ -51,6 +57,9 @@ pub struct WorkloadSpec {
     seed: u64,
     scale: Scale,
     dag: bool,
+    /// Generated DAG topology; fixes the task count when set.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    shape: Option<DagShape>,
 }
 
 impl WorkloadSpec {
@@ -61,6 +70,7 @@ impl WorkloadSpec {
             seed,
             scale: Scale::Paper,
             dag: false,
+            shape: None,
         }
     }
 
@@ -86,6 +96,17 @@ impl WorkloadSpec {
         self
     }
 
+    /// Attach a generated DAG topology (works for every catalog workflow).
+    /// The shape fixes the task count — its expanded node count, split
+    /// across categories in proportion to the paper's counts — so it
+    /// conflicts with `tasks(..)`/`category_tasks(..)` and with the Coffea
+    /// `dag()` structure (checked at build time). Shaped specs stream:
+    /// dependencies stay within a bounded lookahead window.
+    pub fn dag_shape(mut self, shape: DagShape) -> Self {
+        self.shape = Some(shape);
+        self
+    }
+
     /// The catalog workflow this spec shapes.
     pub fn workflow(&self) -> PaperWorkflow {
         self.workflow
@@ -98,6 +119,22 @@ impl WorkloadSpec {
                 workflow: self.workflow.name().to_string(),
             });
         }
+        if self.shape.is_some() {
+            if self.dag {
+                return Err(WorkloadError::ShapeConflict {
+                    reason: "dag_shape(..) and the Coffea dag() structure are \
+                             mutually exclusive"
+                        .to_string(),
+                });
+            }
+            if self.scale != Scale::Paper {
+                return Err(WorkloadError::ShapeConflict {
+                    reason: "a DAG shape fixes the task count; drop tasks(..) \
+                             or category_tasks(..)"
+                        .to_string(),
+                });
+            }
+        }
         self.category_counts()?;
         Ok(())
     }
@@ -105,6 +142,11 @@ impl WorkloadSpec {
     /// Resolved per-category task counts, in category-id order.
     pub fn category_counts(&self) -> Result<Vec<usize>, WorkloadError> {
         let paper = self.workflow.paper_category_counts();
+        if let Some(shape) = &self.shape {
+            // The shape fixes the total; the paper's mix fixes the split.
+            let total = shape.structure(self.seed).total_tasks();
+            return Ok(split_proportionally(total, &paper));
+        }
         match &self.scale {
             Scale::Paper => Ok(paper),
             Scale::Total(n) => Ok(split_proportionally(*n, &paper)),
@@ -121,18 +163,20 @@ impl WorkloadSpec {
         }
     }
 
-    /// The workload as a streaming [`CatalogSource`]. DAG-structured specs
-    /// must materialize instead (dependency lists index the full range).
-    pub fn stream(&self) -> Result<CatalogSource, WorkloadError> {
+    /// The workload as a streaming [`TaskSource`]. Generated shapes stream
+    /// with a bounded dependency-lookahead window; only the Coffea trace
+    /// (`dag()`) must materialize instead (its dependency lists index the
+    /// full range).
+    pub fn stream(&self) -> Result<Box<dyn TaskSource>, WorkloadError> {
         self.validate()?;
         if self.dag {
             return Err(WorkloadError::DagCannotStream);
         }
-        Ok(CatalogSource::new(
-            self.workflow,
-            self.category_counts()?,
-            self.seed,
-        ))
+        let catalog = CatalogSource::new(self.workflow, self.category_counts()?, self.seed);
+        Ok(match &self.shape {
+            Some(shape) => Box::new(DagSource::new(catalog, shape.structure(self.seed))),
+            None => Box::new(catalog),
+        })
     }
 
     /// The workload as a fully materialized [`Workflow`] trace.
@@ -152,6 +196,10 @@ impl WorkloadSpec {
         );
         Ok(if self.dag {
             wf.with_dependencies(topeft::dag_dependencies(counts[0], counts[1], counts[2]))
+        } else if let Some(shape) = &self.shape {
+            let structure = shape.structure(self.seed);
+            let n = wf.len();
+            wf.with_dependencies((0..n).map(|i| structure.deps_of(i)).collect())
         } else {
             wf
         })
@@ -238,6 +286,34 @@ mod tests {
         for j in 0..160 {
             assert_eq!(wf.deps_of(20 + j).len(), 1);
         }
+    }
+
+    #[test]
+    fn dag_shapes_attach_to_any_workflow_and_stream() {
+        use crate::dag::DagShape;
+        let shape = DagShape::diamond(3, 5).with_loopback(2);
+        for wf in PaperWorkflow::ALL {
+            let spec = wf.spec(7).dag_shape(shape);
+            let expected = shape.structure(7).total_tasks();
+            let built = spec.materialize().unwrap();
+            assert_eq!(built.len(), expected, "{}", wf.name());
+            assert!(built.has_dependencies(), "{}", wf.name());
+            built.validate().unwrap();
+            let source = spec.stream().expect("generated shapes stream");
+            assert!(source.dependency_window() >= 1);
+            assert_eq!(source.total_tasks(), expected);
+        }
+    }
+
+    #[test]
+    fn shape_conflicts_are_rejected_with_a_stable_code() {
+        use crate::dag::DagShape;
+        let shape = DagShape::pipeline(6);
+        let with_tasks = PaperWorkflow::Bimodal.spec(1).tasks(50).dag_shape(shape);
+        let err = with_tasks.validate().unwrap_err();
+        assert_eq!(err.code(), "shape-conflict");
+        let with_dag = PaperWorkflow::TopEft.spec(1).dag().dag_shape(shape);
+        assert_eq!(with_dag.validate().unwrap_err().code(), "shape-conflict");
     }
 
     #[test]

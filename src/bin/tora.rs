@@ -94,6 +94,12 @@ fn print_usage() {
                                  (0 = auto: TORA_THREADS, else the cgroup-aware\n\
                                  core count; results never depend on this)\n\
            --dag                 (topeft) use the Coffea dependency structure\n\
+           --shape <name>        generated DAG structure: fan-out-fan-in |\n\
+                                 pipeline | diamond | random-layered\n\
+           --width <n>           (--shape) parallel width        (default 4)\n\
+           --depth <n>           (--shape) layer/chain depth     (default 8)\n\
+           --loopback <n>        (--shape) max bounded-cycle iterations per\n\
+                                 node (default 0 = acyclic)\n\
            --mix <frac>:<scale>  heterogeneous pool: fraction of large workers\n\
            --out <file>          write JSON output to a file\n\
            --log <file>          (simulate) dump the event log as JSONL\n\

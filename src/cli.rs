@@ -115,7 +115,8 @@ pub fn parse_algorithm(name: &str) -> Result<AlgorithmKind, String> {
 }
 
 /// Resolve a workflow: a `.json` trace file, or a built-in name plus the
-/// shaping flags (`--seed`, `--tasks`, `--dag`).
+/// shaping flags (`--seed`, `--tasks`, `--dag`, `--shape`/`--width`/
+/// `--depth`/`--loopback`).
 pub fn parse_workflow(name_or_path: &str, args: &Args<'_>) -> Result<Workflow, String> {
     let seed = args.seed()?;
     if name_or_path.ends_with(".json") {
@@ -129,6 +130,39 @@ pub fn parse_workflow(name_or_path: &str, args: &Args<'_>) -> Result<Workflow, S
         .into_iter()
         .find(|w| w.name() == name_or_path)
         .ok_or_else(|| format!("unknown workflow `{name_or_path}` (see `tora workflows`)"))?;
+    if let Some(name) = args.value_of("shape")? {
+        if args.has("dag") {
+            return Err("--shape and --dag are mutually exclusive".into());
+        }
+        if tasks.is_some() {
+            return Err("--shape fixes the task count; drop --tasks".into());
+        }
+        let width: u32 = match args.value_of("width")? {
+            None => 4,
+            Some(v) => v.parse().map_err(|_| format!("bad --width `{v}`"))?,
+        };
+        let depth: u32 = match args.value_of("depth")? {
+            None => 8,
+            Some(v) => v.parse().map_err(|_| format!("bad --depth `{v}`"))?,
+        };
+        let loopback: u32 = match args.value_of("loopback")? {
+            None => 0,
+            Some(v) => v.parse().map_err(|_| format!("bad --loopback `{v}`"))?,
+        };
+        let shape = DagShape::by_name(name, width, depth)
+            .ok_or_else(|| {
+                format!(
+                    "unknown shape `{name}` (expected one of: {})",
+                    crate::workloads::dag::SHAPE_NAMES.join(", ")
+                )
+            })?
+            .with_loopback(loopback);
+        return by_name
+            .spec(seed)
+            .dag_shape(shape)
+            .materialize()
+            .map_err(|e| e.to_string());
+    }
     if args.has("dag") {
         if by_name != PaperWorkflow::TopEft {
             return Err("--dag is only defined for the topeft workflow".into());
@@ -264,6 +298,32 @@ mod tests {
         let wf = parse_workflow("bimodal", &args).unwrap();
         assert_eq!(wf.len(), 50);
         assert!(parse_workflow("nope", &args).is_err());
+    }
+
+    #[test]
+    fn shape_flags_parse_and_conflict() {
+        // Defaults: width 4, depth 8, no loop-back → diamond is 4*8+2 tasks.
+        let diamond = raw(&["--shape", "diamond", "--seed", "3"]);
+        let args = Args::parse(&diamond).unwrap();
+        let wf = parse_workflow("bimodal", &args).unwrap();
+        assert_eq!(wf.len(), 34);
+        assert!(wf.has_dependencies());
+
+        let pipeline = raw(&["--shape", "pipeline", "--depth", "12", "--loopback", "0"]);
+        let args = Args::parse(&pipeline).unwrap();
+        let wf = parse_workflow("exponential", &args).unwrap();
+        assert_eq!(wf.len(), 12);
+
+        for bad in [
+            &["--shape", "moebius"][..],
+            &["--shape", "diamond", "--dag"],
+            &["--shape", "diamond", "--tasks", "50"],
+            &["--shape", "diamond", "--width", "wide"],
+        ] {
+            let raw = raw(bad);
+            let args = Args::parse(&raw).unwrap();
+            assert!(parse_workflow("bimodal", &args).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

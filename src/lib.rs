@@ -58,13 +58,15 @@ pub mod prelude {
         TraceStats,
     };
     pub use tora_metrics::{
-        AttemptCause, AttemptOutcome, DeadLetter, DeadLetterCause, TaskOutcome, WasteAttribution,
-        WasteBreakdown, WorkflowMetrics,
+        AttemptCause, AttemptOutcome, CriticalPathStats, DeadLetter, DeadLetterCause, TaskOutcome,
+        WasteAttribution, WasteBreakdown, WorkflowMetrics,
     };
     pub use tora_sim::{
         replay, simulate, ArrivalModel, ChurnConfig, Driver, EnforcementModel, EventLog,
         FaultCounts, FaultPlan, FaultReport, IllegalTransition, QueuePolicy, SimConfig, SimEvent,
         SimResult, SimStats, Simulation, SubmitApi, TaskPhase, UtilizationSeries, WorkerMix,
     };
-    pub use tora_workloads::{PaperWorkflow, SyntheticKind, TaskSource, Workflow, WorkloadSpec};
+    pub use tora_workloads::{
+        DagShape, PaperWorkflow, SyntheticKind, TaskSource, Workflow, WorkloadSpec,
+    };
 }

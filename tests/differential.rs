@@ -176,6 +176,45 @@ fn parallel_dispatch_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn parallel_dispatch_is_byte_identical_on_dag_shapes() {
+    // Same thread-count guarantee under *structural* pressure: dependency
+    // gating holds tasks back, so backfill batches form differently and the
+    // dead-letter cascade (heavy faults) rides the dependency edges. The
+    // multi-category colmena mix keeps the sharded allocator honest, and
+    // the critical-path stats ride inside the stats/report JSON, so their
+    // thread-independence is pinned here too.
+    let shaped = [
+        PaperWorkflow::ColmenaXtb
+            .spec(5)
+            .dag_shape(DagShape::diamond(3, 6).with_loopback(2))
+            .materialize()
+            .unwrap(),
+        PaperWorkflow::ColmenaXtb
+            .spec(5)
+            .dag_shape(DagShape::random_layered(4, 5).with_loopback(1))
+            .materialize()
+            .unwrap(),
+    ];
+    for wf in &shaped {
+        assert!(wf.has_dependencies());
+        for algorithm in ALL_ALGORITHMS {
+            let seed = 7;
+            let (stats_1, metrics_1, trace_1, report_1) = traced_run_json(wf, algorithm, seed, 1);
+            let (stats_4, metrics_4, trace_4, report_4) = traced_run_json(wf, algorithm, seed, 4);
+            assert!(
+                stats_1.contains("critical_path"),
+                "{algorithm} on {}: critical-path stats missing",
+                wf.name
+            );
+            assert_eq!(stats_1, stats_4, "{algorithm} on {}: stats", wf.name);
+            assert_eq!(metrics_1, metrics_4, "{algorithm} on {}: metrics", wf.name);
+            assert_eq!(trace_1, trace_4, "{algorithm} on {}: trace", wf.name);
+            assert_eq!(report_1, report_4, "{algorithm} on {}: report", wf.name);
+        }
+    }
+}
+
+#[test]
 fn differential_parity_extends_to_production_shaped_traces() {
     // The synthetic distributions exercise the bucketing math; the
     // production-shaped traces exercise multi-category learning. Same

@@ -56,6 +56,29 @@ fn rack_outages_preset_report_is_byte_stable() {
 }
 
 #[test]
+fn dag_shape_report_is_byte_stable_and_carries_critical_path_rows() {
+    // A structured run surfaces critical-path accounting in the report:
+    // the submit-time longest path, the realized path with its inflation
+    // factor, and the waste split into on-path vs off-path MB*s. Those
+    // rows must render and the whole report must stay byte-stable.
+    let args = [
+        "chaos", "bimodal", "--shape", "diamond", "--width", "3", "--depth", "4", "--seed", "7",
+        "--plan", "light",
+    ];
+    let first = tora_stdout(&args);
+    let second = tora_stdout(&args);
+    assert_eq!(first, second, "DAG chaos report differs between runs");
+    for row in [
+        "critical path (submit)",
+        "critical path (realized)",
+        "waste on / off path",
+        "conservation",
+    ] {
+        assert!(first.contains(row), "missing row {row:?}: {first}");
+    }
+}
+
+#[test]
 fn feedback_flag_keeps_the_report_deterministic() {
     // The fault-feedback policy adjusts allocations from observed outcomes
     // but consumes no randomness of its own: with --feedback the report

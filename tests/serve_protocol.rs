@@ -264,3 +264,52 @@ fn errors_are_typed_and_non_fatal() {
         "daemon wedged after errors: {response:?}"
     );
 }
+
+/// The daemon forwards [`WorkloadError`] codes verbatim onto the wire
+/// (`Response::error(e.code(), ...)` in the `Workload` handler), so the
+/// whole code table is protocol surface: pin every variant's code here,
+/// including the `shape-conflict` code added with the DAG shapes.
+#[test]
+fn workload_error_codes_are_wire_stable() {
+    use tora::workloads::{PaperWorkflow, WorkloadError};
+
+    let shape = tora::prelude::DagShape::diamond(2, 2);
+    let cases: Vec<(WorkloadError, &str)> = vec![
+        (
+            PaperWorkflow::Bimodal
+                .spec(1)
+                .dag_shape(shape)
+                .tasks(10)
+                .materialize()
+                .unwrap_err(),
+            "shape-conflict",
+        ),
+        (
+            PaperWorkflow::Bimodal
+                .spec(1)
+                .dag()
+                .materialize()
+                .unwrap_err(),
+            "dag-unsupported",
+        ),
+        (
+            match PaperWorkflow::TopEft.spec(1).dag().stream() {
+                Err(e) => e,
+                Ok(_) => panic!("the Coffea DAG trace must not stream"),
+            },
+            "dag-cannot-stream",
+        ),
+        (
+            PaperWorkflow::ColmenaXtb
+                .spec(1)
+                .category_tasks(vec![10])
+                .materialize()
+                .unwrap_err(),
+            "category-arity",
+        ),
+        (WorkloadError::invalid("task 3 has id 7"), "invalid-trace"),
+    ];
+    for (err, code) in cases {
+        assert_eq!(err.code(), code, "{err}");
+    }
+}

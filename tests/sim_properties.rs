@@ -75,6 +75,19 @@ fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
     )
 }
 
+/// Any generated DAG shape with any loop-back bound (0 disables it);
+/// degenerate dimensions are included on purpose — the constructors clamp
+/// them so every shape keeps at least one edge.
+fn arb_dag_shape() -> impl Strategy<Value = DagShape> {
+    let kind = (0u32..4, 0u32..6, 0u32..6).prop_map(|(k, w, d)| match k {
+        0 => DagShape::fan_out_fan_in(w),
+        1 => DagShape::pipeline(d),
+        2 => DagShape::diamond(w, d),
+        _ => DagShape::random_layered(w, d),
+    });
+    (kind, 0u32..4).prop_map(|(shape, max)| shape.with_loopback(max))
+}
+
 fn arb_arrival() -> impl Strategy<Value = ArrivalModel> {
     prop_oneof![
         Just(ArrivalModel::Batch),
@@ -336,5 +349,84 @@ proptest! {
         prop_assert_eq!(a.makespan_s, b.makespan_s);
         prop_assert_eq!(a.dispatches, b.dispatches);
         prop_assert_eq!(a.log.unwrap(), b.log.unwrap());
+    }
+
+    #[test]
+    fn generated_dags_always_validate(
+        shape in arb_dag_shape(),
+        seed in 0u64..1000,
+    ) {
+        // Workflow::validate rejects self-deps, forward deps, and ragged
+        // dependency lists; every generated shape must clear it, and the
+        // loop-back guard must never instantiate more than its max.
+        let spec = SyntheticKind::Bimodal.catalog_workflow().spec(seed).dag_shape(shape);
+        let wf = spec.materialize().unwrap();
+        prop_assert!(wf.validate().is_ok(), "{:?}", wf.validate());
+        prop_assert!(wf.has_dependencies());
+
+        let max = shape.structure(seed).node_count();
+        let structure = shape.structure(seed);
+        prop_assert_eq!(structure.total_tasks(), wf.len());
+        for node in 0..max {
+            // The guard bound: iterations are extra instances beyond the
+            // first, and the strategy caps the shape's loopback at 3.
+            prop_assert!(structure.iterations_of(node) <= 3);
+        }
+
+        // The streaming source declares the same structure it generates.
+        let source = spec.stream().unwrap();
+        let window = source.dependency_window();
+        prop_assert!(window >= 1);
+        for t in 0..wf.len() {
+            let deps = source.deps_of(t);
+            prop_assert_eq!(&deps[..], wf.deps_of(t));
+            for &d in &deps {
+                prop_assert!((t as u64 - d) as usize <= window);
+            }
+        }
+    }
+
+    #[test]
+    fn dag_conservation_counts_instantiated_iterations_under_faults(
+        shape in arb_dag_shape(),
+        churn in arb_churn(),
+        algorithm in arb_algorithm(),
+        plan in arb_fault_plan(),
+        seed in 0u64..1000,
+    ) {
+        // Loop-back iterations instantiate fresh tasks, so the conservation
+        // identity counts the *expanded* total — and a fault-killed input
+        // must cascade its dependents into the dead-letter channel rather
+        // than strand them.
+        let wf = SyntheticKind::Bimodal
+            .catalog_workflow()
+            .spec(seed)
+            .dag_shape(shape)
+            .materialize()
+            .unwrap();
+        let n = wf.len() as u64;
+        let config = SimConfig {
+            churn,
+            faults: plan,
+            record_log: true,
+            ..SimConfig::paper_like(seed)
+        };
+        let res = simulate(&wf, algorithm, config);
+
+        let dead = res.metrics.dead_lettered_count() as u64;
+        prop_assert_eq!(res.stats.submitted, n);
+        prop_assert_eq!(res.stats.completions + dead, n);
+        prop_assert_eq!(res.metrics.len() as u64 + dead, n);
+        for dl in res.metrics.dead_letters() {
+            prop_assert!(dl.check().is_ok(), "{:?}", dl.check());
+        }
+        let log = res.log.expect("log enabled");
+        prop_assert!(log.check_consistency().is_ok(), "{:?}", log.check_consistency());
+
+        // Structured runs always surface critical-path stats, and the
+        // submit-time bound is positive.
+        let cp = res.stats.critical_path.expect("structured run has cp stats");
+        prop_assert!(cp.longest_path_s > 0.0);
+        prop_assert!(cp.longest_path_tasks >= 1);
     }
 }

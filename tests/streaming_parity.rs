@@ -52,11 +52,7 @@ fn streaming_and_materialized_runs_are_byte_identical() {
                 &config,
             );
             let from_stream = fingerprint(
-                Simulation::from_source(
-                    Box::new(source),
-                    AlgorithmKind::ExhaustiveBucketing,
-                    config,
-                ),
+                Simulation::from_source(source, AlgorithmKind::ExhaustiveBucketing, config),
                 &config,
             );
 
@@ -82,6 +78,51 @@ fn streaming_and_materialized_runs_are_byte_identical() {
     }
 }
 
+/// Generated DAG shapes stream too (ISSUE 9 closes the ROADMAP follow-on
+/// that DAG specs could not): the source's bounded dependency-lookahead
+/// window lets the engine wire dependencies and resolve dead-letter
+/// cascades lazily, and the result must still be byte-identical to the
+/// materialized run — including the critical-path stats, which the
+/// streaming engine accumulates incrementally while the materialized one
+/// builds them up front. Heavy faults make the cascade path actually fire.
+#[test]
+fn dag_shapes_stream_byte_identically() {
+    let shapes = [
+        DagShape::diamond(3, 5).with_loopback(2),
+        DagShape::fan_out_fan_in(12),
+        DagShape::pipeline(9).with_loopback(3),
+        DagShape::random_layered(4, 4).with_loopback(1),
+    ];
+    for seed in SEEDS {
+        for shape in shapes {
+            let mut config = config_for(seed);
+            config.faults = FaultPlan::named("heavy").expect("preset exists");
+            let spec = PaperWorkflow::Bimodal.spec(seed).dag_shape(shape);
+            let materialized = spec.materialize().expect("shaped spec is valid");
+            assert!(materialized.has_dependencies());
+            let source = spec.stream().expect("generated DAG shapes stream");
+            assert!(source.dependency_window() >= 1);
+
+            let from_workflow = fingerprint(
+                Simulation::new(&materialized, AlgorithmKind::ExhaustiveBucketing, config),
+                &config,
+            );
+            let from_stream = fingerprint(
+                Simulation::from_source(source, AlgorithmKind::ExhaustiveBucketing, config),
+                &config,
+            );
+            assert_eq!(
+                from_workflow, from_stream,
+                "{shape:?} seed {seed}: streamed DAG diverged"
+            );
+            assert!(
+                from_workflow.0.contains("critical_path"),
+                "{shape:?} seed {seed}: critical-path stats missing"
+            );
+        }
+    }
+}
+
 /// The Batch arrival model exercises the bulk `ensure_spec` path (every
 /// task pulled during `schedule_arrivals`); pin it separately from the
 /// Poisson default above.
@@ -97,7 +138,7 @@ fn batch_arrivals_stream_identically() {
         &config,
     );
     let b = fingerprint(
-        Simulation::from_source(Box::new(source), AlgorithmKind::GreedyBucketing, config),
+        Simulation::from_source(source, AlgorithmKind::GreedyBucketing, config),
         &config,
     );
     assert_eq!(a, b);
