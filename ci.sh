@@ -94,10 +94,22 @@ for algo, rows_ in by_algo.items():
             f"fig_dag: {algo} on-path slowdown {on:.3f} must exceed off-path "
             f"{off:.3f} -- critical-path sensitivity inverted"
         )
+learned = report["fig_learned"]
+assert learned, "fig_learned section missing from the bench report"
+awe = {row["algorithm"]: row["memory_awe"] for row in learned}
+assert "greedy-bucketing" in awe and "feature-binned" in awe, sorted(awe)
+if not awe["feature-binned"] > awe["greedy-bucketing"]:
+    raise SystemExit(
+        f"fig_learned: feature-binned memory AWE {awe['feature-binned']:.4f} must "
+        f"strictly exceed greedy-bucketing {awe['greedy-bucketing']:.4f} -- "
+        f"feature conditioning stopped paying for itself"
+    )
 print(f"scaling ok: 100k tasks at {rows[100_000]:.0f} tasks/sec "
       f"({report['threads_detected']} detected / {report['threads_used']} used); "
       f"serve p99 " + ", ".join(f"{r['p99_us']:.0f}us@batch{r['batch']}" for r in sl) + "; "
-      f"fig_dag on>off-path holds for {len(by_algo)} algorithms")
+      f"fig_dag on>off-path holds for {len(by_algo)} algorithms; "
+      f"fig_learned feature-binned {awe['feature-binned']:.4f} > "
+      f"greedy {awe['greedy-bucketing']:.4f}")
 EOF
 
 echo "== tora serve smoke (protocol + snapshot/restore byte parity) =="
@@ -143,6 +155,13 @@ cargo run --release --bin tora -- chaos --quick
 echo "== tora chaos --quick --salvage 0.5 (checkpoint/restart smoke) =="
 cargo run --release --bin tora -- chaos --quick --salvage 0.5 > target/chaos-salvage.txt
 grep -q "salvaged work" target/chaos-salvage.txt
+
+echo "== chaos smoke for the feature-conditioned comparators =="
+# The new algorithms must survive heavy faults with the feedback channel
+# (per-category windows + rack crash scores) armed, reproducibly — the
+# --quick mode runs everything twice and fails on any byte difference.
+cargo run --release --bin tora -- chaos --quick --algorithm feature-binned --feedback
+cargo run --release --bin tora -- chaos --quick --algorithm semi-bandit --feedback
 
 echo "== chaos DAG smoke (depth-dominated pipeline, critical-path rows) =="
 # A generated 40-deep pipeline is pure critical path: the report must carry

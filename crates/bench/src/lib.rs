@@ -29,6 +29,7 @@
 pub mod chaos;
 pub mod experiments;
 pub mod figdag;
+pub mod figlearned;
 pub mod perf;
 pub mod pool;
 pub mod timing;

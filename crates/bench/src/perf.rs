@@ -30,6 +30,7 @@ use tora_workloads::SyntheticKind;
 
 use crate::experiments::{run_matrix_on, MatrixConfig};
 use crate::figdag::{fig_dag_rows, FigDagRow};
+use crate::figlearned::{fig_learned_rows, FigLearnedRow};
 use crate::timing::sample_values;
 use tora_alloc::allocator::{AlgorithmKind, Allocator};
 use tora_alloc::resources::ResourceVector;
@@ -185,6 +186,9 @@ pub struct BenchReport {
     /// Critical-path sensitivity on a diamond DAG: the same allocation
     /// error on vs off the critical chain, per bucketing algorithm.
     pub fig_dag: Vec<FigDagRow>,
+    /// Feature-conditioning payoff on the bimodal workload: memory AWE of
+    /// the category-global baselines vs the TaskContext-reading comparators.
+    pub fig_learned: Vec<FigLearnedRow>,
 }
 
 fn sorted_records(n: usize, seed: u64) -> RecordList {
@@ -517,6 +521,9 @@ pub fn run_bench_on(quick: bool, seed: u64, threads: usize) -> BenchReport {
         serve_latency: serve_latency_rows(quick, seed, threads),
         // Cheap either way (6 runs of a 34-task diamond) — quick keeps it.
         fig_dag: fig_dag_rows(seed),
+        // Four serial replays of a 600-task workload — also cheap enough
+        // for quick runs, and ci.sh asserts its directional result.
+        fig_learned: fig_learned_rows(seed),
     }
 }
 
@@ -640,6 +647,27 @@ impl BenchReport {
         }
         out.push_str(&t.render());
         out.push('\n');
+        let mut t = Table::new(
+            "fig_learned: feature conditioning on the bimodal workload",
+            &[
+                "algorithm",
+                "features",
+                "memory AWE",
+                "retries",
+                "vs greedy",
+            ],
+        );
+        for r in &self.fig_learned {
+            t.row(&[
+                r.algorithm.clone(),
+                if r.feature_conditioned { "yes" } else { "no" }.to_string(),
+                format!("{:.4}", r.memory_awe),
+                r.retries.to_string(),
+                format!("{:.3}×", r.awe_vs_greedy),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
         out.push_str(&format!(
             "threads detected: {} / used: {}\n",
             self.threads_detected, self.threads_used
@@ -729,9 +757,13 @@ mod tests {
             assert!(r.p50_us > 0.0, "{r:?}");
             assert!(r.p50_us <= r.p99_us && r.p99_us <= r.max_us, "{r:?}");
         }
+        // fig_learned rides in every report, with the headline comparison
+        // (the directional assertion itself lives in `figlearned::tests`).
+        assert_eq!(report.fig_learned.len(), 4);
         let json = report.to_json().expect("serializes");
         assert!(json.contains("\"rebucket\""));
         assert!(json.contains("\"fig_dag\""));
+        assert!(json.contains("\"fig_learned\""));
         assert!(!report.render().is_empty());
     }
 }

@@ -38,9 +38,9 @@
 //! *why* an allocation has the shape it has without installing a sink.
 
 use crate::estimator::RebucketInfo;
-use crate::feedback::{AttemptFeedback, FaultPolicy, FeedbackWindow};
+use crate::feedback::{AttemptFeedback, FaultPolicy, FeedbackState};
 use crate::resources::{ResourceKind, ResourceMask, ResourceVector, WorkerSpec};
-use crate::task::{CategoryId, ResourceRecord};
+use crate::task::{CategoryId, ResourceRecord, TaskContext};
 use crate::trace::{AllocEvent, EventSink, NoopSink, PredictKind};
 use std::collections::HashMap;
 use std::fmt;
@@ -157,7 +157,7 @@ pub struct Allocator<S: EventSink = NoopSink> {
     seed: u64,
     rejected: u64,
     fault_policy: Option<FaultPolicy>,
-    feedback: FeedbackWindow,
+    feedback: FeedbackState,
     sink: S,
 }
 
@@ -183,7 +183,7 @@ impl Allocator {
     pub fn with_config(algorithm: AlgorithmKind, config: AllocatorConfig, seed: u64) -> Self {
         let exploratory = config
             .exploratory
-            .unwrap_or(if algorithm.is_novel_bucketing() {
+            .unwrap_or(if algorithm.conservative_exploration() {
                 ExploratoryPolicy::paper_conservative()
             } else {
                 ExploratoryPolicy::WholeMachine
@@ -198,7 +198,7 @@ impl Allocator {
             seed,
             rejected: 0,
             fault_policy: None,
-            feedback: FeedbackWindow::new(FaultPolicy::default().window),
+            feedback: FeedbackState::new(None),
             sink: NoopSink,
         }
     }
@@ -226,7 +226,7 @@ impl Allocator {
             seed,
             rejected: 0,
             fault_policy: None,
-            feedback: FeedbackWindow::new(FaultPolicy::default().window),
+            feedback: FeedbackState::new(None),
             sink: NoopSink,
         }
     }
@@ -284,57 +284,99 @@ impl<S: EventSink> Allocator<S> {
     }
 
     /// Install (or remove, with `None`) the fault-feedback policy. Resets
-    /// the outcome window to the policy's capacity, so call before the run
-    /// starts.
+    /// the outcome windows to the policy's capacity and decay, so call
+    /// before the run starts.
     pub fn set_fault_policy(&mut self, policy: Option<FaultPolicy>) {
-        if let Some(p) = policy {
+        if let Some(p) = &policy {
             debug_assert!(p.validate().is_ok(), "invalid fault policy");
-            self.feedback = FeedbackWindow::new(p.window);
+            self.feedback = FeedbackState::new(Some(p));
         }
         self.fault_policy = policy;
     }
 
     /// Report one attempt outcome through the fault-feedback channel
-    /// (§II-A adversarial-robustness extension). Pure telemetry when no
-    /// [`FaultPolicy`] is installed; with one, the windowed crash/timeout
-    /// rate starts padding first predictions and biasing retry escalations.
-    /// Consumes no randomness either way.
-    pub fn observe_outcome(&mut self, category: CategoryId, outcome: AttemptFeedback) {
-        self.feedback.push(outcome);
+    /// (§II-A adversarial-robustness extension) — the single entry point
+    /// feeding the decayed per-category and per-rack windows. Pure
+    /// telemetry when no [`FaultPolicy`] is installed; with one, the
+    /// decayed crash/timeout rate of the task's *own category* starts
+    /// padding first predictions and biasing retry escalations, and racks
+    /// crossing [`FaultPolicy::rack_crash_threshold`] surface through
+    /// [`avoided_racks`](Self::avoided_racks). Consumes no randomness
+    /// either way.
+    pub fn observe_outcome(
+        &mut self,
+        category: CategoryId,
+        outcome: AttemptFeedback,
+        rack: Option<u32>,
+    ) {
+        self.feedback.observe(category, outcome, rack);
         if S::ENABLED {
             let rate = self.windowed_fault_rate();
-            let padding = self.fault_policy.map_or(1.0, |p| p.padding(rate));
+            let padding = self
+                .fault_policy
+                .map_or(1.0, |p| p.padding(self.effective_rate(category)));
             self.sink
                 .emit(AllocEvent::feedback(category, outcome, rate, padding));
         }
     }
 
-    /// The windowed fault rate feeding the policy factors (`0.0` while the
-    /// window holds fewer than `min_samples` outcomes).
+    /// The decayed global fault rate feeding telemetry (`0.0` while fewer
+    /// than `min_samples` outcomes are recorded).
     pub fn windowed_fault_rate(&self) -> f64 {
         let min = self
             .fault_policy
             .map_or(FaultPolicy::default().min_samples, |p| p.min_samples);
-        self.feedback.fault_rate(min)
+        self.feedback.global_rate(min)
     }
 
-    /// Padding factor on first predictions; exactly `1.0` without a policy
-    /// or without observed faults.
+    /// The decayed fault history shared by the padding layer, the learned
+    /// estimators and placement avoidance.
+    pub fn feedback(&self) -> &FeedbackState {
+        &self.feedback
+    }
+
+    /// Racks whose decayed crash rate crossed the policy threshold, in
+    /// ascending order; always empty without a policy or observed faults.
+    pub fn avoided_racks(&self) -> Vec<u32> {
+        match &self.fault_policy {
+            Some(p) => self.feedback.avoided_racks(p),
+            None => Vec::new(),
+        }
+    }
+
+    /// The fault rate driving policy factors for `category`: the category's
+    /// own decayed window once it holds `min_samples` outcomes, the pooled
+    /// global window before that (a sparse category should not read as
+    /// fault-free while the pool burns).
+    fn effective_rate(&self, category: CategoryId) -> f64 {
+        let min = self
+            .fault_policy
+            .map_or(FaultPolicy::default().min_samples, |p| p.min_samples);
+        if self.feedback.category_len(category) >= min.max(1) {
+            self.feedback.category_rate(category, min)
+        } else {
+            self.feedback.global_rate(min)
+        }
+    }
+
+    /// Padding factor on first predictions for `category`; exactly `1.0`
+    /// without a policy or without observed faults.
     ///
-    /// The fault window is allocator-global and only updated from the
-    /// serial event loop ([`observe_outcome`](Self::observe_outcome)), so a
-    /// batched prediction computes this once up front and applies it
-    /// uniformly — a deterministic fold, identical to the serial sequence.
-    fn feedback_padding(&self) -> f64 {
+    /// The feedback state is only updated from the serial event loop
+    /// ([`observe_outcome`](Self::observe_outcome)), so a batched
+    /// prediction computes this once per request in its serial phase — a
+    /// deterministic fold, identical to the serial sequence at any thread
+    /// count.
+    fn feedback_padding(&self, category: CategoryId) -> f64 {
         self.fault_policy
-            .map_or(1.0, |p| p.padding(self.windowed_fault_rate()))
+            .map_or(1.0, |p| p.padding(self.effective_rate(category)))
     }
 
-    /// Escalation factor on retry predictions; exactly `1.0` without a
-    /// policy or without observed faults.
-    fn feedback_escalation(&self) -> f64 {
+    /// Escalation factor on retry predictions for `category`; exactly
+    /// `1.0` without a policy or without observed faults.
+    fn feedback_escalation(&self, category: CategoryId) -> f64 {
         self.fault_policy
-            .map_or(1.0, |p| p.escalation(self.windowed_fault_rate()))
+            .map_or(1.0, |p| p.escalation(self.effective_rate(category)))
     }
 
     /// The attached event sink.
@@ -384,7 +426,14 @@ impl<S: EventSink> Allocator<S> {
     }
 
     /// Predict the allocation for a task's first attempt (§IV-A steps 2–3).
-    pub fn predict_first(&mut self, category: CategoryId) -> AllocationDecision {
+    ///
+    /// Accepts anything convertible to a [`TaskContext`]: a bare
+    /// [`CategoryId`] (features default to zero — the category-global
+    /// algorithms never read them) or a full context carrying the task's
+    /// pre-run feature vector for the feature-conditioned estimators.
+    pub fn predict_first(&mut self, ctx: impl Into<TaskContext>) -> AllocationDecision {
+        let ctx = ctx.into();
+        let category = ctx.category;
         let in_exploration = self.categories.get(&category).map_or(0, |s| s.records())
             < self.config.exploratory_records;
         if in_exploration {
@@ -408,7 +457,7 @@ impl<S: EventSink> Allocator<S> {
         }
         // Fault-feedback padding: ×1.0 (an exact no-op) without a policy or
         // without observed faults.
-        let pad = self.feedback_padding();
+        let pad = self.feedback_padding(category);
         let exploratory_alloc = self.exploratory_allocation();
         let shard = Self::shard_entry(
             &mut self.categories,
@@ -419,6 +468,7 @@ impl<S: EventSink> Allocator<S> {
         );
         let mut events = Vec::new();
         let decision = shard.predict_first_steady(
+            &ctx,
             &self.config,
             pad,
             exploratory_alloc,
@@ -436,13 +486,15 @@ impl<S: EventSink> Allocator<S> {
     /// independently).
     pub fn predict_retry(
         &mut self,
-        category: CategoryId,
+        ctx: impl Into<TaskContext>,
         prev: &ResourceVector,
         exhausted: &ResourceMask,
     ) -> AllocationDecision {
+        let ctx = ctx.into();
+        let category = ctx.category;
         // Fault-feedback escalation bias: ×1.0 (an exact no-op) without a
         // policy or without observed faults.
-        let esc = self.feedback_escalation();
+        let esc = self.feedback_escalation(category);
         let shard = Self::shard_entry(
             &mut self.categories,
             &self.config,
@@ -452,6 +504,7 @@ impl<S: EventSink> Allocator<S> {
         );
         let mut events = Vec::new();
         let decision = shard.predict_retry_core(
+            &ctx,
             &self.config,
             prev,
             exhausted,
@@ -524,7 +577,7 @@ impl<S: EventSink> Allocator<S> {
             self.seed,
             record.category,
         );
-        shard.observe(&record.peak, sig);
+        shard.observe(&record.peak, sig, &record.features);
         true
     }
 

@@ -22,7 +22,7 @@
 use crate::estimator::RebucketInfo;
 use crate::par;
 use crate::resources::ResourceKind;
-use crate::task::CategoryId;
+use crate::task::{CategoryId, TaskContext};
 use crate::trace::{AllocEvent, EventSink, PredictKind};
 use std::collections::HashMap;
 
@@ -41,36 +41,43 @@ impl<S: EventSink> Allocator<S> {
     /// predictions, then placements). `threads` is used as given; pass
     /// [`par::resolve`]`(0)` for auto-detection. With `threads <= 1` the
     /// batch runs serially through the very same shard code.
-    pub fn predict_first_batch(
+    ///
+    /// Requests are anything convertible to a [`TaskContext`] — bare
+    /// [`CategoryId`]s or full feature-carrying contexts.
+    pub fn predict_first_batch<C>(
         &mut self,
-        requests: &[CategoryId],
+        requests: &[C],
         threads: usize,
-    ) -> Vec<AllocationDecision> {
+    ) -> Vec<AllocationDecision>
+    where
+        C: Into<TaskContext> + Copy,
+    {
         let n = requests.len();
         if n == 0 {
             return Vec::new();
         }
+        let contexts: Vec<TaskContext> = requests.iter().map(|&c| c.into()).collect();
         let trace = S::ENABLED;
         let exploratory_records = self.config.exploratory_records;
-        // Fault-feedback padding is allocator-global and only moves on
-        // observe_outcome (serial event loop), so one up-front read applies
-        // to the whole batch — same value every serial call would see.
-        let pad = self.feedback_padding();
         let exploratory_alloc = self.exploratory_allocation();
 
         // Phase 1 (serial): answer exploratory requests immediately (they
         // touch no shard and consume no draws) and group the steady-state
         // ones by category, creating shards as needed. Within a category,
         // request indices stay ascending, so each shard consumes its RNG
-        // stream in exactly the serial order.
+        // stream in exactly the serial order. Fault-feedback padding is
+        // per-category and only moves on observe_outcome (serial event
+        // loop), so one read per category here applies to the whole batch —
+        // the same value every serial call would see, at any thread count.
         let mut decisions: Vec<Option<AllocationDecision>> = vec![None; n];
         let mut slot_events: Vec<Vec<AllocEvent>> = Vec::new();
         if trace {
             slot_events.resize_with(n, Vec::new);
         }
-        let mut groups: Vec<(CategoryId, Vec<usize>)> = Vec::new();
+        let mut groups: Vec<(CategoryId, f64, Vec<usize>)> = Vec::new();
         let mut group_of: HashMap<CategoryId, usize> = HashMap::new();
-        for (i, &category) in requests.iter().enumerate() {
+        for (i, ctx) in contexts.iter().enumerate() {
+            let category = ctx.category;
             let in_exploration =
                 self.categories.get(&category).map_or(0, |s| s.records()) < exploratory_records;
             if in_exploration {
@@ -89,18 +96,23 @@ impl<S: EventSink> Allocator<S> {
                     infeasible: false,
                 });
             } else {
-                Self::shard_entry(
-                    &mut self.categories,
-                    &self.config,
-                    &self.factory,
-                    self.seed,
-                    category,
-                );
-                let g = *group_of.entry(category).or_insert_with(|| {
-                    groups.push((category, Vec::new()));
-                    groups.len() - 1
-                });
-                groups[g].1.push(i);
+                let g = match group_of.get(&category) {
+                    Some(&g) => g,
+                    None => {
+                        let pad = self.feedback_padding(category);
+                        Self::shard_entry(
+                            &mut self.categories,
+                            &self.config,
+                            &self.factory,
+                            self.seed,
+                            category,
+                        );
+                        groups.push((category, pad, Vec::new()));
+                        group_of.insert(category, groups.len() - 1);
+                        groups.len() - 1
+                    }
+                };
+                groups[g].2.push(i);
             }
         }
 
@@ -108,25 +120,27 @@ impl<S: EventSink> Allocator<S> {
         // its requests sequentially against its own shard.
         if !groups.is_empty() {
             let config = &self.config;
+            let contexts = &contexts;
             let mut shard_refs: HashMap<CategoryId, &mut CategoryShard> =
                 self.categories.iter_mut().map(|(&k, v)| (k, v)).collect();
-            let mut work: Vec<(Vec<usize>, &mut CategoryShard)> = groups
+            let mut work: Vec<(f64, Vec<usize>, &mut CategoryShard)> = groups
                 .into_iter()
-                .map(|(category, idxs)| {
+                .map(|(category, pad, idxs)| {
                     let shard = shard_refs
                         .remove(&category)
                         .expect("shard created in phase 1");
-                    (idxs, shard)
+                    (pad, idxs, shard)
                 })
                 .collect();
             drop(shard_refs);
-            let results = par::par_map_mut(&mut work, threads, |(idxs, shard)| {
+            let results = par::par_map_mut(&mut work, threads, |(pad, idxs, shard)| {
                 idxs.iter()
                     .map(|&i| {
                         let mut events = Vec::new();
                         let decision = shard.predict_first_steady(
+                            &contexts[i],
                             config,
-                            pad,
+                            *pad,
                             exploratory_alloc,
                             trace.then_some(&mut events),
                         );

@@ -26,7 +26,7 @@
 
 use crate::estimator::{double_allocation, AllocSource, RebucketInfo, ValueEstimator};
 use crate::resources::{ResourceKind, ResourceMask, ResourceVector};
-use crate::task::CategoryId;
+use crate::task::{CategoryId, TaskContext, TaskFeatures};
 use crate::trace::{AllocEvent, AxisProvenance, PredictKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -75,10 +75,11 @@ impl CategoryShard {
         self.records
     }
 
-    /// Feed one validated record into every axis estimator.
-    pub(crate) fn observe(&mut self, peak: &ResourceVector, sig: f64) {
+    /// Feed one validated record into every axis estimator, features
+    /// attached (the category-global estimators ignore them).
+    pub(crate) fn observe(&mut self, peak: &ResourceVector, sig: f64, features: &TaskFeatures) {
         for (kind, est) in self.estimators.iter_mut() {
-            est.observe(peak[*kind], sig);
+            est.observe_ctx(features, peak[*kind], sig);
         }
         self.records += 1;
     }
@@ -113,6 +114,7 @@ impl CategoryShard {
     /// trace events in emission order; `None` constructs none.
     pub(crate) fn predict_first_steady(
         &mut self,
+        ctx: &TaskContext,
         config: &AllocatorConfig,
         pad: f64,
         exploratory_alloc: ResourceVector,
@@ -128,7 +130,7 @@ impl CategoryShard {
         let mut alloc = machine_cap;
         let mut provenance = Vec::with_capacity(n);
         for (i, (kind, est)) in self.estimators.iter_mut().enumerate() {
-            let (value, source) = match est.predict_first(draws[i]) {
+            let (value, source) = match est.predict_first(ctx, draws[i]) {
                 Some(p) => (p.value, p.source),
                 None => {
                     // No records for this axis: fall back to the exploratory
@@ -182,6 +184,7 @@ impl CategoryShard {
     /// historical RNG consumption exactly.
     pub(crate) fn predict_retry_core(
         &mut self,
+        ctx: &TaskContext,
         config: &AllocatorConfig,
         prev: &ResourceVector,
         exhausted: &ResourceMask,
@@ -211,7 +214,7 @@ impl CategoryShard {
             let (value, source, consumed) = if in_exploration {
                 (double_allocation(prev[*kind]), AllocSource::Doubling, false)
             } else {
-                match est.predict_retry(prev[*kind], draws[i]) {
+                match est.predict_retry(ctx, prev[*kind], draws[i]) {
                     Some(p) => (p.value, p.source, true),
                     None => (double_allocation(prev[*kind]), AllocSource::Doubling, true),
                 }

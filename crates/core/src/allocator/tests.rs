@@ -312,6 +312,7 @@ fn non_finite_records_are_rejected_and_leave_predictions_unchanged() {
         peak,
         duration_s: 10.0,
         significance,
+        features: crate::task::TaskFeatures::default(),
     };
     assert!(!a.observe(&raw(ResourceVector::new(1.0, f64::NAN, 50.0), 100.0)));
     assert!(!a.observe(&raw(ResourceVector::new(-1.0, 200.0, 50.0), 100.0)));
@@ -343,7 +344,7 @@ fn fault_feedback_without_observed_faults_changes_nothing() {
         let r = record(i, 0, ResourceVector::new(1.0, 100.0 + i as f64, 10.0));
         plain.observe(&r);
         fed.observe(&r);
-        fed.observe_outcome(CategoryId(0), AttemptFeedback::Success);
+        fed.observe_outcome(CategoryId(0), AttemptFeedback::Success, None);
     }
     assert_eq!(fed.windowed_fault_rate(), 0.0);
     for _ in 0..5 {
@@ -369,7 +370,7 @@ fn fault_feedback_pads_and_escalates_under_observed_faults() {
     }
     let baseline = a.predict_first(CategoryId(0)).into_alloc();
     for _ in 0..16 {
-        a.observe_outcome(CategoryId(0), AttemptFeedback::Crash);
+        a.observe_outcome(CategoryId(0), AttemptFeedback::Crash, None);
     }
     assert_eq!(a.windowed_fault_rate(), 1.0);
     let padded = a.predict_first(CategoryId(0)).into_alloc();
@@ -394,7 +395,7 @@ fn fault_feedback_pads_and_escalates_under_observed_faults() {
             ));
         }
         for _ in 0..16 {
-            a.observe_outcome(CategoryId(0), outcome);
+            a.observe_outcome(CategoryId(0), outcome, None);
         }
         let prev = ResourceVector::new(1.0, 150.0, 50.0);
         a.predict_retry(
@@ -415,8 +416,8 @@ fn observe_outcome_emits_feedback_events() {
     let mut a = Allocator::builder(AlgorithmKind::MaxSeen)
         .seed(2)
         .sink(TraceStats::new());
-    a.observe_outcome(CategoryId(4), AttemptFeedback::Crash);
-    a.observe_outcome(CategoryId(4), AttemptFeedback::Success);
+    a.observe_outcome(CategoryId(4), AttemptFeedback::Crash, None);
+    a.observe_outcome(CategoryId(4), AttemptFeedback::Success, None);
     let stats = a.into_sink();
     assert_eq!(stats.overall.feedback, 2);
     assert_eq!(stats.category(CategoryId(4)).unwrap().feedback, 2);
@@ -579,7 +580,9 @@ fn batched_predictions_leave_rng_streams_where_serial_calls_do() {
 #[test]
 fn empty_batch_is_a_no_op() {
     let (mut serial, mut batched) = seeded_pair(AlgorithmKind::GreedyBucketing, 3, 2);
-    assert!(batched.predict_first_batch(&[], 4).is_empty());
+    assert!(batched
+        .predict_first_batch(&[] as &[CategoryId], 4)
+        .is_empty());
     let c = CategoryId(0);
     assert_eq!(serial.predict_first(c), batched.predict_first(c));
 }

@@ -1,9 +1,11 @@
 //! Allocator configuration surface: algorithm selection, exploratory
 //! policy, and the [`AllocationDecision`] provenance type.
 
+use crate::bandit::SemiBandit;
 use crate::baselines::{MaxSeen, QuantizedBucketing, Tovar, WholeMachine};
 use crate::estimator::ValueEstimator;
 use crate::exhaustive::ExhaustiveBucketing;
+use crate::featurebin::FeatureBinned;
 use crate::greedy::GreedyBucketing;
 use crate::kmeans::KMeansBucketing;
 use crate::policy::BucketingEstimator;
@@ -38,6 +40,14 @@ pub enum AlgorithmKind {
     /// the other clustering rule of Phung et al. \[11\]. Not part of the
     /// paper's evaluated set.
     KMeansBucketing,
+    /// Extension: Ponder-style feature-conditioned estimation — per
+    /// input-signal-bin sub-states with category-state fallback under low
+    /// support ([`FeatureBinned`]). Not part of the paper's evaluated set.
+    FeatureBinned,
+    /// Extension: semi-bandit allocation — a decayed-loss arm per
+    /// allocation size on a geometric grid, tables keyed by DAG phase
+    /// ([`SemiBandit`]). Not part of the paper's evaluated set.
+    SemiBandit,
 }
 
 impl AlgorithmKind {
@@ -64,6 +74,8 @@ impl AlgorithmKind {
             AlgorithmKind::ExhaustiveBucketing => "exhaustive-bucketing",
             AlgorithmKind::GreedyBucketingIncremental => "greedy-bucketing-incremental",
             AlgorithmKind::KMeansBucketing => "kmeans-bucketing",
+            AlgorithmKind::FeatureBinned => "feature-binned",
+            AlgorithmKind::SemiBandit => "semi-bandit",
         }
     }
 
@@ -78,6 +90,18 @@ impl AlgorithmKind {
                 | AlgorithmKind::GreedyBucketingIncremental
                 | AlgorithmKind::KMeansBucketing
         )
+    }
+
+    /// Whether this algorithm uses the conservative exploratory mode: the
+    /// paper's novel bucketing pair plus the learned extensions, which are
+    /// likewise online and prior-free and would forfeit their win to
+    /// whole-machine exploration.
+    pub fn conservative_exploration(self) -> bool {
+        self.is_novel_bucketing()
+            || matches!(
+                self,
+                AlgorithmKind::FeatureBinned | AlgorithmKind::SemiBandit
+            )
     }
 
     /// The output-identical but computationally cheaper variant, if one
@@ -126,6 +150,8 @@ impl AlgorithmKind {
             AlgorithmKind::KMeansBucketing => {
                 Box::new(BucketingEstimator::new(KMeansBucketing::new()))
             }
+            AlgorithmKind::FeatureBinned => Box::new(FeatureBinned::new()),
+            AlgorithmKind::SemiBandit => Box::new(SemiBandit::new(capacity)),
         }
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::baselines::round_up;
 use crate::estimator::{double_allocation, Prediction, ValueEstimator};
+use crate::task::TaskContext;
 
 /// Allocates the histogram-rounded running maximum.
 #[derive(Debug, Clone, Copy)]
@@ -55,14 +56,14 @@ impl ValueEstimator for MaxSeen {
         self.observed
     }
 
-    fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
+    fn predict_first(&mut self, _ctx: &TaskContext, _u: f64) -> Option<Prediction> {
         if self.observed == 0 {
             return None;
         }
         Some(Prediction::point(round_up(self.max_seen, self.granularity)))
     }
 
-    fn predict_retry(&mut self, prev: f64, u: f64) -> Option<Prediction> {
+    fn predict_retry(&mut self, _ctx: &TaskContext, prev: f64, u: f64) -> Option<Prediction> {
         // A failure means the task exceeded everything seen so far; there is
         // no better information than escalating geometrically (still on the
         // histogram grid).

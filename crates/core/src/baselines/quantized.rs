@@ -13,6 +13,7 @@
 
 use crate::estimator::{double_allocation, Prediction, ValueEstimator};
 use crate::record::RecordList;
+use crate::task::TaskContext;
 
 /// Quantile-split bucketing with deterministic low-first allocation.
 #[derive(Debug, Clone)]
@@ -74,14 +75,14 @@ impl ValueEstimator for QuantizedBucketing {
         self.records.len()
     }
 
-    fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
+    fn predict_first(&mut self, _ctx: &TaskContext, _u: f64) -> Option<Prediction> {
         // The quantile needs the sorted order; fold any pending batch first.
         self.records.commit();
         // The low bucket's representative: the quantile value itself.
         self.low_rep().map(Prediction::point)
     }
 
-    fn predict_retry(&mut self, prev: f64, _u: f64) -> Option<Prediction> {
+    fn predict_retry(&mut self, _ctx: &TaskContext, prev: f64, _u: f64) -> Option<Prediction> {
         let high = self.high_rep()?;
         if prev < high {
             Some(Prediction::point(high))

@@ -26,6 +26,7 @@
 
 use crate::estimator::{Prediction, ValueEstimator};
 use crate::record::RecordList;
+use crate::task::TaskContext;
 use serde::{Deserialize, Serialize};
 
 /// Which Tovar objective the estimator optimizes.
@@ -176,11 +177,11 @@ impl ValueEstimator for Tovar {
         self.records.len()
     }
 
-    fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
+    fn predict_first(&mut self, _ctx: &TaskContext, _u: f64) -> Option<Prediction> {
         self.best_allocation().map(Prediction::point)
     }
 
-    fn predict_retry(&mut self, prev: f64, _u: f64) -> Option<Prediction> {
+    fn predict_retry(&mut self, _ctx: &TaskContext, prev: f64, _u: f64) -> Option<Prediction> {
         if self.records.is_empty() {
             return None;
         }

@@ -5,6 +5,7 @@
 //! wastes everything the task does not consume.
 
 use crate::estimator::{Prediction, ValueEstimator};
+use crate::task::TaskContext;
 
 /// Allocates the worker's full capacity of one resource dimension.
 #[derive(Debug, Clone, Copy)]
@@ -40,11 +41,11 @@ impl ValueEstimator for WholeMachine {
         self.observed
     }
 
-    fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
+    fn predict_first(&mut self, _ctx: &TaskContext, _u: f64) -> Option<Prediction> {
         Some(Prediction::capacity(self.capacity))
     }
 
-    fn predict_retry(&mut self, prev: f64, _u: f64) -> Option<Prediction> {
+    fn predict_retry(&mut self, _ctx: &TaskContext, prev: f64, _u: f64) -> Option<Prediction> {
         // Unreachable for feasible tasks; escalate anyway so the allocator's
         // termination guarantee holds even for infeasible demands.
         Some(Prediction::doubling((prev * 2.0).max(self.capacity)))

@@ -16,6 +16,7 @@
 //! sources flow into the decision-tracing layer ([`crate::trace`]) so a
 //! replayed workload can explain every allocation.
 
+use crate::task::{TaskContext, TaskFeatures};
 use serde::{Deserialize, Serialize};
 
 /// How an estimator (or the allocator around it) arrived at one axis of an
@@ -39,6 +40,18 @@ pub enum AllocSource {
     Capacity,
     /// A retry kept this axis's previous allocation (it was not exhausted).
     Held,
+    /// A feature-conditioned sub-state with enough support answered
+    /// ([`crate::featurebin::FeatureBinned`]).
+    FeatureBin {
+        /// Index of the feature bucket that answered.
+        bin: usize,
+    },
+    /// A semi-bandit arm on the geometric allocation grid
+    /// ([`crate::bandit::SemiBandit`]).
+    Arm {
+        /// Index of the chosen arm (0 = full capacity).
+        idx: usize,
+    },
 }
 
 /// One scalar prediction together with its provenance.
@@ -82,6 +95,22 @@ impl Prediction {
             source: AllocSource::Capacity,
         }
     }
+
+    /// A feature-bin sub-state answer.
+    pub fn feature_bin(value: f64, bin: usize) -> Self {
+        Prediction {
+            value,
+            source: AllocSource::FeatureBin { bin },
+        }
+    }
+
+    /// A semi-bandit arm selection.
+    pub fn arm(value: f64, idx: usize) -> Self {
+        Prediction {
+            value,
+            source: AllocSource::Arm { idx },
+        }
+    }
 }
 
 /// Summary of one bucketing-state recomputation, reported through
@@ -111,6 +140,14 @@ pub trait ValueEstimator: Send {
     /// significance `sig` (§IV-A step 6).
     fn observe(&mut self, value: f64, sig: f64);
 
+    /// Feature-aware ingestion: like [`ValueEstimator::observe`] but with
+    /// the completed task's pre-run features attached. The default forwards
+    /// to `observe`, so category-global algorithms stay bit-identical;
+    /// feature-conditioned estimators override this to key sub-states.
+    fn observe_ctx(&mut self, _features: &TaskFeatures, value: f64, sig: f64) {
+        self.observe(value, sig);
+    }
+
     /// Number of observations ingested so far.
     fn len(&self) -> usize;
 
@@ -121,11 +158,12 @@ pub trait ValueEstimator: Send {
 
     /// Predict the allocation for a task's *first* attempt, with provenance.
     ///
-    /// `u` is a uniform draw in `[0, 1)`. Returns `None` when the estimator
-    /// has no basis for a prediction (no records yet) — the
-    /// [`crate::allocator::Allocator`] then falls back to its exploratory
-    /// policy.
-    fn predict_first(&mut self, u: f64) -> Option<Prediction>;
+    /// `ctx` carries the task's category, pre-run features and attempt
+    /// history; category-global algorithms ignore it. `u` is a uniform draw
+    /// in `[0, 1)`. Returns `None` when the estimator has no basis for a
+    /// prediction (no records yet) — the [`crate::allocator::Allocator`]
+    /// then falls back to its exploratory policy.
+    fn predict_first(&mut self, ctx: &TaskContext, u: f64) -> Option<Prediction>;
 
     /// Predict the allocation after an attempt with allocation `prev` was
     /// killed for exhausting this resource, with provenance.
@@ -134,16 +172,20 @@ pub trait ValueEstimator: Send {
     /// terminate (§II-B assumption 4: "retried with a bigger allocation").
     /// Returns `None` when the estimator has no records; the allocator then
     /// doubles `prev` itself.
-    fn predict_retry(&mut self, prev: f64, u: f64) -> Option<Prediction>;
+    fn predict_retry(&mut self, ctx: &TaskContext, prev: f64, u: f64) -> Option<Prediction>;
 
-    /// Value-only convenience over [`ValueEstimator::predict_first`].
+    /// Value-only convenience over [`ValueEstimator::predict_first`], using
+    /// a bare default-feature context.
     fn first(&mut self, u: f64) -> Option<f64> {
-        self.predict_first(u).map(|p| p.value)
+        let ctx = TaskContext::from(crate::task::CategoryId(0));
+        self.predict_first(&ctx, u).map(|p| p.value)
     }
 
-    /// Value-only convenience over [`ValueEstimator::predict_retry`].
+    /// Value-only convenience over [`ValueEstimator::predict_retry`], using
+    /// a bare default-feature context.
     fn retry(&mut self, prev: f64, u: f64) -> Option<f64> {
-        self.predict_retry(prev, u).map(|p| p.value)
+        let ctx = TaskContext::from(crate::task::CategoryId(0));
+        self.predict_retry(&ctx, prev, u).map(|p| p.value)
     }
 
     /// Force the bucketing state up to date *now* and describe it. `None`
@@ -218,18 +260,24 @@ mod tests {
             fn len(&self) -> usize {
                 1
             }
-            fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
+            fn predict_first(&mut self, _ctx: &TaskContext, _u: f64) -> Option<Prediction> {
                 Some(Prediction::bucket(7.0, 2))
             }
-            fn predict_retry(&mut self, prev: f64, _u: f64) -> Option<Prediction> {
+            fn predict_retry(
+                &mut self,
+                _ctx: &TaskContext,
+                prev: f64,
+                _u: f64,
+            ) -> Option<Prediction> {
                 Some(Prediction::doubling(prev * 2.0))
             }
         }
         let mut est = Fixed;
+        let ctx = TaskContext::from(crate::task::CategoryId(0));
         assert_eq!(est.first(0.0), Some(7.0));
         assert_eq!(est.retry(8.0, 0.0), Some(16.0));
         assert_eq!(
-            est.predict_first(0.0).unwrap().source,
+            est.predict_first(&ctx, 0.0).unwrap().source,
             AllocSource::Bucket { idx: 2 }
         );
         // Defaults: no bucket structure, nothing pending.
@@ -243,5 +291,10 @@ mod tests {
         assert_eq!(Prediction::point(3.0).source, AllocSource::Point);
         assert_eq!(Prediction::capacity(64.0).source, AllocSource::Capacity);
         assert_eq!(Prediction::doubling(2.0).source, AllocSource::Doubling);
+        assert_eq!(
+            Prediction::feature_bin(5.0, 3).source,
+            AllocSource::FeatureBin { bin: 3 }
+        );
+        assert_eq!(Prediction::arm(9.0, 1).source, AllocSource::Arm { idx: 1 });
     }
 }

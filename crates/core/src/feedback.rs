@@ -85,6 +85,21 @@ pub struct FaultPolicy {
     /// Outcomes required in the window before the rate is trusted; below
     /// this the rate reads as `0` and both factors stay at `1`.
     pub min_samples: usize,
+    /// Per-outcome exponential decay of the windowed rate: each new outcome
+    /// multiplies all prior weights by `decay` before adding itself with
+    /// weight `1`. `1.0` weighs every held outcome equally; values below `1`
+    /// favour recent outcomes, so the padding tracks fault *bursts* instead
+    /// of the long-run average. `0` (the serde default, produced by
+    /// pre-decay policy JSON) means *unset* — [`FaultPolicy::effective_decay`]
+    /// substitutes [`FaultPolicy::DEFAULT_DECAY`].
+    #[serde(default)]
+    pub decay: f64,
+    /// Decayed per-rack crash rate at or above which a rack is reported in
+    /// [`FeedbackState::avoided_racks`] and deprioritized at placement.
+    /// `0` means *unset* — [`FaultPolicy::effective_rack_threshold`]
+    /// substitutes [`FaultPolicy::DEFAULT_RACK_THRESHOLD`].
+    #[serde(default)]
+    pub rack_crash_threshold: f64,
 }
 
 impl Default for FaultPolicy {
@@ -94,6 +109,8 @@ impl Default for FaultPolicy {
             max_padding: 1.5,
             escalation_bias: 1.0,
             min_samples: 8,
+            decay: Self::DEFAULT_DECAY,
+            rack_crash_threshold: Self::DEFAULT_RACK_THRESHOLD,
         }
     }
 }
@@ -119,7 +136,44 @@ impl FaultPolicy {
                 self.escalation_bias
             ));
         }
+        if !(self.decay.is_finite() && (0.0..=1.0).contains(&self.decay)) {
+            return Err(format!(
+                "fault policy decay must be in [0, 1] (0 = unset), got {}",
+                self.decay
+            ));
+        }
+        if !(self.rack_crash_threshold.is_finite() && self.rack_crash_threshold >= 0.0) {
+            return Err(format!(
+                "fault policy rack_crash_threshold must be >= 0 (0 = unset), got {}",
+                self.rack_crash_threshold
+            ));
+        }
         Ok(())
+    }
+
+    /// Decay applied when the field was never set (pre-decay policies).
+    pub const DEFAULT_DECAY: f64 = 0.95;
+    /// Rack-avoidance threshold applied when the field was never set.
+    pub const DEFAULT_RACK_THRESHOLD: f64 = 0.5;
+
+    /// The decay in force: the configured value, or
+    /// [`Self::DEFAULT_DECAY`] when unset (`0`).
+    pub fn effective_decay(&self) -> f64 {
+        if self.decay > 0.0 {
+            self.decay
+        } else {
+            Self::DEFAULT_DECAY
+        }
+    }
+
+    /// The rack-avoidance threshold in force: the configured value, or
+    /// [`Self::DEFAULT_RACK_THRESHOLD`] when unset (`0`).
+    pub fn effective_rack_threshold(&self) -> f64 {
+        if self.rack_crash_threshold > 0.0 {
+            self.rack_crash_threshold
+        } else {
+            Self::DEFAULT_RACK_THRESHOLD
+        }
     }
 
     /// Padding factor on first predictions at the given fault rate.
@@ -187,9 +241,181 @@ impl FeedbackWindow {
     }
 }
 
+/// A bounded FIFO of recent attempt outcomes with *exponential decay*: the
+/// newest outcome has weight `1`, the one before it `decay`, then `decay²`,
+/// and so on. `decay = 1.0` reduces exactly to [`FeedbackWindow`]'s plain
+/// fraction. The decayed counts are maintained incrementally (O(1) push),
+/// so the hot path never walks the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecayWindow {
+    capacity: usize,
+    decay: f64,
+    outcomes: VecDeque<AttemptFeedback>,
+    weighted_total: f64,
+    weighted_faults: f64,
+}
+
+impl DecayWindow {
+    /// An empty window holding at most `capacity` outcomes.
+    pub fn new(capacity: usize, decay: f64) -> Self {
+        DecayWindow {
+            capacity: capacity.max(1),
+            decay: if decay.is_finite() && decay > 0.0 && decay <= 1.0 {
+                decay
+            } else {
+                1.0
+            },
+            outcomes: VecDeque::new(),
+            weighted_total: 0.0,
+            weighted_faults: 0.0,
+        }
+    }
+
+    /// Record one outcome, evicting (and un-weighting) the oldest beyond
+    /// capacity.
+    pub fn push(&mut self, outcome: AttemptFeedback) {
+        if self.outcomes.len() == self.capacity {
+            if let Some(old) = self.outcomes.pop_front() {
+                // The oldest of k outcomes carries weight decay^(k-1).
+                let w = self.decay.powi(self.capacity as i32 - 1);
+                self.weighted_total = (self.weighted_total - w).max(0.0);
+                if old.is_fault() {
+                    self.weighted_faults = (self.weighted_faults - w).max(0.0);
+                }
+            }
+        }
+        self.weighted_total = self.weighted_total * self.decay + 1.0;
+        self.weighted_faults *= self.decay;
+        if outcome.is_fault() {
+            self.weighted_faults += 1.0;
+        }
+        self.outcomes.push_back(outcome);
+    }
+
+    /// Outcomes currently held (raw count, not decayed weight).
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether no outcome was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Decay-weighted fraction of held outcomes that were faults, or `0.0`
+    /// while fewer than `min_samples` outcomes are held.
+    pub fn fault_rate(&self, min_samples: usize) -> f64 {
+        if self.outcomes.len() < min_samples.max(1) || self.weighted_total <= 0.0 {
+            return 0.0;
+        }
+        (self.weighted_faults / self.weighted_total).clamp(0.0, 1.0)
+    }
+}
+
+/// The allocator's unified feedback history: one decayed window per
+/// category, one global, and one per rack. Every success/crash/straggler
+/// signal flows through
+/// [`Allocator::observe_outcome`](crate::allocator::Allocator::observe_outcome)
+/// into here, so the fault-padding layer, the learned estimators and the
+/// rack-avoidance placement all read the *same* history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackState {
+    capacity: usize,
+    decay: f64,
+    global: DecayWindow,
+    categories: std::collections::BTreeMap<crate::task::CategoryId, DecayWindow>,
+    racks: std::collections::BTreeMap<u32, DecayWindow>,
+}
+
+impl FeedbackState {
+    /// Empty state with the policy's window/decay knobs (or the defaults
+    /// when no policy is configured — outcomes are then pure telemetry).
+    pub fn new(policy: Option<&FaultPolicy>) -> Self {
+        let defaults = FaultPolicy::default();
+        let p = policy.unwrap_or(&defaults);
+        FeedbackState {
+            capacity: p.window.max(1),
+            decay: p.effective_decay(),
+            global: DecayWindow::new(p.window, p.effective_decay()),
+            categories: std::collections::BTreeMap::new(),
+            racks: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Record one attempt outcome for `category`, attributed to `rack`
+    /// when the attempt ran on a known worker.
+    pub fn observe(
+        &mut self,
+        category: crate::task::CategoryId,
+        outcome: AttemptFeedback,
+        rack: Option<u32>,
+    ) {
+        self.global.push(outcome);
+        self.categories
+            .entry(category)
+            .or_insert_with(|| DecayWindow::new(self.capacity, self.decay))
+            .push(outcome);
+        if let Some(rack) = rack {
+            self.racks
+                .entry(rack)
+                .or_insert_with(|| DecayWindow::new(self.capacity, self.decay))
+                .push(outcome);
+        }
+    }
+
+    /// Decayed fault rate over every outcome (all categories pooled).
+    pub fn global_rate(&self, min_samples: usize) -> f64 {
+        self.global.fault_rate(min_samples)
+    }
+
+    /// Decayed fault rate of one category; categories that never reported
+    /// read as `0`.
+    pub fn category_rate(&self, category: crate::task::CategoryId, min_samples: usize) -> f64 {
+        self.categories
+            .get(&category)
+            .map_or(0.0, |w| w.fault_rate(min_samples))
+    }
+
+    /// Samples recorded for one category (raw count).
+    pub fn category_len(&self, category: crate::task::CategoryId) -> usize {
+        self.categories.get(&category).map_or(0, |w| w.len())
+    }
+
+    /// Decayed fault rate of one rack; racks that never reported read as
+    /// `0`.
+    pub fn rack_rate(&self, rack: u32, min_samples: usize) -> f64 {
+        self.racks
+            .get(&rack)
+            .map_or(0.0, |w| w.fault_rate(min_samples))
+    }
+
+    /// Racks whose decayed crash rate meets
+    /// [`FaultPolicy::rack_crash_threshold`] at sufficient support, in
+    /// ascending rack order. Empty at zero observed faults, so placement
+    /// avoidance is exactly inert on a healthy pool.
+    pub fn avoided_racks(&self, policy: &FaultPolicy) -> Vec<u32> {
+        self.racks
+            .iter()
+            .filter(|(_, w)| w.fault_rate(policy.min_samples) >= policy.effective_rack_threshold())
+            .map(|(rack, _)| *rack)
+            .collect()
+    }
+
+    /// Total outcomes recorded (raw global count).
+    pub fn len(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Whether no outcome was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.global.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::task::CategoryId;
 
     #[test]
     fn factors_are_identity_at_zero_rate() {
@@ -265,5 +491,123 @@ mod tests {
         let json = serde_json::to_string(&policy).unwrap();
         let back: FaultPolicy = serde_json::from_str(&json).unwrap();
         assert_eq!(back, policy);
+        // Pre-decay policy JSON (no decay/rack keys) parses to the zero
+        // sentinel, which the effective accessors resolve to the defaults.
+        let legacy = r#"{"window":64,"max_padding":1.5,"escalation_bias":1.0,"min_samples":8}"#;
+        let back: FaultPolicy = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.decay, 0.0);
+        assert!(back.validate().is_ok(), "zero sentinel is valid");
+        assert_eq!(back.effective_decay(), FaultPolicy::DEFAULT_DECAY);
+        assert_eq!(
+            back.effective_rack_threshold(),
+            FaultPolicy::DEFAULT_RACK_THRESHOLD
+        );
+        assert_eq!(policy.effective_decay(), policy.decay);
+    }
+
+    #[test]
+    fn decay_one_matches_the_plain_window() {
+        let mut plain = FeedbackWindow::new(4);
+        let mut decayed = DecayWindow::new(4, 1.0);
+        let seq = [
+            AttemptFeedback::Crash,
+            AttemptFeedback::Success,
+            AttemptFeedback::Straggler,
+            AttemptFeedback::Success,
+            AttemptFeedback::Success,
+            AttemptFeedback::Crash,
+        ];
+        for outcome in seq {
+            plain.push(outcome);
+            decayed.push(outcome);
+            assert!(
+                (plain.fault_rate(1) - decayed.fault_rate(1)).abs() < 1e-12,
+                "decay=1 must reduce to the plain fraction"
+            );
+        }
+        assert_eq!(plain.len(), decayed.len());
+    }
+
+    #[test]
+    fn decay_weights_recent_outcomes_more() {
+        // Same multiset of outcomes, opposite orders: a recent fault burst
+        // must read hotter than an old one.
+        let mut recent_faults = DecayWindow::new(16, 0.8);
+        let mut old_faults = DecayWindow::new(16, 0.8);
+        for _ in 0..4 {
+            recent_faults.push(AttemptFeedback::Success);
+            old_faults.push(AttemptFeedback::Crash);
+        }
+        for _ in 0..4 {
+            recent_faults.push(AttemptFeedback::Crash);
+            old_faults.push(AttemptFeedback::Success);
+        }
+        assert!(recent_faults.fault_rate(1) > 0.5);
+        assert!(old_faults.fault_rate(1) < 0.5);
+        assert!(recent_faults.fault_rate(1) > old_faults.fault_rate(1));
+    }
+
+    #[test]
+    fn decayed_eviction_keeps_counts_consistent() {
+        let mut w = DecayWindow::new(4, 0.9);
+        // Push far past capacity; the rate must stay in [0, 1] and settle
+        // to 0 once faults age out entirely.
+        for _ in 0..4 {
+            w.push(AttemptFeedback::Crash);
+        }
+        assert!(w.fault_rate(1) > 0.99);
+        for _ in 0..8 {
+            w.push(AttemptFeedback::Success);
+            let r = w.fault_rate(1);
+            assert!((0.0..=1.0).contains(&r), "rate out of range: {r}");
+        }
+        assert!(
+            w.fault_rate(1) < 1e-9,
+            "faults fully evicted, up to float residue: {}",
+            w.fault_rate(1)
+        );
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn feedback_state_keeps_categories_and_racks_apart() {
+        let policy = FaultPolicy {
+            min_samples: 2,
+            ..FaultPolicy::default()
+        };
+        let mut state = FeedbackState::new(Some(&policy));
+        assert!(state.is_empty());
+        // Category 0 on rack 1 is healthy; category 1 on rack 2 crashes.
+        for _ in 0..8 {
+            state.observe(CategoryId(0), AttemptFeedback::Success, Some(1));
+            state.observe(CategoryId(1), AttemptFeedback::Crash, Some(2));
+        }
+        assert_eq!(state.len(), 16);
+        assert_eq!(state.category_rate(CategoryId(0), policy.min_samples), 0.0);
+        assert!(state.category_rate(CategoryId(1), policy.min_samples) > 0.99);
+        // An unseen category reads as healthy.
+        assert_eq!(state.category_rate(CategoryId(9), policy.min_samples), 0.0);
+        assert_eq!(state.rack_rate(1, policy.min_samples), 0.0);
+        assert!(state.rack_rate(2, policy.min_samples) > 0.99);
+        assert_eq!(state.avoided_racks(&policy), vec![2]);
+        // The pooled global rate sits between the two.
+        let g = state.global_rate(policy.min_samples);
+        assert!(g > 0.2 && g < 0.8, "global rate {g}");
+    }
+
+    #[test]
+    fn avoidance_is_inert_without_faults_or_support() {
+        let policy = FaultPolicy::default();
+        let mut state = FeedbackState::new(Some(&policy));
+        for _ in 0..100 {
+            state.observe(CategoryId(0), AttemptFeedback::Success, Some(0));
+        }
+        assert!(state.avoided_racks(&policy).is_empty());
+        // A few crashes below min_samples still avoid nothing.
+        let mut state = FeedbackState::new(Some(&policy));
+        for _ in 0..policy.min_samples - 1 {
+            state.observe(CategoryId(0), AttemptFeedback::Crash, Some(3));
+        }
+        assert!(state.avoided_racks(&policy).is_empty());
     }
 }

@@ -50,11 +50,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod allocator;
+pub mod bandit;
 pub mod baselines;
 pub mod bucket;
 pub mod cost;
 pub mod estimator;
 pub mod exhaustive;
+pub mod featurebin;
 pub mod feedback;
 pub mod greedy;
 pub mod kmeans;
@@ -71,10 +73,12 @@ pub use allocator::{
     AlgorithmKind, AllocationDecision, Allocator, AllocatorBuilder, AllocatorConfig,
     EstimatorFactory, ExploratoryPolicy,
 };
+pub use bandit::SemiBandit;
 pub use bucket::{Bucket, BucketSet};
 pub use estimator::{AllocSource, Prediction, RebucketInfo, ValueEstimator};
 pub use exhaustive::ExhaustiveBucketing;
-pub use feedback::{AttemptFeedback, FaultPolicy, FeedbackWindow};
+pub use featurebin::FeatureBinned;
+pub use feedback::{AttemptFeedback, FaultPolicy, FeedbackState, FeedbackWindow};
 pub use greedy::GreedyBucketing;
 pub use kmeans::KMeansBucketing;
 pub use oplog::{AllocLog, AllocOp};
@@ -82,7 +86,7 @@ pub use partition::Partitioner;
 pub use policy::BucketingEstimator;
 pub use record::{RecordList, ScalarRecord};
 pub use resources::{ResourceKind, ResourceMask, ResourceVector, WorkerSpec};
-pub use task::{CategoryId, ResourceRecord, TaskId, TaskSpec};
+pub use task::{CategoryId, ResourceRecord, TaskContext, TaskFeatures, TaskId, TaskSpec};
 pub use trace::{
     AllocEvent, AxisProvenance, EventSink, JsonlSink, MemorySink, NoopSink, PredictKind,
     SharedSink, TraceStats,

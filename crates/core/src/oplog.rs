@@ -22,7 +22,7 @@
 use crate::allocator::Allocator;
 use crate::feedback::AttemptFeedback;
 use crate::resources::{ResourceMask, ResourceVector};
-use crate::task::{CategoryId, ResourceRecord};
+use crate::task::{CategoryId, ResourceRecord, TaskContext};
 use crate::trace::EventSink;
 use serde::{Deserialize, Serialize};
 
@@ -44,13 +44,16 @@ pub enum AllocOp {
     /// shape (rather than flattening) keeps the log a faithful transcript
     /// while producing the identical draw sequence either way.
     PredictFirstBatch {
-        /// Requested categories, in request order.
-        categories: Vec<CategoryId>,
+        /// Requested task contexts, in request order. The feature vectors
+        /// matter: a feature-conditioned estimator answers differently per
+        /// context, so a replay must present the same ones. A bare-category
+        /// request journals as a context with default features.
+        contexts: Vec<TaskContext>,
     },
     /// [`Allocator::predict_retry`] — a retry after a kill.
     PredictRetry {
-        /// The category of the killed task.
-        category: CategoryId,
+        /// The killed task's context.
+        context: TaskContext,
         /// The allocation the previous attempt ran under.
         prev: ResourceVector,
         /// The dimensions that attempt exhausted.
@@ -62,6 +65,9 @@ pub enum AllocOp {
         category: CategoryId,
         /// The attempt outcome.
         outcome: AttemptFeedback,
+        /// The rack the attempt ran on, when known (feeds rack avoidance).
+        #[serde(default)]
+        rack: Option<u32>,
     },
     /// [`Allocator::rebucket_all`] — a full rebucket sweep.
     RebucketAll,
@@ -110,18 +116,22 @@ impl AllocLog {
                 AllocOp::Observe { record } => {
                     allocator.observe(record);
                 }
-                AllocOp::PredictFirstBatch { categories } => {
-                    allocator.predict_first_batch(categories, threads);
+                AllocOp::PredictFirstBatch { contexts } => {
+                    allocator.predict_first_batch(contexts, threads);
                 }
                 AllocOp::PredictRetry {
-                    category,
+                    context,
                     prev,
                     exhausted,
                 } => {
-                    allocator.predict_retry(*category, prev, exhausted);
+                    allocator.predict_retry(*context, prev, exhausted);
                 }
-                AllocOp::ObserveOutcome { category, outcome } => {
-                    allocator.observe_outcome(*category, *outcome);
+                AllocOp::ObserveOutcome {
+                    category,
+                    outcome,
+                    rack,
+                } => {
+                    allocator.observe_outcome(*category, *outcome, *rack);
                 }
                 AllocOp::RebucketAll => {
                     allocator.rebucket_all(threads);
@@ -155,26 +165,30 @@ mod tests {
                 log.push(AllocOp::Observe { record: r });
                 live.observe(&r);
             }
-            let batch: Vec<CategoryId> = (0..6).map(|i| CategoryId(i % 3)).collect();
+            let batch: Vec<TaskContext> = (0..6)
+                .map(|i| TaskContext::from(CategoryId(i % 3)))
+                .collect();
             log.push(AllocOp::PredictFirstBatch {
-                categories: batch.clone(),
+                contexts: batch.clone(),
             });
             live.predict_first_batch(&batch, 1);
             log.push(AllocOp::RebucketAll);
             live.rebucket_all(1);
             let prev = ResourceVector::new(1.0, 100.0, 10.0);
             let exhausted = ResourceMask::only(crate::resources::ResourceKind::MemoryMb);
+            let retry_ctx = TaskContext::from(CategoryId(1));
             log.push(AllocOp::PredictRetry {
-                category: CategoryId(1),
+                context: retry_ctx,
                 prev,
                 exhausted,
             });
-            live.predict_retry(CategoryId(1), &prev, &exhausted);
+            live.predict_retry(retry_ctx, &prev, &exhausted);
             log.push(AllocOp::ObserveOutcome {
                 category: CategoryId(0),
                 outcome: AttemptFeedback::Crash,
+                rack: Some(2),
             });
-            live.observe_outcome(CategoryId(0), AttemptFeedback::Crash);
+            live.observe_outcome(CategoryId(0), AttemptFeedback::Crash, Some(2));
 
             let mut restored = Allocator::new(AlgorithmKind::GreedyBucketing, 7);
             log.replay(&mut restored, threads);
@@ -205,20 +219,42 @@ mod tests {
             record: record(3, 1, 2.0),
         });
         log.push(AllocOp::PredictFirstBatch {
-            categories: vec![CategoryId(0), CategoryId(1)],
+            contexts: vec![
+                TaskContext::from(CategoryId(0)),
+                TaskContext::new(
+                    CategoryId(1),
+                    crate::task::TaskFeatures::with_input_signal(0.75).at_depth(3),
+                ),
+            ],
         });
         log.push(AllocOp::PredictRetry {
-            category: CategoryId(0),
+            context: TaskContext::from(CategoryId(0)),
             prev: ResourceVector::new(1.0, 100.0, 10.0),
             exhausted: ResourceMask::only(crate::resources::ResourceKind::Cores),
         });
         log.push(AllocOp::ObserveOutcome {
             category: CategoryId(2),
             outcome: AttemptFeedback::Straggler,
+            rack: None,
         });
         log.push(AllocOp::RebucketAll);
         let json = serde_json::to_string(&log).unwrap();
         let back: AllocLog = serde_json::from_str(&json).unwrap();
         assert_eq!(back, log);
+    }
+
+    /// Outcome ops journaled before rack attribution existed still parse.
+    #[test]
+    fn outcome_without_rack_field_still_parses() {
+        let json = r#"{"ops":[{"ObserveOutcome":{"category":1,"outcome":"Crash"}}]}"#;
+        let log: AllocLog = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            log.ops,
+            vec![AllocOp::ObserveOutcome {
+                category: CategoryId(1),
+                outcome: AttemptFeedback::Crash,
+                rack: None,
+            }]
+        );
     }
 }

@@ -36,6 +36,7 @@ use crate::bucket::BucketSet;
 use crate::estimator::{double_allocation, Prediction, RebucketInfo, ValueEstimator};
 use crate::partition::Partitioner;
 use crate::record::RecordList;
+use crate::task::TaskContext;
 
 /// Record count at or below which every observation still triggers an
 /// immediate rebucket on the next prediction (the paper's exact cadence).
@@ -180,13 +181,13 @@ impl<P: Partitioner> ValueEstimator for BucketingEstimator<P> {
         self.records.len()
     }
 
-    fn predict_first(&mut self, u: f64) -> Option<Prediction> {
+    fn predict_first(&mut self, _ctx: &TaskContext, u: f64) -> Option<Prediction> {
         let set = self.bucket_set()?;
         let idx = set.sample(u)?;
         Some(Prediction::bucket(set.buckets()[idx].rep, idx))
     }
 
-    fn predict_retry(&mut self, prev: f64, u: f64) -> Option<Prediction> {
+    fn predict_retry(&mut self, _ctx: &TaskContext, prev: f64, u: f64) -> Option<Prediction> {
         let set = self.bucket_set()?;
         match set.sample_above(prev, u) {
             Some(idx) => Some(Prediction::bucket(set.buckets()[idx].rep, idx)),
@@ -264,8 +265,9 @@ mod tests {
             .iter()
             .map(|b| b.rep)
             .collect();
+        let ctx = TaskContext::from(crate::task::CategoryId(0));
         for u in [0.0, 0.1, 0.5, 0.9, 0.999] {
-            let p = est.predict_first(u).unwrap();
+            let p = est.predict_first(&ctx, u).unwrap();
             assert!(
                 reps.contains(&p.value),
                 "allocation {} not a representative",
@@ -289,7 +291,8 @@ mod tests {
         assert!(next > first);
         // Retrying from the top representative must double.
         let top = est.bucket_set().unwrap().max_rep().unwrap();
-        let doubled = est.predict_retry(top, 0.5).unwrap();
+        let ctx = TaskContext::from(crate::task::CategoryId(0));
+        let doubled = est.predict_retry(&ctx, top, 0.5).unwrap();
         assert_eq!(doubled.value, top * 2.0);
         assert_eq!(doubled.source, crate::estimator::AllocSource::Doubling);
     }

@@ -16,7 +16,9 @@ use std::fmt;
 /// `display_name`-style naming lives with the workflow, which
 /// keeps this crate free of task-specific features (the *general-purpose*
 /// design goal).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct CategoryId(pub u32);
 
 impl fmt::Display for CategoryId {
@@ -37,6 +39,91 @@ impl fmt::Display for TaskId {
     }
 }
 
+/// Deterministic, pre-run observable signals about one task.
+///
+/// These are the features a real workflow system knows *before* execution —
+/// input sizes, position in the DAG — as opposed to the `(c, m, d, t)`
+/// ground truth it only learns afterwards. Feature-conditioned estimators
+/// (Ponder-style) key sub-states on them; category-global algorithms ignore
+/// them entirely. The workloads crate mints them deterministically so
+/// streamed and materialized workflows carry byte-identical features.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskFeatures {
+    /// Input-size signal, normalized to `[0, 1]` (log-scaled input bytes
+    /// relative to machine capacity, with generator jitter). `0` when the
+    /// workload has no input-size model.
+    #[serde(default)]
+    pub input_signal: f64,
+    /// DAG depth (longest dependency chain below this task); `0` for roots
+    /// and for workflows without dependencies.
+    #[serde(default)]
+    pub depth: u32,
+}
+
+impl TaskFeatures {
+    /// Features carrying only an input-size signal.
+    pub fn with_input_signal(input_signal: f64) -> Self {
+        TaskFeatures {
+            input_signal,
+            ..TaskFeatures::default()
+        }
+    }
+
+    /// A copy with the DAG depth set.
+    pub fn at_depth(mut self, depth: u32) -> Self {
+        self.depth = depth;
+        self
+    }
+}
+
+/// Everything an estimator may condition a prediction on: the category plus
+/// the task's pre-run feature vector and attempt history.
+///
+/// Category-global algorithms (the paper's five and the bucketing family)
+/// ignore everything but the category — `From<CategoryId>` builds the
+/// default-feature context those call sites use — while the learned
+/// comparators ([`crate::featurebin`], [`crate::bandit`]) read the features.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskContext {
+    /// The task's category (the only key the paper's algorithms use).
+    pub category: CategoryId,
+    /// Pre-run observable features.
+    #[serde(default)]
+    pub features: TaskFeatures,
+    /// Completed attempts before this prediction (0 for a first attempt).
+    #[serde(default)]
+    pub attempt: u32,
+}
+
+impl TaskContext {
+    /// A context with explicit features and no attempt history.
+    pub fn new(category: CategoryId, features: TaskFeatures) -> Self {
+        TaskContext {
+            category,
+            features,
+            attempt: 0,
+        }
+    }
+
+    /// A copy with the attempt count set.
+    pub fn with_attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt;
+        self
+    }
+}
+
+impl From<CategoryId> for TaskContext {
+    fn from(category: CategoryId) -> Self {
+        TaskContext::new(category, TaskFeatures::default())
+    }
+}
+
+impl From<&TaskSpec> for TaskContext {
+    fn from(spec: &TaskSpec) -> Self {
+        TaskContext::new(spec.category, spec.features)
+    }
+}
+
 /// The ground truth of one task: its peak consumption and duration.
 ///
 /// The 4-tuple `(c, m, d, t)` is *not known* to the allocator before
@@ -52,6 +139,10 @@ pub struct TaskSpec {
     pub peak: ResourceVector,
     /// Execution time of a successful run, in seconds.
     pub duration_s: f64,
+    /// Pre-run observable features (unlike the fields above, these *are*
+    /// visible to the allocator, via [`TaskContext`]).
+    #[serde(default)]
+    pub features: TaskFeatures,
 }
 
 impl TaskSpec {
@@ -73,7 +164,20 @@ impl TaskSpec {
             category: CategoryId(category),
             peak,
             duration_s,
+            features: TaskFeatures::default(),
         }
+    }
+
+    /// A copy with the pre-run features set (builder style, used by the
+    /// workload generators).
+    pub fn with_features(mut self, features: TaskFeatures) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// The prediction context of this task's first attempt.
+    pub fn context(&self) -> TaskContext {
+        TaskContext::new(self.category, self.features)
     }
 
     /// Significance of this task's resource record.
@@ -100,6 +204,10 @@ pub struct ResourceRecord {
     pub duration_s: f64,
     /// Significance weight (§IV-A): higher = more recent/important.
     pub significance: f64,
+    /// The pre-run features of the task that produced the record, so
+    /// feature-conditioned estimators can key sub-states at observe time.
+    #[serde(default)]
+    pub features: TaskFeatures,
 }
 
 impl ResourceRecord {
@@ -111,6 +219,7 @@ impl ResourceRecord {
             peak: task.peak,
             duration_s: task.duration_s,
             significance: task.significance(),
+            features: task.features,
         }
     }
 }
@@ -148,6 +257,32 @@ mod tests {
     #[should_panic(expected = "peak must be finite")]
     fn invalid_peak_rejected() {
         TaskSpec::new(0, 0, ResourceVector::new(-1.0, 1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn features_default_and_round_trip() {
+        // Pre-feature JSON (no `features` key) still deserializes: the
+        // serde default keeps old traces and snapshots loadable.
+        let spec = TaskSpec::new(3, 1, ResourceVector::new(1.0, 2.0, 3.0), 4.0);
+        let json = serde_json::to_string(&spec).unwrap();
+        let legacy = json.replace(",\"features\":{\"input_signal\":0.0,\"depth\":0}", "");
+        assert_ne!(legacy, json, "features must serialize");
+        let parsed: TaskSpec = serde_json::from_str(&legacy).expect("legacy spec parses");
+        assert_eq!(parsed, spec);
+        let spec = spec.with_features(TaskFeatures::with_input_signal(0.5).at_depth(2));
+        let ctx = spec.context();
+        assert_eq!(ctx.category, CategoryId(1));
+        assert_eq!(ctx.features.depth, 2);
+        assert_eq!(ctx.attempt, 0);
+        assert_eq!(ctx.with_attempt(3).attempt, 3);
+        let r = ResourceRecord::from_task(&spec);
+        assert_eq!(r.features, spec.features);
+        let round: TaskContext =
+            serde_json::from_str(&serde_json::to_string(&ctx).unwrap()).unwrap();
+        assert_eq!(round, ctx);
+        // A bare-category context carries default features.
+        let bare: TaskContext = CategoryId(7).into();
+        assert_eq!(bare.features, TaskFeatures::default());
     }
 
     #[test]

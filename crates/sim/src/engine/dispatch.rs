@@ -19,7 +19,7 @@ use crate::workers::WorkerId;
 use rand::Rng;
 use tora_alloc::feedback::AttemptFeedback;
 use tora_alloc::resources::ResourceVector;
-use tora_alloc::task::{CategoryId, ResourceRecord, TaskSpec};
+use tora_alloc::task::{ResourceRecord, TaskContext, TaskSpec};
 use tora_alloc::trace::EventSink;
 use tora_metrics::{AttemptCause, AttemptOutcome, DeadLetterCause, TaskOutcome};
 
@@ -60,9 +60,9 @@ impl<S: EventSink> Simulation<S> {
                 return a;
             }
         }
-        let category = self.specs[task_idx].category;
-        let a = self.allocator.predict_first(category).into_alloc();
-        self.stats.record_predict_first(category.0);
+        let ctx = TaskContext::from(&self.specs[task_idx]);
+        let a = self.allocator.predict_first(ctx).into_alloc();
+        self.stats.record_predict_first(ctx.category.0);
         let state = &mut self.tasks[task_idx];
         state.next_alloc = Some(a);
         state.predicted_epoch = self.alloc_epoch;
@@ -108,13 +108,11 @@ impl<S: EventSink> Simulation<S> {
             }
         }
         if !misses.is_empty() {
-            let categories: Vec<CategoryId> = misses
+            let contexts: Vec<TaskContext> = misses
                 .iter()
-                .map(|&(_, task_idx)| self.specs[task_idx].category)
+                .map(|&(_, task_idx)| TaskContext::from(&self.specs[task_idx]))
                 .collect();
-            let decisions = self
-                .allocator
-                .predict_first_batch(&categories, self.threads);
+            let decisions = self.allocator.predict_first_batch(&contexts, self.threads);
             for (&(qi, task_idx), decision) in misses.iter().zip(decisions) {
                 let category = self.specs[task_idx].category;
                 self.stats.record_predict_first(category.0);
@@ -206,7 +204,11 @@ impl<S: EventSink> Simulation<S> {
             }
             self.tasks[task_idx].dispatch_failures = 0;
             let alloc = self.tasks[task_idx].next_alloc.expect("alloc just ensured");
-            let worker = self.pool.place(&alloc).expect("can_place verified");
+            let avoid = self.rack_avoid_list();
+            let worker = self
+                .pool
+                .place_avoiding(&alloc, &avoid)
+                .expect("can_place verified");
             let task = self.specs[task_idx];
             // Checkpoint/restart: judge the attempt on the work still owed.
             // With no banked salvage this is the spec itself, bit for bit.
@@ -271,6 +273,7 @@ impl<S: EventSink> Simulation<S> {
         };
         self.forget_worker_run(run.worker, run_id);
         self.pool.release(run.worker, &run.alloc);
+        let rack = self.pool.get(run.worker).map(|w| w.spec.rack);
         let task = self.specs[run.task_idx];
         if run.verdict.success {
             self.log_event(SimEvent::TaskCompleted {
@@ -310,7 +313,7 @@ impl<S: EventSink> Simulation<S> {
             } else {
                 self.stats.faults.rejected_records += 1;
             }
-            self.report_outcome(task.category, AttemptFeedback::Success);
+            self.report_outcome(task.category, AttemptFeedback::Success, rack);
             self.stats.completions += 1;
             self.completed += 1;
             self.tasks[run.task_idx]
@@ -354,7 +357,7 @@ impl<S: EventSink> Simulation<S> {
                 worker: run.worker,
             });
             self.stats.faults.straggler_kills += 1;
-            self.report_outcome(task.category, AttemptFeedback::Straggler);
+            self.report_outcome(task.category, AttemptFeedback::Straggler, rack);
             let state = &mut self.tasks[run.task_idx];
             self.attempt_arena.push(
                 &mut state.attempts,
@@ -387,7 +390,7 @@ impl<S: EventSink> Simulation<S> {
                 AttemptOutcome::failure(run.alloc, run.verdict.charged_time_s),
             );
             self.stats.failures += 1;
-            self.report_outcome(task.category, AttemptFeedback::Exhaustion);
+            self.report_outcome(task.category, AttemptFeedback::Exhaustion, rack);
             let cap = self.config.faults.max_attempts;
             if cap > 0 && self.tasks[run.task_idx].attempts.len() >= cap {
                 // Attempt budget spent: dead-letter without asking the
@@ -406,9 +409,11 @@ impl<S: EventSink> Simulation<S> {
                 .count() as u64;
             self.stats
                 .record_predict_retry(task.category.0, escalations);
-            let decision =
-                self.allocator
-                    .predict_retry(task.category, &run.alloc, &run.verdict.exhausted);
+            let decision = self.allocator.predict_retry(
+                TaskContext::from(&task),
+                &run.alloc,
+                &run.verdict.exhausted,
+            );
             if decision.infeasible {
                 // The retry could not grow any exhausted axis (already at
                 // machine capacity): re-running would reproduce the exact

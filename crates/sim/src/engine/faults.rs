@@ -98,6 +98,9 @@ impl<S: EventSink> Simulation<S> {
     /// minimum — an opportunistic pool offers no such guarantee.
     pub(super) fn crash_worker(&mut self, id: WorkerId) {
         self.stats.faults.worker_crashes += 1;
+        // The rack must be read before the worker leaves the pool: it is
+        // the crash attribution rack avoidance learns from.
+        let rack = self.pool.get(id).map(|w| w.spec.rack);
         let mut victims = self.running_by_worker.remove(&id).unwrap_or_default();
         victims.sort_unstable_by_key(|&(dispatch, _)| dispatch);
         for (_, victim) in victims {
@@ -108,7 +111,11 @@ impl<S: EventSink> Simulation<S> {
                 task: self.specs[run.task_idx].id,
                 worker: id,
             });
-            self.report_outcome(self.specs[run.task_idx].category, AttemptFeedback::Crash);
+            self.report_outcome(
+                self.specs[run.task_idx].category,
+                AttemptFeedback::Crash,
+                rack,
+            );
             let mut attempt =
                 AttemptOutcome::failure_with_cause(run.alloc, elapsed, AttemptCause::WorkerCrash);
             let fraction = self.config.faults.checkpointed_fraction;

@@ -63,7 +63,7 @@ use tora_alloc::allocator::{AlgorithmKind, Allocator, AllocatorConfig};
 use tora_alloc::feedback::{AttemptFeedback, FaultPolicy};
 use tora_alloc::resources::{ResourceVector, WorkerSpec};
 use tora_alloc::task::CategoryId;
-use tora_alloc::task::TaskSpec;
+use tora_alloc::task::{TaskFeatures, TaskSpec};
 use tora_alloc::trace::{EventSink, NoopSink};
 use tora_metrics::{DeadLetterCause, WorkflowMetrics};
 use tora_workloads::{TaskSource, Workflow};
@@ -239,7 +239,7 @@ pub trait Driver: Send {
 
 /// The submission handle a [`Driver`] writes new tasks through.
 pub struct SubmitApi {
-    submissions: Vec<(u32, ResourceVector, f64, Vec<u64>)>,
+    submissions: Vec<(u32, TaskFeatures, ResourceVector, f64, Vec<u64>)>,
     next_id: u64,
 }
 
@@ -260,13 +260,30 @@ impl SubmitApi {
         duration_s: f64,
         deps: Vec<u64>,
     ) -> u64 {
+        self.submit_featured(category, TaskFeatures::default(), peak, duration_s, deps)
+    }
+
+    /// Submit a task carrying a pre-run feature vector, for
+    /// feature-conditioned allocators; returns its id.
+    ///
+    /// # Panics
+    /// If a dependency id is not strictly smaller than the new task's id.
+    pub fn submit_featured(
+        &mut self,
+        category: u32,
+        features: TaskFeatures,
+        peak: ResourceVector,
+        duration_s: f64,
+        deps: Vec<u64>,
+    ) -> u64 {
         let id = self.next_id;
         assert!(
             deps.iter().all(|&d| d < id),
             "dependencies must reference earlier tasks"
         );
         self.next_id += 1;
-        self.submissions.push((category, peak, duration_s, deps));
+        self.submissions
+            .push((category, features, peak, duration_s, deps));
         id
     }
 }
@@ -563,16 +580,33 @@ impl<S: EventSink> Simulation<S> {
         self.tasks[entry.0].queue_token == entry.1
     }
 
-    /// Report an attempt outcome on the allocator's fault-feedback channel.
-    /// Only wired while the fault plan is active: a fault-free run must stay
-    /// byte-identical to the pre-feedback engine (no window pushes, no
-    /// feedback trace events, no stats).
-    fn report_outcome(&mut self, category: CategoryId, outcome: AttemptFeedback) {
+    /// Report an attempt outcome on the allocator's fault-feedback channel,
+    /// attributed to the rack the attempt ran on. Only wired while the
+    /// fault plan is active: a fault-free run must stay byte-identical to
+    /// the pre-feedback engine (no window pushes, no feedback trace events,
+    /// no stats).
+    fn report_outcome(
+        &mut self,
+        category: CategoryId,
+        outcome: AttemptFeedback,
+        rack: Option<u32>,
+    ) {
         if !self.config.faults.is_active() {
             return;
         }
-        self.allocator.observe_outcome(category, outcome);
+        self.allocator.observe_outcome(category, outcome, rack);
         self.stats.record_feedback(category.0);
+    }
+
+    /// Racks placement should deprioritize right now. Empty — and the
+    /// placement path then byte-identical to plain first fit — unless the
+    /// fault plan is active *and* a fault policy has flagged racks whose
+    /// decayed crash rate crossed its threshold.
+    fn rack_avoid_list(&self) -> Vec<u32> {
+        if !self.config.faults.is_active() {
+            return Vec::new();
+        }
+        self.allocator.avoided_racks()
     }
 
     /// Total number of tasks this run must account for: everything
@@ -701,9 +735,9 @@ impl<S: EventSink> Simulation<S> {
             self.source.is_none(),
             "driver submissions cannot mix with a streaming source"
         );
-        for (category, peak, duration_s, deps) in api.submissions {
+        for (category, features, peak, duration_s, deps) in api.submissions {
             let id = self.specs.len() as u64;
-            let spec = TaskSpec::new(id, category, peak, duration_s);
+            let spec = TaskSpec::new(id, category, peak, duration_s).with_features(features);
             assert!(
                 self.worker.capacity.dominates(&spec.peak),
                 "{}: peak {} exceeds worker capacity {}",

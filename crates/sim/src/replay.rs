@@ -44,7 +44,7 @@ pub fn replay_with_config(
     let mut metrics = WorkflowMetrics::new();
     for task in &workflow.tasks {
         let mut attempts = Vec::new();
-        let mut alloc = allocator.predict_first(task.category).into_alloc();
+        let mut alloc = allocator.predict_first(task.context()).into_alloc();
         loop {
             let verdict = enforcement.judge(task, &alloc);
             if verdict.success {
@@ -59,7 +59,7 @@ pub fn replay_with_config(
                 task.peak
             );
             alloc = allocator
-                .predict_retry(task.category, &alloc, &verdict.exhausted)
+                .predict_retry(task.context(), &alloc, &verdict.exhausted)
                 .into_alloc();
         }
         metrics.push(TaskOutcome {

@@ -150,6 +150,39 @@ impl WorkerPool {
         None
     }
 
+    /// First-fit placement that deprioritizes the `avoid` racks: the
+    /// lowest-id fitting worker *outside* them wins; only when no other
+    /// worker has room does an avoided rack take the task (capacity is
+    /// never forfeited to suspicion). With an empty avoid list this is
+    /// byte-identical to [`place`](Self::place) — the fault-free path pays
+    /// nothing.
+    pub fn place_avoiding(&mut self, alloc: &ResourceVector, avoid: &[u32]) -> Option<WorkerId> {
+        if avoid.is_empty() {
+            return self.place(alloc);
+        }
+        let mut fallback = None;
+        let mut chosen = None;
+        for (&id, w) in self.workers.iter() {
+            if !w.fits(alloc) {
+                continue;
+            }
+            if avoid.contains(&w.spec.rack) {
+                if fallback.is_none() {
+                    fallback = Some(id);
+                }
+            } else {
+                chosen = Some(id);
+                break;
+            }
+        }
+        let id = chosen.or(fallback)?;
+        self.workers
+            .get_mut(&id)
+            .expect("chosen worker exists")
+            .reserve(alloc);
+        Some(id)
+    }
+
     /// Release a previously placed allocation.
     ///
     /// # Panics
@@ -324,6 +357,28 @@ mod tests {
             seen,
             vec![(WorkerId(0), 0), (WorkerId(2), 2), (WorkerId(3), 3)]
         );
+    }
+
+    #[test]
+    fn place_avoiding_prefers_healthy_racks_but_never_strands_work() {
+        let mut pool = WorkerPool::new();
+        let a = pool.join(spec().with_rack(0));
+        let b = pool.join(spec().with_rack(1));
+        let alloc = ResourceVector::new(8.0, 1024.0, 1024.0);
+        // An empty avoid list is plain first fit: lowest id.
+        assert_eq!(pool.place_avoiding(&alloc, &[]), Some(a));
+        pool.release(a, &alloc);
+        // Rack 0 flagged: the higher-id worker on rack 1 wins.
+        assert_eq!(pool.place_avoiding(&alloc, &[0]), Some(b));
+        // Both racks flagged: first fit again rather than refusing.
+        assert_eq!(pool.place_avoiding(&alloc, &[0, 1]), Some(a));
+        // Fill rack 1 completely; an avoided rack still takes the task.
+        let whole = spec().capacity;
+        pool.release(a, &alloc);
+        pool.release(b, &alloc);
+        assert_eq!(pool.place_avoiding(&whole, &[0]), Some(b));
+        assert_eq!(pool.place_avoiding(&whole, &[0]), Some(a));
+        assert_eq!(pool.place_avoiding(&whole, &[0]), None);
     }
 
     #[test]

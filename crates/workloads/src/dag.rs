@@ -43,7 +43,8 @@ const DEP_SALT: u64 = 0x0D46_0000_FA17_57A4;
 /// splitmix64: a tiny, high-quality mixer. Structure derives everything
 /// from hashes of `(seed, node)` instead of consuming an RNG stream, so a
 /// shaped workload's task bytes are identical to the equivalent flat one.
-fn splitmix64(mut x: u64) -> u64 {
+/// The feature minter in [`crate::source`] reuses it for the same reason.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -265,10 +266,23 @@ impl DagShape {
                 window = window.max((starts[node] - (starts[d + 1] - 1)) as usize);
             }
         }
+        // First-instance depth per node: a node's first instance depends on
+        // the *last* instance of each base dependency, and each loop-back
+        // iteration adds one level on top.
+        let mut depths = vec![0u32; nodes];
+        for node in 0..nodes {
+            let mut d = 0u32;
+            for dep in self.node_deps(seed, node) {
+                let last = depths[dep] + (starts[dep + 1] - starts[dep] - 1) as u32;
+                d = d.max(last + 1);
+            }
+            depths[node] = d;
+        }
         DagStructure {
             shape: *self,
             seed,
             starts,
+            depths,
             window,
         }
     }
@@ -284,6 +298,9 @@ pub struct DagStructure {
     /// `starts[n]` is the task id of node `n`'s first instance;
     /// `starts[nodes]` is the total task count.
     starts: Vec<u64>,
+    /// DAG depth of each node's first instance (longest dependency chain
+    /// below it).
+    depths: Vec<u32>,
     /// Exact bounded lookahead: every dependency of task `t` has an id in
     /// `[t - window, t)`.
     window: usize,
@@ -310,6 +327,16 @@ impl DagStructure {
     /// in `[t - window, t)`.
     pub fn window(&self) -> usize {
         self.window
+    }
+
+    /// DAG depth of task `task`: the longest dependency chain below it, in
+    /// edges. Matches the depth DP over [`DagStructure::deps_of`], answered
+    /// in O(log nodes) without materializing anything.
+    pub fn depth_of(&self, task: usize) -> u32 {
+        let t = task as u64;
+        debug_assert!(t < *self.starts.last().unwrap(), "task {task} out of range");
+        let node = self.starts.partition_point(|&s| s <= t) - 1;
+        self.depths[node] + (t - self.starts[node]) as u32
     }
 
     /// Dependency ids of task `task`, ascending. Iteration instances chain
@@ -366,7 +393,14 @@ impl TaskSource for DagSource {
     }
 
     fn next_task(&mut self) -> Option<TaskSpec> {
-        self.catalog.next_task()
+        // The catalog stamps the input-size signal; the structure supplies
+        // the depth. Materialized shaped builds stamp the identical depth in
+        // `Workflow::with_dependencies`, so both paths yield the same bytes.
+        let task = self.catalog.next_task()?;
+        let features = task
+            .features
+            .at_depth(self.structure.depth_of(task.id.0 as usize));
+        Some(task.with_features(features))
     }
 
     fn category_of(&self, index: usize) -> u32 {
@@ -526,6 +560,46 @@ mod tests {
             a.starts != c.starts || (0..a.total_tasks()).any(|t| a.deps_of(t) != c.deps_of(t)),
             "different seeds should perturb the structure"
         );
+    }
+
+    #[test]
+    fn depth_of_matches_the_dependency_dp() {
+        for shape in [
+            DagShape::fan_out_fan_in(5).with_loopback(2),
+            DagShape::pipeline(7).with_loopback(3),
+            DagShape::diamond(3, 4).with_loopback(2),
+            DagShape::random_layered(4, 4).with_loopback(1),
+        ] {
+            let s = shape.structure(13);
+            let mut dp = vec![0u32; s.total_tasks()];
+            for t in 0..s.total_tasks() {
+                dp[t] = s
+                    .deps_of(t)
+                    .iter()
+                    .map(|&d| dp[d as usize] + 1)
+                    .max()
+                    .unwrap_or(0);
+                assert_eq!(s.depth_of(t), dp[t], "{shape:?} task {t}");
+            }
+            assert!(dp.iter().any(|&d| d > 0), "{shape:?} has depth somewhere");
+        }
+    }
+
+    #[test]
+    fn shaped_streams_stamp_the_same_features_as_materialized_builds() {
+        let shape = DagShape::random_layered(4, 5).with_loopback(2);
+        for wf in [PaperWorkflow::Bimodal, PaperWorkflow::TopEft] {
+            let spec = wf.spec(19).dag_shape(shape);
+            let built = spec.materialize().unwrap();
+            let mut source = spec.stream().unwrap();
+            let drained: Vec<_> = std::iter::from_fn(|| source.next_task()).collect();
+            assert_eq!(drained, built.tasks, "{}", wf.name());
+            assert!(
+                built.tasks.iter().any(|t| t.features.depth > 0),
+                "{}: depth was stamped",
+                wf.name()
+            );
+        }
     }
 
     #[test]

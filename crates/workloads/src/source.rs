@@ -13,10 +13,28 @@
 //! parity suite pins down to the event log.
 
 use crate::catalog::PaperWorkflow;
+use crate::dag::splitmix64;
 use crate::{colmena, synthetic, topeft};
 use rand::rngs::StdRng;
 use tora_alloc::resources::WorkerSpec;
-use tora_alloc::task::TaskSpec;
+use tora_alloc::task::{TaskFeatures, TaskSpec};
+
+/// Hash stream for the input-size signal's generator jitter.
+const SIGNAL_SALT: u64 = 0x51_6E_A1_00_7A_5C_F3_0D;
+
+/// The deterministic pre-run input-size signal of task `id`: the log-scaled
+/// memory footprint relative to worker capacity, blurred by a small hash
+/// jitter so the signal behaves like a real pre-run proxy (input file size)
+/// rather than an oracle of the peak. Hash-derived, not RNG-drawn — minting
+/// features consumes no sampler state, so feature-stamped workloads are
+/// byte-identical to pre-feature ones everywhere except the feature fields.
+pub(crate) fn input_signal(seed: u64, id: u64, peak_mem_mb: f64, cap_mem_mb: f64) -> f64 {
+    let h = splitmix64(seed ^ SIGNAL_SALT ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // 53 uniform bits in [0, 1).
+    let jitter = (h >> 11) as f64 / (1u64 << 53) as f64;
+    let base = (1.0 + peak_mem_mb.max(0.0)).ln() / (1.0 + cap_mem_mb.max(1.0)).ln();
+    (base + 0.06 * (jitter - 0.5)).clamp(0.0, 1.0)
+}
 
 /// A workload produced one task at a time, in submission order.
 ///
@@ -76,6 +94,7 @@ pub struct CatalogSource {
     counts: Vec<usize>,
     total: usize,
     next: usize,
+    seed: u64,
     rng: StdRng,
 }
 
@@ -89,6 +108,7 @@ impl CatalogSource {
             counts,
             total,
             next: 0,
+            seed,
             rng: match workflow {
                 PaperWorkflow::ColmenaXtb => colmena::stream_rng(seed),
                 PaperWorkflow::TopEft => topeft::stream_rng(seed),
@@ -121,7 +141,7 @@ impl TaskSource for CatalogSource {
         }
         let i = self.next;
         self.next += 1;
-        Some(match self.workflow {
+        let task = match self.workflow {
             PaperWorkflow::ColmenaXtb => colmena::sample_task(i, self.counts[0], &mut self.rng),
             PaperWorkflow::TopEft => {
                 topeft::sample_task(i, self.counts[0], self.counts[1], &mut self.rng)
@@ -130,7 +150,17 @@ impl TaskSource for CatalogSource {
                 let kind = synth.synthetic_kind().expect("catalog family");
                 synthetic::sample_task(kind, i, self.total, &self.worker, &mut self.rng)
             }
-        })
+        };
+        // Mint the pre-run feature vector after sampling: the signal is a
+        // hash of `(seed, id)` and the sampled peak, so it consumes no RNG
+        // state and the task bytes stay identical across stream/materialize.
+        let signal = input_signal(
+            self.seed,
+            task.id.0,
+            task.peak.memory_mb(),
+            self.worker.capacity.memory_mb(),
+        );
+        Some(task.with_features(TaskFeatures::with_input_signal(signal)))
     }
 
     /// Every catalog family assigns categories by contiguous index range
@@ -198,6 +228,57 @@ mod tests {
         };
         assert_eq!(drain(3), drain(3));
         assert_ne!(drain(3), drain(4));
+    }
+
+    #[test]
+    fn input_signal_is_deterministic_bounded_and_tracks_memory() {
+        let cap = 65536.0;
+        // Pure function of (seed, id, peak, cap).
+        assert_eq!(
+            input_signal(7, 3, 2000.0, cap),
+            input_signal(7, 3, 2000.0, cap)
+        );
+        // Different seeds jitter differently; different ids too.
+        assert_ne!(
+            input_signal(7, 3, 2000.0, cap),
+            input_signal(8, 3, 2000.0, cap)
+        );
+        assert_ne!(
+            input_signal(7, 3, 2000.0, cap),
+            input_signal(7, 4, 2000.0, cap)
+        );
+        for mem in [0.0, 1.0, 100.0, 2000.0, 6000.0, cap] {
+            for id in 0..50u64 {
+                let s = input_signal(11, id, mem, cap);
+                assert!((0.0..=1.0).contains(&s), "signal {s} for mem {mem}");
+            }
+        }
+        // The jitter never swamps the log-memory separation that the
+        // bimodal workload's two modes produce (~2 GB vs ~6 GB).
+        for id in 0..100u64 {
+            let low = input_signal(11, id, 2000.0, cap);
+            let high = input_signal(11, id, 6000.0, cap);
+            assert!(high > low, "id {id}: {high} <= {low}");
+        }
+    }
+
+    #[test]
+    fn generated_tasks_carry_a_minted_input_signal() {
+        let mut source = WorkloadSpec::new(PaperWorkflow::Bimodal, 7)
+            .stream()
+            .unwrap();
+        let drained: Vec<_> = std::iter::from_fn(|| source.next_task()).collect();
+        assert!(drained.iter().all(|t| t.features.input_signal > 0.0));
+        assert!(
+            drained.iter().all(|t| t.features.depth == 0),
+            "flat => depth 0"
+        );
+        // The signal is informative: tasks of the two memory modes separate.
+        let cap = WorkerSpec::paper_default().capacity.memory_mb();
+        for t in &drained {
+            let expected = input_signal(7, t.id.0, t.peak.memory_mb(), cap);
+            assert_eq!(t.features.input_signal, expected, "{}", t.id);
+        }
     }
 
     #[test]

@@ -58,13 +58,27 @@ impl Workflow {
         wf
     }
 
-    /// Attach dependency lists (`deps[i]` = predecessor ids of task `i`).
+    /// Attach dependency lists (`deps[i]` = predecessor ids of task `i`)
+    /// and stamp each task's DAG depth (longest dependency chain below it)
+    /// into its feature vector, so depth-conditioned estimators see the
+    /// same features here as on the streaming path.
     ///
     /// # Panics
     /// If the result is invalid (wrong length, forward/self dependencies).
     pub fn with_dependencies(mut self, dependencies: Vec<Vec<u64>>) -> Self {
         self.dependencies = dependencies;
         self.validate().expect("invalid dependencies");
+        let mut depth = vec![0u32; self.tasks.len()];
+        for i in 0..self.tasks.len() {
+            let d = self
+                .deps_of(i)
+                .iter()
+                .map(|&p| depth[p as usize] + 1)
+                .max()
+                .unwrap_or(0);
+            depth[i] = d;
+            self.tasks[i].features.depth = d;
+        }
         self
     }
 

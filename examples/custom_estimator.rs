@@ -41,7 +41,7 @@ impl ValueEstimator for P95Headroom {
         self.records.len()
     }
 
-    fn predict_first(&mut self, _u: f64) -> Option<Prediction> {
+    fn predict_first(&mut self, _ctx: &TaskContext, _u: f64) -> Option<Prediction> {
         // A deterministic point estimate — the provenance shows up in
         // traced runs as `AllocSource::Point`. Quantiles need the sorted
         // order, so fold any pending observations first.
@@ -51,7 +51,7 @@ impl ValueEstimator for P95Headroom {
             .map(|v| Prediction::point(v * 1.2))
     }
 
-    fn predict_retry(&mut self, prev: f64, _u: f64) -> Option<Prediction> {
+    fn predict_retry(&mut self, _ctx: &TaskContext, prev: f64, _u: f64) -> Option<Prediction> {
         if self.records.is_empty() {
             None
         } else {

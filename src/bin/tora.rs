@@ -131,12 +131,20 @@ fn cmd_algorithms() -> Result<(), String> {
             AlgorithmKind::KMeansBucketing,
             "extension: k-means clustering",
         ),
+        (
+            AlgorithmKind::FeatureBinned,
+            "extension: feature-conditioned bins",
+        ),
+        (
+            AlgorithmKind::SemiBandit,
+            "extension: semi-bandit arm selection",
+        ),
     ];
     for (alg, kind) in rows {
         table.row(&[
             alg.label(),
             kind,
-            if alg.is_novel_bucketing() {
+            if alg.conservative_exploration() {
                 "conservative probe"
             } else {
                 "whole machine"

@@ -103,9 +103,11 @@ impl<'a> Args<'a> {
 
 /// Resolve an algorithm label (see `tora algorithms`) to its [`AlgorithmKind`].
 pub fn parse_algorithm(name: &str) -> Result<AlgorithmKind, String> {
-    const EXTRAS: [AlgorithmKind; 2] = [
+    const EXTRAS: [AlgorithmKind; 4] = [
         AlgorithmKind::GreedyBucketingIncremental,
         AlgorithmKind::KMeansBucketing,
+        AlgorithmKind::FeatureBinned,
+        AlgorithmKind::SemiBandit,
     ];
     AlgorithmKind::PAPER_SET
         .into_iter()

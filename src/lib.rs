@@ -52,7 +52,9 @@ pub mod prelude {
     };
     pub use tora_alloc::feedback::{AttemptFeedback, FaultPolicy, FeedbackWindow};
     pub use tora_alloc::resources::{ResourceKind, ResourceMask, ResourceVector, WorkerSpec};
-    pub use tora_alloc::task::{CategoryId, ResourceRecord, TaskId, TaskSpec};
+    pub use tora_alloc::task::{
+        CategoryId, ResourceRecord, TaskContext, TaskFeatures, TaskId, TaskSpec,
+    };
     pub use tora_alloc::trace::{
         AllocEvent, AxisProvenance, EventSink, JsonlSink, MemorySink, NoopSink, PredictKind,
         TraceStats,

@@ -114,6 +114,14 @@ pub enum Request {
         task: u64,
         /// Task category (function id).
         category: u32,
+        /// Optional pre-run input-size signal in `[0, 1]` for
+        /// feature-conditioned algorithms; omitting it (0) is exactly the
+        /// pre-feature protocol.
+        #[serde(default)]
+        input_signal: f64,
+        /// Optional DAG depth of the task.
+        #[serde(default)]
+        depth: u32,
     },
     /// Submit every task of a built-in workflow in one batch.
     Workload {
@@ -311,6 +319,8 @@ mod tests {
                 tenant: "a".into(),
                 task: 3,
                 category: 1,
+                input_signal: 0.4,
+                depth: 2,
             },
             Request::Fault {
                 tenant: "a".into(),
@@ -338,6 +348,20 @@ mod tests {
                 tenant: "a".into(),
                 algorithm: String::new(),
                 seed: 0,
+            }
+        );
+        // Pre-feature submit lines keep parsing: the feature fields default.
+        let req: Request =
+            serde_json::from_str(r#"{"Submit":{"tenant":"a","task":1,"category":0}}"#)
+                .expect("feature fields default");
+        assert_eq!(
+            req,
+            Request::Submit {
+                tenant: "a".into(),
+                task: 1,
+                category: 0,
+                input_signal: 0.0,
+                depth: 0,
             }
         );
     }

@@ -116,7 +116,14 @@ impl Session {
                 tenant,
                 task,
                 category,
-            } => self.submit(&tenant, task, category),
+                input_signal,
+                depth,
+            } => self.submit(
+                &tenant,
+                task,
+                category,
+                TaskFeatures::with_input_signal(input_signal).at_depth(depth),
+            ),
             Request::Workload {
                 tenant,
                 workflow,
@@ -166,7 +173,13 @@ impl Session {
         Response::Opened { tenant }
     }
 
-    fn submit(&mut self, tenant: &str, task: u64, category: u32) -> Response {
+    fn submit(
+        &mut self,
+        tenant: &str,
+        task: u64,
+        category: u32,
+        features: TaskFeatures,
+    ) -> Response {
         let Some(i) = self.registry.find(tenant) else {
             return unknown_tenant(tenant);
         };
@@ -180,7 +193,7 @@ impl Session {
         let t = &mut self.registry.tenants[i];
         let AppliedOp::Decisions(decisions) = t.apply(
             AllocOp::PredictFirstBatch {
-                categories: vec![CategoryId(category)],
+                contexts: vec![TaskContext::new(CategoryId(category), features)],
             },
             threads,
         ) else {
@@ -190,6 +203,7 @@ impl Session {
         t.queue.push_back(TaskBooking {
             task,
             category,
+            features,
             alloc: decisions[0].alloc,
         });
         let granted = self.registry.admit();
@@ -240,11 +254,11 @@ impl Session {
                 format!("task {} was already submitted to `{tenant}`", spec.id.0),
             );
         }
-        let categories: Vec<CategoryId> = built.tasks.iter().map(|s| s.category).collect();
+        let contexts: Vec<TaskContext> = built.tasks.iter().map(TaskContext::from).collect();
         let threads = self.registry.threads;
         let t = &mut self.registry.tenants[i];
         let AppliedOp::Decisions(decisions) =
-            t.apply(AllocOp::PredictFirstBatch { categories }, threads)
+            t.apply(AllocOp::PredictFirstBatch { contexts }, threads)
         else {
             unreachable!("a batch op yields decisions");
         };
@@ -253,6 +267,7 @@ impl Session {
             t.queue.push_back(TaskBooking {
                 task: spec.id.0,
                 category: spec.category.0,
+                features: spec.features,
                 alloc: decision.alloc,
             });
         }
@@ -296,13 +311,16 @@ impl Session {
         let booking = t.running.remove(pos);
         // Same record a worker report produces in the engine: the time axis
         // carries the duration, significance is the submission-order weight.
-        let record =
-            ResourceRecord::from_task(&TaskSpec::new(task, booking.category, peak, duration_s));
+        let record = ResourceRecord::from_task(
+            &TaskSpec::new(task, booking.category, peak, duration_s)
+                .with_features(booking.features),
+        );
         t.apply(AllocOp::Observe { record }, threads);
         t.apply(
             AllocOp::ObserveOutcome {
                 category: booking.category_id(),
                 outcome: AttemptFeedback::Success,
+                rack: None,
             },
             threads,
         );
@@ -358,6 +376,7 @@ impl Session {
             AllocOp::ObserveOutcome {
                 category: booking.category_id(),
                 outcome: feedback,
+                rack: None,
             },
             threads,
         );
@@ -365,7 +384,7 @@ impl Session {
         let (alloc, infeasible) = if feedback == AttemptFeedback::Exhaustion {
             let AppliedOp::Decision(decision) = t.apply(
                 AllocOp::PredictRetry {
-                    category: booking.category_id(),
+                    context: booking.context(),
                     prev: booking.alloc,
                     exhausted: mask,
                 },
@@ -383,6 +402,7 @@ impl Session {
             self.registry.tenants[i].queue.push_front(TaskBooking {
                 task,
                 category: booking.category,
+                features: booking.features,
                 alloc,
             });
         }
@@ -409,7 +429,10 @@ impl Session {
         let t = &mut self.registry.tenants[i];
         let AppliedOp::Decisions(decisions) = t.apply(
             AllocOp::PredictFirstBatch {
-                categories: categories.iter().map(|&c| CategoryId(c)).collect(),
+                contexts: categories
+                    .iter()
+                    .map(|&c| TaskContext::from(CategoryId(c)))
+                    .collect(),
             },
             threads,
         ) else {

@@ -32,6 +32,9 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 struct BookingSnapshot {
     task: u64,
     category: u32,
+    /// Pre-feature snapshots omit this; defaulting reproduces their zeros.
+    #[serde(default)]
+    features: TaskFeatures,
     alloc: ResourceVector,
 }
 
@@ -40,6 +43,7 @@ impl From<&TaskBooking> for BookingSnapshot {
         BookingSnapshot {
             task: b.task,
             category: b.category,
+            features: b.features,
             alloc: b.alloc,
         }
     }
@@ -50,6 +54,7 @@ impl From<&BookingSnapshot> for TaskBooking {
         TaskBooking {
             task: s.task,
             category: s.category,
+            features: s.features,
             alloc: s.alloc,
         }
     }

@@ -35,16 +35,26 @@ use std::collections::{BTreeSet, VecDeque};
 use super::protocol::Grant;
 use super::ServeConfig;
 
-/// A task the daemon is tracking: its id, category, and the allocation it
-/// is running under (or will run under once admitted).
+/// A task the daemon is tracking: its id, category, feature vector, and the
+/// allocation it is running under (or will run under once admitted).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(super) struct TaskBooking {
     /// Task id, unique within the tenant.
     pub task: u64,
     /// The task's category.
     pub category: u32,
+    /// Pre-run features the task was submitted with (zero when the client
+    /// sent none); retries and completion records re-present the same ones.
+    pub features: TaskFeatures,
     /// The predicted allocation.
     pub alloc: ResourceVector,
+}
+
+impl TaskBooking {
+    /// The task's full prediction context.
+    pub fn context(&self) -> TaskContext {
+        TaskContext::new(CategoryId(self.category), self.features)
+    }
 }
 
 /// One open workflow: a private allocator plus its books.
@@ -122,16 +132,20 @@ impl Tenant {
                 self.allocator.observe(record);
                 AppliedOp::Observed
             }
-            AllocOp::PredictFirstBatch { categories } => {
-                AppliedOp::Decisions(self.allocator.predict_first_batch(categories, threads))
+            AllocOp::PredictFirstBatch { contexts } => {
+                AppliedOp::Decisions(self.allocator.predict_first_batch(contexts, threads))
             }
             AllocOp::PredictRetry {
-                category,
+                context,
                 prev,
                 exhausted,
-            } => AppliedOp::Decision(self.allocator.predict_retry(*category, prev, exhausted)),
-            AllocOp::ObserveOutcome { category, outcome } => {
-                self.allocator.observe_outcome(*category, *outcome);
+            } => AppliedOp::Decision(self.allocator.predict_retry(*context, prev, exhausted)),
+            AllocOp::ObserveOutcome {
+                category,
+                outcome,
+                rack,
+            } => {
+                self.allocator.observe_outcome(*category, *outcome, *rack);
                 AppliedOp::Observed
             }
             AllocOp::RebucketAll => {
@@ -255,6 +269,7 @@ mod tests {
         TaskBooking {
             task,
             category: 0,
+            features: TaskFeatures::default(),
             alloc: ResourceVector::new(cores, 1024.0, 512.0),
         }
     }

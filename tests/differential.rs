@@ -13,7 +13,7 @@
 use tora::prelude::*;
 
 /// Every allocator the workspace ships, paper set and extensions alike.
-const ALL_ALGORITHMS: [AlgorithmKind; 9] = [
+const ALL_ALGORITHMS: [AlgorithmKind; 11] = [
     AlgorithmKind::WholeMachine,
     AlgorithmKind::MaxSeen,
     AlgorithmKind::MinWaste,
@@ -23,6 +23,8 @@ const ALL_ALGORITHMS: [AlgorithmKind; 9] = [
     AlgorithmKind::ExhaustiveBucketing,
     AlgorithmKind::GreedyBucketingIncremental,
     AlgorithmKind::KMeansBucketing,
+    AlgorithmKind::FeatureBinned,
+    AlgorithmKind::SemiBandit,
 ];
 
 const SEEDS: [u64; 3] = [1, 7, 23];
@@ -38,14 +40,14 @@ struct SerialDriver {
 impl Driver for SerialDriver {
     fn on_start(&mut self, api: &mut SubmitApi) {
         if let Some(t) = self.tasks.first() {
-            api.submit(t.category.0, t.peak, t.duration_s);
+            api.submit_featured(t.category.0, t.features, t.peak, t.duration_s, Vec::new());
         }
         self.next = 1;
     }
 
     fn on_task_complete(&mut self, _task: &TaskSpec, api: &mut SubmitApi) {
         if let Some(t) = self.tasks.get(self.next) {
-            api.submit(t.category.0, t.peak, t.duration_s);
+            api.submit_featured(t.category.0, t.features, t.peak, t.duration_s, Vec::new());
         }
         self.next += 1;
     }

@@ -148,6 +148,33 @@ proptest! {
     }
 
     #[test]
+    fn feature_bin_fallback_never_predicts_below_the_category_floor(
+        samples in prop::collection::vec((0.0f64..1.0, 1.0f64..60_000.0), 1..100),
+        signal in 0.0f64..1.0,
+        u in 0.0f64..1.0,
+    ) {
+        // Whatever mix of bins the observations land in — including bins
+        // with too little support, which fall back to the category-global
+        // answer — a first prediction must never dip below the smallest
+        // value ever observed for the category. An estimator conditioning
+        // on a noisy pre-run signal may bin poorly; it must not use that as
+        // license to under-allocate below what the category has proven.
+        use tora::alloc::{FeatureBinned, ValueEstimator};
+        let mut fb = FeatureBinned::new();
+        for (sig, value) in &samples {
+            fb.observe_ctx(&TaskFeatures::with_input_signal(*sig), *value, 1.0);
+        }
+        let floor = samples.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let ctx = TaskContext::new(CategoryId(0), TaskFeatures::with_input_signal(signal));
+        let p = fb.predict_first(&ctx, u).expect("non-empty estimator answers");
+        prop_assert!(
+            p.value >= floor,
+            "prediction {} below category floor {floor}",
+            p.value
+        );
+    }
+
+    #[test]
     fn quantile_is_monotone(list in record_list(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         let a = list.quantile(lo).unwrap();

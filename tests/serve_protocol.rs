@@ -177,6 +177,82 @@ fn snapshot_restore_resumes_byte_identically() {
     }
 }
 
+/// A conversation for a feature-conditioned tenant: every submission
+/// carries an input-size signal and a DAG depth, the measured peaks track
+/// the signal (low signal → small memory, high → large), and a memory
+/// exhaustion forces a journaled retry.
+fn featured_script(tenant: &str, seed: u64) -> Vec<String> {
+    let mut lines = vec![format!(
+        r#"{{"Open":{{"tenant":"{tenant}","algorithm":"feature-binned","seed":{seed}}}}}"#
+    )];
+    for task in 0..10u64 {
+        lines.push(format!(
+            r#"{{"Submit":{{"tenant":"{tenant}","task":{task},"category":0,"input_signal":0.{task},"depth":{depth}}}}}"#,
+            depth = task % 4
+        ));
+    }
+    for task in 0..8u64 {
+        lines.push(format!(
+            r#"{{"Complete":{{"tenant":"{tenant}","task":{task},"cores":0.8,"memory_mb":{mem}.0,"disk_mb":90.0,"duration_s":5.0}}}}"#,
+            mem = 500 + 600 * task
+        ));
+    }
+    lines.push(format!(
+        r#"{{"Fault":{{"tenant":"{tenant}","task":8,"kind":"exhaustion","exhausted":["memory"]}}}}"#
+    ));
+    lines.push(format!(
+        r#"{{"Predict":{{"tenant":"{tenant}","categories":[0,0]}}}}"#
+    ));
+    lines.push(format!(r#"{{"Rebucket":{{"tenant":"{tenant}"}}}}"#));
+    lines
+}
+
+/// Satellite of the TaskContext refactor: a tenant running a
+/// feature-conditioned algorithm journals the full context (signal + depth)
+/// with every Predict op, so a restored daemon rebuilds the *same bins* and
+/// answers the remaining conversation byte-identically. Cuts are placed
+/// mid-submission, mid-completion, and after the fault so the journal is
+/// replayed at every interesting length.
+#[test]
+fn a_feature_conditioned_tenant_survives_snapshot_restore() {
+    let script = featured_script("ml", 21);
+    for cut in [4usize, 14, script.len() - 1] {
+        let mut uninterrupted = Session::new(&config());
+        let all_responses = drive(&mut uninterrupted, &script);
+
+        let mut doomed = Session::new(&config());
+        drive(&mut doomed, &script[..cut]);
+        let snapshot = doomed.snapshot_json().expect("snapshot serializes");
+        drop(doomed);
+
+        // The journal must carry the feature vector, not just the category:
+        // a snapshot that dropped the context would still replay, but into
+        // different bins.
+        assert!(
+            snapshot.contains("input_signal"),
+            "cut {cut}: journaled ops lost the task context"
+        );
+
+        let mut restored = Session::restore(&config(), &snapshot).expect("snapshot restores");
+        assert_eq!(
+            restored.snapshot_json().expect("snapshot serializes"),
+            snapshot,
+            "cut {cut}: snapshot → restore → snapshot is not the identity"
+        );
+        let tail_responses = drive(&mut restored, &script[cut..]);
+        assert_eq!(
+            tail_responses,
+            all_responses[cut..],
+            "cut {cut}: restored feature-conditioned tenant diverged"
+        );
+        assert_eq!(
+            restored.snapshot_json().expect("snapshot serializes"),
+            uninterrupted.snapshot_json().expect("snapshot serializes"),
+            "cut {cut}: final states diverged"
+        );
+    }
+}
+
 /// The same snapshot round trip through the real binary and the `--restore`
 /// flag: a daemon killed after `Snapshot` resumes and finishes the
 /// conversation exactly as an uninterrupted daemon does.
